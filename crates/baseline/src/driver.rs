@@ -1,0 +1,356 @@
+//! Simulation driver for the lock-step baseline, mirroring
+//! `faust_ustor::Driver` so the two protocols can be compared head-to-head
+//! on identical workloads (experiment E7: wait-freedom vs. blocking).
+
+use crate::protocol::{LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit};
+use faust_crypto::sig::KeySet;
+use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
+use faust_types::{ClientId, History, OpId, OpKind, Value};
+use std::collections::VecDeque;
+
+/// One step of a scripted client workload (identical shape to the USTOR
+/// driver's, so benchmarks can share workload generators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsWorkloadOp {
+    /// Write a value to the client's own register.
+    Write(Value),
+    /// Read a register.
+    Read(ClientId),
+    /// Idle for the given virtual-time ticks.
+    Pause(u64),
+    /// Crash the client (taking the global lock down with it if held —
+    /// that is the point of the experiment).
+    Crash,
+}
+
+/// Timer tag used by [`LsDriver::crash_at`].
+const CRASH_TAG: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+enum LsNetMsg {
+    Submit(LsSubmit),
+    Grant(Box<LsGrant>),
+    Commit(Box<LsCommit>),
+}
+
+impl MessageSize for LsNetMsg {
+    fn size_bytes(&self) -> usize {
+        // Rough wire-size model: states dominate (seq + counts + hashes +
+        // signature); values carried verbatim.
+        match self {
+            LsNetMsg::Submit(m) => 16 + m.value.as_ref().map_or(0, |v| v.len()),
+            LsNetMsg::Grant(g) => {
+                40 + g.state.counts.len() * 41 + g.value.as_ref().map_or(0, |v| v.len())
+            }
+            LsNetMsg::Commit(c) => {
+                40 + c.state.counts.len() * 41 + c.value.as_ref().map_or(0, |v| v.len())
+            }
+        }
+    }
+}
+
+/// Outcome of a lock-step run.
+#[derive(Debug)]
+pub struct LsRunResult {
+    /// The recorded history.
+    pub history: History,
+    /// Completions per client.
+    pub completions: Vec<Vec<LsCompletion>>,
+    /// Faults detected by clients.
+    pub faults: Vec<(ClientId, LsFault)>,
+    /// Traffic statistics.
+    pub metrics: faust_sim::Metrics,
+    /// Virtual time at quiescence.
+    pub final_time: u64,
+    /// Operations that never completed — the blocking the paper proves
+    /// unavoidable for fork-linearizable protocols.
+    pub incomplete_ops: usize,
+}
+
+struct Slot {
+    proto: LockStepClient,
+    queue: VecDeque<LsWorkloadOp>,
+    current: Option<OpId>,
+    completions: Vec<LsCompletion>,
+    fault: Option<LsFault>,
+    crashed: bool,
+}
+
+/// Drives `n` lock-step clients against the lock-step server.
+///
+/// # Example
+///
+/// ```
+/// use faust_baseline::{LsDriver, LsWorkloadOp};
+/// use faust_sim::SimConfig;
+/// use faust_types::{ClientId, Value};
+///
+/// let mut d = LsDriver::new(2, SimConfig::default(), b"ex");
+/// d.push_op(ClientId::new(0), LsWorkloadOp::Write(Value::from("v")));
+/// d.push_op(ClientId::new(1), LsWorkloadOp::Read(ClientId::new(0)));
+/// let r = d.run();
+/// assert_eq!(r.incomplete_ops, 0);
+/// ```
+pub struct LsDriver {
+    n: usize,
+    sim: Simulation<LsNetMsg>,
+    server: LockStepServer,
+    slots: Vec<Slot>,
+    history: History,
+}
+
+impl LsDriver {
+    /// Creates a driver for `n` clients with a correct lock-step server.
+    pub fn new(n: usize, sim: SimConfig, key_seed: &[u8]) -> Self {
+        let keys = KeySet::generate(n, key_seed);
+        LsDriver {
+            n,
+            sim: Simulation::new(sim),
+            server: LockStepServer::new(n),
+            slots: (0..n)
+                .map(|i| Slot {
+                    proto: LockStepClient::new(
+                        ClientId::new(i as u32),
+                        n,
+                        keys.keypair(i as u32).expect("generated").clone(),
+                        keys.registry(),
+                    ),
+                    queue: VecDeque::new(),
+                    current: None,
+                    completions: Vec::new(),
+                    fault: None,
+                    crashed: false,
+                })
+                .collect(),
+            history: History::new(),
+        }
+    }
+
+    fn server_node(&self) -> NodeId {
+        NodeId(self.n as u32)
+    }
+
+    /// Appends one step to a client's script.
+    pub fn push_op(&mut self, client: ClientId, op: LsWorkloadOp) {
+        self.slots[client.index()].queue.push_back(op);
+    }
+
+    /// Appends a whole script for a client.
+    pub fn push_ops(&mut self, client: ClientId, ops: impl IntoIterator<Item = LsWorkloadOp>) {
+        self.slots[client.index()].queue.extend(ops);
+    }
+
+    /// Schedules `client` to crash at absolute virtual time `time`,
+    /// regardless of what it is doing — including mid-operation while
+    /// holding the global lock, which is the blocking scenario of
+    /// experiment E7.
+    pub fn crash_at(&mut self, client: ClientId, time: u64) {
+        self.sim
+            .set_timer(NodeId(client.as_u32()), time, CRASH_TAG);
+    }
+
+    fn try_start(&mut self, i: usize) {
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.crashed || slot.fault.is_some() || slot.current.is_some() {
+                return;
+            }
+            let Some(op) = slot.queue.pop_front() else {
+                return;
+            };
+            let client_id = ClientId::new(i as u32);
+            let now = self.sim.now();
+            match op {
+                LsWorkloadOp::Crash => {
+                    slot.crashed = true;
+                    self.sim.crash(NodeId(i as u32));
+                    return;
+                }
+                LsWorkloadOp::Pause(ticks) => {
+                    self.sim.set_timer(NodeId(i as u32), ticks, i as u64);
+                    return;
+                }
+                LsWorkloadOp::Write(value) => {
+                    let submit = slot.proto.begin_write(value.clone());
+                    slot.current = Some(self.history.begin_write(client_id, value, now));
+                    self.sim
+                        .send(NodeId(i as u32), self.server_node(), LsNetMsg::Submit(submit));
+                    return;
+                }
+                LsWorkloadOp::Read(register) => {
+                    if register.index() >= self.n {
+                        continue;
+                    }
+                    let submit = slot.proto.begin_read(register);
+                    slot.current = Some(self.history.begin_read(client_id, register, now));
+                    self.sim
+                        .send(NodeId(i as u32), self.server_node(), LsNetMsg::Submit(submit));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs to quiescence.
+    pub fn run(mut self) -> LsRunResult {
+        for i in 0..self.n {
+            self.try_start(i);
+        }
+        while let Some(ev) = self.sim.next() {
+            let Event::Message { from, to, msg, .. } = ev.event else {
+                if let Event::Timer { node, tag, .. } = ev.event {
+                    if tag == CRASH_TAG {
+                        self.slots[node.0 as usize].crashed = true;
+                        self.sim.crash(node);
+                    } else {
+                        self.try_start(node.0 as usize);
+                    }
+                }
+                continue;
+            };
+            if to == self.server_node() {
+                let client = ClientId::new(from.0);
+                let grants = match msg {
+                    LsNetMsg::Submit(m) => self.server.on_submit(client, m),
+                    LsNetMsg::Commit(m) => self.server.on_commit(client, *m),
+                    LsNetMsg::Grant(_) => Vec::new(),
+                };
+                for (rcpt, grant) in grants {
+                    self.sim.send(
+                        self.server_node(),
+                        NodeId(rcpt.as_u32()),
+                        LsNetMsg::Grant(Box::new(grant)),
+                    );
+                }
+            } else {
+                let i = to.0 as usize;
+                let LsNetMsg::Grant(grant) = msg else {
+                    continue;
+                };
+                let now = self.sim.now();
+                let slot = &mut self.slots[i];
+                if slot.crashed || slot.fault.is_some() {
+                    continue;
+                }
+                match slot.proto.handle_grant(*grant) {
+                    Ok((commit, done)) => {
+                        if let Some(op_id) = slot.current.take() {
+                            match done.kind {
+                                OpKind::Write => {
+                                    self.history.complete_write(op_id, now, Some(done.seq))
+                                }
+                                OpKind::Read => self.history.complete_read(
+                                    op_id,
+                                    now,
+                                    done.read_value.clone().flatten(),
+                                    Some(done.seq),
+                                ),
+                            }
+                        }
+                        slot.completions.push(done);
+                        self.sim.send(
+                            NodeId(i as u32),
+                            self.server_node(),
+                            LsNetMsg::Commit(Box::new(commit)),
+                        );
+                        self.try_start(i);
+                    }
+                    Err(fault) => {
+                        slot.fault = Some(fault);
+                        slot.current = None;
+                    }
+                }
+            }
+        }
+        let faults = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.fault.clone().map(|f| (ClientId::new(i as u32), f)))
+            .collect();
+        let incomplete_ops = self
+            .history
+            .ops()
+            .iter()
+            .filter(|o| !o.is_complete())
+            .count();
+        LsRunResult {
+            incomplete_ops,
+            faults,
+            completions: self.slots.iter().map(|s| s.completions.clone()).collect(),
+            metrics: self.sim.metrics().clone(),
+            final_time: self.sim.now(),
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn sequential_workload_completes() {
+        let mut d = LsDriver::new(2, SimConfig::default(), b"ls1");
+        d.push_ops(
+            c(0),
+            vec![
+                LsWorkloadOp::Write(Value::from("a")),
+                LsWorkloadOp::Write(Value::from("b")),
+            ],
+        );
+        d.push_ops(c(1), vec![LsWorkloadOp::Read(c(0))]);
+        let r = d.run();
+        assert!(r.faults.is_empty());
+        assert_eq!(r.incomplete_ops, 0);
+        assert_eq!(r.history.len(), 3);
+    }
+
+    #[test]
+    fn crash_while_holding_lock_blocks_everyone() {
+        // C0's crash lands after its grant arrived but before its commit
+        // is processed: the lock is never released, so C1's and C2's
+        // operations never complete — the protocol is not wait-free.
+        let mut d = LsDriver::new(
+            3,
+            SimConfig {
+                link_delay: faust_sim::DelayModel::Fixed(10),
+                ..SimConfig::default()
+            },
+            b"ls2",
+        );
+        d.push_op(c(0), LsWorkloadOp::Write(Value::from("w")));
+        d.push_ops(c(1), vec![LsWorkloadOp::Pause(5), LsWorkloadOp::Read(c(0))]);
+        d.push_ops(c(2), vec![LsWorkloadOp::Pause(5), LsWorkloadOp::Read(c(0))]);
+        // Grant arrives at t=20 (submit 10 + grant 10); crash at t=15,
+        // while the grant is in flight.
+        d.crash_at(c(0), 15);
+        let r = d.run();
+        assert!(r.faults.is_empty());
+        // C0's write and both readers' ops are wedged forever.
+        assert_eq!(r.incomplete_ops, 3, "history: {:?}", r.history);
+    }
+
+    #[test]
+    fn lock_serializes_concurrent_clients() {
+        // All clients submit at t=0; ops serialize behind the lock, so
+        // the run takes ~2 round trips per op in sequence.
+        let mut d = LsDriver::new(4, SimConfig {
+            link_delay: faust_sim::DelayModel::Fixed(10),
+            ..SimConfig::default()
+        }, b"ls4");
+        for i in 0..4 {
+            d.push_op(c(i), LsWorkloadOp::Write(Value::unique(i, 0)));
+        }
+        let r = d.run();
+        assert_eq!(r.incomplete_ops, 0);
+        // Each op needs grant (10) + commit (10) before the next grant:
+        // total ≥ 4 sequential ops ≈ 4 × 20 = 80 ticks. USTOR on the same
+        // workload finishes in ~2 round trips total (all concurrent).
+        assert!(r.final_time >= 70, "ops must serialize, got {}", r.final_time);
+    }
+}

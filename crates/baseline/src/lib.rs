@@ -1,0 +1,43 @@
+//! Fork-linearizable lock-step storage — the baseline the FAUST paper
+//! argues against.
+//!
+//! The paper's key impossibility observation (Section 1, with proofs in
+//! the companion papers [4, 5]) is that **no fork-linearizable storage
+//! protocol can be wait-free** even when the server is correct: a reader
+//! must wait for a concurrent writer. This crate implements the classic
+//! protocol structure that achieves fork-linearizability — a SUNDR-style
+//! *lock-step* protocol in which every operation observes and signs one
+//! globally agreed state, serialized by a server-side lock — precisely to
+//! exhibit that cost:
+//!
+//! * concurrent operations queue behind the lock ([`LockStepServer`]),
+//! * a client that crashes while holding the lock wedges every other
+//!   client forever ([`LsDriver::crash_at`] demonstrates this), and
+//! * throughput degrades linearly with concurrency, while USTOR's
+//!   wait-free pipeline is unaffected (experiment E7).
+//!
+//! # Example
+//!
+//! ```
+//! use faust_baseline::{LsDriver, LsWorkloadOp};
+//! use faust_sim::SimConfig;
+//! use faust_types::{ClientId, Value};
+//!
+//! let mut d = LsDriver::new(2, SimConfig::default(), b"doc");
+//! d.push_op(ClientId::new(0), LsWorkloadOp::Write(Value::from("v1")));
+//! d.push_op(ClientId::new(1), LsWorkloadOp::Read(ClientId::new(0)));
+//! let result = d.run();
+//! assert_eq!(result.incomplete_ops, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod protocol;
+
+pub use driver::{LsDriver, LsRunResult, LsWorkloadOp};
+pub use protocol::{
+    LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit,
+    SignedState,
+};

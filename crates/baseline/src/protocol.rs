@@ -1,0 +1,536 @@
+//! A lock-step fork-linearizable storage protocol (SUNDR-style), used as
+//! the baseline USTOR is compared against.
+//!
+//! Every operation must observe and extend one globally agreed, signed
+//! state; the server therefore serves operations strictly one at a time —
+//! a client's operation holds a virtual lock from the server's GRANT until
+//! the client's COMMIT. This is the standard structure of
+//! fork-linearizable storage (SUNDR [16], the lock-step protocol of [5]),
+//! and it exhibits precisely the blocking the paper proves unavoidable:
+//! *no fork-linearizable protocol is wait-free* — a reader must wait for a
+//! concurrent writer, and a crashed client wedges everyone behind it.
+//!
+//! The state is a sequence number, a per-client operation-count vector,
+//! and a vector of register value hashes, signed as a unit by the client
+//! that produced it. Clients verify on every GRANT that the state extends
+//! what they last saw and agrees with their own operation count, then
+//! install, sign, and commit the successor state.
+
+use faust_crypto::sha256::sha256;
+use faust_crypto::sig::{Keypair, SigContext, Signature, Signer, Verifier, VerifierRegistry};
+use faust_crypto::Digest;
+use faust_types::{ClientId, OpKind, TimestampVec, Value};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The signed global state of the lock-step protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedState {
+    /// Total number of operations applied.
+    pub seq: u64,
+    /// Per-client operation counts.
+    pub counts: TimestampVec,
+    /// Hash of each register's current value (`None` = `⊥`).
+    pub value_hashes: Vec<Option<Digest>>,
+    /// The client that produced this state (meaningless for `seq == 0`).
+    pub author: ClientId,
+    /// Signature by `author` over the state (absent only for `seq == 0`).
+    pub sig: Option<Signature>,
+}
+
+impl SignedState {
+    /// The initial, unsigned state for `n` clients.
+    pub fn initial(n: usize) -> Self {
+        SignedState {
+            seq: 0,
+            counts: TimestampVec::zeros(n),
+            value_hashes: vec![None; n],
+            author: ClientId::new(0),
+            sig: None,
+        }
+    }
+
+    /// Canonical bytes covered by the state signature.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.value_hashes.len() * 40);
+        out.extend_from_slice(b"lockstep:");
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        for &t in self.counts.as_slice() {
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        for h in &self.value_hashes {
+            match h {
+                None => out.push(0),
+                Some(d) => {
+                    out.push(1);
+                    out.extend_from_slice(d.as_bytes());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Client → server: request to perform an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsSubmit {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target register.
+    pub register: ClientId,
+    /// Value to write (writes only).
+    pub value: Option<Value>,
+}
+
+/// Server → client: the lock is granted; the operation may proceed on
+/// this state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsGrant {
+    /// The current signed state.
+    pub state: SignedState,
+    /// Current value of the requested register (reads only).
+    pub value: Option<Value>,
+}
+
+/// Client → server: the new signed state; releases the lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsCommit {
+    /// The successor state produced by the client's operation.
+    pub state: SignedState,
+    /// The value written, for the server to store (writes only).
+    pub value: Option<Value>,
+}
+
+/// Misbehaviour detected by a lock-step client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsFault {
+    /// Invalid signature on the granted state.
+    BadStateSignature,
+    /// The granted state regresses what the client previously saw.
+    StateRegression,
+    /// The granted state disagrees with the client's own operation count.
+    OwnCountMismatch,
+    /// The returned register value does not match the state's hash.
+    ValueHashMismatch,
+    /// A grant arrived with no operation in flight.
+    UnsolicitedGrant,
+    /// Structurally invalid message.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for LsFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsFault::BadStateSignature => f.write_str("invalid state signature"),
+            LsFault::StateRegression => f.write_str("granted state regresses history"),
+            LsFault::OwnCountMismatch => f.write_str("state disagrees on own op count"),
+            LsFault::ValueHashMismatch => f.write_str("value does not match state hash"),
+            LsFault::UnsolicitedGrant => f.write_str("grant with no operation in flight"),
+            LsFault::Malformed(why) => write!(f, "malformed grant: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LsFault {}
+
+/// Completion of a lock-step operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsCompletion {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target register.
+    pub target: ClientId,
+    /// Value returned (reads; `None` = `⊥`).
+    pub read_value: Option<Option<Value>>,
+    /// Global sequence number of the operation.
+    pub seq: u64,
+}
+
+/// The lock-step client.
+#[derive(Debug, Clone)]
+pub struct LockStepClient {
+    id: ClientId,
+    n: usize,
+    keypair: Keypair,
+    registry: VerifierRegistry,
+    /// The last state this client observed.
+    last_seen: SignedState,
+    /// Own completed-operation count.
+    own_count: u64,
+    pending: Option<LsSubmit>,
+    halted: Option<LsFault>,
+}
+
+impl LockStepClient {
+    /// Creates the client protocol state for client `id` of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not match `id` or `id ≥ n`.
+    pub fn new(id: ClientId, n: usize, keypair: Keypair, registry: VerifierRegistry) -> Self {
+        assert_eq!(keypair.signer_index(), id.as_u32());
+        assert!(id.index() < n);
+        LockStepClient {
+            id,
+            n,
+            keypair,
+            registry,
+            last_seen: SignedState::initial(n),
+            own_count: 0,
+            pending: None,
+            halted: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The fault that halted this client, if any.
+    pub fn fault(&self) -> Option<&LsFault> {
+        self.halted.as_ref()
+    }
+
+    /// Whether an operation is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Starts a write of the client's own register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight or the client halted.
+    pub fn begin_write(&mut self, value: Value) -> LsSubmit {
+        assert!(self.pending.is_none() && self.halted.is_none());
+        let msg = LsSubmit {
+            kind: OpKind::Write,
+            register: self.id,
+            value: Some(value),
+        };
+        self.pending = Some(msg.clone());
+        msg
+    }
+
+    /// Starts a read of `register`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight or the client halted.
+    pub fn begin_read(&mut self, register: ClientId) -> LsSubmit {
+        assert!(self.pending.is_none() && self.halted.is_none());
+        let msg = LsSubmit {
+            kind: OpKind::Read,
+            register,
+            value: None,
+        };
+        self.pending = Some(msg.clone());
+        msg
+    }
+
+    /// Processes the server's GRANT: verifies the state, produces the
+    /// successor state and the operation's completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`LsFault`]; the client halts permanently.
+    pub fn handle_grant(&mut self, grant: LsGrant) -> Result<(LsCommit, LsCompletion), LsFault> {
+        match self.try_handle(grant) {
+            Ok(v) => Ok(v),
+            Err(fault) => {
+                self.halted = Some(fault.clone());
+                self.pending = None;
+                Err(fault)
+            }
+        }
+    }
+
+    fn try_handle(&mut self, grant: LsGrant) -> Result<(LsCommit, LsCompletion), LsFault> {
+        if let Some(f) = &self.halted {
+            return Err(f.clone());
+        }
+        let op = self.pending.clone().ok_or(LsFault::UnsolicitedGrant)?;
+        let state = &grant.state;
+        if state.counts.len() != self.n || state.value_hashes.len() != self.n {
+            return Err(LsFault::Malformed("state arity"));
+        }
+        if state.author.index() >= self.n {
+            return Err(LsFault::Malformed("author out of range"));
+        }
+        // Signature check (initial state exempt).
+        if state.seq != 0 {
+            let ok = state.sig.as_ref().is_some_and(|sig| {
+                self.registry.verify(
+                    state.author.as_u32(),
+                    SigContext::Commit,
+                    &state.signing_bytes(),
+                    sig,
+                )
+            });
+            if !ok {
+                return Err(LsFault::BadStateSignature);
+            }
+        }
+        // Monotonicity and own-count agreement.
+        if !self.last_seen.counts.le(&state.counts) || state.seq < self.last_seen.seq {
+            return Err(LsFault::StateRegression);
+        }
+        if state.counts.get(self.id) != self.own_count {
+            return Err(LsFault::OwnCountMismatch);
+        }
+        // For reads: the returned value must match the state's hash.
+        let read_value = if op.kind == OpKind::Read {
+            let expect = state.value_hashes[op.register.index()];
+            let got = grant.value.as_ref().map(|v| sha256(v.as_bytes()));
+            if expect != got {
+                return Err(LsFault::ValueHashMismatch);
+            }
+            Some(grant.value.clone())
+        } else {
+            None
+        };
+
+        // Build, sign, and commit the successor state.
+        let mut next = state.clone();
+        next.seq += 1;
+        next.counts.increment(self.id);
+        if op.kind == OpKind::Write {
+            let value = op.value.as_ref().expect("writes carry a value");
+            next.value_hashes[self.id.index()] = Some(sha256(value.as_bytes()));
+        }
+        next.author = self.id;
+        next.sig = None;
+        let sig = self
+            .keypair
+            .sign(SigContext::Commit, &next.signing_bytes());
+        next.sig = Some(sig);
+
+        self.own_count += 1;
+        self.last_seen = next.clone();
+        self.pending = None;
+        Ok((
+            LsCommit {
+                state: next.clone(),
+                value: op.value.clone(),
+            },
+            LsCompletion {
+                kind: op.kind,
+                target: op.register,
+                read_value,
+                seq: next.seq,
+            },
+        ))
+    }
+}
+
+/// The lock-step server: grants the (single, global) lock to one
+/// operation at a time.
+#[derive(Debug, Clone)]
+pub struct LockStepServer {
+    state: SignedState,
+    values: Vec<Option<Value>>,
+    /// Queue of submitted operations waiting for the lock.
+    queue: VecDeque<(ClientId, LsSubmit)>,
+    /// The client currently holding the lock.
+    in_service: Option<ClientId>,
+}
+
+impl LockStepServer {
+    /// Creates a server for `n` clients with all registers `⊥`.
+    pub fn new(n: usize) -> Self {
+        LockStepServer {
+            state: SignedState::initial(n),
+            values: vec![None; n],
+            queue: VecDeque::new(),
+            in_service: None,
+        }
+    }
+
+    /// Number of operations waiting for the lock (diagnostics; this is
+    /// the queue that makes the protocol blocking).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The client currently holding the lock, if any.
+    pub fn lock_holder(&self) -> Option<ClientId> {
+        self.in_service
+    }
+
+    /// Handles a SUBMIT: queues it, and grants the lock if free.
+    pub fn on_submit(&mut self, client: ClientId, msg: LsSubmit) -> Vec<(ClientId, LsGrant)> {
+        self.queue.push_back((client, msg));
+        self.grant_if_free()
+    }
+
+    /// Handles a COMMIT: installs the new state, releases the lock, and
+    /// grants it to the next queued operation.
+    pub fn on_commit(&mut self, client: ClientId, msg: LsCommit) -> Vec<(ClientId, LsGrant)> {
+        if self.in_service != Some(client) {
+            return Vec::new(); // stray commit; a correct client never does this
+        }
+        self.state = msg.state;
+        if let Some(v) = msg.value {
+            self.values[client.index()] = Some(v);
+        }
+        self.in_service = None;
+        self.grant_if_free()
+    }
+
+    fn grant_if_free(&mut self) -> Vec<(ClientId, LsGrant)> {
+        if self.in_service.is_some() {
+            return Vec::new();
+        }
+        let Some((client, op)) = self.queue.pop_front() else {
+            return Vec::new();
+        };
+        self.in_service = Some(client);
+        let value = (op.kind == OpKind::Read)
+            .then(|| self.values[op.register.index()].clone())
+            .flatten();
+        vec![(
+            client,
+            LsGrant {
+                state: self.state.clone(),
+                value,
+            },
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sig::KeySet;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn setup(n: usize) -> (LockStepServer, Vec<LockStepClient>) {
+        let keys = KeySet::generate(n, b"lockstep");
+        let clients = (0..n)
+            .map(|i| {
+                LockStepClient::new(
+                    c(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                )
+            })
+            .collect();
+        (LockStepServer::new(n), clients)
+    }
+
+    fn run_op(
+        server: &mut LockStepServer,
+        clients: &mut [LockStepClient],
+        who: usize,
+        submit: LsSubmit,
+    ) -> LsCompletion {
+        let grants = server.on_submit(c(who as u32), submit);
+        assert_eq!(grants.len(), 1, "lock must be free");
+        let (commit, done) = clients[who].handle_grant(grants[0].1.clone()).unwrap();
+        let next = server.on_commit(c(who as u32), commit);
+        assert!(next.is_empty(), "no queued ops in sequential test");
+        done
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (mut s, mut cs) = setup(2);
+        let w = cs[0].begin_write(Value::from("x"));
+        run_op(&mut s, &mut cs, 0, w);
+        let r = cs[1].begin_read(c(0));
+        let done = run_op(&mut s, &mut cs, 1, r);
+        assert_eq!(done.read_value, Some(Some(Value::from("x"))));
+    }
+
+    #[test]
+    fn read_of_unwritten_register_returns_bottom() {
+        let (mut s, mut cs) = setup(2);
+        let r = cs[1].begin_read(c(0));
+        let done = run_op(&mut s, &mut cs, 1, r);
+        assert_eq!(done.read_value, Some(None));
+    }
+
+    #[test]
+    fn concurrent_op_waits_for_lock() {
+        let (mut s, mut cs) = setup(2);
+        // C0 submits and receives the grant but does not commit yet.
+        let w = cs[0].begin_write(Value::from("x"));
+        let grants = s.on_submit(c(0), w);
+        assert_eq!(grants.len(), 1);
+        // C1 submits: no grant — it is blocked behind C0.
+        let r = cs[1].begin_read(c(0));
+        let blocked = s.on_submit(c(1), r);
+        assert!(blocked.is_empty(), "reader must block behind the writer");
+        assert_eq!(s.queue_len(), 1);
+        // C0 commits; the lock passes to C1.
+        let (commit, _) = cs[0].handle_grant(grants[0].1.clone()).unwrap();
+        let next = s.on_commit(c(0), commit);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].0, c(1));
+        let (_, done) = cs[1].handle_grant(next[0].1.clone()).unwrap();
+        assert_eq!(done.read_value, Some(Some(Value::from("x"))));
+    }
+
+    #[test]
+    fn crashed_lock_holder_wedges_everyone() {
+        let (mut s, mut cs) = setup(3);
+        let w = cs[0].begin_write(Value::from("x"));
+        let _grant_never_answered = s.on_submit(c(0), w);
+        // C0 "crashes" (never commits). C1 and C2 can never proceed.
+        let r1 = cs[1].begin_read(c(0));
+        let r2 = cs[2].begin_read(c(0));
+        assert!(s.on_submit(c(1), r1).is_empty());
+        assert!(s.on_submit(c(2), r2).is_empty());
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.lock_holder(), Some(c(0)));
+    }
+
+    #[test]
+    fn tampered_value_detected() {
+        let (mut s, mut cs) = setup(2);
+        let w = cs[0].begin_write(Value::from("x"));
+        run_op(&mut s, &mut cs, 0, w);
+        let r = cs[1].begin_read(c(0));
+        let grants = s.on_submit(c(1), r);
+        let mut grant = grants[0].1.clone();
+        grant.value = Some(Value::from("tampered"));
+        assert_eq!(cs[1].handle_grant(grant), Err(LsFault::ValueHashMismatch));
+    }
+
+    #[test]
+    fn regressed_state_detected() {
+        let (mut s, mut cs) = setup(2);
+        let w1 = cs[0].begin_write(Value::from("x1"));
+        run_op(&mut s, &mut cs, 0, w1);
+        let w2 = cs[0].begin_write(Value::from("x2"));
+        run_op(&mut s, &mut cs, 0, w2);
+        // Serve C0 the initial state again.
+        let r = cs[0].begin_read(c(0));
+        let grants = s.on_submit(c(0), r);
+        let mut grant = grants[0].1.clone();
+        grant.state = SignedState::initial(2);
+        grant.value = None;
+        let err = cs[0].handle_grant(grant).unwrap_err();
+        assert!(
+            matches!(err, LsFault::StateRegression | LsFault::OwnCountMismatch),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let (mut s, mut cs) = setup(2);
+        let w = cs[0].begin_write(Value::from("x"));
+        run_op(&mut s, &mut cs, 0, w);
+        let r = cs[1].begin_read(c(0));
+        let grants = s.on_submit(c(1), r);
+        let mut grant = grants[0].1.clone();
+        grant.state.sig = Some(Signature::garbage());
+        assert_eq!(cs[1].handle_grant(grant), Err(LsFault::BadStateSignature));
+    }
+}

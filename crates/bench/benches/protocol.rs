@@ -1,0 +1,54 @@
+//! E10 (part 2): end-to-end USTOR operation cost through the client and
+//! server state machines (no network), as a function of the number of
+//! clients `n` — the paper's efficiency claim in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faust_bench::{run_one_read, run_one_write, steady_state};
+use faust_types::{ClientId, Value};
+
+fn bench_write_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ustor_write_op");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Persistent state: each iteration is one more operation in a
+            // long-running execution (per-op cost is flat in history
+            // length — vectors have fixed arity n).
+            let (mut server, mut clients) = steady_state(n, 64);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                run_one_write(&mut server, &mut clients[0], Value::unique(0, seq))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ustor_read_op");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mut server, mut clients) = steady_state(n, 64);
+            b.iter(|| run_one_read(&mut server, &mut clients[1], ClientId::new(0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sustained_throughput(c: &mut Criterion) {
+    // Sustained alternating writes through one client (server state
+    // advances normally — no cloning tricks).
+    let mut group = c.benchmark_group("ustor_sustained");
+    group.bench_function("write_chain_n16", |b| {
+        let (mut server, mut clients) = steady_state(16, 64);
+        let mut seq = 1_000u64;
+        b.iter(|| {
+            seq += 1;
+            run_one_write(&mut server, &mut clients[0], Value::unique(0, seq))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_op, bench_read_op, bench_sustained_throughput);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E6 companion: wire codec throughput for the protocol messages whose
+//! sizes the `experiments` binary reports.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use faust_bench::steady_state;
+use faust_types::{ClientId, ReplyMsg, Value, Wire};
+use faust_ustor::Server;
+
+/// Builds a representative steady-state read REPLY for `n` clients.
+fn sample_reply(n: usize) -> ReplyMsg {
+    let (mut server, mut clients) = steady_state(n, 64);
+    let submit = clients[1].begin_read(ClientId::new(0)).expect("idle");
+    server
+        .on_submit(ClientId::new(1), submit)
+        .pop()
+        .expect("reply")
+        .1
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reply_encode");
+    for n in [4usize, 16, 64] {
+        let reply = sample_reply(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reply, |b, reply| {
+            b.iter(|| black_box(reply).encode())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reply_decode");
+    for n in [4usize, 16, 64] {
+        let bytes = sample_reply(n).encode();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bytes, |b, bytes| {
+            b.iter(|| ReplyMsg::decode(black_box(bytes)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_submit_roundtrip(c: &mut Criterion) {
+    let (_, mut clients) = steady_state(4, 64);
+    let submit = clients[0]
+        .begin_write(Value::new(vec![0xA5; 64]))
+        .expect("idle");
+    let bytes = submit.encode();
+    c.bench_function("submit_encode", |b| b.iter(|| black_box(&submit).encode()));
+    c.bench_function("submit_decode", |b| {
+        b.iter(|| faust_types::SubmitMsg::decode(black_box(&bytes)).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_submit_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,545 @@
+//! Experiment harness for the FAUST reproduction.
+//!
+//! Each public function regenerates one experiment of DESIGN.md's index
+//! (E5–E9): it produces the data series whose *shape* the paper asserts —
+//! one round per operation, `O(n)` bits of overhead, wait-freedom vs.
+//! blocking, eventual failure detection, eventual stability. The
+//! `experiments` binary prints them as tables; the Criterion benches in
+//! `benches/` measure the raw computational costs (E10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use faust_baseline::{LsDriver, LsWorkloadOp};
+use faust_core::{FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp};
+use faust_crypto::sig::KeySet;
+use faust_sim::{DelayModel, SimConfig};
+use faust_types::{ClientId, Value, Wire};
+use faust_ustor::adversary::SplitBrainServer;
+use faust_ustor::{Driver, Server, UstorClient, UstorServer, WorkloadOp};
+
+fn c(i: u32) -> ClientId {
+    ClientId::new(i)
+}
+
+/// Builds `n` USTOR clients and a correct server with every client having
+/// committed one write (steady state: all proof signatures present).
+pub fn steady_state(n: usize, value_len: usize) -> (UstorServer, Vec<UstorClient>) {
+    let keys = KeySet::generate(n, b"bench-steady");
+    let mut server = UstorServer::new(n);
+    let mut clients: Vec<UstorClient> = (0..n)
+        .map(|i| {
+            UstorClient::new(
+                c(i as u32),
+                n,
+                keys.keypair(i as u32).expect("generated").clone(),
+                keys.registry(),
+            )
+        })
+        .collect();
+    for i in 0..n {
+        let value = Value::new(vec![i as u8; value_len]);
+        let submit = clients[i].begin_write(value).expect("idle");
+        let (_, reply) = server.on_submit(c(i as u32), submit).pop().expect("reply");
+        let (commit, _) = clients[i].handle_reply(reply).expect("correct server");
+        server.on_commit(c(i as u32), commit.expect("immediate mode"));
+    }
+    (server, clients)
+}
+
+/// One row of the message-size experiment (E6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeRow {
+    /// Number of clients.
+    pub n: usize,
+    /// SUBMIT size for a write carrying a `value_len`-byte value.
+    pub submit_write: usize,
+    /// REPLY size for that write.
+    pub reply_write: usize,
+    /// COMMIT size.
+    pub commit: usize,
+    /// REPLY size for a read of a register holding `value_len` bytes.
+    pub reply_read: usize,
+}
+
+/// Measures exact wire sizes of every message type as a function of `n`
+/// (experiment E6: the paper claims `O(n)` bits of overhead per request).
+pub fn message_size_sweep(ns: &[usize], value_len: usize) -> Vec<SizeRow> {
+    ns.iter()
+        .map(|&n| {
+            let (mut server, mut clients) = steady_state(n, value_len);
+            // A steady-state write by C0.
+            let submit = clients[0]
+                .begin_write(Value::new(vec![0xA5; value_len]))
+                .expect("idle");
+            let submit_write = submit.encoded_len();
+            let (_, reply) = server.on_submit(c(0), submit).pop().expect("reply");
+            let reply_write = reply.encoded_len();
+            let (commit, _) = clients[0].handle_reply(reply).expect("correct server");
+            let commit = commit.expect("immediate mode");
+            let commit_len = commit.encoded_len();
+            server.on_commit(c(0), commit);
+            // A steady-state read by C1 of C0's register.
+            let submit = clients[1].begin_read(c(0)).expect("idle");
+            let (_, reply) = server.on_submit(c(1), submit).pop().expect("reply");
+            let reply_read = reply.encoded_len();
+            let (commit, _) = clients[1].handle_reply(reply).expect("correct server");
+            server.on_commit(c(1), commit.expect("immediate mode"));
+            SizeRow {
+                n,
+                submit_write,
+                reply_write,
+                commit: commit_len,
+                reply_read,
+            }
+        })
+        .collect()
+}
+
+/// One row of the rounds/messages-per-operation experiment (E5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsRow {
+    /// Number of clients.
+    pub n: usize,
+    /// Total operations executed.
+    pub ops: usize,
+    /// Link messages per operation (SUBMIT + REPLY + COMMIT = 3).
+    pub messages_per_op: f64,
+    /// Synchronous round trips per operation (the paper: exactly 1).
+    pub rounds_per_op: f64,
+    /// Link bytes per operation.
+    pub bytes_per_op: f64,
+}
+
+/// Counts messages and rounds per operation through the simulated driver
+/// (experiment E5: one round of message exchange per operation).
+pub fn rounds_per_op(n: usize, ops_per_client: usize) -> RoundsRow {
+    let mut driver = Driver::new(
+        n,
+        Box::new(UstorServer::new(n)),
+        SimConfig::default(),
+        b"bench-rounds",
+    );
+    for (i, w) in faust_ustor::random_workloads(n, ops_per_client, 0.5, 7)
+        .into_iter()
+        .enumerate()
+    {
+        driver.push_ops(c(i as u32), w);
+    }
+    let result = driver.run();
+    let ops = result.history.len();
+    assert_eq!(result.incomplete_ops, 0);
+    let msgs = result.metrics.link_messages_sent as f64;
+    RoundsRow {
+        n,
+        ops,
+        messages_per_op: msgs / ops as f64,
+        // A round = the client waiting for the server: SUBMIT→REPLY. The
+        // COMMIT is asynchronous (the client returns before it is
+        // processed), so rounds/op = (messages/op − 1 commit) / 2.
+        rounds_per_op: (msgs / ops as f64 - 1.0) / 2.0,
+        bytes_per_op: result.metrics.link_bytes_sent as f64 / ops as f64,
+    }
+}
+
+/// Ablation of the Section 5 commit-piggybacking optimization (E5b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitModeRow {
+    /// Number of clients.
+    pub n: usize,
+    /// Messages/op with immediate commits.
+    pub immediate_msgs_per_op: f64,
+    /// Bytes/op with immediate commits.
+    pub immediate_bytes_per_op: f64,
+    /// Messages/op with piggybacked commits.
+    pub piggyback_msgs_per_op: f64,
+    /// Bytes/op with piggybacked commits.
+    pub piggyback_bytes_per_op: f64,
+}
+
+/// Compares immediate vs. piggybacked COMMIT transmission on identical
+/// workloads (the paper: "this message can be eliminated by piggybacking
+/// its contents on the SUBMIT message of the next operation").
+pub fn commit_mode_ablation(ns: &[usize], ops_per_client: usize) -> Vec<CommitModeRow> {
+    ns.iter()
+        .map(|&n| {
+            let run = |mode| {
+                let mut driver = Driver::new(
+                    n,
+                    Box::new(UstorServer::new(n)),
+                    SimConfig::default(),
+                    b"bench-ablation",
+                );
+                driver.set_commit_mode(mode);
+                for (i, w) in faust_ustor::random_workloads(n, ops_per_client, 0.5, 11)
+                    .into_iter()
+                    .enumerate()
+                {
+                    driver.push_ops(c(i as u32), w);
+                }
+                let r = driver.run();
+                assert_eq!(r.incomplete_ops, 0);
+                assert!(!r.detected_fault());
+                let ops = r.history.len() as f64;
+                (
+                    r.metrics.link_messages_sent as f64 / ops,
+                    r.metrics.link_bytes_sent as f64 / ops,
+                )
+            };
+            let (im, ib) = run(faust_ustor::CommitMode::Immediate);
+            let (pm, pb) = run(faust_ustor::CommitMode::Piggyback);
+            CommitModeRow {
+                n,
+                immediate_msgs_per_op: im,
+                immediate_bytes_per_op: ib,
+                piggyback_msgs_per_op: pm,
+                piggyback_bytes_per_op: pb,
+            }
+        })
+        .collect()
+}
+
+/// One row of the concurrency (wait-freedom) experiment, E7 part 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrencyRow {
+    /// Number of concurrently active clients.
+    pub clients: usize,
+    /// Virtual completion time of USTOR.
+    pub ustor_time: u64,
+    /// Virtual completion time of the lock-step baseline.
+    pub lockstep_time: u64,
+}
+
+/// Sweeps concurrency: every client issues `ops` writes simultaneously;
+/// USTOR's completion time stays flat while the lock-step baseline grows
+/// linearly (experiment E7).
+pub fn concurrency_sweep(ns: &[usize], ops: u64, link_delay: u64) -> Vec<ConcurrencyRow> {
+    let sim = |seed| SimConfig {
+        seed,
+        link_delay: DelayModel::Fixed(link_delay),
+        offline_delay: DelayModel::Fixed(50),
+    };
+    ns.iter()
+        .map(|&n| {
+            let mut ustor = Driver::new(n, Box::new(UstorServer::new(n)), sim(1), b"bench-cc");
+            for i in 0..n {
+                for s in 0..ops {
+                    ustor.push_op(c(i as u32), WorkloadOp::Write(Value::unique(i as u32, s)));
+                }
+            }
+            let u = ustor.run();
+            assert_eq!(u.incomplete_ops, 0);
+
+            let mut lockstep = LsDriver::new(n, sim(1), b"bench-cc");
+            for i in 0..n {
+                for s in 0..ops {
+                    lockstep
+                        .push_op(c(i as u32), LsWorkloadOp::Write(Value::unique(i as u32, s)));
+                }
+            }
+            let l = lockstep.run();
+            assert_eq!(l.incomplete_ops, 0);
+            ConcurrencyRow {
+                clients: n,
+                ustor_time: u.final_time,
+                lockstep_time: l.final_time,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of the crash-blocking experiment, E7 part 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashRow {
+    /// Total ops attempted by the surviving clients.
+    pub survivor_ops: usize,
+    /// Ops the survivors completed under USTOR.
+    pub ustor_completed: usize,
+    /// Ops the survivors completed under the lock-step baseline.
+    pub lockstep_completed: usize,
+}
+
+/// A client crashes mid-operation; measures how many operations the
+/// surviving clients still complete (experiment E7: wait-freedom vs. a
+/// wedged lock).
+pub fn crash_blocking(n: usize, ops: u64) -> CrashRow {
+    let sim = SimConfig {
+        seed: 3,
+        link_delay: DelayModel::Fixed(10),
+        offline_delay: DelayModel::Fixed(50),
+    };
+    let mut ustor = Driver::new(n, Box::new(UstorServer::new(n)), sim, b"bench-crash");
+    ustor.push_ops(
+        c(0),
+        vec![WorkloadOp::Write(Value::from("w")), WorkloadOp::Crash],
+    );
+    for i in 1..n {
+        for s in 0..ops {
+            ustor.push_op(c(i as u32), WorkloadOp::Write(Value::unique(i as u32, s)));
+        }
+    }
+    let u = ustor.run();
+
+    let mut lockstep = LsDriver::new(n, sim, b"bench-crash");
+    lockstep.push_op(c(0), LsWorkloadOp::Write(Value::from("w")));
+    for i in 1..n {
+        for s in 0..ops {
+            lockstep.push_op(c(i as u32), LsWorkloadOp::Write(Value::unique(i as u32, s)));
+        }
+    }
+    lockstep.crash_at(c(0), 15);
+    let l = lockstep.run();
+
+    CrashRow {
+        survivor_ops: (n - 1) * ops as usize,
+        ustor_completed: (1..n).map(|i| u.completions[i].len()).sum(),
+        lockstep_completed: (1..n).map(|i| l.completions[i].len()).sum(),
+    }
+}
+
+/// One row of the failure-detection-latency experiment (E8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionRow {
+    /// The probe period `Δ`.
+    pub probe_period: u64,
+    /// Virtual time from the fork until the *last* correct client emitted
+    /// `fail`, averaged over seeds.
+    pub mean_detection_time: f64,
+    /// Fraction of runs in which all clients detected the failure.
+    pub detection_rate: f64,
+}
+
+/// Sweeps the probe period `Δ` against a split-brain server that forks
+/// the clients from the start; measures when all clients emit `fail`
+/// (experiment E8, Definition 5 property 7).
+pub fn detection_latency_sweep(probe_periods: &[u64], seeds: u64, n: usize) -> Vec<DetectionRow> {
+    probe_periods
+        .iter()
+        .map(|&probe_period| {
+            let mut total = 0.0;
+            let mut detected = 0u64;
+            for seed in 0..seeds {
+                let groups = vec![
+                    (0..n / 2).map(|i| c(i as u32)).collect::<Vec<_>>(),
+                    (n / 2..n).map(|i| c(i as u32)).collect::<Vec<_>>(),
+                ];
+                let server = SplitBrainServer::new(n, groups, 0);
+                let mut driver = FaustDriver::new(
+                    n,
+                    Box::new(server),
+                    FaustDriverConfig {
+                        sim: SimConfig {
+                            seed,
+                            link_delay: DelayModel::Uniform(1, 5),
+                            offline_delay: DelayModel::Uniform(10, 50),
+                        },
+                        faust: FaustConfig {
+                            probe_period,
+                            dummy_reads: true,
+                            commit_mode: faust_ustor::CommitMode::Immediate,
+                        },
+                        tick_period: 25,
+                    },
+                    b"bench-detect",
+                );
+                for i in 0..n {
+                    driver.push_op(
+                        c(i as u32),
+                        FaustWorkloadOp::Write(Value::unique(i as u32, seed)),
+                    );
+                }
+                let deadline = 100 * probe_period + 10_000;
+                let result = driver.run_until(deadline);
+                let all_failed = (0..n).all(|i| result.failure_time(c(i as u32)).is_some());
+                if all_failed {
+                    detected += 1;
+                    let last = (0..n)
+                        .filter_map(|i| result.failure_time(c(i as u32)))
+                        .max()
+                        .expect("all failed");
+                    total += last as f64;
+                }
+            }
+            DetectionRow {
+                probe_period,
+                mean_detection_time: if detected > 0 {
+                    total / detected as f64
+                } else {
+                    f64::NAN
+                },
+                detection_rate: detected as f64 / seeds as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the stability-latency experiment (E9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityRow {
+    /// Dummy-read tick period.
+    pub tick_period: u64,
+    /// Probe period `Δ`.
+    pub probe_period: u64,
+    /// Virtual time from an operation's completion until it is stable
+    /// w.r.t. every client, averaged over seeds.
+    pub mean_stability_time: f64,
+}
+
+/// Measures how long a completed write takes to become globally stable as
+/// a function of the dummy-read and probe periods (experiment E9).
+pub fn stability_latency_sweep(
+    configs: &[(u64, u64)],
+    seeds: u64,
+    n: usize,
+) -> Vec<StabilityRow> {
+    configs
+        .iter()
+        .map(|&(tick_period, probe_period)| {
+            let mut total = 0.0;
+            let mut count = 0u64;
+            for seed in 0..seeds {
+                let mut driver = FaustDriver::new(
+                    n,
+                    Box::new(UstorServer::new(n)),
+                    FaustDriverConfig {
+                        sim: SimConfig {
+                            seed,
+                            link_delay: DelayModel::Uniform(1, 5),
+                            offline_delay: DelayModel::Uniform(10, 50),
+                        },
+                        faust: FaustConfig {
+                            probe_period,
+                            dummy_reads: true,
+                            commit_mode: faust_ustor::CommitMode::Immediate,
+                        },
+                        tick_period,
+                    },
+                    b"bench-stability",
+                );
+                driver.push_op(c(0), FaustWorkloadOp::Write(Value::unique(0, seed)));
+                let result = driver.run_until(100 * probe_period + 10_000);
+                let completed_at = result.notifications[0]
+                    .iter()
+                    .find_map(|(t, note)| match note {
+                        faust_core::Notification::Completed(_) => Some(*t),
+                        _ => None,
+                    });
+                let stable_at = (0..n)
+                    .map(|j| result.stability_time(c(0), c(j as u32), 1))
+                    .collect::<Option<Vec<_>>>()
+                    .map(|ts| ts.into_iter().max().expect("nonempty"));
+                if let (Some(done), Some(stable)) = (completed_at, stable_at) {
+                    total += stable.saturating_sub(done) as f64;
+                    count += 1;
+                }
+            }
+            StabilityRow {
+                tick_period,
+                probe_period,
+                mean_stability_time: if count > 0 {
+                    total / count as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+/// Runs a full operation (submit → reply → commit) through client and
+/// server state machines, for the protocol-throughput benches (E10).
+pub fn run_one_write(
+    server: &mut UstorServer,
+    client: &mut UstorClient,
+    value: Value,
+) -> faust_ustor::OpCompletion {
+    let id = client.id();
+    let submit = client.begin_write(value).expect("idle");
+    let (_, reply) = server.on_submit(id, submit).pop().expect("reply");
+    let (commit, done) = client.handle_reply(reply).expect("correct server");
+    server.on_commit(id, commit.expect("immediate mode"));
+    done
+}
+
+/// Read counterpart of [`run_one_write`].
+pub fn run_one_read(
+    server: &mut UstorServer,
+    client: &mut UstorClient,
+    register: ClientId,
+) -> faust_ustor::OpCompletion {
+    let id = client.id();
+    let submit = client.begin_read(register).expect("idle");
+    let (_, reply) = server.on_submit(id, submit).pop().expect("reply");
+    let (commit, done) = client.handle_reply(reply).expect("correct server");
+    server.on_commit(id, commit.expect("immediate mode"));
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_grow_linearly() {
+        let rows = message_size_sweep(&[4, 8, 16, 32], 64);
+        // Linearity: doubling n roughly doubles the size increments.
+        let d1 = rows[1].reply_write - rows[0].reply_write;
+        let d2 = rows[2].reply_write - rows[1].reply_write;
+        let d3 = rows[3].reply_write - rows[2].reply_write;
+        assert_eq!(d2, 2 * d1, "{rows:?}");
+        assert_eq!(d3, 2 * d2, "{rows:?}");
+        // SUBMIT is O(1) in n.
+        assert_eq!(rows[0].submit_write, rows[3].submit_write);
+    }
+
+    #[test]
+    fn exactly_one_round_per_op() {
+        let row = rounds_per_op(4, 10);
+        assert!((row.rounds_per_op - 1.0).abs() < 1e-9, "{row:?}");
+        assert!((row.messages_per_op - 3.0).abs() < 1e-9, "{row:?}");
+    }
+
+    #[test]
+    fn piggybacking_saves_a_message_per_op() {
+        let rows = commit_mode_ablation(&[3], 8);
+        assert!((rows[0].immediate_msgs_per_op - 3.0).abs() < 1e-9);
+        assert!((rows[0].piggyback_msgs_per_op - 2.0).abs() < 0.1);
+        assert!(rows[0].piggyback_bytes_per_op < rows[0].immediate_bytes_per_op);
+    }
+
+    #[test]
+    fn lockstep_slows_down_with_concurrency_ustor_does_not() {
+        let rows = concurrency_sweep(&[2, 8], 3, 10);
+        let ustor_growth = rows[1].ustor_time as f64 / rows[0].ustor_time as f64;
+        let ls_growth = rows[1].lockstep_time as f64 / rows[0].lockstep_time as f64;
+        assert!(
+            ls_growth > 2.0 * ustor_growth,
+            "lock-step must degrade: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn crash_wedges_lockstep_only() {
+        let row = crash_blocking(3, 4);
+        assert_eq!(row.ustor_completed, row.survivor_ops);
+        assert_eq!(row.lockstep_completed, 0);
+    }
+
+    #[test]
+    fn detection_always_succeeds_and_speeds_up_with_probing() {
+        let rows = detection_latency_sweep(&[100, 1_000], 3, 2);
+        for row in &rows {
+            assert_eq!(row.detection_rate, 1.0, "{row:?}");
+        }
+        assert!(
+            rows[0].mean_detection_time < rows[1].mean_detection_time,
+            "faster probing must detect sooner: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn stability_reached_with_correct_server() {
+        let rows = stability_latency_sweep(&[(25, 200)], 2, 2);
+        assert!(rows[0].mean_stability_time.is_finite(), "{rows:?}");
+    }
+}

@@ -1,0 +1,56 @@
+//! History recording and consistency checkers for the FAUST reproduction.
+//!
+//! The paper's guarantees are stated as properties of execution histories:
+//! linearizability and wait-freedom with a correct server, causal
+//! consistency always, and weak fork-linearizability under a Byzantine
+//! server (Definitions 2–6). This crate turns each of those definitions
+//! into a decision procedure over the [`faust_types::History`] recorded by
+//! the simulation drivers:
+//!
+//! * [`check_linearizability`] / [`find_linearization`] — Definition 2;
+//! * [`check_causal_consistency`] — Definition 3 (potential causality of
+//!   Lamport/Hutto-Ahamad, via the reads-from relation);
+//! * [`check_fork_linearizability`] — fork-linearizability with the
+//!   no-join condition (Mazières-Shasha);
+//! * [`check_fork_star_linearizability`] — fork-*-linearizability
+//!   (Li-Mazières, adapted per Section 4): full real-time order and
+//!   at-most-one-join, but no causality — incomparable with weak
+//!   fork-linearizability, demonstrated in both directions;
+//! * [`check_weak_fork_linearizability`] — Definition 6: causally closed
+//!   views, *weak* real-time order (each client's last operation exempt),
+//!   and at-most-one-join;
+//! * [`check_wait_freedom`] — Definition 4.
+//!
+//! The checkers perform budgeted exhaustive search (histories are capped
+//! at 64 operations) and return [`Verdict::Unknown`] rather than a wrong
+//! answer when the budget runs out.
+//!
+//! # Example
+//!
+//! ```
+//! use faust_consistency::{check_linearizability, Budget, Verdict};
+//! use faust_types::{ClientId, History, Value};
+//!
+//! let mut h = History::new();
+//! let w = h.begin_write(ClientId::new(0), Value::from("x"), 0);
+//! h.complete_write(w, 1, None);
+//! let r = h.begin_read(ClientId::new(1), ClientId::new(0), 2);
+//! h.complete_read(r, 3, Some(Value::from("x")), None);
+//! assert_eq!(check_linearizability(&h, &Budget::default()), Verdict::Satisfied);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkers;
+pub mod order;
+pub mod spec;
+pub mod views;
+
+pub use checkers::{
+    check_causal_consistency, check_fork_linearizability, check_fork_sequential_consistency,
+    check_fork_star_linearizability, check_linearizability, check_wait_freedom,
+    check_weak_fork_linearizability, find_linearization, Budget, Verdict,
+};
+pub use order::{compute_orders, Orders, Relation, MAX_OPS};
+pub use spec::{check_sequence, RegisterSim, SpecError};

@@ -1,0 +1,173 @@
+//! The sequential specification of `n` SWMR registers.
+//!
+//! "Each read operation returns the value written by the most recent
+//! preceding write operation, if there is one, and the initial value `⊥`
+//! otherwise" (Section 2 of the paper).
+
+use faust_types::{ClientId, OpKind, OpRecord, Value};
+use std::collections::HashMap;
+
+/// Why a candidate sequential execution violates the register spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A read returned a value different from the register's content at
+    /// that point of the sequence.
+    WrongValue {
+        /// The offending operation.
+        op: faust_types::OpId,
+        /// What the register held.
+        expected: Option<Value>,
+        /// What the read returned.
+        returned: Option<Value>,
+    },
+    /// A non-read operation had a read outcome or vice versa (corrupt
+    /// record).
+    MalformedRecord(faust_types::OpId),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::WrongValue { op, expected, returned } => write!(
+                f,
+                "{op} returned {returned:?} but the register held {expected:?}"
+            ),
+            SpecError::MalformedRecord(op) => write!(f, "{op} is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Incremental simulator of the register spec, used by the view search to
+/// prune illegal prefixes early.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterSim {
+    contents: HashMap<ClientId, Value>,
+}
+
+impl RegisterSim {
+    /// Fresh registers, all `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one operation; checks reads against register contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::WrongValue`] if a read returns the wrong value.
+    pub fn apply(&mut self, op: &OpRecord) -> Result<(), SpecError> {
+        match op.kind {
+            OpKind::Write => {
+                let value = op
+                    .written
+                    .clone()
+                    .ok_or(SpecError::MalformedRecord(op.id))?;
+                self.contents.insert(op.register, value);
+                Ok(())
+            }
+            OpKind::Read => {
+                let expected = self.contents.get(&op.register);
+                let returned = match &op.outcome {
+                    faust_types::history::OpOutcome::ReadReturned(v) => v.as_ref(),
+                    // A pending read imposes no constraint.
+                    faust_types::history::OpOutcome::Pending => return Ok(()),
+                    _ => return Err(SpecError::MalformedRecord(op.id)),
+                };
+                if expected == returned {
+                    Ok(())
+                } else {
+                    Err(SpecError::WrongValue {
+                        op: op.id,
+                        expected: expected.cloned(),
+                        returned: returned.cloned(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Checks that an entire sequence satisfies the register spec.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered.
+pub fn check_sequence<'a>(ops: impl IntoIterator<Item = &'a OpRecord>) -> Result<(), SpecError> {
+    let mut sim = RegisterSim::new();
+    for op in ops {
+        sim.apply(op)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_types::History;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn legal_sequence_accepted() {
+        let mut h = History::new();
+        let w = h.begin_write(c(0), Value::from("x"), 0);
+        h.complete_write(w, 1, None);
+        let r = h.begin_read(c(1), c(0), 2);
+        h.complete_read(r, 3, Some(Value::from("x")), None);
+        assert_eq!(check_sequence(h.ops()), Ok(()));
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        let mut h = History::new();
+        let w1 = h.begin_write(c(0), Value::from("x1"), 0);
+        h.complete_write(w1, 1, None);
+        let w2 = h.begin_write(c(0), Value::from("x2"), 2);
+        h.complete_write(w2, 3, None);
+        let r = h.begin_read(c(1), c(0), 4);
+        h.complete_read(r, 5, Some(Value::from("x1")), None);
+        assert!(matches!(
+            check_sequence(h.ops()),
+            Err(SpecError::WrongValue { .. })
+        ));
+    }
+
+    #[test]
+    fn read_of_initial_register() {
+        let mut h = History::new();
+        let r = h.begin_read(c(1), c(0), 0);
+        h.complete_read(r, 1, None, None);
+        assert_eq!(check_sequence(h.ops()), Ok(()));
+
+        // Returning a value from an unwritten register is illegal.
+        let mut h2 = History::new();
+        let r2 = h2.begin_read(c(1), c(0), 0);
+        h2.complete_read(r2, 1, Some(Value::from("ghost")), None);
+        assert!(check_sequence(h2.ops()).is_err());
+    }
+
+    #[test]
+    fn pending_read_imposes_no_constraint() {
+        let mut h = History::new();
+        let w = h.begin_write(c(0), Value::from("x"), 0);
+        h.complete_write(w, 1, None);
+        let _r = h.begin_read(c(1), c(0), 2); // never completes
+        assert_eq!(check_sequence(h.ops()), Ok(()));
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut h = History::new();
+        let w0 = h.begin_write(c(0), Value::from("a"), 0);
+        h.complete_write(w0, 1, None);
+        let w1 = h.begin_write(c(1), Value::from("b"), 0);
+        h.complete_write(w1, 1, None);
+        let r = h.begin_read(c(2), c(1), 2);
+        h.complete_read(r, 3, Some(Value::from("b")), None);
+        assert_eq!(check_sequence(h.ops()), Ok(()));
+    }
+}

@@ -1,0 +1,623 @@
+//! The FAUST client (Section 6): wraps the USTOR protocol's extended
+//! operations with stability detection, offline probing, and failure
+//! propagation, implementing the fail-aware untrusted service of
+//! Definition 5.
+//!
+//! Like the USTOR client it wraps, [`FaustClient`] is sans-io: every
+//! entry point takes the current time and returns the [`Actions`] the
+//! caller must perform — messages for the server, offline messages for
+//! other clients, and notifications for the application.
+
+use crate::events::{FailReason, FaustCompletion, Notification, StabilityCut};
+use crate::offline::OfflineMsg;
+use faust_crypto::sig::{Keypair, VerifierRegistry};
+use faust_types::{ClientId, ReplyMsg, Timestamp, UstorMsg, Value, Version};
+use faust_ustor::UstorClient;
+use std::collections::VecDeque;
+
+/// Tuning parameters of the FAUST layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaustConfig {
+    /// `Δ`: if no version update has been received from a client for this
+    /// long (virtual time), probe it offline.
+    pub probe_period: u64,
+    /// Whether to issue dummy reads when idle (one per tick, round-robin
+    /// over the other clients' registers). The paper requires them for
+    /// stability detection; disabling them isolates the probe mechanism
+    /// in experiments.
+    pub dummy_reads: bool,
+    /// COMMIT transmission strategy of the underlying USTOR client
+    /// (Section 5 piggybacking optimization).
+    pub commit_mode: faust_ustor::CommitMode,
+}
+
+impl Default for FaustConfig {
+    fn default() -> Self {
+        FaustConfig {
+            probe_period: 200,
+            dummy_reads: true,
+            commit_mode: faust_ustor::CommitMode::Immediate,
+        }
+    }
+}
+
+/// A queued user operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserOp {
+    /// Write the client's own register.
+    Write(Value),
+    /// Read a register.
+    Read(ClientId),
+}
+
+/// Everything the caller must do after an event: forward messages and
+/// deliver notifications.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Actions {
+    /// Messages to send to the storage server, in order.
+    pub to_server: Vec<UstorMsg>,
+    /// Offline messages to other clients.
+    pub offline: Vec<(ClientId, OfflineMsg)>,
+    /// Notifications for the application.
+    pub notifications: Vec<Notification>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CurrentOp {
+    user: bool,
+}
+
+/// The FAUST protocol state for one client.
+///
+/// # Example
+///
+/// ```
+/// use faust_core::{FaustClient, FaustConfig, UserOp};
+/// use faust_crypto::sig::KeySet;
+/// use faust_types::{ClientId, Value};
+///
+/// let keys = KeySet::generate(2, b"doc");
+/// let mut client = FaustClient::new(
+///     ClientId::new(0),
+///     2,
+///     keys.keypair(0).unwrap().clone(),
+///     keys.registry(),
+///     FaustConfig::default(),
+/// );
+/// let actions = client.invoke(UserOp::Write(Value::from("v1")), 0);
+/// assert_eq!(actions.to_server.len(), 1); // the SUBMIT message
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaustClient {
+    ustor: UstorClient,
+    keypair: Keypair,
+    config: FaustConfig,
+    /// `VER_i[j]`: maximal version received from client `j` (own entry =
+    /// own last committed version).
+    ver: Vec<Version>,
+    /// Virtual time of the last update (or probe) per entry.
+    ver_time: Vec<u64>,
+    /// Index of the maximal version in `ver`.
+    max_idx: usize,
+    /// The current stability cut `W_i`.
+    w: Vec<Timestamp>,
+    user_queue: VecDeque<UserOp>,
+    current: Option<CurrentOp>,
+    /// Round-robin pointer for dummy reads.
+    rr_next: u32,
+    failed: Option<FailReason>,
+}
+
+impl FaustClient {
+    /// Creates the FAUST client state for client `id` of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not match `id` or `id ≥ n`.
+    pub fn new(
+        id: ClientId,
+        n: usize,
+        keypair: Keypair,
+        registry: VerifierRegistry,
+        config: FaustConfig,
+    ) -> Self {
+        let mut ustor = UstorClient::new(id, n, keypair.clone(), registry);
+        ustor.set_commit_mode(config.commit_mode);
+        FaustClient {
+            ustor,
+            keypair,
+            config,
+            ver: vec![Version::initial(n); n],
+            ver_time: vec![0; n],
+            max_idx: id.index(),
+            w: vec![0; n],
+            user_queue: VecDeque::new(),
+            current: None,
+            rr_next: 0,
+            failed: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.ustor.id()
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.ustor.num_clients()
+    }
+
+    /// The failure that halted this client, if any.
+    pub fn failure(&self) -> Option<&FailReason> {
+        self.failed.as_ref()
+    }
+
+    /// The current stability cut `W_i`.
+    pub fn stability_cut(&self) -> StabilityCut {
+        StabilityCut { w: self.w.clone() }
+    }
+
+    /// The maximal version this client knows.
+    pub fn max_version(&self) -> &Version {
+        &self.ver[self.max_idx]
+    }
+
+    /// Number of queued user operations (including the one in flight).
+    pub fn backlog(&self) -> usize {
+        self.user_queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Submits a user operation. It is queued if another operation is in
+    /// flight (the service is used sequentially, but the application may
+    /// hand over work at any time).
+    pub fn invoke(&mut self, op: UserOp, now: u64) -> Actions {
+        let mut actions = Actions::default();
+        if self.failed.is_some() {
+            return actions;
+        }
+        self.user_queue.push_back(op);
+        self.maybe_start(&mut actions, now);
+        actions
+    }
+
+    /// Processes a REPLY from the server.
+    pub fn handle_reply(&mut self, reply: ReplyMsg, now: u64) -> Actions {
+        let mut actions = Actions::default();
+        if self.failed.is_some() {
+            return actions;
+        }
+        match self.ustor.handle_reply(reply) {
+            Err(fault) => {
+                self.fail(FailReason::Ustor(fault), &mut actions);
+            }
+            Ok((commit, done)) => {
+                if let Some(commit) = commit {
+                    actions.to_server.push(UstorMsg::Commit(commit));
+                }
+                let was_user = self.current.take().map(|c| c.user).unwrap_or(false);
+                let own = self.id().index();
+                self.install_version(own, done.version.clone(), now, &mut actions);
+                if self.failed.is_none() {
+                    if let Some(writer_version) = &done.writer_version {
+                        self.install_version(
+                            done.target.index(),
+                            writer_version.version.clone(),
+                            now,
+                            &mut actions,
+                        );
+                    }
+                }
+                if was_user {
+                    actions.notifications.push(Notification::Completed(
+                        FaustCompletion {
+                            kind: done.kind,
+                            target: done.target,
+                            timestamp: done.timestamp,
+                            read_value: done.read_value.clone(),
+                        },
+                    ));
+                }
+                if self.failed.is_none() {
+                    self.maybe_start(&mut actions, now);
+                }
+            }
+        }
+        actions
+    }
+
+    /// Processes an offline message from another client.
+    pub fn handle_offline(&mut self, msg: OfflineMsg, now: u64) -> Actions {
+        let mut actions = Actions::default();
+        if self.failed.is_some() {
+            return actions;
+        }
+        if !msg.verify(self.ustor_registry()) {
+            return actions; // unauthenticated noise; ignore
+        }
+        match msg {
+            OfflineMsg::Probe { from, .. } => {
+                let version = self.ver[self.max_idx].clone();
+                actions
+                    .offline
+                    .push((from, OfflineMsg::version(&self.keypair, version)));
+            }
+            OfflineMsg::Version { from, version, .. } => {
+                self.install_version(from.index(), version, now, &mut actions);
+            }
+            OfflineMsg::Failure { from, .. } => {
+                self.fail(FailReason::ReportedBy(from), &mut actions);
+            }
+        }
+        actions
+    }
+
+    /// Periodic tick: probes silent clients and issues a dummy read when
+    /// idle.
+    pub fn on_tick(&mut self, now: u64) -> Actions {
+        let mut actions = Actions::default();
+        if self.failed.is_some() {
+            return actions;
+        }
+        let me = self.id().index();
+        for j in 0..self.num_clients() {
+            if j == me {
+                continue;
+            }
+            if now.saturating_sub(self.ver_time[j]) >= self.config.probe_period {
+                self.ver_time[j] = now; // wait another Δ before re-probing
+                actions
+                    .offline
+                    .push((ClientId::new(j as u32), OfflineMsg::probe(&self.keypair)));
+            }
+        }
+        self.maybe_start(&mut actions, now);
+        if self.current.is_none()
+            && self.user_queue.is_empty()
+            && self.config.dummy_reads
+            && self.num_clients() > 1
+        {
+            self.start_dummy_read(&mut actions);
+        }
+        actions
+    }
+
+    fn ustor_registry(&self) -> &VerifierRegistry {
+        // The registry is shared; UstorClient holds a clone. Keep one
+        // accessor so the offline path uses the same trust root.
+        self.registry()
+    }
+
+    /// The verifier registry used for offline-message authentication.
+    fn registry(&self) -> &VerifierRegistry {
+        self.ustor.registry()
+    }
+
+    fn maybe_start(&mut self, actions: &mut Actions, _now: u64) {
+        if self.current.is_some() || self.failed.is_some() {
+            return;
+        }
+        let Some(op) = self.user_queue.pop_front() else {
+            return;
+        };
+        let submit = match op {
+            UserOp::Write(value) => self.ustor.begin_write(value),
+            UserOp::Read(register) => self.ustor.begin_read(register),
+        };
+        match submit {
+            Ok(msg) => {
+                self.current = Some(CurrentOp { user: true });
+                actions.to_server.push(UstorMsg::Submit(msg));
+            }
+            Err(_) => {
+                // Busy/halted: both are guarded above; nothing to do.
+            }
+        }
+    }
+
+    fn start_dummy_read(&mut self, actions: &mut Actions) {
+        let n = self.num_clients() as u32;
+        let me = self.id().as_u32();
+        // Next round-robin target, skipping ourselves.
+        let mut target = self.rr_next % n;
+        if target == me {
+            target = (target + 1) % n;
+        }
+        self.rr_next = (target + 1) % n;
+        if let Ok(msg) = self.ustor.begin_read(ClientId::new(target)) {
+            self.current = Some(CurrentOp { user: false });
+            actions.to_server.push(UstorMsg::Submit(msg));
+        }
+    }
+
+    /// Installs a version received from client `j`, running the
+    /// comparability check and refreshing the stability cut.
+    fn install_version(&mut self, j: usize, version: Version, now: u64, actions: &mut Actions) {
+        if !version.comparable(&self.ver[self.max_idx]) {
+            self.fail(
+                FailReason::IncomparableVersions {
+                    from: ClientId::new(j as u32),
+                },
+                actions,
+            );
+            return;
+        }
+        if self.ver[j].lt(&version) {
+            // Only a *growing* version counts as an update from C_j;
+            // receiving a stale version must not suppress probing, or a
+            // faulty server could keep forked clients from ever
+            // exchanging versions (detection completeness would break).
+            self.ver_time[j] = now;
+            self.ver[j] = version;
+            if self.ver[self.max_idx].le(&self.ver[j]) {
+                self.max_idx = j;
+            }
+            self.refresh_stability(actions);
+        }
+    }
+
+    fn refresh_stability(&mut self, actions: &mut Actions) {
+        let me = self.id();
+        let mut changed = false;
+        for j in 0..self.num_clients() {
+            let vji = self.ver[j].v().get(me);
+            if vji > self.w[j] {
+                self.w[j] = vji;
+                changed = true;
+            }
+        }
+        if changed {
+            actions
+                .notifications
+                .push(Notification::Stable(self.stability_cut()));
+        }
+    }
+
+    fn fail(&mut self, reason: FailReason, actions: &mut Actions) {
+        if self.failed.is_some() {
+            return;
+        }
+        self.failed = Some(reason.clone());
+        let me = self.id();
+        for j in ClientId::all(self.num_clients()) {
+            if j != me {
+                actions.offline.push((j, OfflineMsg::failure(&self.keypair)));
+            }
+        }
+        actions.notifications.push(Notification::Failed(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sig::KeySet;
+    use faust_types::OpKind;
+    use faust_ustor::{Server, UstorServer};
+
+    fn setup(n: usize) -> (UstorServer, Vec<FaustClient>) {
+        let keys = KeySet::generate(n, b"faust-client");
+        let clients = (0..n)
+            .map(|i| {
+                FaustClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                    FaustConfig::default(),
+                )
+            })
+            .collect();
+        (UstorServer::new(n), clients)
+    }
+
+    /// Pushes one user op through client `who` synchronously.
+    fn run_user_op(
+        server: &mut UstorServer,
+        client: &mut FaustClient,
+        op: UserOp,
+        now: u64,
+    ) -> Vec<Notification> {
+        let mut notifications = Vec::new();
+        let actions = client.invoke(op, now);
+        notifications.extend(actions.notifications.clone());
+        let mut to_server = actions.to_server;
+        while let Some(msg) = to_server.first().cloned() {
+            to_server.remove(0);
+            let replies = match msg {
+                UstorMsg::Submit(m) => server.on_submit(client.id(), m),
+                UstorMsg::Commit(m) => server.on_commit(client.id(), m),
+                UstorMsg::Reply(_) => Vec::new(),
+            };
+            for (_, reply) in replies {
+                let a = client.handle_reply(reply, now);
+                notifications.extend(a.notifications.clone());
+                to_server.extend(a.to_server);
+            }
+        }
+        notifications
+    }
+
+    #[test]
+    fn user_op_completes_with_timestamp() {
+        let (mut server, mut clients) = setup(2);
+        let notes = run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("x")),
+            0,
+        );
+        let completed: Vec<_> = notes
+            .iter()
+            .filter_map(|n| match n {
+                Notification::Completed(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].timestamp, 1);
+        assert_eq!(completed[0].kind, OpKind::Write);
+    }
+
+    #[test]
+    fn own_ops_are_immediately_self_stable() {
+        let (mut server, mut clients) = setup(2);
+        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("x")), 0);
+        let cut = clients[0].stability_cut();
+        assert_eq!(cut.w[0], 1, "own entry tracks own timestamp");
+        assert_eq!(cut.w[1], 0, "nothing known from the other client yet");
+    }
+
+    #[test]
+    fn reading_a_register_imports_the_writer_version() {
+        let (mut server, mut clients) = setup(2);
+        // C1 writes; C0 reads C1's register and thereby learns C1's
+        // version. C1's version does not include any op of C0 yet, so
+        // C0's stability w.r.t. C1 stays 0 — but after C1 reads C0's
+        // register and C0 reads again, stability advances.
+        run_user_op(&mut server, &mut clients[1], UserOp::Write(Value::from("b")), 0);
+        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 1);
+        run_user_op(&mut server, &mut clients[1], UserOp::Read(ClientId::new(0)), 2);
+        let notes = run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Read(ClientId::new(1)),
+            3,
+        );
+        // C0 now holds a version from C1 whose entry for C0 is 1.
+        let cut = clients[0].stability_cut();
+        assert_eq!(cut.w[1], 1, "C1 vouches for C0's first op");
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, Notification::Stable(_))));
+    }
+
+    #[test]
+    fn probe_is_answered_with_max_version() {
+        let (mut server, mut clients) = setup(2);
+        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        let (c0, c1) = {
+            let (a, b) = clients.split_at_mut(1);
+            (&mut a[0], &mut b[0])
+        };
+        let probe = OfflineMsg::probe_from_tests(c1);
+        let actions = c0.handle_offline(probe, 10);
+        assert_eq!(actions.offline.len(), 1);
+        let (to, reply) = &actions.offline[0];
+        assert_eq!(*to, c1.id());
+        let OfflineMsg::Version { version, .. } = reply else {
+            panic!("expected VERSION, got {reply:?}");
+        };
+        assert_eq!(version, c0.max_version());
+        // C1 installs it and now knows C0's version. No stability change
+        // for C1 yet — the version contains no operation of C1.
+        let _ = c1.handle_offline(reply.clone(), 11);
+        assert_eq!(c1.max_version(), version);
+        assert_eq!(c1.stability_cut().w, vec![0, 0]);
+    }
+
+    impl OfflineMsg {
+        /// Test helper: a probe signed by `client`.
+        fn probe_from_tests(client: &FaustClient) -> OfflineMsg {
+            OfflineMsg::probe(&client.keypair)
+        }
+    }
+
+    #[test]
+    fn incomparable_version_triggers_failure() {
+        let (mut server, mut clients) = setup(3);
+        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        // Forge a version on a different branch: same length, different
+        // digest (as a forking server would produce).
+        let mut fork = Version::initial(3);
+        fork.v_mut().set(ClientId::new(0), 1);
+        fork.m_mut().set(ClientId::new(0), faust_crypto::sha256(b"other branch"));
+        let keys = KeySet::generate(3, b"faust-client");
+        let msg = OfflineMsg::version(keys.keypair(1).unwrap(), fork);
+        let actions = clients[0].handle_offline(msg, 5);
+        assert!(matches!(
+            actions.notifications.last(),
+            Some(Notification::Failed(FailReason::IncomparableVersions { .. }))
+        ));
+        // The failure is broadcast to all other clients.
+        assert_eq!(actions.offline.len(), 2);
+        assert!(clients[0].failure().is_some());
+    }
+
+    #[test]
+    fn failure_report_propagates_and_halts() {
+        let (mut _server, mut clients) = setup(2);
+        let keys = KeySet::generate(2, b"faust-client");
+        let report = OfflineMsg::failure(keys.keypair(1).unwrap());
+        let actions = clients[0].handle_offline(report, 0);
+        assert!(matches!(
+            actions.notifications.last(),
+            Some(Notification::Failed(FailReason::ReportedBy(c))) if c.index() == 1
+        ));
+        // Halted: further invocations are ignored.
+        let a = clients[0].invoke(UserOp::Write(Value::from("x")), 1);
+        assert!(a.to_server.is_empty());
+    }
+
+    #[test]
+    fn unauthenticated_offline_messages_ignored() {
+        let (mut _server, mut clients) = setup(2);
+        let other_keys = KeySet::generate(2, b"different-universe");
+        let forged = OfflineMsg::failure(other_keys.keypair(1).unwrap());
+        let actions = clients[0].handle_offline(forged, 0);
+        assert!(actions.notifications.is_empty());
+        assert!(clients[0].failure().is_none());
+    }
+
+    #[test]
+    fn tick_probes_silent_clients() {
+        let (mut server, mut clients) = setup(3);
+        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        let actions = clients[0].on_tick(1000);
+        let probed: Vec<ClientId> = actions.offline.iter().map(|(to, _)| *to).collect();
+        assert_eq!(probed, vec![ClientId::new(1), ClientId::new(2)]);
+        // Within Δ of the probe, no re-probe.
+        let actions = clients[0].on_tick(1001);
+        assert!(actions.offline.is_empty());
+    }
+
+    #[test]
+    fn tick_issues_round_robin_dummy_reads_when_idle() {
+        let (mut _server, mut clients) = setup(3);
+        let a1 = clients[0].on_tick(1);
+        // One dummy read submitted (plus possibly probes at t=1? ver_time
+        // starts at 0 and probe_period is 200, so no probes yet).
+        assert_eq!(a1.to_server.len(), 1);
+        let UstorMsg::Submit(s1) = &a1.to_server[0] else {
+            panic!("expected submit");
+        };
+        assert_eq!(s1.tuple.kind, OpKind::Read);
+        // While the dummy read is in flight, no second one starts.
+        let a2 = clients[0].on_tick(2);
+        assert!(a2.to_server.is_empty());
+    }
+
+    #[test]
+    fn dummy_reads_skip_self_and_rotate() {
+        let (mut server, mut clients) = setup(3);
+        let mut targets = Vec::new();
+        for t in 0..4 {
+            let actions = clients[1].on_tick(t);
+            let UstorMsg::Submit(s) = &actions.to_server[0] else {
+                panic!("expected submit")
+            };
+            targets.push(s.tuple.register.index());
+            // Complete the dummy read so the next tick can start one.
+            let replies = server.on_submit(clients[1].id(), s.clone());
+            for (_, r) in replies {
+                let a = clients[1].handle_reply(r, t);
+                for m in a.to_server {
+                    if let UstorMsg::Commit(commit) = m {
+                        server.on_commit(clients[1].id(), commit);
+                    }
+                }
+            }
+        }
+        assert_eq!(targets, vec![0, 2, 0, 2], "round-robin skipping self");
+    }
+}

@@ -1,0 +1,123 @@
+//! Notifications emitted by the FAUST layer to the application.
+//!
+//! A fail-aware untrusted service extends the plain functionality with
+//! timestamps on responses and with the asynchronous `stable_i` and
+//! `fail_i` output actions (Section 3, Definition 5).
+
+use faust_types::{ClientId, OpKind, Timestamp, Value};
+use faust_ustor::Fault;
+use std::fmt;
+
+/// Completion of a user operation, carrying the timestamp required by the
+/// fail-aware service (Definition 5, integrity: timestamps increase
+/// monotonically per client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaustCompletion {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The register accessed.
+    pub target: ClientId,
+    /// The operation's timestamp `t`.
+    pub timestamp: Timestamp,
+    /// For reads: the value read (`None` = `⊥`).
+    pub read_value: Option<Option<Value>>,
+}
+
+/// A stability cut: the parameter `W` of a `stable_i(W)` notification.
+///
+/// All operations of `C_i` that returned a timestamp `≤ w[j]` are *stable
+/// with respect to `C_j`*: the two clients are guaranteed to have a common
+/// view of the execution up to that operation. An operation stable w.r.t.
+/// all clients is simply called stable, and the execution prefix up to it
+/// is linearizable (Definition 5, property 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilityCut {
+    /// `w[j]` = highest own-operation timestamp stable w.r.t. client `j`.
+    pub w: Vec<Timestamp>,
+}
+
+impl StabilityCut {
+    /// The lowest entry: operations with timestamps up to this value are
+    /// stable w.r.t. *every* client.
+    pub fn globally_stable_timestamp(&self) -> Timestamp {
+        self.w.iter().copied().min().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for StabilityCut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.w.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Why a client emitted `fail_i`. Every reason is evidence of server
+/// misbehaviour (failure-detection accuracy, Definition 5 property 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The USTOR layer detected an inconsistent reply.
+    Ustor(Fault),
+    /// A version received from `from` is incomparable with the maximal
+    /// known version — proof that the server forked the clients' views.
+    IncomparableVersions {
+        /// The client whose version conflicted.
+        from: ClientId,
+    },
+    /// Another client detected a failure and alerted us offline.
+    ReportedBy(ClientId),
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Ustor(fault) => write!(f, "storage protocol check failed: {fault}"),
+            FailReason::IncomparableVersions { from } => {
+                write!(f, "version from {from} is incomparable: the server forked our views")
+            }
+            FailReason::ReportedBy(from) => write!(f, "{from} reported a server failure"),
+        }
+    }
+}
+
+/// An asynchronous notification from the FAUST layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// A user operation completed (synchronous response, with timestamp).
+    Completed(FaustCompletion),
+    /// `stable_i(W)`: the stability cut advanced.
+    Stable(StabilityCut),
+    /// `fail_i`: the server is demonstrably faulty; the client has halted.
+    Failed(FailReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_cut_display_matches_paper_notation() {
+        let cut = StabilityCut { w: vec![10, 8, 3] };
+        assert_eq!(cut.to_string(), "[10,8,3]");
+        assert_eq!(cut.globally_stable_timestamp(), 3);
+    }
+
+    #[test]
+    fn fail_reason_display_nonempty() {
+        let reasons = [
+            FailReason::Ustor(Fault::VersionRegression),
+            FailReason::IncomparableVersions {
+                from: ClientId::new(1),
+            },
+            FailReason::ReportedBy(ClientId::new(2)),
+        ];
+        for r in reasons {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

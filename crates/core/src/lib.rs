@@ -1,0 +1,65 @@
+//! FAUST — the Fail-Aware Untrusted STorage service of Cachin, Keidar,
+//! and Shraer (DSN 2009), layered on the USTOR protocol.
+//!
+//! A *fail-aware untrusted service* (Definition 5) extends a shared
+//! functionality with timestamps on responses and two asynchronous
+//! notifications:
+//!
+//! * `stable_i(W)` — a **stability cut**: all operations of client `C_i`
+//!   with timestamps `≤ W[j]` are guaranteed to be in a common view with
+//!   client `C_j`; operations stable w.r.t. *all* clients are
+//!   linearizable.
+//! * `fail_i` — **accurate failure detection**: emitted only when the
+//!   server demonstrably violated its specification (forked views,
+//!   tampered data, forged history).
+//!
+//! With a correct server the service is linearizable and wait-free;
+//! causal consistency holds always; every inconsistency is eventually
+//! either resolved into stability or detected as a failure
+//! (completeness), using dummy reads through the server and PROBE /
+//! VERSION / FAILURE messages on an offline client-to-client channel.
+//!
+//! * [`FaustClient`] — the sans-io protocol state machine.
+//! * [`OfflineMsg`] — the signed offline messages.
+//! * [`FaustDriver`] — deterministic whole-system simulation (clients +
+//!   server + both channels), used by the tests, examples, and the
+//!   experiment harness.
+//! * [`runtime`] — a thread-per-client runtime demonstrating the same
+//!   stack under real concurrency.
+//!
+//! # Example
+//!
+//! ```
+//! use faust_core::{FaustDriver, FaustDriverConfig, FaustWorkloadOp};
+//! use faust_types::{ClientId, Value};
+//! use faust_ustor::UstorServer;
+//!
+//! let mut driver = FaustDriver::new(
+//!     3,
+//!     Box::new(UstorServer::new(3)),
+//!     FaustDriverConfig::default(),
+//!     b"quickstart",
+//! );
+//! driver.push_op(ClientId::new(0), FaustWorkloadOp::Write(Value::from("hello")));
+//! driver.push_op(ClientId::new(1), FaustWorkloadOp::Read(ClientId::new(0)));
+//! let result = driver.run_until(5_000);
+//! assert!(result.failures.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod driver;
+pub mod events;
+pub mod offline;
+pub mod runtime;
+pub mod threaded_faust;
+
+pub use client::{Actions, FaustClient, FaustConfig, UserOp};
+pub use driver::{
+    random_faust_workloads, FaustDriver, FaustDriverConfig, FaustRunResult, FaustWorkloadOp,
+};
+pub use events::{FailReason, FaustCompletion, Notification, StabilityCut};
+pub use offline::OfflineMsg;
+pub use threaded_faust::{run_threaded_faust, ThreadedFaustConfig, ThreadedFaustReport};

@@ -1,0 +1,188 @@
+//! Offline client-to-client messages of the FAUST protocol (Section 6):
+//! PROBE, VERSION, and FAILURE.
+//!
+//! These messages travel on the reliable offline channel, never through
+//! the untrusted server. They are nevertheless signed (domain
+//! [`SigContext::Offline`]) so that the channel needs no further
+//! authentication assumptions; unverifiable messages are silently dropped
+//! (they can only be noise — dropping preserves failure-detection
+//! accuracy).
+
+use faust_crypto::sig::{SigContext, Signature, Signer, Verifier};
+use faust_types::{ClientId, Version, Wire};
+
+/// An offline client-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OfflineMsg {
+    /// "Send me the maximal version you know."
+    Probe {
+        /// The probing client.
+        from: ClientId,
+        /// Signature over the message.
+        sig: Signature,
+    },
+    /// The sender's maximal known version `VER_j[max_j]` (not necessarily
+    /// committed by the sender itself).
+    Version {
+        /// The sending client.
+        from: ClientId,
+        /// The version being shared.
+        version: Version,
+        /// Signature over the message.
+        sig: Signature,
+    },
+    /// The sender has proof of server misbehaviour; everyone should stop.
+    Failure {
+        /// The alerting client.
+        from: ClientId,
+        /// Signature over the message.
+        sig: Signature,
+    },
+}
+
+fn probe_bytes(from: ClientId) -> Vec<u8> {
+    let mut out = b"faust-probe:".to_vec();
+    out.extend_from_slice(&from.as_u32().to_be_bytes());
+    out
+}
+
+fn version_bytes(from: ClientId, version: &Version) -> Vec<u8> {
+    let mut out = b"faust-version:".to_vec();
+    out.extend_from_slice(&from.as_u32().to_be_bytes());
+    out.extend_from_slice(&version.signing_bytes());
+    out
+}
+
+fn failure_bytes(from: ClientId) -> Vec<u8> {
+    let mut out = b"faust-failure:".to_vec();
+    out.extend_from_slice(&from.as_u32().to_be_bytes());
+    out
+}
+
+impl OfflineMsg {
+    /// Builds a signed PROBE.
+    pub fn probe(signer: &impl Signer) -> Self {
+        let from = ClientId::new(signer.signer_index());
+        OfflineMsg::Probe {
+            from,
+            sig: signer.sign(SigContext::Offline, &probe_bytes(from)),
+        }
+    }
+
+    /// Builds a signed VERSION.
+    pub fn version(signer: &impl Signer, version: Version) -> Self {
+        let from = ClientId::new(signer.signer_index());
+        let sig = signer.sign(SigContext::Offline, &version_bytes(from, &version));
+        OfflineMsg::Version { from, version, sig }
+    }
+
+    /// Builds a signed FAILURE.
+    pub fn failure(signer: &impl Signer) -> Self {
+        let from = ClientId::new(signer.signer_index());
+        OfflineMsg::Failure {
+            from,
+            sig: signer.sign(SigContext::Offline, &failure_bytes(from)),
+        }
+    }
+
+    /// The sending client.
+    pub fn sender(&self) -> ClientId {
+        match self {
+            OfflineMsg::Probe { from, .. }
+            | OfflineMsg::Version { from, .. }
+            | OfflineMsg::Failure { from, .. } => *from,
+        }
+    }
+
+    /// Verifies the message signature against its claimed sender.
+    pub fn verify(&self, registry: &impl Verifier) -> bool {
+        match self {
+            OfflineMsg::Probe { from, sig } => {
+                registry.verify(from.as_u32(), SigContext::Offline, &probe_bytes(*from), sig)
+            }
+            OfflineMsg::Version { from, version, sig } => registry.verify(
+                from.as_u32(),
+                SigContext::Offline,
+                &version_bytes(*from, version),
+                sig,
+            ),
+            OfflineMsg::Failure { from, sig } => registry.verify(
+                from.as_u32(),
+                SigContext::Offline,
+                &failure_bytes(*from),
+                sig,
+            ),
+        }
+    }
+
+    /// Approximate wire size in bytes (tag + sender + signature +
+    /// version payload if present).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            OfflineMsg::Probe { .. } | OfflineMsg::Failure { .. } => 1 + 4 + Signature::LEN,
+            OfflineMsg::Version { version, .. } => {
+                1 + 4 + Signature::LEN + version.encoded_len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sig::KeySet;
+
+    #[test]
+    fn messages_verify_under_their_sender() {
+        let keys = KeySet::generate(2, b"offline");
+        let reg = keys.registry();
+        let signer = keys.keypair(0).unwrap();
+        let msgs = [
+            OfflineMsg::probe(signer),
+            OfflineMsg::version(signer, Version::initial(2)),
+            OfflineMsg::failure(signer),
+        ];
+        for m in &msgs {
+            assert_eq!(m.sender(), ClientId::new(0));
+            assert!(m.verify(&reg));
+        }
+    }
+
+    #[test]
+    fn spoofed_sender_rejected() {
+        let keys = KeySet::generate(2, b"offline");
+        let reg = keys.registry();
+        let signer = keys.keypair(0).unwrap();
+        let OfflineMsg::Probe { sig, .. } = OfflineMsg::probe(signer) else {
+            unreachable!()
+        };
+        let spoofed = OfflineMsg::Probe {
+            from: ClientId::new(1),
+            sig,
+        };
+        assert!(!spoofed.verify(&reg));
+    }
+
+    #[test]
+    fn tampered_version_rejected() {
+        let keys = KeySet::generate(2, b"offline");
+        let reg = keys.registry();
+        let signer = keys.keypair(0).unwrap();
+        let OfflineMsg::Version { from, sig, .. } =
+            OfflineMsg::version(signer, Version::initial(2))
+        else {
+            unreachable!()
+        };
+        let mut other = Version::initial(2);
+        other.v_mut().increment(ClientId::new(0));
+        other
+            .m_mut()
+            .set(ClientId::new(0), faust_crypto::sha256(b"d"));
+        let tampered = OfflineMsg::Version {
+            from,
+            version: other,
+            sig,
+        };
+        assert!(!tampered.verify(&reg));
+    }
+}

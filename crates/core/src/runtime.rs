@@ -1,0 +1,225 @@
+//! Thread-per-client runtime: the same USTOR protocol stack as the
+//! simulator drives, but over real OS threads and channels — genuine
+//! concurrency rather than virtual time.
+//!
+//! Used by the wait-freedom demonstrations and throughput benchmarks: a
+//! slow (or sleeping) client provably does not delay the others, because
+//! the server answers each SUBMIT immediately and never waits for
+//! anybody's COMMIT.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use faust_crypto::sig::KeySet;
+use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg, Value};
+use faust_ustor::{Fault, Server, UstorClient, UstorServer};
+use std::time::{Duration, Instant};
+
+/// One step of a threaded client workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedOp {
+    /// Write a value to the client's own register.
+    Write(Value),
+    /// Read a register.
+    Read(ClientId),
+    /// Sleep for this many milliseconds (a slow collaborator).
+    SleepMs(u64),
+}
+
+enum ToServer {
+    Submit(ClientId, SubmitMsg),
+    Commit(ClientId, CommitMsg),
+    Done,
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Completed operations per client.
+    pub completions: Vec<usize>,
+    /// Faults detected (none unless the server misbehaves).
+    pub faults: Vec<(ClientId, Fault)>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Wall-clock duration until each client finished its own workload.
+    pub per_client_elapsed: Vec<Duration>,
+}
+
+/// Runs `n` clients on threads against a correct in-process USTOR server.
+///
+/// Returns when every client has finished its workload. Because USTOR is
+/// wait-free, a client's [`ThreadedOp::SleepMs`] steps never extend the
+/// other clients' `per_client_elapsed`.
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != n` or a thread panics.
+pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) -> ThreadedReport {
+    assert_eq!(workloads.len(), n, "one workload per client");
+    let keys = KeySet::generate(n, key_seed);
+    let (server_tx, server_rx) = unbounded::<ToServer>();
+    let mut reply_txs: Vec<Sender<ReplyMsg>> = Vec::with_capacity(n);
+    let mut reply_rxs: Vec<Option<Receiver<ReplyMsg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<ReplyMsg>();
+        reply_txs.push(tx);
+        reply_rxs.push(Some(rx));
+    }
+
+    let server_thread = std::thread::spawn(move || {
+        let mut server = UstorServer::new(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let Ok(msg) = server_rx.recv() else { break };
+            match msg {
+                ToServer::Submit(client, m) => {
+                    for (rcpt, reply) in server.on_submit(client, m) {
+                        // A disconnected recipient only means the run is
+                        // ending; dropped replies are fine.
+                        let _ = reply_txs[rcpt.index()].send(reply);
+                    }
+                }
+                ToServer::Commit(client, m) => {
+                    server.on_commit(client, m);
+                }
+                ToServer::Done => remaining -= 1,
+            }
+        }
+    });
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (i, workload) in workloads.into_iter().enumerate() {
+        let id = ClientId::new(i as u32);
+        let keypair = keys.keypair(i as u32).expect("generated").clone();
+        let registry = keys.registry();
+        let tx = server_tx.clone();
+        let rx = reply_rxs[i].take().expect("one receiver per client");
+        handles.push(std::thread::spawn(move || {
+            let mut client = UstorClient::new(id, n, keypair, registry);
+            let mut completions = 0usize;
+            let mut fault = None;
+            let begun = Instant::now();
+            'workload: for op in workload {
+                let submit = match op {
+                    ThreadedOp::SleepMs(ms) => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        continue;
+                    }
+                    ThreadedOp::Write(v) => client.begin_write(v),
+                    ThreadedOp::Read(j) => client.begin_read(j),
+                };
+                let Ok(submit) = submit else { break };
+                if tx.send(ToServer::Submit(id, submit)).is_err() {
+                    break;
+                }
+                let Ok(reply) = rx.recv() else { break };
+                match client.handle_reply(reply) {
+                    Ok((commit, _done)) => {
+                        completions += 1;
+                        if let Some(commit) = commit {
+                            if tx.send(ToServer::Commit(id, commit)).is_err() {
+                                break 'workload;
+                            }
+                        }
+                    }
+                    Err(f) => {
+                        fault = Some(f);
+                        break 'workload;
+                    }
+                }
+            }
+            let _ = tx.send(ToServer::Done);
+            (completions, fault, begun.elapsed())
+        }));
+    }
+    drop(server_tx);
+
+    let mut completions = vec![0; n];
+    let mut per_client_elapsed = vec![Duration::ZERO; n];
+    let mut faults = Vec::new();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let (done, fault, elapsed) = handle.join().expect("client thread panicked");
+        completions[i] = done;
+        per_client_elapsed[i] = elapsed;
+        if let Some(f) = fault {
+            faults.push((ClientId::new(i as u32), f));
+        }
+    }
+    server_thread.join().expect("server thread panicked");
+    ThreadedReport {
+        completions,
+        faults,
+        elapsed: start.elapsed(),
+        per_client_elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn threaded_run_completes_all_ops() {
+        let workloads = vec![
+            vec![
+                ThreadedOp::Write(Value::from("a1")),
+                ThreadedOp::Write(Value::from("a2")),
+                ThreadedOp::Read(c(1)),
+            ],
+            vec![
+                ThreadedOp::Write(Value::from("b1")),
+                ThreadedOp::Read(c(0)),
+            ],
+        ];
+        let report = run_threaded(2, workloads, b"threaded-test");
+        assert_eq!(report.completions, vec![3, 2]);
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    fn slow_client_does_not_delay_fast_clients() {
+        // C1 sleeps 300 ms mid-workload; C0's 20 ops must not take
+        // anywhere near that long.
+        let workloads = vec![
+            (0..20)
+                .map(|i| ThreadedOp::Write(Value::unique(0, i)))
+                .collect(),
+            vec![
+                ThreadedOp::Write(Value::unique(1, 0)),
+                ThreadedOp::SleepMs(300),
+                ThreadedOp::Write(Value::unique(1, 1)),
+            ],
+        ];
+        let report = run_threaded(2, workloads, b"slow-test");
+        assert_eq!(report.completions, vec![20, 2]);
+        assert!(
+            report.per_client_elapsed[0] < Duration::from_millis(200),
+            "wait-freedom violated: fast client took {:?}",
+            report.per_client_elapsed[0]
+        );
+    }
+
+    #[test]
+    fn many_threads_heavy_interleaving() {
+        let n = 8;
+        let workloads: Vec<Vec<ThreadedOp>> = (0..n)
+            .map(|i| {
+                (0..25)
+                    .map(|s| {
+                        if s % 3 == 0 {
+                            ThreadedOp::Read(c(((i as u32) + 1) % n as u32))
+                        } else {
+                            ThreadedOp::Write(Value::unique(i as u32, s))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = run_threaded(n, workloads, b"heavy");
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        assert_eq!(report.completions, vec![25; 8]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Thread-per-client runtime for the *full* FAUST stack: USTOR through a
+//! server thread, plus direct client-to-client channels standing in for
+//! the offline communication method — the complete Figure 1 topology on
+//! real OS threads.
+//!
+//! The deterministic simulator remains the reference environment for
+//! experiments; this runtime demonstrates that the same sans-io protocol
+//! state machines run unchanged under genuine concurrency, and that
+//! detection and stability behave identically there.
+
+use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
+use crate::events::{FailReason, Notification};
+use crate::offline::OfflineMsg;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use faust_crypto::sig::KeySet;
+use faust_types::{ClientId, ReplyMsg, UstorMsg};
+use faust_ustor::Server;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded FAUST run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedFaustConfig {
+    /// FAUST layer tuning (probe period is interpreted in milliseconds).
+    pub faust: FaustConfig,
+    /// Interval between protocol ticks.
+    pub tick_interval: Duration,
+    /// Wall-clock duration of the run after workloads are submitted.
+    pub run_for: Duration,
+}
+
+impl Default for ThreadedFaustConfig {
+    fn default() -> Self {
+        ThreadedFaustConfig {
+            faust: FaustConfig {
+                probe_period: 50, // ms of wall time
+                dummy_reads: true,
+                commit_mode: faust_ustor::CommitMode::Immediate,
+            },
+            tick_interval: Duration::from_millis(10),
+            run_for: Duration::from_millis(600),
+        }
+    }
+}
+
+/// Outcome of a threaded FAUST run.
+#[derive(Debug)]
+pub struct ThreadedFaustReport {
+    /// Notifications per client in arrival order (with ms offsets).
+    pub notifications: Vec<Vec<(u64, Notification)>>,
+    /// Clients that emitted `fail`, with reasons.
+    pub failures: Vec<(ClientId, FailReason)>,
+}
+
+impl ThreadedFaustReport {
+    /// Completed user operations at `client`.
+    pub fn completions(&self, client: ClientId) -> usize {
+        self.notifications[client.index()]
+            .iter()
+            .filter(|(_, n)| matches!(n, Notification::Completed(_)))
+            .count()
+    }
+
+    /// The last stability cut reported by `client`.
+    pub fn last_cut(&self, client: ClientId) -> Option<Vec<u64>> {
+        self.notifications[client.index()]
+            .iter()
+            .rev()
+            .find_map(|(_, n)| match n {
+                Notification::Stable(cut) => Some(cut.w.clone()),
+                _ => None,
+            })
+    }
+}
+
+enum ToServer {
+    Ustor(ClientId, UstorMsg),
+    Shutdown,
+}
+
+/// Messages a client thread can receive.
+enum ToClient {
+    Reply(ReplyMsg),
+    Offline(OfflineMsg),
+}
+
+/// Runs `n` FAUST clients on threads against `server` (on its own
+/// thread), with direct inter-client channels as the offline medium.
+///
+/// Each client first submits its entire workload, then keeps ticking
+/// (dummy reads + probes) until `config.run_for` elapses.
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != n` or a thread panics.
+pub fn run_threaded_faust(
+    n: usize,
+    workloads: Vec<Vec<UserOp>>,
+    server: Box<dyn Server + Send>,
+    config: ThreadedFaustConfig,
+    key_seed: &[u8],
+) -> ThreadedFaustReport {
+    assert_eq!(workloads.len(), n, "one workload per client");
+    let keys = KeySet::generate(n, key_seed);
+
+    let (server_tx, server_rx) = unbounded::<ToServer>();
+    let mut client_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n);
+    let mut client_rxs: Vec<Option<Receiver<ToClient>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<ToClient>();
+        client_txs.push(tx);
+        client_rxs.push(Some(rx));
+    }
+
+    // Server thread.
+    let server_reply_txs = client_txs.clone();
+    let server_thread = std::thread::spawn(move || {
+        let mut server = server;
+        let mut shutdowns = 0;
+        while shutdowns < n {
+            let Ok(msg) = server_rx.recv() else { break };
+            match msg {
+                ToServer::Ustor(client, UstorMsg::Submit(m)) => {
+                    for (rcpt, reply) in server.on_submit(client, m) {
+                        let _ = server_reply_txs[rcpt.index()].send(ToClient::Reply(reply));
+                    }
+                }
+                ToServer::Ustor(client, UstorMsg::Commit(m)) => {
+                    for (rcpt, reply) in server.on_commit(client, m) {
+                        let _ = server_reply_txs[rcpt.index()].send(ToClient::Reply(reply));
+                    }
+                }
+                ToServer::Ustor(..) => {}
+                ToServer::Shutdown => shutdowns += 1,
+            }
+        }
+    });
+
+    // Client threads.
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (i, workload) in workloads.into_iter().enumerate() {
+        let id = ClientId::new(i as u32);
+        let keypair = keys.keypair(i as u32).expect("generated").clone();
+        let registry = keys.registry();
+        let to_server = server_tx.clone();
+        let peers = client_txs.clone();
+        let rx = client_rxs[i].take().expect("one receiver per client");
+        let cfg = config;
+        handles.push(std::thread::spawn(move || {
+            let mut proto = FaustClient::new(id, n, keypair, registry, cfg.faust);
+            let mut log: Vec<(u64, Notification)> = Vec::new();
+            let begun = Instant::now();
+            let now_ms = |begun: Instant| begun.elapsed().as_millis() as u64;
+
+            let dispatch = |actions: Actions, log: &mut Vec<(u64, Notification)>, t: u64| {
+                for msg in actions.to_server {
+                    let _ = to_server.send(ToServer::Ustor(id, msg));
+                }
+                for (rcpt, msg) in actions.offline {
+                    let _ = peers[rcpt.index()].send(ToClient::Offline(msg));
+                }
+                for note in actions.notifications {
+                    log.push((t, note));
+                }
+            };
+
+            // Submit the whole workload up front; FaustClient queues it.
+            for op in workload {
+                let t = now_ms(begun);
+                let actions = proto.invoke(op, t);
+                dispatch(actions, &mut log, t);
+            }
+
+            let deadline = begun + cfg.run_for;
+            let mut next_tick = begun + cfg.tick_interval;
+            while Instant::now() < deadline {
+                // Tick first so a steady message stream cannot starve the
+                // probe/dummy-read machinery.
+                if Instant::now() >= next_tick {
+                    let t = now_ms(begun);
+                    let actions = proto.on_tick(t);
+                    dispatch(actions, &mut log, t);
+                    next_tick += cfg.tick_interval;
+                    continue;
+                }
+                let timeout = next_tick
+                    .saturating_duration_since(Instant::now())
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                match rx.recv_timeout(timeout) {
+                    Ok(ToClient::Reply(reply)) => {
+                        let t = now_ms(begun);
+                        let actions = proto.handle_reply(reply, t);
+                        dispatch(actions, &mut log, t);
+                    }
+                    Ok(ToClient::Offline(msg)) => {
+                        let t = now_ms(begun);
+                        let actions = proto.handle_offline(msg, t);
+                        dispatch(actions, &mut log, t);
+                    }
+                    Err(_) => {}
+                }
+            }
+            let _ = to_server.send(ToServer::Shutdown);
+            (log, proto.failure().cloned())
+        }));
+    }
+    drop(server_tx);
+    drop(client_txs);
+
+    let mut notifications = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let (log, failure) = handle.join().expect("client thread panicked");
+        notifications.push(log);
+        if let Some(reason) = failure {
+            failures.push((ClientId::new(i as u32), reason));
+        }
+    }
+    server_thread.join().expect("server thread panicked");
+    let _ = start;
+    ThreadedFaustReport {
+        notifications,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_types::Value;
+    use faust_ustor::adversary::SplitBrainServer;
+    use faust_ustor::UstorServer;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn threaded_faust_completes_and_stabilizes() {
+        let workloads = vec![
+            vec![
+                UserOp::Write(Value::from("a1")),
+                UserOp::Write(Value::from("a2")),
+            ],
+            vec![UserOp::Read(c(0))],
+            vec![UserOp::Write(Value::from("c1"))],
+        ];
+        let report = run_threaded_faust(
+            3,
+            workloads,
+            Box::new(UstorServer::new(3)),
+            ThreadedFaustConfig::default(),
+            b"threaded-faust",
+        );
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.completions(c(0)), 2);
+        assert_eq!(report.completions(c(1)), 1);
+        // Stability spreads: C0's ops become stable w.r.t. everyone.
+        let cut = report.last_cut(c(0)).expect("cuts issued");
+        assert!(
+            cut.iter().all(|&w| w >= 2),
+            "expected full stability, got {cut:?}"
+        );
+    }
+
+    #[test]
+    fn threaded_faust_detects_forks() {
+        let server = SplitBrainServer::new(2, vec![vec![c(0)], vec![c(1)]], 0);
+        let workloads = vec![
+            vec![UserOp::Write(Value::from("a"))],
+            vec![UserOp::Write(Value::from("b"))],
+        ];
+        let report = run_threaded_faust(
+            2,
+            workloads,
+            Box::new(server),
+            ThreadedFaustConfig::default(),
+            b"threaded-fork",
+        );
+        assert_eq!(
+            report.failures.len(),
+            2,
+            "both clients must detect the fork: {:?}",
+            report.failures
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Digest chains over operation sequences, as defined in Section 5 of the
+//! FAUST paper.
+//!
+//! USTOR represents a client's *view history* — the sequence of operations
+//! it believes have been scheduled — compactly by hashing the sequence of
+//! executing-client indices into a running digest:
+//!
+//! ```text
+//! D(ω_1 … ω_m) = ⊥                            if m = 0
+//! D(ω_1 … ω_m) = H( D(ω_1 … ω_{m-1}) ‖ i_m )  otherwise
+//! ```
+//!
+//! where `i_m` is the index of the client that executed the `m`-th
+//! operation. Collision resistance of `H` makes the digest a unique
+//! commitment to the whole sequence, so two clients can compare entire view
+//! histories by comparing 32-byte digests.
+//!
+//! The empty chain `⊥` is represented by `None`; the encoding of the
+//! previous link is length-tagged so `H(⊥ ‖ k)` and `H(d ‖ k)` can never
+//! collide across arities.
+
+use crate::sha256::{Digest, Sha256};
+use crate::sig::ClientIndex;
+
+/// Extends a digest chain by one operation executed by client `index`.
+///
+/// `prev` is the digest of the sequence so far (`None` for the empty
+/// sequence `⊥`).
+///
+/// # Example
+///
+/// ```
+/// use faust_crypto::chain::chain_extend;
+/// let d1 = chain_extend(None, 0);
+/// let d2 = chain_extend(Some(d1), 1);
+/// // Chains commit to order: (0, 1) differs from (1, 0).
+/// let other = chain_extend(Some(chain_extend(None, 1)), 0);
+/// assert_ne!(d2, other);
+/// ```
+pub fn chain_extend(prev: Option<Digest>, index: ClientIndex) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"faust-chain/v1");
+    match prev {
+        None => h.update(&[0u8]),
+        Some(d) => {
+            h.update(&[1u8]);
+            h.update(d.as_bytes());
+        }
+    }
+    h.update(&index.to_be_bytes());
+    h.finalize()
+}
+
+/// Computes the digest of a whole sequence of executing-client indices.
+///
+/// Returns `None` for the empty sequence (the paper's `⊥`).
+///
+/// # Example
+///
+/// ```
+/// use faust_crypto::chain::{chain_digest, chain_extend};
+/// assert_eq!(chain_digest(&[]), None);
+/// let d = chain_digest(&[2, 0, 1]).unwrap();
+/// let manual = chain_extend(Some(chain_extend(Some(chain_extend(None, 2)), 0)), 1);
+/// assert_eq!(d, manual);
+/// ```
+pub fn chain_digest(indices: &[ClientIndex]) -> Option<Digest> {
+    let mut acc = None;
+    for &i in indices {
+        acc = Some(chain_extend(acc, i));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_is_bottom() {
+        assert_eq!(chain_digest(&[]), None);
+    }
+
+    #[test]
+    fn singleton_matches_extend() {
+        assert_eq!(chain_digest(&[7]), Some(chain_extend(None, 7)));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(chain_digest(&[0, 1]), chain_digest(&[1, 0]));
+    }
+
+    #[test]
+    fn length_sensitive() {
+        assert_ne!(chain_digest(&[0]), chain_digest(&[0, 0]));
+        assert_ne!(chain_digest(&[0, 0]), chain_digest(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn prefix_extension_is_incremental() {
+        let full = chain_digest(&[3, 1, 4, 1, 5]).unwrap();
+        let prefix = chain_digest(&[3, 1, 4, 1]);
+        assert_eq!(chain_extend(prefix, 5), full);
+    }
+
+    #[test]
+    fn distinct_sequences_distinct_digests() {
+        // All sequences of length ≤ 3 over 4 clients have unique digests.
+        let mut seen: HashSet<Option<Digest>> = HashSet::new();
+        let mut sequences: Vec<Vec<ClientIndex>> = vec![vec![]];
+        let mut frontier = sequences.clone();
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for c in 0..4 {
+                    let mut e = s.clone();
+                    e.push(c);
+                    next.push(e);
+                }
+            }
+            sequences.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for s in &sequences {
+            assert!(seen.insert(chain_digest(s)), "collision for {s:?}");
+        }
+    }
+}

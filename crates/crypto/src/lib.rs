@@ -1,0 +1,57 @@
+//! From-scratch cryptographic substrate for the FAUST / USTOR protocols.
+//!
+//! The paper *Fail-Aware Untrusted Storage* (Cachin, Keidar, Shraer; DSN
+//! 2009) assumes a collision-resistant hash function `H` and digital
+//! signatures (`sign_i` / `verify_i`). This crate provides both, built from
+//! first principles so the repository has no external cryptographic
+//! dependencies:
+//!
+//! * [`sha256`] — a complete SHA-256 implementation with incremental
+//!   hashing, verified against the NIST FIPS 180-4 test vectors.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), verified against the RFC 4231 test
+//!   vectors.
+//! * [`sig`] — the signature abstraction of the paper: per-client signing
+//!   keys, a shared verifier registry, and domain-separated signature roles
+//!   (`SUBMIT`, `DATA`, `COMMIT`, `PROOF`).
+//! * [`chain`] — the digest chains `D(ω_1 … ω_m)` used by USTOR to commit to
+//!   view histories (Section 5 of the paper).
+//!
+//! # Trust model of the signature scheme
+//!
+//! The default scheme is HMAC-based: signing and verifying use the same
+//! per-client secret. The paper's requirements are (a) only `C_i` can
+//! produce `sign_i`, (b) every client can verify any signature, and (c) the
+//! untrusted server can forge nothing. Inside this repository the server is
+//! an ordinary Rust value that is simply never handed key material — the
+//! registry of verification keys is distributed to clients only at setup
+//! ([`sig::KeySet`]). The [`sig::Signer`] / [`sig::Verifier`] traits allow a
+//! real asymmetric scheme to be substituted without touching protocol code.
+//!
+//! # Example
+//!
+//! ```
+//! use faust_crypto::sha256::sha256;
+//! use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier};
+//!
+//! let digest = sha256(b"hello world");
+//! assert_eq!(digest.to_hex().len(), 64);
+//!
+//! let keys = KeySet::generate(3, b"example seed");
+//! let alice = keys.keypair(0).expect("client 0 exists");
+//! let sig = alice.sign(SigContext::Data, b"message");
+//! let registry = keys.registry();
+//! assert!(registry.verify(0, SigContext::Data, b"message", &sig));
+//! assert!(!registry.verify(1, SigContext::Data, b"message", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod hmac;
+pub mod sha256;
+pub mod sig;
+
+pub use chain::{chain_digest, chain_extend};
+pub use sha256::{sha256, Digest, Sha256};
+pub use sig::{KeySet, Keypair, SigContext, Signature, Signer, Verifier, VerifierRegistry};

@@ -1,0 +1,356 @@
+//! The signature abstraction of the FAUST paper.
+//!
+//! USTOR attaches four kinds of signatures to its messages (Section 5 of the
+//! paper): SUBMIT-signatures on invocation tuples, DATA-signatures binding a
+//! timestamp to the hash of the last written value, COMMIT-signatures on
+//! versions, and PROOF-signatures on digest-vector entries. All of them are
+//! modelled here as domain-separated signatures over byte strings.
+//!
+//! # Scheme
+//!
+//! The default scheme is HMAC-SHA256 with one secret key per client. Setup
+//! ([`KeySet::generate`]) derives the per-client keys and yields:
+//!
+//! * one [`Keypair`] per client — the only value capable of producing that
+//!   client's signatures, and
+//! * a shared [`VerifierRegistry`] — handed to *clients only*, never to the
+//!   server, which therefore cannot forge any signature (it only ever sees
+//!   opaque [`Signature`] bytes).
+//!
+//! The [`Signer`] and [`Verifier`] traits decouple the protocol from this
+//! particular scheme; a real asymmetric scheme can be dropped in without
+//! changing protocol code.
+
+use crate::hmac::{constant_time_eq, hmac_sha256};
+use crate::sha256::{sha256, Digest};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a client, `0 ≤ id < n`.
+///
+/// The paper numbers clients `C_1..C_n`; this implementation uses zero-based
+/// indices throughout.
+pub type ClientIndex = u32;
+
+/// Domain-separation tag for the four signature roles used by USTOR plus
+/// the offline-message role used by FAUST.
+///
+/// Mixing a context byte into every signed message ensures a signature
+/// produced for one role can never be replayed in another (e.g. a faulty
+/// server cannot present a DATA-signature where a COMMIT-signature is
+/// expected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SigContext {
+    /// Signature on an invocation tuple in a SUBMIT message.
+    Submit,
+    /// Signature binding a timestamp to the hash of the written value.
+    Data,
+    /// Signature on a version `(V, M)` in a COMMIT message.
+    Commit,
+    /// Signature on the signer's own digest-vector entry `M_i[i]`.
+    Proof,
+    /// Signature on offline client-to-client messages (FAUST layer).
+    Offline,
+}
+
+impl SigContext {
+    /// The tag byte mixed into signed messages.
+    pub fn tag(self) -> u8 {
+        match self {
+            SigContext::Submit => 1,
+            SigContext::Data => 2,
+            SigContext::Commit => 3,
+            SigContext::Proof => 4,
+            SigContext::Offline => 5,
+        }
+    }
+}
+
+/// An opaque signature value.
+///
+/// The server stores and forwards signatures without being able to create
+/// or validate them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(Digest);
+
+impl Signature {
+    /// Byte length of an encoded signature.
+    pub const LEN: usize = crate::sha256::DIGEST_LEN;
+
+    /// Returns the signature bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Builds a signature from raw bytes (used when decoding wire messages).
+    pub fn from_bytes(bytes: [u8; Self::LEN]) -> Self {
+        Signature(Digest::from_bytes(bytes))
+    }
+
+    /// A syntactically valid but never-verifying placeholder, useful for
+    /// modelling a Byzantine server that fabricates messages.
+    pub fn garbage() -> Self {
+        Signature(sha256(b"garbage signature"))
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}..)", &self.0.to_hex()[..8])
+    }
+}
+
+/// Anything able to produce signatures on behalf of one client.
+pub trait Signer {
+    /// The index of the client this signer signs for.
+    fn signer_index(&self) -> ClientIndex;
+
+    /// Signs `message` under domain `context`.
+    fn sign(&self, context: SigContext, message: &[u8]) -> Signature;
+}
+
+/// Anything able to verify any client's signatures.
+pub trait Verifier {
+    /// Returns `true` iff `sig` is a valid signature by client `signer` on
+    /// `message` under domain `context`.
+    fn verify(
+        &self,
+        signer: ClientIndex,
+        context: SigContext,
+        message: &[u8],
+        sig: &Signature,
+    ) -> bool;
+}
+
+/// Per-client secret key material. Never leaves this module.
+#[derive(Clone)]
+struct SecretKey([u8; 32]);
+
+impl SecretKey {
+    fn derive(seed: &[u8], index: ClientIndex) -> Self {
+        let mut h = crate::sha256::Sha256::new();
+        h.update(b"faust-key-derivation/v1");
+        h.update(seed);
+        h.update(&index.to_be_bytes());
+        SecretKey(h.finalize().into_bytes())
+    }
+}
+
+/// A client's signing capability.
+///
+/// Only the holder of a `Keypair` can produce that client's signatures; the
+/// untrusted server is never given one.
+#[derive(Clone)]
+pub struct Keypair {
+    index: ClientIndex,
+    secret: SecretKey,
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Keypair")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Signer for Keypair {
+    fn signer_index(&self) -> ClientIndex {
+        self.index
+    }
+
+    fn sign(&self, context: SigContext, message: &[u8]) -> Signature {
+        Signature(tagged_mac(&self.secret, context, message))
+    }
+}
+
+fn tagged_mac(secret: &SecretKey, context: SigContext, message: &[u8]) -> Digest {
+    let mut tagged = Vec::with_capacity(1 + message.len());
+    tagged.push(context.tag());
+    tagged.extend_from_slice(message);
+    hmac_sha256(&secret.0, &tagged)
+}
+
+/// Verification keys for all `n` clients.
+///
+/// Distributed to clients at setup; cheap to clone (shared storage). The
+/// server never receives one, which is what makes its signatures
+/// unforgeable within this model.
+#[derive(Clone)]
+pub struct VerifierRegistry {
+    keys: Arc<[SecretKey]>,
+}
+
+impl fmt::Debug for VerifierRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifierRegistry")
+            .field("clients", &self.keys.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl VerifierRegistry {
+    /// Number of clients the registry can verify for.
+    pub fn num_clients(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl Verifier for VerifierRegistry {
+    fn verify(
+        &self,
+        signer: ClientIndex,
+        context: SigContext,
+        message: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        let Some(secret) = self.keys.get(signer as usize) else {
+            return false;
+        };
+        let expect = tagged_mac(secret, context, message);
+        constant_time_eq(&expect, &sig.0)
+    }
+}
+
+/// The trusted-setup artifact: every client's [`Keypair`] plus the shared
+/// [`VerifierRegistry`].
+///
+/// # Example
+///
+/// ```
+/// use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier};
+///
+/// let keys = KeySet::generate(2, b"seed");
+/// let c0 = keys.keypair(0).expect("client 0");
+/// let sig = c0.sign(SigContext::Commit, b"version bytes");
+/// assert!(keys.registry().verify(0, SigContext::Commit, b"version bytes", &sig));
+/// // A different message or signer index does not verify.
+/// assert!(!keys.registry().verify(0, SigContext::Commit, b"other", &sig));
+/// assert!(!keys.registry().verify(1, SigContext::Commit, b"version bytes", &sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySet {
+    keypairs: Vec<Keypair>,
+    registry: VerifierRegistry,
+}
+
+impl KeySet {
+    /// Deterministically generates keys for `n` clients from `seed`.
+    ///
+    /// The same `(n, seed)` always yields the same keys, keeping simulated
+    /// executions reproducible.
+    pub fn generate(n: usize, seed: &[u8]) -> Self {
+        let secrets: Vec<SecretKey> = (0..n as ClientIndex)
+            .map(|i| SecretKey::derive(seed, i))
+            .collect();
+        let keypairs = secrets
+            .iter()
+            .enumerate()
+            .map(|(i, secret)| Keypair {
+                index: i as ClientIndex,
+                secret: secret.clone(),
+            })
+            .collect();
+        KeySet {
+            keypairs,
+            registry: VerifierRegistry {
+                keys: secrets.into(),
+            },
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.keypairs.len()
+    }
+
+    /// The signing keypair of client `index`, if it exists.
+    pub fn keypair(&self, index: ClientIndex) -> Option<&Keypair> {
+        self.keypairs.get(index as usize)
+    }
+
+    /// The shared verification registry (clients only).
+    pub fn registry(&self) -> VerifierRegistry {
+        self.registry.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let keys = KeySet::generate(4, b"t");
+        let reg = keys.registry();
+        for i in 0..4 {
+            let kp = keys.keypair(i).unwrap();
+            let sig = kp.sign(SigContext::Submit, b"hello");
+            assert!(reg.verify(i, SigContext::Submit, b"hello", &sig));
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let keys = KeySet::generate(2, b"t");
+        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m1");
+        assert!(!keys.registry().verify(0, SigContext::Data, b"m2", &sig));
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let keys = KeySet::generate(2, b"t");
+        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+        assert!(!keys.registry().verify(1, SigContext::Data, b"m", &sig));
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let keys = KeySet::generate(1, b"t");
+        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+        assert!(!keys.registry().verify(0, SigContext::Commit, b"m", &sig));
+        assert!(!keys.registry().verify(0, SigContext::Proof, b"m", &sig));
+    }
+
+    #[test]
+    fn out_of_range_signer_rejected() {
+        let keys = KeySet::generate(2, b"t");
+        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+        assert!(!keys.registry().verify(99, SigContext::Data, b"m", &sig));
+    }
+
+    #[test]
+    fn garbage_signature_rejected() {
+        let keys = KeySet::generate(2, b"t");
+        assert!(!keys
+            .registry()
+            .verify(0, SigContext::Data, b"m", &Signature::garbage()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KeySet::generate(3, b"same-seed");
+        let b = KeySet::generate(3, b"same-seed");
+        let sig_a = a.keypair(1).unwrap().sign(SigContext::Proof, b"x");
+        let sig_b = b.keypair(1).unwrap().sign(SigContext::Proof, b"x");
+        assert_eq!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = KeySet::generate(1, b"seed-a");
+        let b = KeySet::generate(1, b"seed-b");
+        let sig = a.keypair(0).unwrap().sign(SigContext::Proof, b"x");
+        assert!(!b.registry().verify(0, SigContext::Proof, b"x", &sig));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let keys = KeySet::generate(1, b"t");
+        let sig = keys.keypair(0).unwrap().sign(SigContext::Submit, b"m");
+        let mut raw = [0u8; Signature::LEN];
+        raw.copy_from_slice(sig.as_bytes());
+        assert_eq!(Signature::from_bytes(raw), sig);
+    }
+}

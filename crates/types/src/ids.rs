@@ -1,0 +1,83 @@
+//! Client identifiers and operation timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Timestamp of an operation: the value `t` a client places in its SUBMIT
+/// message, drawn from its own monotone counter (`V_i[i] + 1`).
+pub type Timestamp = u64;
+
+/// Identifies one of the `n` clients, zero-based.
+///
+/// The paper writes `C_1 … C_n`; this implementation numbers clients
+/// `0 … n-1`. Because the functionality is `n` single-writer registers with
+/// `X_i` written only by `C_i`, a `ClientId` doubles as the identifier of
+/// that client's register.
+///
+/// # Example
+///
+/// ```
+/// use faust_types::ClientId;
+/// let c = ClientId::new(2);
+/// assert_eq!(c.index(), 2);
+/// assert_eq!(format!("{c}"), "C2");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
+)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id from a zero-based index.
+    pub const fn new(index: u32) -> Self {
+        ClientId(index)
+    }
+
+    /// The zero-based index as `usize`, for indexing vectors of length `n`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` index (matches `faust_crypto::sig::ClientIndex`).
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over all client ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = ClientId> {
+        (0..n as u32).map(ClientId)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_enumerate_in_order() {
+        let ids: Vec<_> = ClientId::all(3).collect();
+        assert_eq!(ids, vec![ClientId::new(0), ClientId::new(1), ClientId::new(2)]);
+    }
+
+    #[test]
+    fn display_matches_paper_numbering_style() {
+        assert_eq!(ClientId::new(0).to_string(), "C0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ClientId::new(1) < ClientId::new(2));
+    }
+}

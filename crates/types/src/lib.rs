@@ -1,0 +1,36 @@
+//! Protocol data model for the FAUST / USTOR reproduction.
+//!
+//! This crate defines every value that crosses a protocol boundary:
+//!
+//! * [`ids`] — client indices and operation timestamps. In the paper's SWMR
+//!   register model, register `X_i` is owned by client `C_i`, so registers
+//!   are also identified by [`ids::ClientId`].
+//! * [`value`] — register values (opaque byte strings; the paper's domain
+//!   `X ∪ {⊥}`).
+//! * [`version`] — timestamp vectors, digest vectors, and *versions*
+//!   `(V, M)` with the partial order `≼` of Definition 7.
+//! * [`op`] — operation kinds, invocation tuples `(i, oc, j, σ)`, and the
+//!   canonical byte strings that get signed (SUBMIT / DATA / COMMIT /
+//!   PROOF).
+//! * [`wire`] — the SUBMIT / REPLY / COMMIT messages of Algorithms 1–2 with
+//!   an exact, hand-rolled binary encoding. Byte-accurate sizes feed the
+//!   paper's `O(n)`-overhead experiment (E6 in DESIGN.md).
+//! * [`history`] — invocation/response records of executions, consumed by
+//!   the `faust-consistency` checkers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod ids;
+pub mod op;
+pub mod value;
+pub mod version;
+pub mod wire;
+
+pub use history::{History, OpId, OpRecord};
+pub use ids::{ClientId, Timestamp};
+pub use op::{InvocationTuple, OpKind};
+pub use value::Value;
+pub use version::{DigestVec, SignedVersion, TimestampVec, Version, VersionCmp};
+pub use wire::{CommitMsg, ReadReply, ReplyMsg, SubmitMsg, UstorMsg, Wire, WireError};

@@ -1,0 +1,178 @@
+//! Operations, invocation tuples, and the canonical byte strings that get
+//! signed.
+//!
+//! USTOR signs four kinds of statements (Section 5 of the paper). The exact
+//! bytes matter — client and server must agree on them, and a Byzantine
+//! server must not be able to move a signature from one statement to
+//! another — so all of them are built here, in one place:
+//!
+//! * SUBMIT: `SUBMIT ‖ oc ‖ j ‖ t` over the opcode, target register, and
+//!   timestamp ([`submit_signing_bytes`]);
+//! * DATA: `DATA ‖ t ‖ x̄` over the timestamp and the hash of the signer's
+//!   most recently written value ([`data_signing_bytes`]);
+//! * COMMIT: `COMMIT ‖ V ‖ M` over a version
+//!   ([`crate::version::Version::signing_bytes`]);
+//! * PROOF: `PROOF ‖ M[i]` over the signer's own digest entry
+//!   ([`proof_signing_bytes`]).
+
+use crate::ids::{ClientId, Timestamp};
+use faust_crypto::sig::Signature;
+use faust_crypto::Digest;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an operation reads or writes a register (the paper's `oc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `read_i(j)` — read register `X_j`.
+    Read,
+    /// `write_i(x)` — write the caller's own register `X_i`.
+    Write,
+}
+
+impl OpKind {
+    /// Wire/signing tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::Read => "READ",
+            OpKind::Write => "WRITE",
+        })
+    }
+}
+
+/// The paper's invocation tuple `(i, oc, j, σ)`: client `C_i` performs
+/// operation `oc` on register `X_j`, with SUBMIT-signature `σ`.
+///
+/// The server keeps the tuples of submitted-but-uncommitted operations in
+/// its list `L` and forwards them in REPLY messages so clients can account
+/// for concurrent operations.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationTuple {
+    /// The invoking client `C_i`.
+    pub client: ClientId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The target register `X_j` (equals `client` for writes).
+    pub register: ClientId,
+    /// SUBMIT-signature `σ` by `client` over `(kind, register, timestamp)`.
+    pub sig: Signature,
+}
+
+impl fmt::Debug for InvocationTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, X{}, σ)",
+            self.client,
+            self.kind,
+            self.register.index()
+        )
+    }
+}
+
+/// Canonical bytes for the SUBMIT-signature: `SUBMIT ‖ oc ‖ j ‖ t`.
+///
+/// Signed by the invoking client when submitting; re-verified by every
+/// other client when the tuple shows up in a REPLY's pending list, against
+/// the timestamp that client *expects* (Algorithm 1 line 43).
+pub fn submit_signing_bytes(kind: OpKind, register: ClientId, t: Timestamp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(b"submit:");
+    out.push(kind.tag());
+    out.extend_from_slice(&register.as_u32().to_be_bytes());
+    out.extend_from_slice(&t.to_be_bytes());
+    out
+}
+
+/// Canonical bytes for the DATA-signature: `DATA ‖ t ‖ x̄`.
+///
+/// `value_hash` is the hash of the signer's most recently written value, or
+/// `None` if the signer has never written (`x̄ = ⊥`).
+pub fn data_signing_bytes(t: Timestamp, value_hash: Option<Digest>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    out.extend_from_slice(b"data:");
+    out.extend_from_slice(&t.to_be_bytes());
+    match value_hash {
+        None => out.push(0),
+        Some(d) => {
+            out.push(1);
+            out.extend_from_slice(d.as_bytes());
+        }
+    }
+    out
+}
+
+/// Canonical bytes for the PROOF-signature: `PROOF ‖ M[i]`.
+///
+/// `entry` is the signer's own digest-vector entry (`None` = `⊥`, which
+/// only occurs before the client's first operation).
+pub fn proof_signing_bytes(entry: Option<Digest>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    out.extend_from_slice(b"proof:");
+    match entry {
+        None => out.push(0),
+        Some(d) => {
+            out.push(1);
+            out.extend_from_slice(d.as_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sha256;
+
+    #[test]
+    fn submit_bytes_bind_all_fields() {
+        let base = submit_signing_bytes(OpKind::Read, ClientId::new(1), 5);
+        assert_ne!(base, submit_signing_bytes(OpKind::Write, ClientId::new(1), 5));
+        assert_ne!(base, submit_signing_bytes(OpKind::Read, ClientId::new(2), 5));
+        assert_ne!(base, submit_signing_bytes(OpKind::Read, ClientId::new(1), 6));
+    }
+
+    #[test]
+    fn data_bytes_bind_timestamp_and_hash() {
+        let h = sha256(b"x");
+        let base = data_signing_bytes(3, Some(h));
+        assert_ne!(base, data_signing_bytes(4, Some(h)));
+        assert_ne!(base, data_signing_bytes(3, None));
+        assert_ne!(base, data_signing_bytes(3, Some(sha256(b"y"))));
+    }
+
+    #[test]
+    fn proof_bytes_distinguish_bottom() {
+        assert_ne!(
+            proof_signing_bytes(None),
+            proof_signing_bytes(Some(sha256(b"m")))
+        );
+    }
+
+    #[test]
+    fn domains_do_not_collide() {
+        // Even with adversarially chosen contents, the role prefixes keep
+        // the three byte formats disjoint.
+        let s = submit_signing_bytes(OpKind::Read, ClientId::new(0), 0);
+        let d = data_signing_bytes(0, None);
+        let p = proof_signing_bytes(None);
+        assert_ne!(s, d);
+        assert_ne!(s, p);
+        assert_ne!(d, p);
+    }
+
+    #[test]
+    fn opkind_display() {
+        assert_eq!(OpKind::Read.to_string(), "READ");
+        assert_eq!(OpKind::Write.to_string(), "WRITE");
+    }
+}

@@ -1,0 +1,134 @@
+//! Register values.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque register value from the paper's domain `X`.
+///
+/// Values are byte strings; cloning is cheap ([`Bytes`] is reference
+/// counted), which matters because the server and simulator pass values
+/// around freely. The paper's initial register content `⊥ ∉ X` is
+/// represented as `Option<Value>::None` wherever it can occur.
+///
+/// # Example
+///
+/// ```
+/// use faust_types::Value;
+/// let v = Value::from_static(b"document rev 1");
+/// assert_eq!(v.as_bytes(), b"document rev 1");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// Creates a value from owned bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        Value(bytes.into())
+    }
+
+    /// Creates a value from a static byte string without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Value(Bytes::from_static(bytes))
+    }
+
+    /// A small helper for tests and workloads: encodes `(client, seq)` so
+    /// that every generated value is unique, as the paper assumes.
+    pub fn unique(client: u32, seq: u64) -> Self {
+        let mut v = Vec::with_capacity(12);
+        v.extend_from_slice(&client.to_be_bytes());
+        v.extend_from_slice(&seq.to_be_bytes());
+        Value(Bytes::from(v))
+    }
+
+    /// The value's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty (zero-length — still a real value,
+    /// distinct from the register's initial `⊥`).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            write!(f, "Value({s:?})")
+        } else {
+            write!(f, "Value(0x{})", hex_prefix(&self.0))
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            f.write_str(s)
+        } else {
+            write!(f, "0x{}", hex_prefix(&self.0))
+        }
+    }
+}
+
+fn hex_prefix(bytes: &[u8]) -> String {
+    bytes.iter().take(8).map(|b| format!("{b:02x}")).collect()
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_values_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..10 {
+            for s in 0..10 {
+                assert!(seen.insert(Value::unique(c, s)));
+            }
+        }
+    }
+
+    #[test]
+    fn debug_shows_utf8_when_possible() {
+        assert_eq!(format!("{:?}", Value::from("hi")), "Value(\"hi\")");
+    }
+
+    #[test]
+    fn display_falls_back_to_hex() {
+        let v = Value::new(vec![0xff, 0x00]);
+        assert_eq!(v.to_string(), "0xff00");
+    }
+
+    #[test]
+    fn empty_value_is_not_bottom() {
+        let v = Value::new(Vec::new());
+        assert!(v.is_empty());
+        assert_eq!(Some(v.clone()), Some(v)); // Some(empty) ≠ None (⊥)
+    }
+}

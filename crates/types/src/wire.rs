@@ -1,0 +1,655 @@
+//! Wire messages of the USTOR protocol (Algorithms 1–2) with an exact
+//! binary encoding.
+//!
+//! Three message types flow between a client and the server:
+//!
+//! * [`SubmitMsg`] — `⟨SUBMIT, t, (i, oc, j, σ), x, δ⟩`;
+//! * [`ReplyMsg`] — `⟨REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P⟩`;
+//! * [`CommitMsg`] — `⟨COMMIT, V_i, M_i, φ, ψ⟩`.
+//!
+//! The encoding is hand-rolled (length-prefixed, big-endian) so message
+//! sizes are exact and reproducible; experiment E6 (the paper's `O(n)`
+//! bits-per-request claim) measures [`Wire::encoded_len`] of these messages
+//! as a function of the number of clients `n`.
+
+use crate::ids::{ClientId, Timestamp};
+use crate::op::{InvocationTuple, OpKind};
+use crate::value::Value;
+use crate::version::{DigestVec, SignedVersion, TimestampVec, Version};
+use faust_crypto::sig::Signature;
+use faust_crypto::Digest;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when decoding a malformed wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the message was complete.
+    Truncated,
+    /// A tag byte had an unknown value.
+    BadTag(u8),
+    /// A length prefix exceeded sane bounds.
+    BadLength(u64),
+    /// Trailing bytes remained after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("input truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::BadLength(l) => write!(f, "implausible length prefix {l}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum plausible element count in a decoded collection; guards against
+/// hostile length prefixes.
+const MAX_LEN: u64 = 1 << 24;
+
+/// Types with an exact binary wire encoding.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the input is truncated or malformed.
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact encoded size in bytes.
+    fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decodes a value that must consume the entire input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if decoding fails or bytes remain.
+    fn decode(mut input: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode_from(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::TrailingBytes(input.len()))
+        }
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if input.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(take(input, 1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u32::from_be_bytes(take(input, 4)?.try_into().expect("4 bytes")))
+    }
+}
+
+impl Wire for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u64::from_be_bytes(take(input, 8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl Wire for ClientId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_u32().encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ClientId::new(u32::decode_from(input)?))
+    }
+}
+
+impl Wire for Signature {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let raw = take(input, Signature::LEN)?;
+        Ok(Signature::from_bytes(raw.try_into().expect("fixed length")))
+    }
+}
+
+impl Wire for Digest {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let raw = take(input, 32)?;
+        Ok(Digest::from_bytes(raw.try_into().expect("fixed length")))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(input)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode_from(input)? as u64;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode_from(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for Value {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode_from(input)? as u64;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(Value::new(take(input, len as usize)?.to_vec()))
+    }
+}
+
+impl Wire for OpKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(input)? {
+            0 => Ok(OpKind::Read),
+            1 => Ok(OpKind::Write),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for InvocationTuple {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.client.encode_into(out);
+        self.kind.encode_into(out);
+        self.register.encode_into(out);
+        self.sig.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(InvocationTuple {
+            client: ClientId::decode_from(input)?,
+            kind: OpKind::decode_from(input)?,
+            register: ClientId::decode_from(input)?,
+            sig: Signature::decode_from(input)?,
+        })
+    }
+}
+
+impl Wire for TimestampVec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for &t in self.as_slice() {
+            t.encode_into(out);
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode_from(input)? as u64;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let mut entries = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            entries.push(u64::decode_from(input)?);
+        }
+        Ok(TimestampVec::from_vec(entries))
+    }
+}
+
+impl Wire for DigestVec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for d in self.as_slice() {
+            d.encode_into(out);
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode_from(input)? as u64;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let mut entries = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            entries.push(Option::<Digest>::decode_from(input)?);
+        }
+        Ok(DigestVec::from_vec(entries))
+    }
+}
+
+impl Wire for Version {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.v().encode_into(out);
+        self.m().encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = TimestampVec::decode_from(input)?;
+        let m = DigestVec::decode_from(input)?;
+        if v.len() != m.len() {
+            return Err(WireError::BadLength(m.len() as u64));
+        }
+        Ok(Version::new(v, m))
+    }
+}
+
+impl Wire for SignedVersion {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.version.encode_into(out);
+        self.sig.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SignedVersion {
+            version: Version::decode_from(input)?,
+            sig: Option::<Signature>::decode_from(input)?,
+        })
+    }
+}
+
+/// `⟨SUBMIT, t, (i, oc, j, σ), x, δ⟩` — a client submits an operation.
+///
+/// `value` is `Some` exactly for writes. `data_sig` is the DATA-signature
+/// `δ` over `(t, x̄)` where `x̄` is the hash of the client's most recently
+/// written value.
+///
+/// `piggyback` carries the COMMIT of the client's *previous* operation
+/// when the commit-piggybacking optimization of Section 5 is enabled
+/// ("this message can be eliminated by piggybacking its contents on the
+/// SUBMIT message of the next operation") — the server processes it
+/// before the submit, preserving the FIFO ordering the protocol relies
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitMsg {
+    /// The operation timestamp `t`.
+    pub timestamp: Timestamp,
+    /// The invocation tuple `(i, oc, j, σ)`.
+    pub tuple: InvocationTuple,
+    /// The written value `x` (writes only).
+    pub value: Option<Value>,
+    /// DATA-signature `δ`.
+    pub data_sig: Signature,
+    /// Piggybacked COMMIT of the previous operation (optimization mode).
+    pub piggyback: Option<CommitMsg>,
+}
+
+impl Wire for SubmitMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.timestamp.encode_into(out);
+        self.tuple.encode_into(out);
+        self.value.encode_into(out);
+        self.data_sig.encode_into(out);
+        self.piggyback.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SubmitMsg {
+            timestamp: Timestamp::decode_from(input)?,
+            tuple: InvocationTuple::decode_from(input)?,
+            value: Option::<Value>::decode_from(input)?,
+            data_sig: Signature::decode_from(input)?,
+            piggyback: Option::<CommitMsg>::decode_from(input)?,
+        })
+    }
+}
+
+/// The read-specific part of a REPLY: `SVER[j]` and `MEM[j]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadReply {
+    /// `SVER[j]` — the largest version committed by the register's writer,
+    /// as known to the server.
+    pub writer_version: SignedVersion,
+    /// `MEM[j].t` — timestamp of the writer's last submitted operation.
+    pub mem_timestamp: Timestamp,
+    /// `MEM[j].x` — the register value (`None` = `⊥`, never written).
+    pub mem_value: Option<Value>,
+    /// `MEM[j].δ` — the writer's DATA-signature (`None` before the writer's
+    /// first operation).
+    pub mem_data_sig: Option<Signature>,
+}
+
+impl Wire for ReadReply {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.writer_version.encode_into(out);
+        self.mem_timestamp.encode_into(out);
+        self.mem_value.encode_into(out);
+        self.mem_data_sig.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ReadReply {
+            writer_version: SignedVersion::decode_from(input)?,
+            mem_timestamp: Timestamp::decode_from(input)?,
+            mem_value: Option::<Value>::decode_from(input)?,
+            mem_data_sig: Option::<Signature>::decode_from(input)?,
+        })
+    }
+}
+
+/// `⟨REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P⟩` — the server's answer to
+/// a SUBMIT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplyMsg {
+    /// `c` — the client that committed the last operation in the schedule.
+    pub last_committer: ClientId,
+    /// `SVER[c]` — that client's last committed version.
+    pub commit_version: SignedVersion,
+    /// Read-only extras (`SVER[j]`, `MEM[j]`) — present iff the submitted
+    /// operation was a read.
+    pub read: Option<ReadReply>,
+    /// `L` — invocation tuples of submitted-but-uncommitted (concurrent)
+    /// operations, oldest first.
+    pub pending: Vec<InvocationTuple>,
+    /// `P` — PROOF-signatures, indexed by client (`None` before a client's
+    /// first commit).
+    pub proofs: Vec<Option<Signature>>,
+}
+
+impl Wire for ReplyMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.last_committer.encode_into(out);
+        self.commit_version.encode_into(out);
+        self.read.encode_into(out);
+        self.pending.encode_into(out);
+        self.proofs.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ReplyMsg {
+            last_committer: ClientId::decode_from(input)?,
+            commit_version: SignedVersion::decode_from(input)?,
+            read: Option::<ReadReply>::decode_from(input)?,
+            pending: Vec::<InvocationTuple>::decode_from(input)?,
+            proofs: Vec::<Option<Signature>>::decode_from(input)?,
+        })
+    }
+}
+
+/// `⟨COMMIT, V_i, M_i, φ, ψ⟩` — a client commits its new version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitMsg {
+    /// The committed version `(V_i, M_i)`.
+    pub version: Version,
+    /// COMMIT-signature `φ` over the version.
+    pub commit_sig: Signature,
+    /// PROOF-signature `ψ` over `M_i[i]`.
+    pub proof_sig: Signature,
+}
+
+impl Wire for CommitMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.version.encode_into(out);
+        self.commit_sig.encode_into(out);
+        self.proof_sig.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CommitMsg {
+            version: Version::decode_from(input)?,
+            commit_sig: Signature::decode_from(input)?,
+            proof_sig: Signature::decode_from(input)?,
+        })
+    }
+}
+
+/// Any USTOR client↔server message, for transports that carry a single
+/// message type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UstorMsg {
+    /// Client → server.
+    Submit(SubmitMsg),
+    /// Server → client.
+    Reply(ReplyMsg),
+    /// Client → server.
+    Commit(CommitMsg),
+}
+
+impl Wire for UstorMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            UstorMsg::Submit(m) => {
+                out.push(0);
+                m.encode_into(out);
+            }
+            UstorMsg::Reply(m) => {
+                out.push(1);
+                m.encode_into(out);
+            }
+            UstorMsg::Commit(m) => {
+                out.push(2);
+                m.encode_into(out);
+            }
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(input)? {
+            0 => Ok(UstorMsg::Submit(SubmitMsg::decode_from(input)?)),
+            1 => Ok(UstorMsg::Reply(ReplyMsg::decode_from(input)?)),
+            2 => Ok(UstorMsg::Commit(CommitMsg::decode_from(input)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sha256;
+
+    fn sig(label: u8) -> Signature {
+        Signature::from_bytes(sha256(&[label]).into_bytes())
+    }
+
+    fn sample_submit() -> SubmitMsg {
+        SubmitMsg {
+            timestamp: 42,
+            tuple: InvocationTuple {
+                client: ClientId::new(1),
+                kind: OpKind::Write,
+                register: ClientId::new(1),
+                sig: sig(1),
+            },
+            value: Some(Value::from("payload")),
+            data_sig: sig(2),
+            piggyback: None,
+        }
+    }
+
+    fn sample_version(n: usize) -> Version {
+        let mut v = Version::initial(n);
+        for k in 0..n {
+            v.v_mut().set(ClientId::new(k as u32), k as u64 + 1);
+            v.m_mut().set(ClientId::new(k as u32), sha256(&[k as u8]));
+        }
+        v
+    }
+
+    fn sample_reply(n: usize) -> ReplyMsg {
+        ReplyMsg {
+            last_committer: ClientId::new(0),
+            commit_version: SignedVersion {
+                version: sample_version(n),
+                sig: Some(sig(3)),
+            },
+            read: Some(ReadReply {
+                writer_version: SignedVersion::initial(n),
+                mem_timestamp: 7,
+                mem_value: Some(Value::from("stored")),
+                mem_data_sig: Some(sig(4)),
+            }),
+            pending: vec![InvocationTuple {
+                client: ClientId::new(2),
+                kind: OpKind::Read,
+                register: ClientId::new(0),
+                sig: sig(5),
+            }],
+            proofs: vec![Some(sig(6)), None, Some(sig(7))],
+        }
+    }
+
+    #[test]
+    fn submit_roundtrip() {
+        let m = sample_submit();
+        assert_eq!(SubmitMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let m = sample_reply(3);
+        assert_eq!(ReplyMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn commit_roundtrip() {
+        let m = CommitMsg {
+            version: sample_version(4),
+            commit_sig: sig(8),
+            proof_sig: sig(9),
+        };
+        assert_eq!(CommitMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        for m in [
+            UstorMsg::Submit(sample_submit()),
+            UstorMsg::Reply(sample_reply(2)),
+            UstorMsg::Commit(CommitMsg {
+                version: sample_version(2),
+                commit_sig: sig(1),
+                proof_sig: sig(2),
+            }),
+        ] {
+            assert_eq!(UstorMsg::decode(&m.encode()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_reply(3).encode();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ReplyMsg::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_submit().encode();
+        bytes.push(0xFF);
+        assert_eq!(
+            SubmitMsg::decode(&bytes),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(UstorMsg::decode(&[9]), Err(WireError::BadTag(9)));
+        // Option tag must be 0 or 1.
+        let err = Option::<Signature>::decode(&[7]);
+        assert_eq!(err, Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A Vec claiming u32::MAX elements must not allocate.
+        let bytes = u32::MAX.to_be_bytes();
+        assert!(matches!(
+            Vec::<Signature>::decode(&bytes),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn submit_size_is_independent_of_n() {
+        // SUBMIT carries no vectors: its size depends only on the value.
+        let m = sample_submit();
+        assert!(m.encoded_len() < 200, "submit too large: {}", m.encoded_len());
+    }
+
+    #[test]
+    fn reply_size_grows_linearly_in_n() {
+        // The O(n) claim: version vectors and proof lists are the only
+        // n-dependent parts.
+        let sizes: Vec<usize> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&n| {
+                let mut r = sample_reply(n);
+                r.proofs = vec![Some(sig(1)); n];
+                r.encoded_len()
+            })
+            .collect();
+        let delta1 = sizes[1] - sizes[0];
+        let delta2 = sizes[2] - sizes[1];
+        let delta3 = sizes[3] - sizes[2];
+        // Doubling n roughly doubles the increment — linear growth.
+        assert_eq!(delta2, 2 * delta1, "sizes {sizes:?}");
+        assert_eq!(delta3, 2 * delta2, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn mismatched_version_arity_rejected() {
+        let mut bytes = Vec::new();
+        TimestampVec::zeros(2).encode_into(&mut bytes);
+        DigestVec::bottoms(3).encode_into(&mut bytes);
+        assert!(Version::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the protocol data model: the version order of
+//! Definition 7 is a genuine partial order, and wire encodings round-trip.
+
+use faust_crypto::{sha256, Digest};
+use faust_types::{
+    ClientId, CommitMsg, DigestVec, InvocationTuple, OpKind, ReadReply, ReplyMsg, SignedVersion,
+    SubmitMsg, TimestampVec, UstorMsg, Value, Version, VersionCmp, Wire,
+};
+use proptest::prelude::*;
+
+const N: usize = 4;
+
+/// A small pool of digests so that equal-timestamp entries sometimes have
+/// equal and sometimes different digests.
+fn arb_digest() -> impl Strategy<Value = Option<Digest>> {
+    prop_oneof![
+        Just(None),
+        (0u8..6).prop_map(|label| Some(sha256(&[label]))),
+    ]
+}
+
+/// Versions shaped like the ones the protocol actually commits: a digest
+/// entry is `⊥` exactly when the timestamp entry is 0 (no operation of that
+/// client reflected yet).
+fn arb_version() -> impl Strategy<Value = Version> {
+    (
+        proptest::collection::vec(0u64..4, N),
+        proptest::collection::vec(arb_digest(), N),
+    )
+        .prop_map(|(v, m)| {
+            let m = v
+                .iter()
+                .zip(m)
+                .map(|(&t, d)| if t == 0 { None } else { d.or(Some(sha256(b"fill"))) })
+                .collect();
+            Version::new(TimestampVec::from_vec(v), DigestVec::from_vec(m))
+        })
+}
+
+fn arb_sig() -> impl Strategy<Value = faust_crypto::Signature> {
+    (0u8..16).prop_map(|label| faust_crypto::Signature::from_bytes(sha256(&[label]).into_bytes()))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::new)
+}
+
+fn arb_tuple() -> impl Strategy<Value = InvocationTuple> {
+    (
+        0u32..N as u32,
+        prop_oneof![Just(OpKind::Read), Just(OpKind::Write)],
+        0u32..N as u32,
+        arb_sig(),
+    )
+        .prop_map(|(c, kind, r, sig)| InvocationTuple {
+            client: ClientId::new(c),
+            kind,
+            register: ClientId::new(r),
+            sig,
+        })
+}
+
+fn arb_signed_version() -> impl Strategy<Value = SignedVersion> {
+    (arb_version(), proptest::option::of(arb_sig()))
+        .prop_map(|(version, sig)| SignedVersion { version, sig })
+}
+
+fn arb_submit() -> impl Strategy<Value = SubmitMsg> {
+    (
+        0u64..1000,
+        arb_tuple(),
+        proptest::option::of(arb_value()),
+        arb_sig(),
+        proptest::option::of((arb_version(), arb_sig(), arb_sig())),
+    )
+        .prop_map(|(timestamp, tuple, value, data_sig, pb)| SubmitMsg {
+            timestamp,
+            tuple,
+            value,
+            data_sig,
+            piggyback: pb.map(|(version, commit_sig, proof_sig)| CommitMsg {
+                version,
+                commit_sig,
+                proof_sig,
+            }),
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = ReplyMsg> {
+    (
+        0u32..N as u32,
+        arb_signed_version(),
+        proptest::option::of((
+            arb_signed_version(),
+            0u64..100,
+            proptest::option::of(arb_value()),
+            proptest::option::of(arb_sig()),
+        )),
+        proptest::collection::vec(arb_tuple(), 0..4),
+        proptest::collection::vec(proptest::option::of(arb_sig()), N),
+    )
+        .prop_map(|(c, cv, read, pending, proofs)| ReplyMsg {
+            last_committer: ClientId::new(c),
+            commit_version: cv,
+            read: read.map(|(writer_version, mem_timestamp, mem_value, mem_data_sig)| ReadReply {
+                writer_version,
+                mem_timestamp,
+                mem_value,
+                mem_data_sig,
+            }),
+            pending,
+            proofs,
+        })
+}
+
+proptest! {
+    #[test]
+    fn version_le_is_reflexive(v in arb_version()) {
+        prop_assert!(v.le(&v));
+        prop_assert_eq!(v.compare(&v), VersionCmp::Equal);
+    }
+
+    #[test]
+    fn version_le_is_antisymmetric(a in arb_version(), b in arb_version()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn version_le_is_transitive(a in arb_version(), b in arb_version(), c in arb_version()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn version_compare_is_consistent_with_le(a in arb_version(), b in arb_version()) {
+        let cmp = a.compare(&b);
+        match cmp {
+            VersionCmp::Equal => prop_assert!(a.le(&b) && b.le(&a)),
+            VersionCmp::Less => prop_assert!(a.le(&b) && !b.le(&a)),
+            VersionCmp::Greater => prop_assert!(!a.le(&b) && b.le(&a)),
+            VersionCmp::Incomparable => prop_assert!(!a.le(&b) && !b.le(&a)),
+        }
+    }
+
+    #[test]
+    fn version_le_implies_pointwise_le(a in arb_version(), b in arb_version()) {
+        if a.le(&b) {
+            prop_assert!(a.v().le(b.v()));
+        }
+    }
+
+    #[test]
+    fn initial_version_below_everything(v in arb_version()) {
+        prop_assert!(Version::initial(N).le(&v));
+    }
+
+    #[test]
+    fn signing_bytes_injective_on_samples(a in arb_version(), b in arb_version()) {
+        if a != b {
+            prop_assert_ne!(a.signing_bytes(), b.signing_bytes());
+        }
+    }
+
+    #[test]
+    fn submit_roundtrips(m in arb_submit()) {
+        prop_assert_eq!(SubmitMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn reply_roundtrips(m in arb_reply()) {
+        prop_assert_eq!(ReplyMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn commit_roundtrips(version in arb_version(), cs in arb_sig(), ps in arb_sig()) {
+        let m = CommitMsg { version, commit_sig: cs, proof_sig: ps };
+        prop_assert_eq!(CommitMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn enum_roundtrips(m in prop_oneof![
+        arb_submit().prop_map(UstorMsg::Submit),
+        arb_reply().prop_map(UstorMsg::Reply),
+    ]) {
+        prop_assert_eq!(UstorMsg::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn decode_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = UstorMsg::decode(&bytes);
+        let _ = ReplyMsg::decode(&bytes);
+        let _ = SubmitMsg::decode(&bytes);
+        let _ = CommitMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode(m in arb_reply()) {
+        prop_assert_eq!(m.encoded_len(), m.encode().len());
+    }
+}

@@ -1,0 +1,601 @@
+//! The USTOR client state machine — Algorithm 1 of the paper.
+//!
+//! [`UstorClient`] is written sans-io: [`UstorClient::begin_write`] /
+//! [`UstorClient::begin_read`] produce the SUBMIT message to send, and
+//! [`UstorClient::handle_reply`] consumes the server's REPLY, performs
+//! every check of lines 35–52, and produces the COMMIT message plus the
+//! operation's result. Any failed check yields a [`Fault`] — the paper's
+//! `output fail_i; halt` — after which the client permanently refuses to
+//! operate.
+//!
+//! The "extended" operations of the paper (which additionally return the
+//! relevant versions, needed by the FAUST layer) correspond to the
+//! [`OpCompletion`] struct: every completion carries the committed version
+//! and, for reads, the writer's version.
+
+use crate::fault::Fault;
+use faust_crypto::chain::chain_extend;
+use faust_crypto::sha256::sha256;
+use faust_crypto::sig::{Keypair, SigContext, Signer, Verifier, VerifierRegistry};
+use faust_crypto::Digest;
+use faust_types::op::{data_signing_bytes, proof_signing_bytes, submit_signing_bytes};
+use faust_types::{
+    ClientId, CommitMsg, InvocationTuple, OpKind, ReplyMsg, SignedVersion, SubmitMsg, Timestamp,
+    Value, Version,
+};
+
+/// Why a new operation could not be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeginError {
+    /// An operation is already in flight; USTOR clients are sequential.
+    Busy,
+    /// The client has detected a server fault and halted.
+    Halted(Fault),
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeginError::Busy => f.write_str("an operation is already in flight"),
+            BeginError::Halted(fault) => write!(f, "client halted after fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for BeginError {}
+
+/// The in-flight operation.
+#[derive(Debug, Clone)]
+struct PendingOp {
+    kind: OpKind,
+    target: ClientId,
+    timestamp: Timestamp,
+    /// Value being written (writes only), echoed into the completion.
+    value: Option<Value>,
+}
+
+/// Result of a completed operation, in the "extended" form of the paper
+/// (`writex_i` / `readx_i` return the relevant versions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCompletion {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The register accessed.
+    pub target: ClientId,
+    /// The operation's timestamp `t` (monotonically increasing per
+    /// client; Definition 5 integrity).
+    pub timestamp: Timestamp,
+    /// For reads: the value read (`None` = register still `⊥`). `None`
+    /// for writes.
+    pub read_value: Option<Option<Value>>,
+    /// For writes: the value written.
+    pub written_value: Option<Value>,
+    /// The version `(V_i, M_i)` committed by this operation.
+    pub version: Version,
+    /// For reads: the writer's version `(V^j, M^j)` from the reply,
+    /// with its COMMIT-signature. The FAUST layer stores it in `VER_i[j]`.
+    pub writer_version: Option<SignedVersion>,
+}
+
+/// When the client transmits the COMMIT of each operation.
+///
+/// Section 5 of the paper: "Sending a COMMIT message is simply an
+/// optimization to expedite garbage collection at S; this message can be
+/// eliminated by piggybacking its contents on the SUBMIT message of the
+/// next operation."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Send a separate COMMIT message immediately (Algorithm 1 as
+    /// written): 3 messages per operation, prompt garbage collection.
+    #[default]
+    Immediate,
+    /// Piggyback the COMMIT on the next SUBMIT: 2 messages per operation,
+    /// at the cost of a longer pending list `L` at the server.
+    Piggyback,
+}
+
+/// The USTOR client protocol state (Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use faust_crypto::sig::KeySet;
+/// use faust_types::{ClientId, Value};
+/// use faust_ustor::{Server, UstorClient, UstorServer};
+///
+/// let keys = KeySet::generate(2, b"doc");
+/// let mut server = UstorServer::new(2);
+/// let mut alice = UstorClient::new(ClientId::new(0), 2, keys.keypair(0).unwrap().clone(), keys.registry());
+///
+/// let submit = alice.begin_write(Value::from("v1")).unwrap();
+/// let replies = server.on_submit(ClientId::new(0), submit);
+/// let (commit, done) = alice.handle_reply(replies.into_iter().next().unwrap().1).unwrap();
+/// server.on_commit(ClientId::new(0), commit.expect("immediate commit mode"));
+/// assert_eq!(done.timestamp, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UstorClient {
+    id: ClientId,
+    n: usize,
+    keypair: Keypair,
+    registry: VerifierRegistry,
+    /// `x̄_i`: hash of the most recently written value (`⊥` before the
+    /// first write).
+    xbar: Option<Digest>,
+    /// The client's version `(V_i, M_i)`.
+    version: Version,
+    pending: Option<PendingOp>,
+    halted: Option<Fault>,
+    commit_mode: CommitMode,
+    /// In piggyback mode: the COMMIT not yet attached to a SUBMIT.
+    held_commit: Option<CommitMsg>,
+}
+
+impl UstorClient {
+    /// Creates the client protocol state for client `id` of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not belong to `id` or `id ≥ n`.
+    pub fn new(id: ClientId, n: usize, keypair: Keypair, registry: VerifierRegistry) -> Self {
+        assert_eq!(keypair.signer_index(), id.as_u32(), "keypair must match id");
+        assert!(id.index() < n, "client id out of range");
+        UstorClient {
+            id,
+            n,
+            keypair,
+            registry,
+            xbar: None,
+            version: Version::initial(n),
+            pending: None,
+            halted: None,
+            commit_mode: CommitMode::Immediate,
+            held_commit: None,
+        }
+    }
+
+    /// Switches the commit transmission strategy (see [`CommitMode`]).
+    /// Call before the first operation.
+    pub fn set_commit_mode(&mut self, mode: CommitMode) {
+        self.commit_mode = mode;
+    }
+
+    /// The current commit transmission strategy.
+    pub fn commit_mode(&self) -> CommitMode {
+        self.commit_mode
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of clients `n`.
+    pub fn num_clients(&self) -> usize {
+        self.n
+    }
+
+    /// The current version `(V_i, M_i)` (last committed).
+    pub fn version(&self) -> &Version {
+        &self.version
+    }
+
+    /// The fault that halted this client, if any.
+    pub fn fault(&self) -> Option<&Fault> {
+        self.halted.as_ref()
+    }
+
+    /// The verifier registry this client trusts (shared at setup).
+    pub fn registry(&self) -> &VerifierRegistry {
+        &self.registry
+    }
+
+    /// Whether an operation is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Starts `write_i(x)`: returns the SUBMIT message for the server.
+    ///
+    /// # Errors
+    ///
+    /// [`BeginError::Busy`] if an operation is in flight,
+    /// [`BeginError::Halted`] if a fault was detected earlier.
+    pub fn begin_write(&mut self, value: Value) -> Result<SubmitMsg, BeginError> {
+        self.begin(OpKind::Write, self.id, Some(value))
+    }
+
+    /// Starts `read_i(j)`: returns the SUBMIT message for the server.
+    ///
+    /// # Errors
+    ///
+    /// [`BeginError::Busy`] if an operation is in flight,
+    /// [`BeginError::Halted`] if a fault was detected earlier.
+    pub fn begin_read(&mut self, register: ClientId) -> Result<SubmitMsg, BeginError> {
+        self.begin(OpKind::Read, register, None)
+    }
+
+    fn begin(
+        &mut self,
+        kind: OpKind,
+        target: ClientId,
+        value: Option<Value>,
+    ) -> Result<SubmitMsg, BeginError> {
+        if let Some(fault) = &self.halted {
+            return Err(BeginError::Halted(fault.clone()));
+        }
+        if self.pending.is_some() {
+            return Err(BeginError::Busy);
+        }
+        // Line 12/25: t ← V_i[i] + 1.
+        let t = self.version.v().get(self.id) + 1;
+        // Line 13: a write updates x̄_i before signing.
+        if let Some(v) = &value {
+            self.xbar = Some(sha256(v.as_bytes()));
+        }
+        // Lines 14/26: SUBMIT- and DATA-signatures.
+        let submit_sig = self
+            .keypair
+            .sign(SigContext::Submit, &submit_signing_bytes(kind, target, t));
+        let data_sig = self
+            .keypair
+            .sign(SigContext::Data, &data_signing_bytes(t, self.xbar));
+        self.pending = Some(PendingOp {
+            kind,
+            target,
+            timestamp: t,
+            value: value.clone(),
+        });
+        Ok(SubmitMsg {
+            timestamp: t,
+            tuple: InvocationTuple {
+                client: self.id,
+                kind,
+                register: target,
+                sig: submit_sig,
+            },
+            value,
+            data_sig,
+            // In piggyback mode, the previous operation's COMMIT rides
+            // along; the server applies it before this submit.
+            piggyback: self.held_commit.take(),
+        })
+    }
+
+    /// Processes the server's REPLY for the in-flight operation: performs
+    /// all checks of Algorithm 1 and, on success, returns the COMMIT
+    /// message to send — `None` in [`CommitMode::Piggyback`], where the
+    /// commit is attached to the next SUBMIT instead — plus the
+    /// operation's completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`Fault`] if any check fails; the client halts
+    /// permanently (the paper's `output fail_i; halt`).
+    pub fn handle_reply(
+        &mut self,
+        reply: ReplyMsg,
+    ) -> Result<(Option<CommitMsg>, OpCompletion), Fault> {
+        match self.try_handle_reply(reply) {
+            Ok(out) => Ok(out),
+            Err(fault) => {
+                self.halted = Some(fault.clone());
+                self.pending = None;
+                Err(fault)
+            }
+        }
+    }
+
+    fn try_handle_reply(
+        &mut self,
+        reply: ReplyMsg,
+    ) -> Result<(Option<CommitMsg>, OpCompletion), Fault> {
+        if let Some(fault) = &self.halted {
+            return Err(fault.clone());
+        }
+        let op = self.pending.clone().ok_or(Fault::UnsolicitedReply)?;
+        self.validate_shape(&reply, &op)?;
+        self.update_version(&reply)?;
+        let read_value = if op.kind == OpKind::Read {
+            Some(self.check_data(&reply, op.target)?)
+        } else {
+            None
+        };
+        self.pending = None;
+
+        // Lines 18/31: COMMIT- and PROOF-signatures on the new version.
+        let commit_sig = self
+            .keypair
+            .sign(SigContext::Commit, &self.version.signing_bytes());
+        let proof_sig = self.keypair.sign(
+            SigContext::Proof,
+            &proof_signing_bytes(self.version.m().get(self.id)),
+        );
+        let commit = CommitMsg {
+            version: self.version.clone(),
+            commit_sig,
+            proof_sig,
+        };
+        let commit = match self.commit_mode {
+            CommitMode::Immediate => Some(commit),
+            CommitMode::Piggyback => {
+                self.held_commit = Some(commit);
+                None
+            }
+        };
+        let completion = OpCompletion {
+            kind: op.kind,
+            target: op.target,
+            timestamp: op.timestamp,
+            read_value,
+            written_value: op.value,
+            version: self.version.clone(),
+            writer_version: reply.read.map(|r| r.writer_version),
+        };
+        Ok((commit, completion))
+    }
+
+    /// Structural validation: vector arities and index ranges. A correct
+    /// server never fails these; they keep a Byzantine server from causing
+    /// panics instead of clean detection.
+    fn validate_shape(&self, reply: &ReplyMsg, op: &PendingOp) -> Result<(), Fault> {
+        if reply.last_committer.index() >= self.n {
+            return Err(Fault::MalformedReply("last committer out of range"));
+        }
+        if reply.commit_version.version.num_clients() != self.n {
+            return Err(Fault::MalformedReply("commit version arity"));
+        }
+        if reply.proofs.len() != self.n {
+            return Err(Fault::MalformedReply("proof vector arity"));
+        }
+        for tuple in &reply.pending {
+            if tuple.client.index() >= self.n || tuple.register.index() >= self.n {
+                return Err(Fault::MalformedReply("pending tuple index out of range"));
+            }
+        }
+        match (&reply.read, op.kind) {
+            (None, OpKind::Read) => Err(Fault::MalformedReply("missing read part")),
+            (Some(r), OpKind::Read) if r.writer_version.version.num_clients() != self.n => {
+                Err(Fault::MalformedReply("writer version arity"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Algorithm 1, `updateVersion` (lines 34–47).
+    fn update_version(&mut self, reply: &ReplyMsg) -> Result<(), Fault> {
+        let c = reply.last_committer;
+        let signed = &reply.commit_version;
+
+        // Line 35: the version is the initial one or carries a valid
+        // COMMIT-signature by C_c.
+        if !signed.version.is_initial() {
+            let valid = signed.sig.as_ref().is_some_and(|sig| {
+                self.registry.verify(
+                    c.as_u32(),
+                    SigContext::Commit,
+                    &signed.version.signing_bytes(),
+                    sig,
+                )
+            });
+            if !valid {
+                return Err(Fault::BadCommitVersionSignature);
+            }
+        }
+
+        // Line 36: monotonicity and agreement on our own entry.
+        if !self.version.le(&signed.version) {
+            return Err(Fault::VersionRegression);
+        }
+        if signed.version.v().get(self.id) != self.version.v().get(self.id) {
+            return Err(Fault::OwnTimestampMismatch);
+        }
+
+        // Line 37: adopt (V^c, M^c).
+        self.version = signed.version.clone();
+        // Line 38: d ← M^c[c].
+        let mut d = self.version.m().get(c);
+
+        // Lines 39–45: fold in the pending (concurrent) operations.
+        for tuple in &reply.pending {
+            let k = tuple.client;
+            // Line 41: C_k's previous operation must have committed the
+            // digest we hold for it, vouched by its PROOF-signature.
+            if let Some(expected) = self.version.m().get(k) {
+                let proof = reply.proofs[k.index()]
+                    .as_ref()
+                    .ok_or(Fault::MissingProofSignature)?;
+                let ok = self.registry.verify(
+                    k.as_u32(),
+                    SigContext::Proof,
+                    &proof_signing_bytes(Some(expected)),
+                    proof,
+                );
+                if !ok {
+                    return Err(Fault::BadProofSignature);
+                }
+            }
+            // Line 42: account for the pending operation.
+            let expected_t = self.version.v_mut().increment(k);
+            // Line 43: we never appear in our own pending list, and the
+            // SUBMIT-signature must match the expected timestamp.
+            if k == self.id {
+                return Err(Fault::OwnOperationPending);
+            }
+            let ok = self.registry.verify(
+                k.as_u32(),
+                SigContext::Submit,
+                &submit_signing_bytes(tuple.kind, tuple.register, expected_t),
+                &tuple.sig,
+            );
+            if !ok {
+                return Err(Fault::BadSubmitSignature);
+            }
+            // Lines 44–45: extend the digest chain.
+            d = Some(chain_extend(d, k.as_u32()));
+            self.version.m_mut().set(k, d.expect("just set"));
+        }
+
+        // Lines 46–47: append our own operation.
+        self.version.v_mut().increment(self.id);
+        self.version
+            .m_mut()
+            .set(self.id, chain_extend(d, self.id.as_u32()));
+        Ok(())
+    }
+
+    /// Algorithm 1, `checkData` (lines 48–52). Returns the read value.
+    fn check_data(&self, reply: &ReplyMsg, j: ClientId) -> Result<Option<Value>, Fault> {
+        let read = reply.read.as_ref().expect("validated in validate_shape");
+        let writer = &read.writer_version;
+        let tj = read.mem_timestamp;
+
+        // Line 49: writer's version is initial or properly signed by C_j.
+        if !writer.version.is_initial() {
+            let valid = writer.sig.as_ref().is_some_and(|sig| {
+                self.registry.verify(
+                    j.as_u32(),
+                    SigContext::Commit,
+                    &writer.version.signing_bytes(),
+                    sig,
+                )
+            });
+            if !valid {
+                return Err(Fault::BadWriterCommitSignature);
+            }
+        }
+
+        // t_j = 0 means C_j has never submitted an operation; the register
+        // is necessarily `⊥`, and a correct server sends exactly
+        // `(0, ⊥, ⊥)`. Enforcing that here closes the gap where a faulty
+        // server returns a fabricated value with t_j = 0 to skip the
+        // DATA-signature check.
+        if tj == 0 && (read.mem_value.is_some() || read.mem_data_sig.is_some()) {
+            return Err(Fault::MalformedReply("nonempty initial register"));
+        }
+
+        // Line 50: the value is fresh-signed by C_j under timestamp t_j.
+        if tj != 0 {
+            let value_hash = read.mem_value.as_ref().map(|v| sha256(v.as_bytes()));
+            let valid = read.mem_data_sig.as_ref().is_some_and(|sig| {
+                self.registry.verify(
+                    j.as_u32(),
+                    SigContext::Data,
+                    &data_signing_bytes(tj, value_hash),
+                    sig,
+                )
+            });
+            if !valid {
+                return Err(Fault::BadDataSignature);
+            }
+        }
+
+        // Line 51: the writer's version is within the presented history,
+        // and t_j is exactly the last operation of C_j we account for.
+        if !writer.version.le(&reply.commit_version.version) {
+            return Err(Fault::WriterVersionAhead);
+        }
+        if tj != self.version.v().get(j) {
+            return Err(Fault::DataTimestampMismatch);
+        }
+
+        // Line 52: the writer's own entry matches t_j, give or take the
+        // not-yet-received COMMIT.
+        let vjj = writer.version.v().get(j);
+        if !(vjj == tj || (tj > 0 && vjj == tj - 1)) {
+            return Err(Fault::WriterSelfEntryMismatch);
+        }
+
+        Ok(read.mem_value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::sig::KeySet;
+
+    fn client(n: usize) -> UstorClient {
+        let keys = KeySet::generate(n, b"client-tests");
+        UstorClient::new(
+            ClientId::new(0),
+            n,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+        )
+    }
+
+    #[test]
+    fn begin_assigns_increasing_timestamps() {
+        let mut c = client(2);
+        let m1 = c.begin_write(Value::from("a")).unwrap();
+        assert_eq!(m1.timestamp, 1);
+        // Second begin while busy fails.
+        assert_eq!(
+            c.begin_read(ClientId::new(1)).unwrap_err(),
+            BeginError::Busy
+        );
+    }
+
+    #[test]
+    fn write_submit_carries_value_read_does_not() {
+        let mut c = client(2);
+        let w = c.begin_write(Value::from("a")).unwrap();
+        assert_eq!(w.value, Some(Value::from("a")));
+        assert_eq!(w.tuple.kind, OpKind::Write);
+        assert_eq!(w.tuple.register, ClientId::new(0));
+
+        let mut c2 = client(2);
+        let r = c2.begin_read(ClientId::new(1)).unwrap();
+        assert_eq!(r.value, None);
+        assert_eq!(r.tuple.kind, OpKind::Read);
+        assert_eq!(r.tuple.register, ClientId::new(1));
+    }
+
+    #[test]
+    fn unsolicited_reply_is_a_fault() {
+        let mut c = client(2);
+        let reply = ReplyMsg {
+            last_committer: ClientId::new(1),
+            commit_version: SignedVersion::initial(2),
+            read: None,
+            pending: vec![],
+            proofs: vec![None, None],
+        };
+        assert_eq!(c.handle_reply(reply), Err(Fault::UnsolicitedReply));
+    }
+
+    #[test]
+    fn halted_client_refuses_operations() {
+        let mut c = client(2);
+        let reply = ReplyMsg {
+            last_committer: ClientId::new(1),
+            commit_version: SignedVersion::initial(2),
+            read: None,
+            pending: vec![],
+            proofs: vec![None, None],
+        };
+        let _ = c.handle_reply(reply); // unsolicited → halt
+        assert!(matches!(
+            c.begin_write(Value::from("x")),
+            Err(BeginError::Halted(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_arity_is_detected_not_panicking() {
+        let mut c = client(3);
+        c.begin_write(Value::from("a")).unwrap();
+        let reply = ReplyMsg {
+            last_committer: ClientId::new(0),
+            commit_version: SignedVersion::initial(2), // wrong arity: 2 ≠ 3
+            read: None,
+            pending: vec![],
+            proofs: vec![None, None, None],
+        };
+        assert_eq!(
+            c.handle_reply(reply),
+            Err(Fault::MalformedReply("commit version arity"))
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Simulation harness: runs `n` USTOR clients against a (correct or
+//! Byzantine) server over the `faust-sim` network, records the resulting
+//! [`History`], and reports completions, detected faults, and traffic
+//! metrics.
+//!
+//! The driver is what tests, property tests, and the experiment harness
+//! use to produce executions; the FAUST layer has its own, richer driver
+//! in `faust-core` that additionally exercises the offline channel.
+
+use crate::client::{OpCompletion, UstorClient};
+use crate::fault::Fault;
+use crate::server::Server;
+use faust_crypto::sig::KeySet;
+use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
+use faust_types::{ClientId, History, OpId, OpKind, UstorMsg, Value, Wire};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One step of a scripted client workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Write a value to the client's own register.
+    Write(Value),
+    /// Read a register.
+    Read(ClientId),
+    /// Stay idle for the given number of virtual-time ticks before the
+    /// next step (used to sequence scripted scenarios).
+    Pause(u64),
+    /// Crash the client (crash-stop; any in-flight operation is lost).
+    Crash,
+}
+
+/// Network message of the USTOR driver (clients ↔ server only).
+#[derive(Debug, Clone)]
+struct NetMsg(UstorMsg);
+
+impl MessageSize for NetMsg {
+    fn size_bytes(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The recorded invocation/response history (FAUST-internal dummy
+    /// reads excluded — the USTOR driver has none).
+    pub history: History,
+    /// Completions per client, in completion order.
+    pub completions: Vec<Vec<OpCompletion>>,
+    /// Faults detected by clients (client, fault), in detection order.
+    pub faults: Vec<(ClientId, Fault)>,
+    /// Traffic statistics.
+    pub metrics: faust_sim::Metrics,
+    /// Virtual time when the run went quiescent.
+    pub final_time: u64,
+    /// Operations that never completed (crashed clients' in-flight ops,
+    /// ops swallowed by a mute server, ops after a halt).
+    pub incomplete_ops: usize,
+}
+
+impl RunResult {
+    /// Whether any client detected a server fault.
+    pub fn detected_fault(&self) -> bool {
+        !self.faults.is_empty()
+    }
+}
+
+struct Slot {
+    proto: UstorClient,
+    queue: VecDeque<WorkloadOp>,
+    current: Option<OpId>,
+    completions: Vec<OpCompletion>,
+    fault: Option<Fault>,
+    crashed: bool,
+}
+
+/// Drives `n` USTOR clients against a [`Server`] over the simulated
+/// network.
+///
+/// # Example
+///
+/// ```
+/// use faust_sim::SimConfig;
+/// use faust_types::{ClientId, Value};
+/// use faust_ustor::{Driver, UstorServer, WorkloadOp};
+///
+/// let mut driver = Driver::new(2, Box::new(UstorServer::new(2)), SimConfig::default(), b"ex");
+/// driver.push_op(ClientId::new(0), WorkloadOp::Write(Value::from("v")));
+/// driver.push_op(ClientId::new(1), WorkloadOp::Read(ClientId::new(0)));
+/// let result = driver.run();
+/// assert!(!result.detected_fault());
+/// assert_eq!(result.incomplete_ops, 0);
+/// ```
+pub struct Driver {
+    n: usize,
+    sim: Simulation<NetMsg>,
+    server: Box<dyn Server>,
+    slots: Vec<Slot>,
+    history: History,
+}
+
+impl Driver {
+    /// Creates a driver for `n` clients talking to `server`. Keys are
+    /// generated deterministically from `key_seed`.
+    pub fn new(n: usize, server: Box<dyn Server>, sim: SimConfig, key_seed: &[u8]) -> Self {
+        let keys = KeySet::generate(n, key_seed);
+        let slots = (0..n)
+            .map(|i| Slot {
+                proto: UstorClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).expect("generated").clone(),
+                    keys.registry(),
+                ),
+                queue: VecDeque::new(),
+                current: None,
+                completions: Vec::new(),
+                fault: None,
+                crashed: false,
+            })
+            .collect();
+        Driver {
+            n,
+            sim: Simulation::new(sim),
+            server,
+            slots,
+            history: History::new(),
+        }
+    }
+
+    fn server_node(&self) -> NodeId {
+        NodeId(self.n as u32)
+    }
+
+    fn client_node(&self, c: ClientId) -> NodeId {
+        NodeId(c.as_u32())
+    }
+
+    /// Switches every client to the given commit-transmission mode
+    /// (Section 5 piggybacking optimization). Call before `run`.
+    pub fn set_commit_mode(&mut self, mode: crate::client::CommitMode) {
+        for slot in &mut self.slots {
+            slot.proto.set_commit_mode(mode);
+        }
+    }
+
+    /// Appends one step to a client's script.
+    pub fn push_op(&mut self, client: ClientId, op: WorkloadOp) {
+        self.slots[client.index()].queue.push_back(op);
+    }
+
+    /// Appends a whole script for a client.
+    pub fn push_ops(&mut self, client: ClientId, ops: impl IntoIterator<Item = WorkloadOp>) {
+        self.slots[client.index()].queue.extend(ops);
+    }
+
+    /// Starts the next queued operation of client `i`, if it is idle.
+    fn try_start(&mut self, i: usize) {
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.crashed || slot.fault.is_some() || slot.current.is_some() {
+                return;
+            }
+            let Some(op) = slot.queue.pop_front() else {
+                return;
+            };
+            let client_id = ClientId::new(i as u32);
+            let now = self.sim.now();
+            match op {
+                WorkloadOp::Crash => {
+                    slot.crashed = true;
+                    let node = NodeId(i as u32);
+                    self.sim.crash(node);
+                    return;
+                }
+                WorkloadOp::Pause(ticks) => {
+                    self.sim.set_timer(NodeId(i as u32), ticks, i as u64);
+                    return;
+                }
+                WorkloadOp::Write(value) => {
+                    let submit = slot
+                        .proto
+                        .begin_write(value.clone())
+                        .expect("idle client can begin");
+                    slot.current = Some(self.history.begin_write(client_id, value, now));
+                    let (from, to) = (self.client_node(client_id), self.server_node());
+                    self.sim.send(from, to, NetMsg(UstorMsg::Submit(submit)));
+                    return;
+                }
+                WorkloadOp::Read(register) => {
+                    if register.index() >= self.n {
+                        // Skip invalid script entries rather than panic.
+                        continue;
+                    }
+                    let submit = slot
+                        .proto
+                        .begin_read(register)
+                        .expect("idle client can begin");
+                    slot.current = Some(self.history.begin_read(client_id, register, now));
+                    let (from, to) = (self.client_node(client_id), self.server_node());
+                    self.sim.send(from, to, NetMsg(UstorMsg::Submit(submit)));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation to quiescence and returns the outcome.
+    pub fn run(mut self) -> RunResult {
+        for i in 0..self.n {
+            self.try_start(i);
+        }
+        while let Some(ev) = self.sim.next() {
+            let Event::Message { from, to, msg, .. } = ev.event else {
+                if let Event::Timer { node, .. } = ev.event {
+                    // A Pause elapsed; resume that client's script.
+                    self.try_start(node.0 as usize);
+                }
+                continue;
+            };
+            if to == self.server_node() {
+                let client = ClientId::new(from.0);
+                let replies = match msg.0 {
+                    UstorMsg::Submit(m) => self.server.on_submit(client, m),
+                    UstorMsg::Commit(m) => self.server.on_commit(client, m),
+                    UstorMsg::Reply(_) => Vec::new(), // nonsense; ignore
+                };
+                for (rcpt, reply) in replies {
+                    self.sim.send(
+                        self.server_node(),
+                        self.client_node(rcpt),
+                        NetMsg(UstorMsg::Reply(reply)),
+                    );
+                }
+            } else {
+                let i = to.0 as usize;
+                let UstorMsg::Reply(reply) = msg.0 else {
+                    continue; // only replies flow to clients
+                };
+                let now = self.sim.now();
+                let slot = &mut self.slots[i];
+                if slot.crashed || slot.fault.is_some() {
+                    continue;
+                }
+                match slot.proto.handle_reply(reply) {
+                    Ok((commit, done)) => {
+                        if let Some(op_id) = slot.current.take() {
+                            match done.kind {
+                                OpKind::Write => self.history.complete_write(
+                                    op_id,
+                                    now,
+                                    Some(done.timestamp),
+                                ),
+                                OpKind::Read => self.history.complete_read(
+                                    op_id,
+                                    now,
+                                    done.read_value.clone().flatten(),
+                                    Some(done.timestamp),
+                                ),
+                            }
+                        }
+                        slot.completions.push(done);
+                        if let Some(commit) = commit {
+                            let (from, to) = (NodeId(i as u32), self.server_node());
+                            self.sim.send(from, to, NetMsg(UstorMsg::Commit(commit)));
+                        }
+                        self.try_start(i);
+                    }
+                    Err(fault) => {
+                        slot.fault = Some(fault);
+                        slot.current = None;
+                    }
+                }
+            }
+        }
+
+        let faults = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.fault
+                    .clone()
+                    .map(|f| (ClientId::new(i as u32), f))
+            })
+            .collect();
+        let incomplete_ops = self
+            .history
+            .ops()
+            .iter()
+            .filter(|o| !o.is_complete())
+            .count();
+        RunResult {
+            incomplete_ops,
+            faults,
+            completions: self.slots.iter().map(|s| s.completions.clone()).collect(),
+            metrics: self.sim.metrics().clone(),
+            final_time: self.sim.now(),
+            history: self.history,
+        }
+    }
+}
+
+/// Generates a reproducible random workload: `ops_per_client` operations
+/// per client, each a write with probability `write_fraction` (else a
+/// read of a uniformly random register).
+pub fn random_workloads(
+    n: usize,
+    ops_per_client: usize,
+    write_fraction: f64,
+    seed: u64,
+) -> Vec<Vec<WorkloadOp>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (0..ops_per_client)
+                .map(|seq| {
+                    if rng.gen_bool(write_fraction) {
+                        WorkloadOp::Write(Value::unique(i as u32, seq as u64))
+                    } else {
+                        WorkloadOp::Read(ClientId::new(rng.gen_range(0..n) as u32))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::UstorServer;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn correct_driver(n: usize) -> Driver {
+        Driver::new(
+            n,
+            Box::new(UstorServer::new(n)),
+            SimConfig::default(),
+            b"driver-tests",
+        )
+    }
+
+    #[test]
+    fn all_ops_complete_with_correct_server() {
+        let mut d = correct_driver(3);
+        for (i, w) in random_workloads(3, 10, 0.5, 1).into_iter().enumerate() {
+            d.push_ops(c(i as u32), w);
+        }
+        let r = d.run();
+        assert!(!r.detected_fault());
+        assert_eq!(r.incomplete_ops, 0);
+        assert_eq!(r.history.len(), 30);
+        assert!(r.history.is_well_formed());
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_client() {
+        let mut d = correct_driver(2);
+        for (i, w) in random_workloads(2, 20, 0.3, 7).into_iter().enumerate() {
+            d.push_ops(c(i as u32), w);
+        }
+        let r = d.run();
+        for comps in &r.completions {
+            for pair in comps.windows(2) {
+                assert!(pair[0].timestamp < pair[1].timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_client_does_not_block_others() {
+        let mut d = correct_driver(3);
+        d.push_ops(
+            c(0),
+            vec![
+                WorkloadOp::Write(Value::from("w0")),
+                WorkloadOp::Crash,
+                WorkloadOp::Write(Value::from("never")),
+            ],
+        );
+        let mut workloads = random_workloads(2, 10, 0.5, 2).into_iter();
+        d.push_ops(c(1), workloads.next().expect("two workloads"));
+        d.push_ops(c(2), workloads.next().expect("two workloads"));
+        let r = d.run();
+        assert!(!r.detected_fault());
+        // C1 and C2 finish everything; only C0's post-crash script is cut.
+        assert_eq!(r.completions[1].len(), 10);
+        assert_eq!(r.completions[2].len(), 10);
+    }
+
+    #[test]
+    fn crash_mid_flight_leaves_op_incomplete_but_system_live() {
+        let mut d = Driver::new(
+            2,
+            Box::new(UstorServer::new(2)),
+            SimConfig {
+                // Long link delay so the crash lands mid-operation.
+                link_delay: faust_sim::DelayModel::Fixed(100),
+                ..SimConfig::default()
+            },
+            b"crash-test",
+        );
+        d.push_ops(
+            c(0),
+            vec![WorkloadOp::Write(Value::from("w")), WorkloadOp::Crash],
+        );
+        d.push_ops(c(1), vec![WorkloadOp::Read(c(0)), WorkloadOp::Read(c(0))]);
+        let r = d.run();
+        assert!(!r.detected_fault());
+        assert_eq!(r.completions[1].len(), 2);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut d = correct_driver(3);
+            for (i, w) in random_workloads(3, 8, 0.5, 3).into_iter().enumerate() {
+                d.push_ops(c(i as u32), w);
+            }
+            let r = d.run();
+            (r.final_time, r.metrics.link_messages_sent, r.history)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn piggyback_mode_saves_one_message_per_op() {
+        // Section 5 ablation: with piggybacked commits, each op costs 2
+        // link messages (SUBMIT with the previous COMMIT inside + REPLY)
+        // instead of 3.
+        let run = |mode| {
+            let mut d = correct_driver(3);
+            d.set_commit_mode(mode);
+            for (i, w) in random_workloads(3, 10, 0.5, 5).into_iter().enumerate() {
+                d.push_ops(c(i as u32), w);
+            }
+            d.run()
+        };
+        let imm = run(crate::client::CommitMode::Immediate);
+        let pig = run(crate::client::CommitMode::Piggyback);
+        assert!(!imm.detected_fault() && !pig.detected_fault());
+        assert_eq!(imm.incomplete_ops, 0);
+        assert_eq!(pig.incomplete_ops, 0);
+        assert_eq!(imm.metrics.link_messages_sent, 3 * 30);
+        // Piggyback: 2 per op, except each client's very first op has no
+        // previous commit and its last commit is never sent at all.
+        assert_eq!(pig.metrics.link_messages_sent, 2 * 30);
+        // Same results either way.
+        for (a, b) in imm.completions.iter().zip(&pig.completions) {
+            let va: Vec<_> = a.iter().map(|x| (&x.read_value, x.timestamp)).collect();
+            let vb: Vec<_> = b.iter().map(|x| (&x.read_value, x.timestamp)).collect();
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn one_round_per_operation() {
+        // Experiment E5: every operation costs exactly one SUBMIT, one
+        // REPLY, and one COMMIT on the link.
+        let mut d = correct_driver(2);
+        d.push_ops(
+            c(0),
+            vec![
+                WorkloadOp::Write(Value::from("a")),
+                WorkloadOp::Read(c(1)),
+            ],
+        );
+        d.push_ops(c(1), vec![WorkloadOp::Write(Value::from("b"))]);
+        let r = d.run();
+        // 3 ops × 3 messages.
+        assert_eq!(r.metrics.link_messages_sent, 9);
+    }
+}

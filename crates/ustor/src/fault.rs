@@ -1,0 +1,154 @@
+//! Server-misbehaviour diagnoses.
+//!
+//! Every check a USTOR client performs on a REPLY message (Algorithm 1,
+//! lines 35–52) has a corresponding [`Fault`] variant, so tests and
+//! operators can see *which* check a Byzantine server tripped. Any fault
+//! is proof that the server violated its specification: a correct server
+//! never triggers one (failure-detection accuracy, Definition 5 property
+//! 5).
+
+use std::fmt;
+
+/// Proof of server misbehaviour detected by a client.
+///
+/// The paper's client executes `output fail_i; halt` when a check fails;
+/// this enum is the reason attached to that event. Line numbers refer to
+/// Algorithm 1 in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Line 35: the COMMIT-signature on the reply's main version
+    /// `(V^c, M^c)` does not verify against client `c`.
+    BadCommitVersionSignature,
+    /// Line 36, first conjunct: the reply's version is not `≽` the
+    /// client's own version — the server tried to rewind or fork history.
+    VersionRegression,
+    /// Line 36, second conjunct: `V^c[i] ≠ V_i[i]` — the reply's version
+    /// accounts for a different number of the client's own operations than
+    /// the client has performed.
+    OwnTimestampMismatch,
+    /// Line 41: a pending operation's client has a non-`⊥` digest entry
+    /// but the server presented no PROOF-signature for it.
+    MissingProofSignature,
+    /// Line 41: the presented PROOF-signature does not verify.
+    BadProofSignature,
+    /// Line 43, first disjunct: the pending list contains an operation by
+    /// this client itself — impossible, since a client is sequential.
+    OwnOperationPending,
+    /// Line 43, second disjunct: a pending tuple's SUBMIT-signature does
+    /// not verify against the expected timestamp (replayed or fabricated
+    /// invocation).
+    BadSubmitSignature,
+    /// Line 49: the COMMIT-signature on the writer's version `(V^j, M^j)`
+    /// returned with a read does not verify.
+    BadWriterCommitSignature,
+    /// Line 50: the DATA-signature on the returned value does not verify —
+    /// the value or its timestamp was tampered with.
+    BadDataSignature,
+    /// Line 51, first conjunct: the writer's version is not `≼` the
+    /// reply's main version.
+    WriterVersionAhead,
+    /// Line 51, second conjunct: the returned value's timestamp `t_j`
+    /// differs from `V_i[j]` — the server served a value inconsistent
+    /// with the view history it presented.
+    DataTimestampMismatch,
+    /// Line 52: `V^j[j] ∉ {t_j, t_j − 1}` — the writer's committed
+    /// version does not match the returned timestamp.
+    WriterSelfEntryMismatch,
+    /// The reply is structurally invalid (wrong vector arity, out-of-range
+    /// client index, missing read part). A correct server never sends
+    /// such a message.
+    MalformedReply(&'static str),
+    /// A REPLY arrived while no operation was in flight. FIFO channels
+    /// from a correct server cannot produce this.
+    UnsolicitedReply,
+}
+
+impl Fault {
+    /// The Algorithm 1 line whose check detected the fault, if any.
+    pub fn algorithm_line(&self) -> Option<u32> {
+        match self {
+            Fault::BadCommitVersionSignature => Some(35),
+            Fault::VersionRegression | Fault::OwnTimestampMismatch => Some(36),
+            Fault::MissingProofSignature | Fault::BadProofSignature => Some(41),
+            Fault::OwnOperationPending | Fault::BadSubmitSignature => Some(43),
+            Fault::BadWriterCommitSignature => Some(49),
+            Fault::BadDataSignature => Some(50),
+            Fault::WriterVersionAhead | Fault::DataTimestampMismatch => Some(51),
+            Fault::WriterSelfEntryMismatch => Some(52),
+            Fault::MalformedReply(_) | Fault::UnsolicitedReply => None,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::BadCommitVersionSignature => {
+                f.write_str("invalid commit signature on reply version")
+            }
+            Fault::VersionRegression => f.write_str("reply version regresses the client version"),
+            Fault::OwnTimestampMismatch => {
+                f.write_str("reply version disagrees on the client's own timestamp")
+            }
+            Fault::MissingProofSignature => {
+                f.write_str("missing proof signature for a pending operation")
+            }
+            Fault::BadProofSignature => {
+                f.write_str("invalid proof signature for a pending operation")
+            }
+            Fault::OwnOperationPending => {
+                f.write_str("server lists the client's own operation as pending")
+            }
+            Fault::BadSubmitSignature => {
+                f.write_str("invalid submit signature on a pending operation")
+            }
+            Fault::BadWriterCommitSignature => {
+                f.write_str("invalid commit signature on the writer's version")
+            }
+            Fault::BadDataSignature => f.write_str("invalid data signature on the read value"),
+            Fault::WriterVersionAhead => {
+                f.write_str("writer's version is not below the reply version")
+            }
+            Fault::DataTimestampMismatch => {
+                f.write_str("returned value timestamp disagrees with the view history")
+            }
+            Fault::WriterSelfEntryMismatch => {
+                f.write_str("writer's committed version disagrees with the value timestamp")
+            }
+            Fault::MalformedReply(why) => write!(f, "malformed reply: {why}"),
+            Fault::UnsolicitedReply => f.write_str("reply received with no operation in flight"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_numbers_match_paper() {
+        assert_eq!(Fault::BadCommitVersionSignature.algorithm_line(), Some(35));
+        assert_eq!(Fault::VersionRegression.algorithm_line(), Some(36));
+        assert_eq!(Fault::BadProofSignature.algorithm_line(), Some(41));
+        assert_eq!(Fault::OwnOperationPending.algorithm_line(), Some(43));
+        assert_eq!(Fault::BadWriterCommitSignature.algorithm_line(), Some(49));
+        assert_eq!(Fault::BadDataSignature.algorithm_line(), Some(50));
+        assert_eq!(Fault::DataTimestampMismatch.algorithm_line(), Some(51));
+        assert_eq!(Fault::WriterSelfEntryMismatch.algorithm_line(), Some(52));
+        assert_eq!(Fault::MalformedReply("x").algorithm_line(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for fault in [
+            Fault::BadCommitVersionSignature,
+            Fault::VersionRegression,
+            Fault::UnsolicitedReply,
+            Fault::MalformedReply("arity"),
+        ] {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

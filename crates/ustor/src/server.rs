@@ -1,0 +1,336 @@
+//! The USTOR server — Algorithm 2 of the paper — and the [`Server`] trait
+//! that Byzantine variants implement.
+
+use faust_crypto::sig::Signature;
+use faust_types::{
+    ClientId, CommitMsg, InvocationTuple, OpKind, ReadReply, ReplyMsg, SignedVersion, SubmitMsg,
+    Timestamp, Value,
+};
+
+/// Interface of a storage server, correct or Byzantine.
+///
+/// The simulator delivers each client message to these handlers; a handler
+/// returns the messages the server chooses to send (a correct server
+/// answers each SUBMIT with exactly one REPLY to the submitter, but a
+/// faulty server may answer differently, later, or not at all).
+pub trait Server {
+    /// Handles `⟨SUBMIT, …⟩` from `client`; returns `(recipient, reply)`
+    /// pairs to deliver.
+    fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)>;
+
+    /// Handles `⟨COMMIT, …⟩` from `client`; may release further replies
+    /// (a correct server never does).
+    fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)>;
+}
+
+/// `MEM[i]`: the timestamp, value, and DATA-signature most recently
+/// received from client `C_i` (Algorithm 2 line 102).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEntry {
+    /// Timestamp of `C_i`'s last submitted operation.
+    pub timestamp: Timestamp,
+    /// Last written value (`None` = `⊥`, never written).
+    pub value: Option<Value>,
+    /// DATA-signature from the last submitted operation.
+    pub data_sig: Option<Signature>,
+}
+
+impl MemEntry {
+    fn initial() -> Self {
+        MemEntry {
+            timestamp: 0,
+            value: None,
+            data_sig: None,
+        }
+    }
+}
+
+/// The correct USTOR server (Algorithm 2).
+///
+/// The order in which SUBMIT messages are processed defines the schedule
+/// of operations — the linearization order when the server is correct.
+/// The server never verifies signatures itself; it merely stores and
+/// forwards them (it could not verify anyway: it holds no keys).
+///
+/// # Example
+///
+/// ```
+/// use faust_types::ClientId;
+/// use faust_ustor::{Server, UstorServer};
+///
+/// let server = UstorServer::new(3);
+/// assert_eq!(server.pending_len(), 0);
+/// let _: &dyn Server = &server;
+/// ```
+#[derive(Debug, Clone)]
+pub struct UstorServer {
+    n: usize,
+    /// `MEM` — register contents.
+    mem: Vec<MemEntry>,
+    /// `SVER` — last committed version per client, with COMMIT-signature.
+    sver: Vec<SignedVersion>,
+    /// `P` — PROOF-signatures per client.
+    proofs: Vec<Option<Signature>>,
+    /// `c` — the client that committed the last operation in the schedule.
+    last_committer: ClientId,
+    /// `L` — invocation tuples of submitted-but-uncommitted operations,
+    /// in schedule order.
+    pending: Vec<InvocationTuple>,
+}
+
+impl UstorServer {
+    /// Creates a server for `n` clients with all registers `⊥`.
+    pub fn new(n: usize) -> Self {
+        UstorServer {
+            n,
+            mem: (0..n).map(|_| MemEntry::initial()).collect(),
+            sver: (0..n).map(|_| SignedVersion::initial(n)).collect(),
+            proofs: vec![None; n],
+            last_committer: ClientId::new(0),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.n
+    }
+
+    /// Length of the concurrent-operation list `L` (exposed for the
+    /// garbage-collection tests and metrics).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The stored register entry for `client` (test/diagnostic access).
+    pub fn mem(&self, client: ClientId) -> &MemEntry {
+        &self.mem[client.index()]
+    }
+
+    /// The last committed version of `client` (test/diagnostic access).
+    pub fn stored_version(&self, client: ClientId) -> &SignedVersion {
+        &self.sver[client.index()]
+    }
+
+    /// Builds the REPLY for a submit without mutating state further;
+    /// used by both the correct path and adversarial wrappers.
+    fn build_reply(&self, msg: &SubmitMsg) -> ReplyMsg {
+        let c = self.last_committer;
+        let read = (msg.tuple.kind == OpKind::Read).then(|| {
+            let j = msg.tuple.register;
+            let entry = &self.mem[j.index()];
+            ReadReply {
+                writer_version: self.sver[j.index()].clone(),
+                mem_timestamp: entry.timestamp,
+                mem_value: entry.value.clone(),
+                mem_data_sig: entry.data_sig,
+            }
+        });
+        ReplyMsg {
+            last_committer: c,
+            commit_version: self.sver[c.index()].clone(),
+            read,
+            pending: self.pending.clone(),
+            proofs: self.proofs.clone(),
+        }
+    }
+}
+
+impl Server for UstorServer {
+    fn on_submit(&mut self, client: ClientId, mut msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        // Piggybacked COMMIT of the client's previous operation (Section
+        // 5 optimization): apply it first, exactly as if it had arrived
+        // as a separate message on the FIFO channel.
+        if let Some(pb) = msg.piggyback.take() {
+            self.on_commit(client, pb);
+        }
+        let i = client.index();
+        // Lines 108–113: update MEM[i]. A read refreshes the timestamp and
+        // DATA-signature but keeps the stored value.
+        match msg.tuple.kind {
+            OpKind::Read => {
+                self.mem[i].timestamp = msg.timestamp;
+                self.mem[i].data_sig = Some(msg.data_sig);
+            }
+            OpKind::Write => {
+                self.mem[i] = MemEntry {
+                    timestamp: msg.timestamp,
+                    value: msg.value.clone(),
+                    data_sig: Some(msg.data_sig),
+                };
+            }
+        }
+        // Lines 111/114–115: reply, then line 116: append to L.
+        let reply = self.build_reply(&msg);
+        self.pending.push(msg.tuple);
+        vec![(client, reply)]
+    }
+
+    fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        // Lines 118–121: if this commit advances the schedule head, prune
+        // L up to and including this client's last tuple.
+        let current = &self.sver[self.last_committer.index()];
+        if msg.version.v().gt(current.version.v()) {
+            self.last_committer = client;
+            if let Some(pos) = self.pending.iter().rposition(|t| t.client == client) {
+                self.pending.drain(..=pos);
+            }
+        }
+        // Lines 122–123.
+        self.sver[client.index()] = SignedVersion {
+            version: msg.version,
+            sig: Some(msg.commit_sig),
+        };
+        self.proofs[client.index()] = Some(msg.proof_sig);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::UstorClient;
+    use faust_crypto::sig::KeySet;
+
+    fn setup(n: usize) -> (UstorServer, Vec<UstorClient>) {
+        let keys = KeySet::generate(n, b"server-tests");
+        let clients = (0..n)
+            .map(|i| {
+                UstorClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                )
+            })
+            .collect();
+        (UstorServer::new(n), clients)
+    }
+
+    /// Runs one full operation synchronously through the server.
+    fn run_op(
+        server: &mut UstorServer,
+        client: &mut UstorClient,
+        submit: SubmitMsg,
+    ) -> crate::client::OpCompletion {
+        let id = client.id();
+        let mut replies = server.on_submit(id, submit);
+        assert_eq!(replies.len(), 1);
+        let (to, reply) = replies.pop().unwrap();
+        assert_eq!(to, id);
+        let (commit, done) = client.handle_reply(reply).expect("correct server");
+        server.on_commit(id, commit.expect("immediate mode"));
+        done
+    }
+
+    #[test]
+    fn write_then_read_returns_value() {
+        let (mut s, mut cs) = setup(2);
+        let submit = cs[0].begin_write(Value::from("v1")).unwrap();
+        let w = run_op(&mut s, &mut cs[0], submit);
+        assert_eq!(w.timestamp, 1);
+
+        let submit = cs[1].begin_read(ClientId::new(0)).unwrap();
+        let r = run_op(&mut s, &mut cs[1], submit);
+        assert_eq!(r.read_value, Some(Some(Value::from("v1"))));
+    }
+
+    #[test]
+    fn read_of_unwritten_register_returns_bottom() {
+        let (mut s, mut cs) = setup(2);
+        let submit = cs[1].begin_read(ClientId::new(0)).unwrap();
+        let r = run_op(&mut s, &mut cs[1], submit);
+        assert_eq!(r.read_value, Some(None));
+    }
+
+    #[test]
+    fn read_own_register() {
+        let (mut s, mut cs) = setup(2);
+        let submit = cs[0].begin_write(Value::from("mine")).unwrap();
+        run_op(&mut s, &mut cs[0], submit);
+        let submit = cs[0].begin_read(ClientId::new(0)).unwrap();
+        let r = run_op(&mut s, &mut cs[0], submit);
+        assert_eq!(r.read_value, Some(Some(Value::from("mine"))));
+    }
+
+    #[test]
+    fn sequential_ops_commit_increasing_versions() {
+        let (mut s, mut cs) = setup(3);
+        let mut last = Version::initial(3);
+        for round in 0..5u64 {
+            for i in 0..3usize {
+                let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+                let done = run_op(&mut s, &mut cs[i], submit);
+                assert!(last.lt(&done.version), "versions must grow");
+                last = done.version;
+            }
+        }
+    }
+
+    use faust_types::Version;
+
+    #[test]
+    fn pending_list_garbage_collected() {
+        let (mut s, mut cs) = setup(3);
+        for round in 0..4u64 {
+            for i in 0..3usize {
+                let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+                run_op(&mut s, &mut cs[i], submit);
+            }
+        }
+        // After quiescence every submitted op has committed; L is empty.
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_submits_fill_pending_list() {
+        let (mut s, mut cs) = setup(3);
+        // Three clients submit before any commits arrive.
+        let m0 = cs[0].begin_write(Value::from("a")).unwrap();
+        let m1 = cs[1].begin_write(Value::from("b")).unwrap();
+        let m2 = cs[2].begin_write(Value::from("c")).unwrap();
+        let r0 = s.on_submit(ClientId::new(0), m0);
+        let r1 = s.on_submit(ClientId::new(1), m1);
+        let r2 = s.on_submit(ClientId::new(2), m2);
+        assert_eq!(s.pending_len(), 3);
+        // Replies see increasing amounts of concurrency.
+        assert_eq!(r0[0].1.pending.len(), 0);
+        assert_eq!(r1[0].1.pending.len(), 1);
+        assert_eq!(r2[0].1.pending.len(), 2);
+
+        // All clients can complete without waiting for each other
+        // (wait-freedom with a correct server).
+        let (c0, d0) = cs[0].handle_reply(r0.into_iter().next().unwrap().1).unwrap();
+        let (c1, d1) = cs[1].handle_reply(r1.into_iter().next().unwrap().1).unwrap();
+        let (c2, d2) = cs[2].handle_reply(r2.into_iter().next().unwrap().1).unwrap();
+        let (c0, c1, c2) = (c0.unwrap(), c1.unwrap(), c2.unwrap());
+        assert_eq!(d0.timestamp, 1);
+        assert_eq!(d1.timestamp, 1);
+        assert_eq!(d2.timestamp, 1);
+        // Versions reflect the schedule: c1's version includes c0's op.
+        assert_eq!(d1.version.v().get(ClientId::new(0)), 1);
+        assert_eq!(d2.version.v().get(ClientId::new(0)), 1);
+        assert_eq!(d2.version.v().get(ClientId::new(1)), 1);
+        s.on_commit(ClientId::new(0), c0);
+        s.on_commit(ClientId::new(1), c1);
+        s.on_commit(ClientId::new(2), c2);
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_read_sees_pending_write() {
+        // A read scheduled after a not-yet-committed write returns the new
+        // value: MEM is updated at SUBMIT time.
+        let (mut s, mut cs) = setup(2);
+        let w = cs[0].begin_write(Value::from("new")).unwrap();
+        let wr = s.on_submit(ClientId::new(0), w);
+        // C1 reads while C0's write is uncommitted.
+        let r = cs[1].begin_read(ClientId::new(0)).unwrap();
+        let rr = s.on_submit(ClientId::new(1), r);
+        let (_, done) = cs[1].handle_reply(rr.into_iter().next().unwrap().1).unwrap();
+        assert_eq!(done.read_value, Some(Some(Value::from("new"))));
+        // C0 completes afterwards — nobody blocked.
+        let (_, d0) = cs[0].handle_reply(wr.into_iter().next().unwrap().1).unwrap();
+        assert_eq!(d0.timestamp, 1);
+    }
+}

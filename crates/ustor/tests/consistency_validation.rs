@@ -1,0 +1,151 @@
+//! Cross-validation: histories produced by the USTOR protocol are fed to
+//! the consistency checkers of `faust-consistency`, mechanically verifying
+//! the paper's claims:
+//!
+//! * with a correct server, every execution is linearizable and wait-free
+//!   (Definition 5, properties 1–2);
+//! * under the forking attacks, executions remain causally consistent and
+//!   weakly fork-linearizable up to the point of detection (Definition 5,
+//!   property 3; Section 5).
+
+use faust_consistency::{
+    check_causal_consistency, check_fork_linearizability, check_linearizability,
+    check_wait_freedom, check_weak_fork_linearizability, Budget, Verdict,
+};
+use faust_sim::{DelayModel, SimConfig};
+use faust_types::{ClientId, Value};
+use faust_ustor::adversary::{Fig3Server, SplitBrainServer};
+use faust_ustor::{random_workloads, Driver, UstorServer, WorkloadOp};
+
+fn c(i: u32) -> ClientId {
+    ClientId::new(i)
+}
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        link_delay: DelayModel::Uniform(1, 20),
+        offline_delay: DelayModel::Fixed(50),
+    }
+}
+
+#[test]
+fn correct_server_runs_are_linearizable_and_wait_free() {
+    let budget = Budget::default();
+    for seed in 0..20 {
+        let n = 2 + (seed as usize % 3);
+        let mut driver = Driver::new(
+            n,
+            Box::new(UstorServer::new(n)),
+            sim_config(seed),
+            b"lin-validation",
+        );
+        for (i, w) in random_workloads(n, 5, 0.5, seed).into_iter().enumerate() {
+            driver.push_ops(c(i as u32), w);
+        }
+        let result = driver.run();
+        assert!(!result.detected_fault(), "seed {seed}");
+        assert!(check_wait_freedom(&result.history, &[]), "seed {seed}");
+        assert_eq!(
+            check_linearizability(&result.history, &budget),
+            Verdict::Satisfied,
+            "seed {seed}: {:?}",
+            result.history
+        );
+    }
+}
+
+#[test]
+fn correct_server_with_client_crashes_stays_linearizable() {
+    let budget = Budget::default();
+    for seed in 0..10 {
+        let n = 3;
+        let mut driver = Driver::new(
+            n,
+            Box::new(UstorServer::new(n)),
+            sim_config(seed + 100),
+            b"crash-validation",
+        );
+        let mut workloads = random_workloads(n, 4, 0.6, seed).into_iter();
+        let mut w0: Vec<WorkloadOp> = workloads.next().unwrap();
+        w0.insert(2, WorkloadOp::Crash);
+        driver.push_ops(c(0), w0);
+        driver.push_ops(c(1), workloads.next().unwrap());
+        driver.push_ops(c(2), workloads.next().unwrap());
+        let result = driver.run();
+        assert!(!result.detected_fault());
+        assert!(check_wait_freedom(&result.history, &[c(0)]), "seed {seed}");
+        assert_eq!(
+            check_linearizability(&result.history, &budget),
+            Verdict::Satisfied,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fig3_driver_history_matches_paper_verdicts() {
+    let mut driver = Driver::new(
+        2,
+        Box::new(Fig3Server::new(2, c(0), c(1))),
+        SimConfig::default(),
+        b"fig3-validation",
+    );
+    driver.push_op(c(0), WorkloadOp::Write(Value::from("u")));
+    driver.push_ops(
+        c(1),
+        vec![
+            WorkloadOp::Pause(20), // the write completes first
+            WorkloadOp::Read(c(0)),
+            WorkloadOp::Read(c(0)),
+        ],
+    );
+    let result = driver.run();
+    assert!(!result.detected_fault(), "attack is undetectable by USTOR");
+    assert_eq!(result.incomplete_ops, 0, "attack preserves wait-freedom");
+
+    let budget = Budget::default();
+    let h = &result.history;
+    // The reader's first read returned ⊥ despite the completed write.
+    let reads: Vec<_> = result.completions[1]
+        .iter()
+        .map(|done| done.read_value.clone().unwrap())
+        .collect();
+    assert_eq!(reads, vec![None, Some(Value::from("u"))]);
+
+    assert!(check_linearizability(h, &budget).is_violated());
+    assert!(check_fork_linearizability(h, &budget).is_violated());
+    assert_eq!(check_weak_fork_linearizability(h, &budget), Verdict::Satisfied);
+    assert_eq!(check_causal_consistency(h, &budget), Verdict::Satisfied);
+}
+
+#[test]
+fn split_brain_histories_stay_weakly_fork_linearizable() {
+    let budget = Budget::default();
+    for seed in 0..10 {
+        let n = 4;
+        let server = SplitBrainServer::new(
+            n,
+            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
+            seed as usize % 5,
+        );
+        let mut driver = Driver::new(n, Box::new(server), sim_config(seed), b"fork-validation");
+        for (i, w) in random_workloads(n, 3, 0.7, seed).into_iter().enumerate() {
+            driver.push_ops(c(i as u32), w);
+        }
+        let result = driver.run();
+        assert!(
+            !result.detected_fault(),
+            "a pure fork is undetectable by USTOR alone (seed {seed})"
+        );
+        // Wait-freedom survives the attack: every operation completes.
+        assert_eq!(result.incomplete_ops, 0, "seed {seed}");
+        let weak = check_weak_fork_linearizability(&result.history, &budget);
+        assert!(
+            weak == Verdict::Satisfied || matches!(weak, Verdict::Unknown(_)),
+            "seed {seed}: {weak:?}"
+        );
+        let causal = check_causal_consistency(&result.history, &budget);
+        assert_eq!(causal, Verdict::Satisfied, "seed {seed}");
+    }
+}

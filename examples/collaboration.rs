@@ -1,0 +1,127 @@
+//! The collaborative-editing scenario of Section 3 and Figure 2: Alice
+//! and Bob work from Europe while Carlos (America) is asleep.
+//!
+//! Alice completes her operation with timestamp 10 and receives the
+//! notification `stable_Alice([10, 8, 3])`: she is trivially consistent
+//! with herself up to timestamp 10, consistent with Bob up to her
+//! operation 8, and consistent with Carlos only up to her operation 3 —
+//! Carlos went offline after that. Alice cannot tell whether Carlos is
+//! merely asleep or the server is hiding his operations; when Carlos
+//! reconnects, all operations eventually become stable at all clients,
+//! because the server is in fact correct.
+//!
+//! Run with: `cargo run --example collaboration`
+
+use faust::core::{FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification};
+use faust::sim::{DelayModel, SimConfig};
+use faust::types::{ClientId, Value};
+use faust::ustor::UstorServer;
+
+const ALICE: ClientId = ClientId::new(0);
+const BOB: ClientId = ClientId::new(1);
+const CARLOS: ClientId = ClientId::new(2);
+
+fn main() {
+    let mut driver = FaustDriver::new(
+        3,
+        Box::new(UstorServer::new(3)),
+        FaustDriverConfig {
+            sim: SimConfig {
+                seed: 2,
+                link_delay: DelayModel::Fixed(1),
+                offline_delay: DelayModel::Fixed(20),
+            },
+            faust: FaustConfig {
+                // Probes kick in only after the scripted day is over, so
+                // the cut [10, 8, 3] is reproduced exactly.
+                probe_period: 2_000,
+                dummy_reads: false,
+                commit_mode: faust::ustor::CommitMode::Immediate,
+            },
+            tick_period: 25,
+        },
+        b"figure-2",
+    );
+
+    // Alice's working day: 10 operations, timestamps 1..=10.
+    driver.push_ops(
+        ALICE,
+        vec![
+            // t = 1, 2, 3: morning edits.
+            FaustWorkloadOp::Write(Value::from("alice rev 1")),
+            FaustWorkloadOp::Write(Value::from("alice rev 2")),
+            FaustWorkloadOp::Write(Value::from("alice rev 3")),
+            // Carlos reads rev 3 at ~t=60, then goes to sleep.
+            FaustWorkloadOp::Pause(100),
+            // t = 4: Alice sees Carlos's state (importing his version,
+            // which covers her first three operations).
+            FaustWorkloadOp::Read(CARLOS),
+            // t = 5..8: afternoon edits.
+            FaustWorkloadOp::Write(Value::from("alice rev 4")),
+            FaustWorkloadOp::Write(Value::from("alice rev 5")),
+            FaustWorkloadOp::Write(Value::from("alice rev 6")),
+            FaustWorkloadOp::Write(Value::from("alice rev 7")),
+            FaustWorkloadOp::Pause(150),
+            // t = 9: Alice sees Bob's state (covering her ops up to 8).
+            FaustWorkloadOp::Read(BOB),
+            // t = 10: one more edit -> stable_Alice([10, 8, 3]).
+            FaustWorkloadOp::Write(Value::from("alice rev 8")),
+        ],
+    );
+    driver.push_ops(
+        BOB,
+        vec![
+            // Bob catches up with Alice's work right after her t=8.
+            FaustWorkloadOp::Pause(230),
+            FaustWorkloadOp::Read(ALICE),
+        ],
+    );
+    driver.push_ops(
+        CARLOS,
+        vec![
+            // Carlos reads Alice's morning work…
+            FaustWorkloadOp::Pause(55),
+            FaustWorkloadOp::Read(ALICE),
+            // …and then sleeps through the rest of the day.
+            FaustWorkloadOp::Disconnect(8_000),
+        ],
+    );
+
+    let result = driver.run_until(30_000);
+    assert!(result.failures.is_empty(), "server is correct");
+
+    println!("Alice's notifications:");
+    let mut seen_fig2_cut = false;
+    for (time, note) in &result.notifications[ALICE.index()] {
+        match note {
+            Notification::Completed(c) => {
+                println!("  t={time:>5}  completed op with timestamp {}", c.timestamp);
+            }
+            Notification::Stable(cut) => {
+                println!("  t={time:>5}  stable_Alice({cut})");
+                if cut.w == vec![10, 8, 3] {
+                    seen_fig2_cut = true;
+                    println!("           ^^^ the stability cut of Figure 2");
+                }
+            }
+            Notification::Failed(r) => println!("  t={time:>5}  FAIL: {r}"),
+        }
+    }
+
+    assert!(
+        seen_fig2_cut,
+        "expected the exact Figure 2 cut [10,8,3]; got {:?}",
+        result.last_cut(ALICE)
+    );
+
+    // After Carlos reconnects, the offline probe exchange spreads the
+    // maximal version, and Alice's operations become stable with respect
+    // to everyone.
+    let final_cut = result.last_cut(ALICE).expect("cuts were issued");
+    assert!(
+        final_cut.w.iter().all(|&w| w >= 10),
+        "eventual stability after Carlos returns; got {final_cut}"
+    );
+    println!("\nfinal cut: stable_Alice({final_cut}) — all 10 operations stable");
+    println!("(Carlos reconnected; the server was correct all along.)");
+}

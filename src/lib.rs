@@ -1,0 +1,15 @@
+//! Umbrella crate for the FAUST reproduction.
+//!
+//! Re-exports the full protocol stack. See the individual crates for
+//! details; start with [`core`] for the fail-aware service and [`ustor`]
+//! for the underlying storage protocol.
+
+#![forbid(unsafe_code)]
+
+pub use faust_baseline as baseline;
+pub use faust_consistency as consistency;
+pub use faust_core as core;
+pub use faust_crypto as crypto;
+pub use faust_sim as sim;
+pub use faust_types as types;
+pub use faust_ustor as ustor;
