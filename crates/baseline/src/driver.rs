@@ -2,7 +2,9 @@
 //! `faust_ustor::Driver` so the two protocols can be compared head-to-head
 //! on identical workloads (experiment E7: wait-freedom vs. blocking).
 
-use crate::protocol::{LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit};
+use crate::protocol::{
+    LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit,
+};
 use faust_crypto::sig::KeySet;
 use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
 use faust_types::{ClientId, History, OpId, OpKind, Value};
@@ -145,8 +147,7 @@ impl LsDriver {
     /// holding the global lock, which is the blocking scenario of
     /// experiment E7.
     pub fn crash_at(&mut self, client: ClientId, time: u64) {
-        self.sim
-            .set_timer(NodeId(client.as_u32()), time, CRASH_TAG);
+        self.sim.set_timer(NodeId(client.as_u32()), time, CRASH_TAG);
     }
 
     fn try_start(&mut self, i: usize) {
@@ -173,8 +174,11 @@ impl LsDriver {
                 LsWorkloadOp::Write(value) => {
                     let submit = slot.proto.begin_write(value.clone());
                     slot.current = Some(self.history.begin_write(client_id, value, now));
-                    self.sim
-                        .send(NodeId(i as u32), self.server_node(), LsNetMsg::Submit(submit));
+                    self.sim.send(
+                        NodeId(i as u32),
+                        self.server_node(),
+                        LsNetMsg::Submit(submit),
+                    );
                     return;
                 }
                 LsWorkloadOp::Read(register) => {
@@ -183,8 +187,11 @@ impl LsDriver {
                     }
                     let submit = slot.proto.begin_read(register);
                     slot.current = Some(self.history.begin_read(client_id, register, now));
-                    self.sim
-                        .send(NodeId(i as u32), self.server_node(), LsNetMsg::Submit(submit));
+                    self.sim.send(
+                        NodeId(i as u32),
+                        self.server_node(),
+                        LsNetMsg::Submit(submit),
+                    );
                     return;
                 }
             }
@@ -339,10 +346,14 @@ mod tests {
     fn lock_serializes_concurrent_clients() {
         // All clients submit at t=0; ops serialize behind the lock, so
         // the run takes ~2 round trips per op in sequence.
-        let mut d = LsDriver::new(4, SimConfig {
-            link_delay: faust_sim::DelayModel::Fixed(10),
-            ..SimConfig::default()
-        }, b"ls4");
+        let mut d = LsDriver::new(
+            4,
+            SimConfig {
+                link_delay: faust_sim::DelayModel::Fixed(10),
+                ..SimConfig::default()
+            },
+            b"ls4",
+        );
         for i in 0..4 {
             d.push_op(c(i), LsWorkloadOp::Write(Value::unique(i, 0)));
         }
@@ -351,6 +362,10 @@ mod tests {
         // Each op needs grant (10) + commit (10) before the next grant:
         // total ≥ 4 sequential ops ≈ 4 × 20 = 80 ticks. USTOR on the same
         // workload finishes in ~2 round trips total (all concurrent).
-        assert!(r.final_time >= 70, "ops must serialize, got {}", r.final_time);
+        assert!(
+            r.final_time >= 70,
+            "ops must serialize, got {}",
+            r.final_time
+        );
     }
 }

@@ -38,6 +38,5 @@ pub mod protocol;
 
 pub use driver::{LsDriver, LsRunResult, LsWorkloadOp};
 pub use protocol::{
-    LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit,
-    SignedState,
+    LockStepClient, LockStepServer, LsCommit, LsCompletion, LsFault, LsGrant, LsSubmit, SignedState,
 };

@@ -301,9 +301,7 @@ impl LockStepClient {
         }
         next.author = self.id;
         next.sig = None;
-        let sig = self
-            .keypair
-            .sign(SigContext::Commit, &next.signing_bytes());
+        let sig = self.keypair.sign(SigContext::Commit, &next.signing_bytes());
         next.sig = Some(sig);
 
         self.own_count += 1;

@@ -1,57 +1,53 @@
 //! E10 (part 1): raw cryptographic costs — hashing, MACs, signatures,
 //! digest chains. These dominate USTOR's per-operation CPU cost.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faust_bench::timing::{bench, bench_throughput, section};
 use faust_crypto::chain::chain_extend;
-use faust_crypto::hmac::hmac_sha256;
-use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier};
+use faust_crypto::hmac::{hmac_sha256, PreparedHmac};
 use faust_crypto::sha256::sha256;
+use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier};
+use std::hint::black_box;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    section("sha256");
     for size in [64usize, 1024, 65536] {
         let data = vec![0xAB; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| sha256(black_box(data)))
+        bench_throughput(&format!("sha256/{size}B"), size, || {
+            black_box(sha256(black_box(&data)));
         });
     }
-    group.finish();
-}
 
-fn bench_hmac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hmac_sha256");
+    section("hmac_sha256");
     for size in [64usize, 1024] {
         let data = vec![0xCD; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| hmac_sha256(b"bench key", black_box(data)))
+        bench_throughput(&format!("hmac_sha256/{size}B"), size, || {
+            black_box(hmac_sha256(b"bench key", black_box(&data)));
         });
     }
-    group.finish();
-}
+    let prepared = PreparedHmac::new(b"bench key");
+    for size in [64usize, 1024] {
+        let data = vec![0xCD; size];
+        bench_throughput(&format!("hmac_sha256_prepared/{size}B"), size, || {
+            black_box(prepared.mac(&[black_box(&data)]));
+        });
+    }
 
-fn bench_signatures(c: &mut Criterion) {
+    section("signatures");
     let keys = KeySet::generate(4, b"bench");
     let signer = keys.keypair(0).unwrap();
     let registry = keys.registry();
     let msg = vec![0xEF; 128];
     let sig = signer.sign(SigContext::Commit, &msg);
-
-    c.bench_function("sign_128B", |b| {
-        b.iter(|| signer.sign(SigContext::Commit, black_box(&msg)))
+    bench("sign_128B", || {
+        black_box(signer.sign(SigContext::Commit, black_box(&msg)));
     });
-    c.bench_function("verify_128B", |b| {
-        b.iter(|| registry.verify(0, SigContext::Commit, black_box(&msg), &sig))
+    bench("verify_128B", || {
+        black_box(registry.verify(0, SigContext::Commit, black_box(&msg), &sig));
     });
-}
 
-fn bench_chain(c: &mut Criterion) {
+    section("digest chains");
     let d = chain_extend(None, 0);
-    c.bench_function("chain_extend", |b| {
-        b.iter(|| chain_extend(black_box(Some(d)), black_box(3)))
+    bench("chain_extend", || {
+        black_box(chain_extend(black_box(Some(d)), black_box(3)));
     });
 }
-
-criterion_group!(benches, bench_sha256, bench_hmac, bench_signatures, bench_chain);
-criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Transport benchmark: end-to-end USTOR operation throughput through the
+//! server engine over the in-process channel transport and over loopback
+//! TCP with length-prefixed framing — the cost of putting a real network
+//! edge in front of the same engine.
+
+use faust_core::runtime::{run_threaded_over, spawn_engine, ThreadedOp, ThreadedReport};
+use faust_net::{channel, tcp, ClientConn, TcpServerTransport};
+use faust_types::{ClientId, Value};
+use faust_ustor::UstorServer;
+use std::time::Instant;
+
+const OPS_PER_CLIENT: u64 = 400;
+
+fn workloads(n: usize) -> Vec<Vec<ThreadedOp>> {
+    (0..n)
+        .map(|i| {
+            (0..OPS_PER_CLIENT)
+                .map(|s| {
+                    if s % 4 == 3 && n > 1 {
+                        ThreadedOp::Read(ClientId::new(((i as u32) + 1) % n as u32))
+                    } else {
+                        ThreadedOp::Write(Value::unique(i as u32, s))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_channel(n: usize) -> ThreadedReport {
+    let (transport, conns) = channel::pair(n);
+    let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+    run_threaded_over(n, workloads(n), conns, b"bench-net", engine)
+}
+
+fn run_tcp(n: usize) -> ThreadedReport {
+    let transport = TcpServerTransport::bind("127.0.0.1:0", n).expect("bind loopback");
+    let addr = transport.local_addr();
+    let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+    let conns: Vec<ClientConn> = (0..n)
+        .map(|i| tcp::connect(addr, ClientId::new(i as u32)).expect("connect"))
+        .collect();
+    run_threaded_over(n, workloads(n), conns, b"bench-net", engine)
+}
+
+/// Times `f` three times and reports the best ops/s (threaded runs are
+/// long enough that best-of is stable).
+fn measure(name: &str, n: usize, f: impl Fn(usize) -> ThreadedReport) {
+    let total_ops = (n as u64 * OPS_PER_CLIENT) as f64;
+    let mut best = f64::MIN;
+    let mut last = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = f(n);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.faults.is_empty(), "faults during bench");
+        assert_eq!(report.completions.iter().sum::<usize>() as f64, total_ops);
+        best = best.max(total_ops / secs);
+        last = Some(report);
+    }
+    let report = last.expect("three runs");
+    println!(
+        "{:<44} {:>12.0} ops/s   (max batch {})",
+        name, best, report.engine_stats.max_batch
+    );
+}
+
+fn main() {
+    println!("\n== engine throughput by transport ({OPS_PER_CLIENT} ops/client) ==");
+    for n in [1usize, 4, 8] {
+        measure(&format!("channel_transport/n{n}"), n, run_channel);
+    }
+    for n in [1usize, 4, 8] {
+        measure(&format!("tcp_loopback_transport/n{n}"), n, run_tcp);
+    }
+}

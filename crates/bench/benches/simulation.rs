@@ -3,76 +3,58 @@
 //! The *virtual-time* series these scenarios produce are printed by the
 //! `experiments` binary; these benches measure the harness itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faust_baseline::{LsDriver, LsWorkloadOp};
+use faust_bench::timing::{bench, section};
 use faust_core::{FaustDriver, FaustDriverConfig, FaustWorkloadOp};
 use faust_sim::SimConfig;
 use faust_types::{ClientId, Value};
 use faust_ustor::adversary::SplitBrainServer;
 use faust_ustor::{Driver, UstorServer, WorkloadOp};
+use std::hint::black_box;
 
 fn c(i: u32) -> ClientId {
     ClientId::new(i)
 }
 
-fn bench_ustor_run(b: &mut Criterion) {
-    let mut group = b.benchmark_group("sim_ustor_run");
+fn main() {
+    section("simulated USTOR runs (10 writes per client)");
     for n in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut d = Driver::new(
-                    n,
-                    Box::new(UstorServer::new(n)),
-                    SimConfig::default(),
-                    b"bench",
-                );
-                for i in 0..n {
-                    for s in 0..10u64 {
-                        d.push_op(c(i as u32), WorkloadOp::Write(Value::unique(i as u32, s)));
-                    }
-                }
-                d.run()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_lockstep_run(b: &mut Criterion) {
-    let mut group = b.benchmark_group("sim_lockstep_run");
-    for n in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut d = LsDriver::new(n, SimConfig::default(), b"bench");
-                for i in 0..n {
-                    for s in 0..10u64 {
-                        d.push_op(c(i as u32), LsWorkloadOp::Write(Value::unique(i as u32, s)));
-                    }
-                }
-                d.run()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_faust_detection_run(b: &mut Criterion) {
-    b.bench_function("sim_faust_fork_detection", |b| {
-        b.iter(|| {
-            let server = SplitBrainServer::new(4, vec![vec![c(0), c(1)], vec![c(2), c(3)]], 0);
-            let mut d = FaustDriver::new(
-                4,
-                Box::new(server),
-                FaustDriverConfig::default(),
+        bench(&format!("sim_ustor_run/n{n}"), || {
+            let mut d = Driver::new(
+                n,
+                Box::new(UstorServer::new(n)),
+                SimConfig::default(),
                 b"bench",
             );
-            for i in 0..4 {
-                d.push_op(c(i), FaustWorkloadOp::Write(Value::unique(i, 0)));
+            for i in 0..n {
+                for s in 0..10u64 {
+                    d.push_op(c(i as u32), WorkloadOp::Write(Value::unique(i as u32, s)));
+                }
             }
-            d.run_until(5_000)
+            black_box(d.run());
         });
+    }
+
+    section("simulated lock-step baseline runs");
+    for n in [4usize, 16] {
+        bench(&format!("sim_lockstep_run/n{n}"), || {
+            let mut d = LsDriver::new(n, SimConfig::default(), b"bench");
+            for i in 0..n {
+                for s in 0..10u64 {
+                    d.push_op(c(i as u32), LsWorkloadOp::Write(Value::unique(i as u32, s)));
+                }
+            }
+            black_box(d.run());
+        });
+    }
+
+    section("full FAUST fork-detection run");
+    bench("sim_faust_fork_detection", || {
+        let server = SplitBrainServer::new(4, vec![vec![c(0), c(1)], vec![c(2), c(3)]], 0);
+        let mut d = FaustDriver::new(4, Box::new(server), FaustDriverConfig::default(), b"bench");
+        for i in 0..4 {
+            d.push_op(c(i), FaustWorkloadOp::Write(Value::unique(i, 0)));
+        }
+        black_box(d.run_until(5_000));
     });
 }
-
-criterion_group!(benches, bench_ustor_run, bench_lockstep_run, bench_faust_detection_run);
-criterion_main!(benches);

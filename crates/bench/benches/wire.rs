@@ -1,10 +1,13 @@
 //! E6 companion: wire codec throughput for the protocol messages whose
-//! sizes the `experiments` binary reports.
+//! sizes the `experiments` binary reports, plus the stream framing used
+//! by the TCP transport.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use faust_bench::steady_state;
-use faust_types::{ClientId, ReplyMsg, Value, Wire};
+use faust_bench::timing::{bench, section};
+use faust_types::frame::{frame_bytes, FrameDecoder};
+use faust_types::{ClientId, ReplyMsg, UstorMsg, Value, Wire};
 use faust_ustor::Server;
+use std::hint::black_box;
 
 /// Builds a representative steady-state read REPLY for `n` clients.
 fn sample_reply(n: usize) -> ReplyMsg {
@@ -17,39 +20,41 @@ fn sample_reply(n: usize) -> ReplyMsg {
         .1
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reply_encode");
+fn main() {
+    section("reply encode/decode");
     for n in [4usize, 16, 64] {
         let reply = sample_reply(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &reply, |b, reply| {
-            b.iter(|| black_box(reply).encode())
+        bench(&format!("reply_encode/n{n}"), || {
+            black_box(black_box(&reply).encode());
+        });
+        let bytes = reply.encode();
+        bench(&format!("reply_decode/n{n}"), || {
+            black_box(ReplyMsg::decode(black_box(&bytes)).expect("valid"));
         });
     }
-    group.finish();
-}
 
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reply_decode");
-    for n in [4usize, 16, 64] {
-        let bytes = sample_reply(n).encode();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &bytes, |b, bytes| {
-            b.iter(|| ReplyMsg::decode(black_box(bytes)).expect("valid"))
-        });
-    }
-    group.finish();
-}
-
-fn bench_submit_roundtrip(c: &mut Criterion) {
+    section("submit encode/decode");
     let (_, mut clients) = steady_state(4, 64);
     let submit = clients[0]
         .begin_write(Value::new(vec![0xA5; 64]))
         .expect("idle");
     let bytes = submit.encode();
-    c.bench_function("submit_encode", |b| b.iter(|| black_box(&submit).encode()));
-    c.bench_function("submit_decode", |b| {
-        b.iter(|| faust_types::SubmitMsg::decode(black_box(&bytes)).expect("valid"))
+    bench("submit_encode", || {
+        black_box(black_box(&submit).encode());
+    });
+    bench("submit_decode", || {
+        black_box(faust_types::SubmitMsg::decode(black_box(&bytes)).expect("valid"));
+    });
+
+    section("stream framing");
+    let msg = UstorMsg::Reply(sample_reply(16));
+    bench("frame_encode/n16_reply", || {
+        black_box(frame_bytes(black_box(&msg)));
+    });
+    let framed = frame_bytes(&msg);
+    bench("frame_decode/n16_reply", || {
+        let mut dec = FrameDecoder::new();
+        dec.extend(black_box(&framed));
+        black_box(dec.next_frame::<UstorMsg>().expect("valid").expect("one"));
     });
 }
-
-criterion_group!(benches, bench_encode, bench_decode, bench_submit_roundtrip);
-criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! A small wall-clock benchmarking harness.
+//!
+//! The repository vendors no benchmarking framework; the benches under
+//! `benches/` are plain `harness = false` binaries built on this module.
+//! Methodology: warm up, calibrate a batch size that runs for roughly
+//! `SAMPLE_TARGET`, time several batches, and report the median — robust
+//! against one-off scheduling noise without statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Target duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Warm-up duration before calibration.
+const WARMUP: Duration = Duration::from_millis(20);
+/// Number of timed samples; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Result of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub batch: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Times `f`, prints one formatted line, and returns the measurement.
+pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
+    let m = bench_quiet(name, f);
+    println!(
+        "{:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+        m.name,
+        m.ns_per_iter,
+        m.per_second()
+    );
+    m
+}
+
+/// Times `f` which processes `bytes` bytes per iteration; prints
+/// throughput alongside latency.
+pub fn bench_throughput(name: &str, bytes: usize, f: impl FnMut()) -> Measurement {
+    let m = bench_quiet(name, f);
+    println!(
+        "{:<44} {:>12.1} ns/iter {:>11.1} MiB/s",
+        m.name,
+        m.ns_per_iter,
+        bytes as f64 / (m.ns_per_iter / 1e9) / (1 << 20) as f64
+    );
+    m
+}
+
+/// [`bench`] without printing (callers format their own report line).
+pub fn bench_quiet(name: &str, mut f: impl FnMut()) -> Measurement {
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let batch = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Measurement {
+        name: name.to_string(),
+        ns_per_iter: samples[SAMPLES / 2],
+        batch,
+    }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}

@@ -111,7 +111,9 @@ fn problem<'a>(
     pred_of: impl Fn(usize) -> u64,
     max_nodes: &'a mut usize,
 ) -> SearchProblem<'a> {
-    let set: Vec<usize> = (0..history.len()).filter(|i| set_mask & (1 << i) != 0).collect();
+    let set: Vec<usize> = (0..history.len())
+        .filter(|i| set_mask & (1 << i) != 0)
+        .collect();
     let slot_of: std::collections::HashMap<usize, usize> =
         set.iter().enumerate().map(|(s, &i)| (i, s)).collect();
     let mut preds = Vec::with_capacity(set.len());
@@ -168,9 +170,7 @@ pub fn find_linearization(history: &History, budget: &Budget) -> (Verdict, Optio
     for &r in &orders.orphan_reads {
         if set_mask & (1 << r) != 0 {
             return (
-                Verdict::Violated(format!(
-                    "read op{r} returned a value no write produced"
-                )),
+                Verdict::Violated(format!("read op{r} returned a value no write produced")),
                 None,
             );
         }
@@ -185,7 +185,9 @@ pub fn find_linearization(history: &History, budget: &Budget) -> (Verdict, Optio
     );
     match search(&mut p, 1, true, |_| true) {
         SearchOutcome::Found(mut seqs) => {
-            let witness = seqs.pop().map(|s| s.into_iter().map(|i| OpId(i as u64)).collect());
+            let witness = seqs
+                .pop()
+                .map(|s| s.into_iter().map(|i| OpId(i as u64)).collect());
             (Verdict::Satisfied, witness)
         }
         SearchOutcome::NotFound => (
@@ -266,9 +268,7 @@ pub fn check_causal_consistency(history: &History, budget: &Budget) -> Verdict {
         match search(&mut p, 1, true, |_| true) {
             SearchOutcome::Found(_) => {}
             SearchOutcome::NotFound => {
-                return Verdict::Violated(format!(
-                    "{client} has no causally-ordered legal view"
-                ));
+                return Verdict::Violated(format!("{client} has no causally-ordered legal view"));
             }
             SearchOutcome::Exhausted => {
                 return Verdict::Unknown("node budget exhausted".into());
@@ -330,7 +330,10 @@ fn at_most_one_join(history: &History, vi: &[usize], vj: &[usize]) -> bool {
     let mut commons: Vec<usize> = vi.iter().copied().filter(|o| set_j.contains(o)).collect();
     commons.sort_unstable();
     for o in commons {
-        by_client.entry(history.ops()[o].client).or_default().push(o);
+        by_client
+            .entry(history.ops()[o].client)
+            .or_default()
+            .push(o);
     }
     for ops in by_client.values() {
         for &o in &ops[..ops.len().saturating_sub(1)] {
@@ -350,8 +353,7 @@ fn weak_real_time_ok(history: &History, orders: &Orders, view: &[usize]) -> bool
     for (pos, &o) in view.iter().enumerate() {
         last_of.insert(history.ops()[o].client, pos);
     }
-    let exempt: std::collections::HashSet<usize> =
-        last_of.values().map(|&pos| view[pos]).collect();
+    let exempt: std::collections::HashSet<usize> = last_of.values().map(|&pos| view[pos]).collect();
     for (qa, &a) in view.iter().enumerate() {
         if exempt.contains(&a) {
             continue;
@@ -435,10 +437,16 @@ fn check_forking(
         let set_mask = linearization_set(history, &orders);
         if orders.orphan_reads.iter().all(|r| set_mask & (1 << r) == 0) {
             let mut nodes = budget.max_nodes;
-            let mut p = problem(history, &orders, set_mask, |i| pred_of(&orders, i), &mut nodes);
-            if let SearchOutcome::Found(views) = search(&mut p, 1, false, |seq| {
-                post_filter(history, &orders, seq)
-            }) {
+            let mut p = problem(
+                history,
+                &orders,
+                set_mask,
+                |i| pred_of(&orders, i),
+                &mut nodes,
+            );
+            if let SearchOutcome::Found(views) =
+                search(&mut p, 1, false, |seq| post_filter(history, &orders, seq))
+            {
                 debug_assert!(!views.is_empty());
                 return Verdict::Satisfied;
             }
@@ -457,7 +465,13 @@ fn check_forking(
             }
         }
         let mut nodes = budget.max_nodes;
-        let mut p = problem(history, &orders, set_mask, |i| pred_of(&orders, i), &mut nodes);
+        let mut p = problem(
+            history,
+            &orders,
+            set_mask,
+            |i| pred_of(&orders, i),
+            &mut nodes,
+        );
         let out = search(&mut p, budget.max_views_per_client, false, |seq| {
             post_filter(history, &orders, seq)
         });
@@ -567,7 +581,7 @@ pub fn check_weak_fork_linearizability(history: &History, budget: &Budget) -> Ve
             // ordered by program order (condition 1).
             orders.causal.preds(i) & orders.write_mask() | orders.program.preds(i)
         },
-        |history, orders, seq| weak_real_time_ok(history, orders, seq),
+        weak_real_time_ok,
         at_most_one_join,
         "weak fork-linearizability",
     )
@@ -641,7 +655,10 @@ mod tests {
         assert!(check_linearizability(&h, &b()).is_violated());
         assert!(check_fork_linearizability(&h, &b()).is_violated());
         // …but weakly fork-linearizable and causal — exactly Figure 3.
-        assert_eq!(check_weak_fork_linearizability(&h, &b()), Verdict::Satisfied);
+        assert_eq!(
+            check_weak_fork_linearizability(&h, &b()),
+            Verdict::Satisfied
+        );
         assert_eq!(check_causal_consistency(&h, &b()), Verdict::Satisfied);
     }
 
@@ -652,7 +669,10 @@ mod tests {
     #[test]
     fn fig3_is_weak_but_not_fork_star() {
         let h = fig3_history();
-        assert_eq!(check_weak_fork_linearizability(&h, &b()), Verdict::Satisfied);
+        assert_eq!(
+            check_weak_fork_linearizability(&h, &b()),
+            Verdict::Satisfied
+        );
         assert!(check_fork_star_linearizability(&h, &b()).is_violated());
     }
 
@@ -679,7 +699,10 @@ mod tests {
 
         assert!(check_causal_consistency(&h, &b()).is_violated());
         assert!(check_weak_fork_linearizability(&h, &b()).is_violated());
-        assert_eq!(check_fork_star_linearizability(&h, &b()), Verdict::Satisfied);
+        assert_eq!(
+            check_fork_star_linearizability(&h, &b()),
+            Verdict::Satisfied
+        );
     }
 
     /// fork-* also passes ordinary linearizable histories (sanity).
@@ -713,7 +736,10 @@ mod tests {
 
         assert!(check_linearizability(&h, &b()).is_violated());
         assert_eq!(check_fork_linearizability(&h, &b()), Verdict::Satisfied);
-        assert_eq!(check_weak_fork_linearizability(&h, &b()), Verdict::Satisfied);
+        assert_eq!(
+            check_weak_fork_linearizability(&h, &b()),
+            Verdict::Satisfied
+        );
     }
 
     #[test]

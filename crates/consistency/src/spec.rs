@@ -28,7 +28,11 @@ pub enum SpecError {
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::WrongValue { op, expected, returned } => write!(
+            SpecError::WrongValue {
+                op,
+                expected,
+                returned,
+            } => write!(
                 f,
                 "{op} returned {returned:?} but the register held {expected:?}"
             ),

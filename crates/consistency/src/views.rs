@@ -262,7 +262,10 @@ mod tests {
             write_register: vec![Some(0), Some(1), Some(2), Some(3)],
             max_nodes: &mut nodes,
         };
-        assert_eq!(search(&mut p, 1000, false, |_| true), SearchOutcome::Exhausted);
+        assert_eq!(
+            search(&mut p, 1000, false, |_| true),
+            SearchOutcome::Exhausted
+        );
     }
 
     #[test]

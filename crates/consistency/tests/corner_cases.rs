@@ -102,8 +102,14 @@ fn notion_lattice_on_forked_history() {
 
     assert!(check_linearizability(&h, &b()).is_violated());
     assert_eq!(check_fork_linearizability(&h, &b()), Verdict::Satisfied);
-    assert_eq!(check_fork_star_linearizability(&h, &b()), Verdict::Satisfied);
-    assert_eq!(check_weak_fork_linearizability(&h, &b()), Verdict::Satisfied);
+    assert_eq!(
+        check_fork_star_linearizability(&h, &b()),
+        Verdict::Satisfied
+    );
+    assert_eq!(
+        check_weak_fork_linearizability(&h, &b()),
+        Verdict::Satisfied
+    );
     assert_eq!(check_causal_consistency(&h, &b()), Verdict::Satisfied);
 }
 
@@ -114,7 +120,10 @@ fn empty_history_trivially_consistent() {
     assert_eq!(check_linearizability(&h, &b()), Verdict::Satisfied);
     assert_eq!(check_causal_consistency(&h, &b()), Verdict::Satisfied);
     assert_eq!(check_fork_linearizability(&h, &b()), Verdict::Satisfied);
-    assert_eq!(check_weak_fork_linearizability(&h, &b()), Verdict::Satisfied);
+    assert_eq!(
+        check_weak_fork_linearizability(&h, &b()),
+        Verdict::Satisfied
+    );
 }
 
 /// Single-client histories reduce to sequential-spec checking.
@@ -178,7 +187,10 @@ fn fork_sequential_consistency_is_weaker_than_fork_linearizability() {
     h.complete_read(r2, 25, Some(Value::from("u")), None);
 
     assert!(check_fork_linearizability(&h, &b()).is_violated());
-    assert_eq!(check_fork_sequential_consistency(&h, &b()), Verdict::Satisfied);
+    assert_eq!(
+        check_fork_sequential_consistency(&h, &b()),
+        Verdict::Satisfied
+    );
 
     // A self-inconsistent client fails even fork-sequential-consistency.
     let mut bad = History::new();

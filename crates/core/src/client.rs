@@ -209,14 +209,14 @@ impl FaustClient {
                     }
                 }
                 if was_user {
-                    actions.notifications.push(Notification::Completed(
-                        FaustCompletion {
+                    actions
+                        .notifications
+                        .push(Notification::Completed(FaustCompletion {
                             kind: done.kind,
                             target: done.target,
                             timestamp: done.timestamp,
                             read_value: done.read_value.clone(),
-                        },
-                    ));
+                        }));
                 }
                 if self.failed.is_none() {
                     self.maybe_start(&mut actions, now);
@@ -381,7 +381,9 @@ impl FaustClient {
         let me = self.id();
         for j in ClientId::all(self.num_clients()) {
             if j != me {
-                actions.offline.push((j, OfflineMsg::failure(&self.keypair)));
+                actions
+                    .offline
+                    .push((j, OfflineMsg::failure(&self.keypair)));
             }
         }
         actions.notifications.push(Notification::Failed(reason));
@@ -462,7 +464,12 @@ mod tests {
     #[test]
     fn own_ops_are_immediately_self_stable() {
         let (mut server, mut clients) = setup(2);
-        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("x")), 0);
+        run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("x")),
+            0,
+        );
         let cut = clients[0].stability_cut();
         assert_eq!(cut.w[0], 1, "own entry tracks own timestamp");
         assert_eq!(cut.w[1], 0, "nothing known from the other client yet");
@@ -475,9 +482,24 @@ mod tests {
         // version. C1's version does not include any op of C0 yet, so
         // C0's stability w.r.t. C1 stays 0 — but after C1 reads C0's
         // register and C0 reads again, stability advances.
-        run_user_op(&mut server, &mut clients[1], UserOp::Write(Value::from("b")), 0);
-        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 1);
-        run_user_op(&mut server, &mut clients[1], UserOp::Read(ClientId::new(0)), 2);
+        run_user_op(
+            &mut server,
+            &mut clients[1],
+            UserOp::Write(Value::from("b")),
+            0,
+        );
+        run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("a")),
+            1,
+        );
+        run_user_op(
+            &mut server,
+            &mut clients[1],
+            UserOp::Read(ClientId::new(0)),
+            2,
+        );
         let notes = run_user_op(
             &mut server,
             &mut clients[0],
@@ -487,15 +509,18 @@ mod tests {
         // C0 now holds a version from C1 whose entry for C0 is 1.
         let cut = clients[0].stability_cut();
         assert_eq!(cut.w[1], 1, "C1 vouches for C0's first op");
-        assert!(notes
-            .iter()
-            .any(|n| matches!(n, Notification::Stable(_))));
+        assert!(notes.iter().any(|n| matches!(n, Notification::Stable(_))));
     }
 
     #[test]
     fn probe_is_answered_with_max_version() {
         let (mut server, mut clients) = setup(2);
-        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("a")),
+            0,
+        );
         let (c0, c1) = {
             let (a, b) = clients.split_at_mut(1);
             (&mut a[0], &mut b[0])
@@ -526,18 +551,26 @@ mod tests {
     #[test]
     fn incomparable_version_triggers_failure() {
         let (mut server, mut clients) = setup(3);
-        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("a")),
+            0,
+        );
         // Forge a version on a different branch: same length, different
         // digest (as a forking server would produce).
         let mut fork = Version::initial(3);
         fork.v_mut().set(ClientId::new(0), 1);
-        fork.m_mut().set(ClientId::new(0), faust_crypto::sha256(b"other branch"));
+        fork.m_mut()
+            .set(ClientId::new(0), faust_crypto::sha256(b"other branch"));
         let keys = KeySet::generate(3, b"faust-client");
         let msg = OfflineMsg::version(keys.keypair(1).unwrap(), fork);
         let actions = clients[0].handle_offline(msg, 5);
         assert!(matches!(
             actions.notifications.last(),
-            Some(Notification::Failed(FailReason::IncomparableVersions { .. }))
+            Some(Notification::Failed(
+                FailReason::IncomparableVersions { .. }
+            ))
         ));
         // The failure is broadcast to all other clients.
         assert_eq!(actions.offline.len(), 2);
@@ -572,7 +605,12 @@ mod tests {
     #[test]
     fn tick_probes_silent_clients() {
         let (mut server, mut clients) = setup(3);
-        run_user_op(&mut server, &mut clients[0], UserOp::Write(Value::from("a")), 0);
+        run_user_op(
+            &mut server,
+            &mut clients[0],
+            UserOp::Write(Value::from("a")),
+            0,
+        );
         let actions = clients[0].on_tick(1000);
         let probed: Vec<ClientId> = actions.offline.iter().map(|(to, _)| *to).collect();
         assert_eq!(probed, vec![ClientId::new(1), ClientId::new(2)]);

@@ -13,9 +13,10 @@ use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
 use crate::events::{FailReason, Notification, StabilityCut};
 use crate::offline::OfflineMsg;
 use faust_crypto::sig::KeySet;
+use faust_net::QueueTransport;
 use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
 use faust_types::{ClientId, History, OpId, OpKind, Timestamp, UstorMsg, Value, Wire};
-use faust_ustor::Server;
+use faust_ustor::{serve, Server, ServerEngine};
 use std::collections::VecDeque;
 
 /// One step of a scripted FAUST client workload.
@@ -144,7 +145,10 @@ struct Slot {
 pub struct FaustDriver {
     n: usize,
     sim: Simulation<NetMsg>,
-    server: Box<dyn Server>,
+    /// The server side: protocol state behind the transport-agnostic
+    /// engine, fed through the deterministic queue transport.
+    engine: ServerEngine,
+    net: QueueTransport,
     slots: Vec<Slot>,
     history: History,
     tick_period: u64,
@@ -176,7 +180,7 @@ impl FaustDriver {
     /// Creates a driver for `n` FAUST clients against `server`.
     pub fn new(
         n: usize,
-        server: Box<dyn Server>,
+        server: Box<dyn Server + Send>,
         config: FaustDriverConfig,
         key_seed: &[u8],
     ) -> Self {
@@ -189,7 +193,8 @@ impl FaustDriver {
         FaustDriver {
             n,
             sim,
-            server,
+            engine: ServerEngine::new(n, server),
+            net: QueueTransport::new(),
             slots: (0..n)
                 .map(|i| Slot {
                     proto: FaustClient::new(
@@ -240,9 +245,7 @@ impl FaustDriver {
             if let Notification::Completed(c) = &note {
                 if let Some(op_id) = self.slots[i].current_user_op.take() {
                     match c.kind {
-                        OpKind::Write => {
-                            self.history.complete_write(op_id, now, Some(c.timestamp))
-                        }
+                        OpKind::Write => self.history.complete_write(op_id, now, Some(c.timestamp)),
                         OpKind::Read => self.history.complete_read(
                             op_id,
                             now,
@@ -357,16 +360,17 @@ impl FaustDriver {
                         let NetMsg::Ustor(m) = msg else {
                             continue; // offline messages never reach the server
                         };
-                        let replies = match m {
-                            UstorMsg::Submit(m) => self.server.on_submit(client, m),
-                            UstorMsg::Commit(m) => self.server.on_commit(client, m),
-                            UstorMsg::Reply(_) => Vec::new(),
-                        };
-                        for (rcpt, reply) in replies {
+                        // The simulator acts as the transport: deliveries
+                        // flow through the queue transport into the engine
+                        // and the outputs return into virtual time.
+                        self.net.push_incoming(client, m);
+                        serve(&mut self.engine, &mut self.net);
+                        let outputs: Vec<_> = self.net.drain_outgoing().collect();
+                        for (rcpt, out) in outputs {
                             self.sim.send(
                                 self.server_node(),
                                 NodeId(rcpt.as_u32()),
-                                NetMsg::Ustor(UstorMsg::Reply(reply)),
+                                NetMsg::Ustor(out),
                             );
                         }
                     } else {
@@ -416,9 +420,7 @@ pub fn random_faust_workloads(
     write_fraction: f64,
     seed: u64,
 ) -> Vec<Vec<FaustWorkloadOp>> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = faust_sim::SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
             (0..ops_per_client)
@@ -426,7 +428,7 @@ pub fn random_faust_workloads(
                     if rng.gen_bool(write_fraction) {
                         FaustWorkloadOp::Write(Value::unique(i as u32, seq as u64))
                     } else {
-                        FaustWorkloadOp::Read(ClientId::new(rng.gen_range(0..n) as u32))
+                        FaustWorkloadOp::Read(ClientId::new(rng.gen_index(n) as u32))
                     }
                 })
                 .collect()
@@ -444,7 +446,7 @@ mod tests {
         ClientId::new(i)
     }
 
-    fn default_driver(n: usize, server: Box<dyn Server>) -> FaustDriver {
+    fn default_driver(n: usize, server: Box<dyn Server + Send>) -> FaustDriver {
         FaustDriver::new(n, server, FaustDriverConfig::default(), b"faust-driver")
     }
 
@@ -487,7 +489,10 @@ mod tests {
                 },
                 b"accuracy",
             );
-            for (i, w) in random_faust_workloads(3, 6, 0.5, seed).into_iter().enumerate() {
+            for (i, w) in random_faust_workloads(3, 6, 0.5, seed)
+                .into_iter()
+                .enumerate()
+            {
                 d.push_ops(c(i as u32), w);
             }
             let r = d.run_until(10_000);
@@ -505,7 +510,12 @@ mod tests {
         d.push_op(c(0), FaustWorkloadOp::Write(Value::from("a")));
         d.push_op(c(1), FaustWorkloadOp::Write(Value::from("b")));
         let r = d.run_until(20_000);
-        assert_eq!(r.failures.len(), 2, "both clients must detect: {:?}", r.failures);
+        assert_eq!(
+            r.failures.len(),
+            2,
+            "both clients must detect: {:?}",
+            r.failures
+        );
         for i in 0..2 {
             assert!(r.failure_time(c(i)).is_some());
         }
@@ -528,7 +538,11 @@ mod tests {
         // USTOR alone cannot flag the attack, but FAUST's stability
         // mechanism eventually must (the forked versions are
         // incomparable).
-        assert!(!r.failures.is_empty(), "notifications: {:?}", r.notifications);
+        assert!(
+            !r.failures.is_empty(),
+            "notifications: {:?}",
+            r.notifications
+        );
     }
 
     #[test]
@@ -581,5 +595,66 @@ mod tests {
             "last cut: {:?}",
             r.last_cut(c(0))
         );
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use faust_ustor::adversary::SplitBrainServer;
+    use faust_ustor::UstorServer;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    /// The engine+transport refactor must preserve the simulator's
+    /// bit-for-bit reproducibility: identical seeds yield identical
+    /// histories, notification streams, and traffic metrics.
+    #[test]
+    fn fixed_seed_runs_are_bit_identical() {
+        let run = |server: Box<dyn Server + Send>| {
+            let mut d = FaustDriver::new(
+                3,
+                server,
+                FaustDriverConfig {
+                    sim: SimConfig {
+                        seed: 17,
+                        link_delay: faust_sim::DelayModel::Uniform(1, 9),
+                        offline_delay: faust_sim::DelayModel::Uniform(15, 60),
+                    },
+                    ..FaustDriverConfig::default()
+                },
+                b"determinism",
+            );
+            for (i, w) in random_faust_workloads(3, 5, 0.5, 23)
+                .into_iter()
+                .enumerate()
+            {
+                d.push_ops(c(i as u32), w);
+            }
+            let r = d.run_until(6_000);
+            (
+                r.history,
+                r.notifications,
+                r.failures,
+                r.metrics,
+                r.final_time,
+            )
+        };
+        let a = run(Box::new(UstorServer::new(3)));
+        let b = run(Box::new(UstorServer::new(3)));
+        assert_eq!(a.0, b.0, "histories diverged");
+        assert_eq!(a.1, b.1, "notifications diverged");
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3, "traffic metrics diverged");
+        assert_eq!(a.4, b.4);
+
+        // Determinism holds for Byzantine servers too.
+        let fork = || SplitBrainServer::new(3, vec![vec![c(0), c(1)], vec![c(2)]], 2);
+        let a = run(Box::new(fork()));
+        let b = run(Box::new(fork()));
+        assert_eq!(a.1, b.1, "Byzantine notifications diverged");
+        assert_eq!(a.4, b.4);
     }
 }

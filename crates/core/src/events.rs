@@ -78,7 +78,10 @@ impl fmt::Display for FailReason {
         match self {
             FailReason::Ustor(fault) => write!(f, "storage protocol check failed: {fault}"),
             FailReason::IncomparableVersions { from } => {
-                write!(f, "version from {from} is incomparable: the server forked our views")
+                write!(
+                    f,
+                    "version from {from} is incomparable: the server forked our views"
+                )
             }
             FailReason::ReportedBy(from) => write!(f, "{from} reported a server failure"),
         }

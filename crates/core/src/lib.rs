@@ -62,4 +62,7 @@ pub use driver::{
 };
 pub use events::{FailReason, FaustCompletion, Notification, StabilityCut};
 pub use offline::OfflineMsg;
-pub use threaded_faust::{run_threaded_faust, ThreadedFaustConfig, ThreadedFaustReport};
+pub use threaded_faust::{
+    run_threaded_faust, run_threaded_faust_over, run_threaded_faust_tcp, ThreadedFaustConfig,
+    ThreadedFaustReport,
+};

@@ -9,6 +9,7 @@
 //! accuracy).
 
 use faust_crypto::sig::{SigContext, Signature, Signer, Verifier};
+use faust_types::wire::WireError;
 use faust_types::{ClientId, Version, Wire};
 
 /// An offline client-to-client message.
@@ -115,14 +116,62 @@ impl OfflineMsg {
         }
     }
 
-    /// Approximate wire size in bytes (tag + sender + signature +
-    /// version payload if present).
+    /// Exact wire size in bytes (tag + sender + signature + version
+    /// payload if present).
     pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Wire for OfflineMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            OfflineMsg::Probe { .. } | OfflineMsg::Failure { .. } => 1 + 4 + Signature::LEN,
-            OfflineMsg::Version { version, .. } => {
-                1 + 4 + Signature::LEN + version.encoded_len()
+            OfflineMsg::Probe { from, sig } => {
+                out.push(0);
+                from.encode_into(out);
+                sig.encode_into(out);
             }
+            OfflineMsg::Version { from, version, sig } => {
+                out.push(1);
+                from.encode_into(out);
+                version.encode_into(out);
+                sig.encode_into(out);
+            }
+            OfflineMsg::Failure { from, sig } => {
+                out.push(2);
+                from.encode_into(out);
+                sig.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(input)? {
+            0 => Ok(OfflineMsg::Probe {
+                from: ClientId::decode_from(input)?,
+                sig: Signature::decode_from(input)?,
+            }),
+            1 => Ok(OfflineMsg::Version {
+                from: ClientId::decode_from(input)?,
+                version: Version::decode_from(input)?,
+                sig: Signature::decode_from(input)?,
+            }),
+            2 => Ok(OfflineMsg::Failure {
+                from: ClientId::decode_from(input)?,
+                sig: Signature::decode_from(input)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    // The simulator calls `size_bytes` (→ this) on every offline send;
+    // compute the size arithmetically instead of paying the default
+    // encode-and-measure allocation each time.
+    fn encoded_len(&self) -> usize {
+        let fixed = 1 + 4 + Signature::LEN; // tag + sender + signature
+        match self {
+            OfflineMsg::Probe { .. } | OfflineMsg::Failure { .. } => fixed,
+            OfflineMsg::Version { version, .. } => fixed + version.encoded_len(),
         }
     }
 }
@@ -184,5 +233,91 @@ mod tests {
             sig,
         };
         assert!(!tampered.verify(&reg));
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use faust_crypto::sig::KeySet;
+    use faust_types::wire::WireError;
+
+    fn samples() -> Vec<OfflineMsg> {
+        let keys = KeySet::generate(3, b"offline-wire");
+        let signer = keys.keypair(1).unwrap();
+        let mut version = Version::initial(3);
+        version.v_mut().increment(ClientId::new(1));
+        version
+            .m_mut()
+            .set(ClientId::new(1), faust_crypto::sha256(b"entry"));
+        vec![
+            OfflineMsg::probe(signer),
+            OfflineMsg::version(signer, version),
+            OfflineMsg::failure(signer),
+        ]
+    }
+
+    #[test]
+    fn offline_messages_roundtrip() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.size_bytes());
+            assert_eq!(OfflineMsg::decode(&bytes), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn truncated_and_bad_tag_rejected() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+                assert!(OfflineMsg::decode(&bytes[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        assert_eq!(OfflineMsg::decode(&[9]), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn decoded_messages_still_verify() {
+        let keys = KeySet::generate(3, b"offline-wire");
+        let reg = keys.registry();
+        for msg in samples() {
+            let decoded = OfflineMsg::decode(&msg.encode()).unwrap();
+            assert!(decoded.verify(&reg));
+        }
+    }
+
+    /// Property-style: offline messages framed back to back survive the
+    /// incremental stream decoder regardless of how the byte stream is
+    /// chunked.
+    #[test]
+    fn framed_offline_streams_roundtrip_across_arbitrary_splits() {
+        use faust_sim::SmallRng;
+        use faust_types::frame::{frame_bytes, FrameDecoder};
+
+        for case in 0u64..128 {
+            let mut rng = SmallRng::seed_from_u64(0x000F_F1CE ^ case);
+            let pool = samples();
+            let msgs: Vec<OfflineMsg> = (0..1 + rng.gen_index(6))
+                .map(|_| pool[rng.gen_index(pool.len())].clone())
+                .collect();
+            let mut stream = Vec::new();
+            for m in &msgs {
+                stream.extend_from_slice(&frame_bytes(m));
+            }
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = Vec::new();
+            let mut pos = 0;
+            while pos < stream.len() {
+                let chunk = 1 + rng.gen_index(13.min(stream.len() - pos));
+                decoder.extend(&stream[pos..pos + chunk]);
+                pos += chunk;
+                while let Some(m) = decoder.next_frame::<OfflineMsg>().expect("valid stream") {
+                    decoded.push(m);
+                }
+            }
+            assert_eq!(decoded, msgs, "case {case}");
+            assert_eq!(decoder.pending_bytes(), 0, "case {case}");
+        }
     }
 }

@@ -1,16 +1,19 @@
 //! Thread-per-client runtime: the same USTOR protocol stack as the
-//! simulator drives, but over real OS threads and channels — genuine
-//! concurrency rather than virtual time.
+//! simulator drives, but over real OS threads — genuine concurrency
+//! rather than virtual time.
 //!
-//! Used by the wait-freedom demonstrations and throughput benchmarks: a
-//! slow (or sleeping) client provably does not delay the others, because
-//! the server answers each SUBMIT immediately and never waits for
-//! anybody's COMMIT.
+//! The server side is the transport-agnostic [`ServerEngine`] running in
+//! its own thread over a [`faust_net`] transport (in-process channels
+//! here; the FAUST variant in [`crate::threaded_faust`] also runs over
+//! loopback TCP). Used by the wait-freedom demonstrations and throughput
+//! benchmarks: a slow (or sleeping) client provably does not delay the
+//! others, because the server answers each SUBMIT immediately and never
+//! waits for anybody's COMMIT.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use faust_crypto::sig::KeySet;
-use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg, Value};
-use faust_ustor::{Fault, Server, UstorClient, UstorServer};
+use faust_net::{channel, ClientConn};
+use faust_types::{ClientId, UstorMsg, Value};
+use faust_ustor::{serve, Fault, Server, ServerEngine, UstorClient, UstorServer};
 use std::time::{Duration, Instant};
 
 /// One step of a threaded client workload.
@@ -24,12 +27,6 @@ pub enum ThreadedOp {
     SleepMs(u64),
 }
 
-enum ToServer {
-    Submit(ClientId, SubmitMsg),
-    Commit(ClientId, CommitMsg),
-    Done,
-}
-
 /// Outcome of a threaded run.
 #[derive(Debug)]
 pub struct ThreadedReport {
@@ -41,9 +38,12 @@ pub struct ThreadedReport {
     pub elapsed: Duration,
     /// Wall-clock duration until each client finished its own workload.
     pub per_client_elapsed: Vec<Duration>,
+    /// Final engine statistics from the server thread.
+    pub engine_stats: faust_ustor::EngineStats,
 }
 
-/// Runs `n` clients on threads against a correct in-process USTOR server.
+/// Runs `n` clients on threads against a correct in-process USTOR server
+/// over the channel transport.
 ///
 /// Returns when every client has finished its workload. Because USTOR is
 /// wait-free, a client's [`ThreadedOp::SleepMs`] steps never extend the
@@ -53,46 +53,40 @@ pub struct ThreadedReport {
 ///
 /// Panics if `workloads.len() != n` or a thread panics.
 pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) -> ThreadedReport {
-    assert_eq!(workloads.len(), n, "one workload per client");
-    let keys = KeySet::generate(n, key_seed);
-    let (server_tx, server_rx) = unbounded::<ToServer>();
-    let mut reply_txs: Vec<Sender<ReplyMsg>> = Vec::with_capacity(n);
-    let mut reply_rxs: Vec<Option<Receiver<ReplyMsg>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<ReplyMsg>();
-        reply_txs.push(tx);
-        reply_rxs.push(Some(rx));
-    }
-
-    let server_thread = std::thread::spawn(move || {
-        let mut server = UstorServer::new(n);
-        let mut remaining = n;
-        while remaining > 0 {
-            let Ok(msg) = server_rx.recv() else { break };
-            match msg {
-                ToServer::Submit(client, m) => {
-                    for (rcpt, reply) in server.on_submit(client, m) {
-                        // A disconnected recipient only means the run is
-                        // ending; dropped replies are fine.
-                        let _ = reply_txs[rcpt.index()].send(reply);
-                    }
-                }
-                ToServer::Commit(client, m) => {
-                    server.on_commit(client, m);
-                }
-                ToServer::Done => remaining -= 1,
-            }
-        }
+    let (mut transport, conns) = channel::pair(n);
+    let engine_thread = std::thread::spawn(move || {
+        let mut engine = ServerEngine::new(n, Box::new(UstorServer::new(n)));
+        serve(&mut engine, &mut transport);
+        engine.stats().clone()
     });
+    run_threaded_over(n, workloads, conns, key_seed, engine_thread)
+}
+
+/// Runs `n` clients on threads over pre-built connections; the server
+/// engine runs wherever `engine_thread` put it (another thread, another
+/// process behind TCP, …).
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != conns.len() != n` or a thread panics.
+pub fn run_threaded_over(
+    n: usize,
+    workloads: Vec<Vec<ThreadedOp>>,
+    conns: Vec<ClientConn>,
+    key_seed: &[u8],
+    engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
+) -> ThreadedReport {
+    assert_eq!(workloads.len(), n, "one workload per client");
+    assert_eq!(conns.len(), n, "one connection per client");
+    let keys = KeySet::generate(n, key_seed);
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
-    for (i, workload) in workloads.into_iter().enumerate() {
+    for (i, (workload, conn)) in workloads.into_iter().zip(conns).enumerate() {
         let id = ClientId::new(i as u32);
+        assert_eq!(conn.id(), id, "connections must be in client order");
         let keypair = keys.keypair(i as u32).expect("generated").clone();
         let registry = keys.registry();
-        let tx = server_tx.clone();
-        let rx = reply_rxs[i].take().expect("one receiver per client");
         handles.push(std::thread::spawn(move || {
             let mut client = UstorClient::new(id, n, keypair, registry);
             let mut completions = 0usize;
@@ -108,15 +102,22 @@ pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) 
                     ThreadedOp::Read(j) => client.begin_read(j),
                 };
                 let Ok(submit) = submit else { break };
-                if tx.send(ToServer::Submit(id, submit)).is_err() {
+                if conn.send(&UstorMsg::Submit(submit)).is_err() {
                     break;
                 }
-                let Ok(reply) = rx.recv() else { break };
+                // The engine sends only replies to clients.
+                let reply = loop {
+                    match conn.recv() {
+                        Ok(UstorMsg::Reply(reply)) => break reply,
+                        Ok(_) => continue,
+                        Err(_) => break 'workload,
+                    }
+                };
                 match client.handle_reply(reply) {
                     Ok((commit, _done)) => {
                         completions += 1;
                         if let Some(commit) = commit {
-                            if tx.send(ToServer::Commit(id, commit)).is_err() {
+                            if conn.send(&UstorMsg::Commit(commit)).is_err() {
                                 break 'workload;
                             }
                         }
@@ -127,11 +128,11 @@ pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) 
                     }
                 }
             }
-            let _ = tx.send(ToServer::Done);
+            // Dropping `conn` here closes this client's connection; the
+            // engine thread finishes once every client has done so.
             (completions, fault, begun.elapsed())
         }));
     }
-    drop(server_tx);
 
     let mut completions = vec![0; n];
     let mut per_client_elapsed = vec![Duration::ZERO; n];
@@ -144,13 +145,42 @@ pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) 
             faults.push((ClientId::new(i as u32), f));
         }
     }
-    server_thread.join().expect("server thread panicked");
+    let engine_stats = engine_thread.join().expect("server thread panicked");
     ThreadedReport {
         completions,
         faults,
         elapsed: start.elapsed(),
         per_client_elapsed,
+        engine_stats,
     }
+}
+
+/// Spawns a server engine thread serving `server` over `transport`,
+/// returning the handle [`run_threaded_over`] expects.
+pub fn spawn_engine<T>(
+    n: usize,
+    server: Box<dyn Server + Send>,
+    transport: T,
+) -> std::thread::JoinHandle<faust_ustor::EngineStats>
+where
+    T: faust_net::ServerTransport + Send + 'static,
+{
+    spawn_engine_with(ServerEngine::new(n, server), transport)
+}
+
+/// [`spawn_engine`] for a pre-configured engine (e.g. with ingress
+/// verification enabled).
+pub fn spawn_engine_with<T>(
+    mut engine: ServerEngine,
+    mut transport: T,
+) -> std::thread::JoinHandle<faust_ustor::EngineStats>
+where
+    T: faust_net::ServerTransport + Send + 'static,
+{
+    std::thread::spawn(move || {
+        serve(&mut engine, &mut transport);
+        engine.stats().clone()
+    })
 }
 
 #[cfg(test)]
@@ -169,14 +199,13 @@ mod tests {
                 ThreadedOp::Write(Value::from("a2")),
                 ThreadedOp::Read(c(1)),
             ],
-            vec![
-                ThreadedOp::Write(Value::from("b1")),
-                ThreadedOp::Read(c(0)),
-            ],
+            vec![ThreadedOp::Write(Value::from("b1")), ThreadedOp::Read(c(0))],
         ];
         let report = run_threaded(2, workloads, b"threaded-test");
         assert_eq!(report.completions, vec![3, 2]);
         assert!(report.faults.is_empty());
+        assert_eq!(report.engine_stats.submits, 5);
+        assert_eq!(report.engine_stats.commits, 5);
     }
 
     #[test]
@@ -221,5 +250,30 @@ mod tests {
         let report = run_threaded(n, workloads, b"heavy");
         assert!(report.faults.is_empty(), "{:?}", report.faults);
         assert_eq!(report.completions, vec![25; 8]);
+    }
+
+    #[test]
+    fn threaded_run_over_tcp_loopback() {
+        // The same runtime, with the engine behind real TCP framing.
+        let n = 3;
+        let transport =
+            faust_net::TcpServerTransport::bind("127.0.0.1:0", n).expect("bind loopback");
+        let addr = transport.local_addr();
+        let engine_thread = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        let conns: Vec<ClientConn> = (0..n)
+            .map(|i| faust_net::tcp::connect(addr, c(i as u32)).expect("connect"))
+            .collect();
+        let workloads = (0..n)
+            .map(|i| {
+                vec![
+                    ThreadedOp::Write(Value::unique(i as u32, 0)),
+                    ThreadedOp::Read(c(((i as u32) + 1) % n as u32)),
+                ]
+            })
+            .collect();
+        let report = run_threaded_over(n, workloads, conns, b"tcp-threaded", engine_thread);
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        assert_eq!(report.completions, vec![2; 3]);
+        assert_eq!(report.engine_stats.submits, 6);
     }
 }

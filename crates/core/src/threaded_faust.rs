@@ -1,20 +1,25 @@
 //! Thread-per-client runtime for the *full* FAUST stack: USTOR through a
-//! server thread, plus direct client-to-client channels standing in for
-//! the offline communication method — the complete Figure 1 topology on
-//! real OS threads.
+//! server engine thread, plus direct client-to-client channels standing in
+//! for the offline communication method — the complete Figure 1 topology
+//! on real OS threads.
 //!
-//! The deterministic simulator remains the reference environment for
-//! experiments; this runtime demonstrates that the same sans-io protocol
-//! state machines run unchanged under genuine concurrency, and that
-//! detection and stability behave identically there.
+//! The server side is the transport-agnostic engine of `faust-ustor`
+//! behind a [`faust_net`] transport, so the same runtime runs over
+//! in-process channels ([`run_threaded_faust`]) or loopback TCP with
+//! length-prefixed frames ([`run_threaded_faust_tcp`]). The deterministic
+//! simulator remains the reference environment for experiments; these
+//! runtimes demonstrate that the same sans-io protocol state machines run
+//! unchanged under genuine concurrency, and that detection and stability
+//! behave identically there.
 
 use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
 use crate::events::{FailReason, Notification};
 use crate::offline::OfflineMsg;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use faust_crypto::sig::KeySet;
-use faust_types::{ClientId, ReplyMsg, UstorMsg};
+use faust_net::{channel, tcp, ClientConn, TcpServerTransport};
+use faust_types::{ClientId, UstorMsg};
 use faust_ustor::Server;
+use std::sync::mpsc::{channel as mpsc_channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
 /// Configuration of a threaded FAUST run.
@@ -49,6 +54,8 @@ pub struct ThreadedFaustReport {
     pub notifications: Vec<Vec<(u64, Notification)>>,
     /// Clients that emitted `fail`, with reasons.
     pub failures: Vec<(ClientId, FailReason)>,
+    /// Final engine statistics from the server thread.
+    pub engine_stats: faust_ustor::EngineStats,
 }
 
 impl ThreadedFaustReport {
@@ -72,19 +79,15 @@ impl ThreadedFaustReport {
     }
 }
 
-enum ToServer {
-    Ustor(ClientId, UstorMsg),
-    Shutdown,
-}
-
-/// Messages a client thread can receive.
+/// Messages a client thread can receive on its multiplexed inbox.
 enum ToClient {
-    Reply(ReplyMsg),
+    Reply(faust_types::ReplyMsg),
     Offline(OfflineMsg),
 }
 
-/// Runs `n` FAUST clients on threads against `server` (on its own
-/// thread), with direct inter-client channels as the offline medium.
+/// Runs `n` FAUST clients on threads against `server` (on its own engine
+/// thread) over the in-process channel transport, with direct inter-client
+/// channels as the offline medium.
 ///
 /// Each client first submits its entire workload, then keeps ticking
 /// (dummy reads + probes) until `config.run_for` elapses.
@@ -99,53 +102,102 @@ pub fn run_threaded_faust(
     config: ThreadedFaustConfig,
     key_seed: &[u8],
 ) -> ThreadedFaustReport {
+    let (transport, conns) = channel::pair(n);
+    let engine_thread = crate::runtime::spawn_engine(n, server, transport);
+    run_threaded_faust_over(n, workloads, conns, config, key_seed, engine_thread)
+}
+
+/// [`run_threaded_faust`] with the engine behind loopback TCP: every
+/// client↔server message crosses a real socket as a length-prefixed
+/// frame. The offline client-to-client channel remains in-process (the
+/// paper models it as a separate medium anyway).
+///
+/// # Errors
+///
+/// Propagates socket errors from binding or connecting.
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != n` or a thread panics.
+pub fn run_threaded_faust_tcp(
+    n: usize,
+    workloads: Vec<Vec<UserOp>>,
+    server: Box<dyn Server + Send>,
+    config: ThreadedFaustConfig,
+    key_seed: &[u8],
+) -> std::io::Result<ThreadedFaustReport> {
+    let transport = TcpServerTransport::bind("127.0.0.1:0", n)?;
+    let addr = transport.local_addr();
+    let engine_thread = crate::runtime::spawn_engine(n, server, transport);
+    let conns = (0..n)
+        .map(|i| tcp::connect(addr, ClientId::new(i as u32)))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(run_threaded_faust_over(
+        n,
+        workloads,
+        conns,
+        config,
+        key_seed,
+        engine_thread,
+    ))
+}
+
+/// The transport-independent core: runs the client threads over pre-built
+/// connections; the engine runs behind `engine_thread` (see
+/// [`crate::runtime::spawn_engine_with`] for custom engine setups such as
+/// ingress verification).
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != n`, the connections are not in client
+/// order, or a thread panics.
+pub fn run_threaded_faust_over(
+    n: usize,
+    workloads: Vec<Vec<UserOp>>,
+    conns: Vec<ClientConn>,
+    config: ThreadedFaustConfig,
+    key_seed: &[u8],
+    engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
+) -> ThreadedFaustReport {
     assert_eq!(workloads.len(), n, "one workload per client");
+    assert_eq!(conns.len(), n, "one connection per client");
     let keys = KeySet::generate(n, key_seed);
 
-    let (server_tx, server_rx) = unbounded::<ToServer>();
-    let mut client_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n);
-    let mut client_rxs: Vec<Option<Receiver<ToClient>>> = Vec::with_capacity(n);
+    // Multiplexed inbox per client: server replies (forwarded from the
+    // transport) and offline messages from peers.
+    let mut inbox_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n);
+    let mut inbox_rxs: Vec<Option<Receiver<ToClient>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded::<ToClient>();
-        client_txs.push(tx);
-        client_rxs.push(Some(rx));
+        let (tx, rx) = mpsc_channel();
+        inbox_txs.push(tx);
+        inbox_rxs.push(Some(rx));
     }
 
-    // Server thread.
-    let server_reply_txs = client_txs.clone();
-    let server_thread = std::thread::spawn(move || {
-        let mut server = server;
-        let mut shutdowns = 0;
-        while shutdowns < n {
-            let Ok(msg) = server_rx.recv() else { break };
-            match msg {
-                ToServer::Ustor(client, UstorMsg::Submit(m)) => {
-                    for (rcpt, reply) in server.on_submit(client, m) {
-                        let _ = server_reply_txs[rcpt.index()].send(ToClient::Reply(reply));
-                    }
-                }
-                ToServer::Ustor(client, UstorMsg::Commit(m)) => {
-                    for (rcpt, reply) in server.on_commit(client, m) {
-                        let _ = server_reply_txs[rcpt.index()].send(ToClient::Reply(reply));
-                    }
-                }
-                ToServer::Ustor(..) => {}
-                ToServer::Shutdown => shutdowns += 1,
-            }
-        }
-    });
-
-    // Client threads.
-    let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
-    for (i, workload) in workloads.into_iter().enumerate() {
+    for (i, (workload, conn)) in workloads.into_iter().zip(conns).enumerate() {
         let id = ClientId::new(i as u32);
+        assert_eq!(conn.id(), id, "connections must be in client order");
         let keypair = keys.keypair(i as u32).expect("generated").clone();
         let registry = keys.registry();
-        let to_server = server_tx.clone();
-        let peers = client_txs.clone();
-        let rx = client_rxs[i].take().expect("one receiver per client");
+        let peers = inbox_txs.clone();
+        let rx = inbox_rxs[i].take().expect("one receiver per client");
         let cfg = config;
+
+        // Forwarder: pumps the transport's replies into the multiplexed
+        // inbox, so the client thread has a single blocking receive.
+        let (to_server, from_server) = conn.split();
+        let mux_tx = inbox_txs[i].clone();
+        let forwarder = std::thread::spawn(move || {
+            while let Ok(msg) = from_server.recv() {
+                let UstorMsg::Reply(reply) = msg else {
+                    continue; // the engine only sends replies
+                };
+                if mux_tx.send(ToClient::Reply(reply)).is_err() {
+                    return;
+                }
+            }
+        });
+
         handles.push(std::thread::spawn(move || {
             let mut proto = FaustClient::new(id, n, keypair, registry, cfg.faust);
             let mut log: Vec<(u64, Notification)> = Vec::new();
@@ -154,7 +206,7 @@ pub fn run_threaded_faust(
 
             let dispatch = |actions: Actions, log: &mut Vec<(u64, Notification)>, t: u64| {
                 for msg in actions.to_server {
-                    let _ = to_server.send(ToServer::Ustor(id, msg));
+                    let _ = to_server.send(&msg);
                 }
                 for (rcpt, msg) in actions.offline {
                     let _ = peers[rcpt.index()].send(ToClient::Offline(msg));
@@ -200,12 +252,15 @@ pub fn run_threaded_faust(
                     Err(_) => {}
                 }
             }
-            let _ = to_server.send(ToServer::Shutdown);
+            // `to_server` drops here: the connection closes, the engine
+            // thread winds down once all clients have gone, and the
+            // forwarder exits on the closed transport.
+            drop(to_server);
+            let _ = forwarder.join();
             (log, proto.failure().cloned())
         }));
     }
-    drop(server_tx);
-    drop(client_txs);
+    drop(inbox_txs);
 
     let mut notifications = Vec::with_capacity(n);
     let mut failures = Vec::new();
@@ -216,11 +271,11 @@ pub fn run_threaded_faust(
             failures.push((ClientId::new(i as u32), reason));
         }
     }
-    server_thread.join().expect("server thread panicked");
-    let _ = start;
+    let engine_stats = engine_thread.join().expect("server thread panicked");
     ThreadedFaustReport {
         notifications,
         failures,
+        engine_stats,
     }
 }
 

@@ -18,12 +18,7 @@ fn c(i: u32) -> ClientId {
 fn one_detection_halts_everyone() {
     let n = 5;
     let server = TamperServer::new(n, c(2), 3, Tamper::CorruptCommitSig);
-    let mut driver = FaustDriver::new(
-        n,
-        Box::new(server),
-        FaustDriverConfig::default(),
-        b"gossip",
-    );
+    let mut driver = FaustDriver::new(n, Box::new(server), FaustDriverConfig::default(), b"gossip");
     for i in 0..n as u32 {
         driver.push_ops(
             c(i),

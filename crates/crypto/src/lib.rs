@@ -53,5 +53,8 @@ pub mod sha256;
 pub mod sig;
 
 pub use chain::{chain_digest, chain_extend};
+pub use hmac::PreparedHmac;
 pub use sha256::{sha256, Digest, Sha256};
-pub use sig::{KeySet, Keypair, SigContext, Signature, Signer, Verifier, VerifierRegistry};
+pub use sig::{
+    KeySet, Keypair, SigContext, Signature, Signer, Verifier, VerifierRegistry, VerifyItem,
+};

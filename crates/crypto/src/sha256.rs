@@ -4,7 +4,6 @@
 //! incremental hasher ([`Sha256`]) for streaming input. The implementation
 //! is verified against the NIST test vectors in this module's tests.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of bytes in a SHA-256 digest.
@@ -26,7 +25,7 @@ pub const DIGEST_LEN: usize = 32;
 ///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
 /// );
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest([u8; DIGEST_LEN]);
 
 impl Digest {

@@ -1,0 +1,69 @@
+//! Transport layer for the USTOR server engine.
+//!
+//! The protocol state machines in `faust-ustor` are sans-io; this crate
+//! defines how `(client, message)` pairs physically reach the server-side
+//! engine and how replies travel back. One trait, three implementations:
+//!
+//! * [`queue`] — a deterministic, single-threaded queue pair. This is the
+//!   adapter the discrete-event simulator drivers use: the simulator
+//!   delivers a message, pushes it into the queue transport, lets the
+//!   engine drain it, and forwards the outputs back into virtual time.
+//!   No threads, no syscalls, bit-for-bit reproducible.
+//! * [`channel`] — in-process `std::sync::mpsc` channels, for
+//!   thread-per-client runtimes on one machine.
+//! * [`tcp`] — length-prefixed frames over loopback or real TCP
+//!   (`std::net`), using the stream framing of [`faust_types::frame`].
+//!
+//! Client threads hold a [`ClientConn`] regardless of which transport
+//! backs it, so runtimes are written once and run over channels or TCP
+//! unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod conn;
+pub mod queue;
+pub mod tcp;
+
+pub use channel::ChannelServerTransport;
+pub use conn::{ClientConn, ConnSender, TransportClosed};
+pub use queue::QueueTransport;
+pub use tcp::{TcpServerTransport, MAX_CLIENTS};
+
+use faust_types::{ClientId, UstorMsg};
+
+/// One receive attempt on a server-side transport.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A message from a client.
+    Msg(ClientId, UstorMsg),
+    /// Nothing available right now (only returned by non-blocking
+    /// transports such as [`QueueTransport`]); the caller should return
+    /// control to whatever schedules deliveries.
+    Idle,
+    /// The transport is finished: every client connection has ended.
+    Closed,
+}
+
+/// Server side of a transport: a source of client messages and a sink for
+/// client-addressed replies.
+///
+/// Blocking implementations ([`channel`], [`tcp`]) park in
+/// [`ServerTransport::recv`] until traffic arrives and never return
+/// [`Incoming::Idle`]; the deterministic [`queue`] implementation returns
+/// `Idle` when drained. Sends are best-effort: a message to a departed
+/// client is silently dropped, exactly as a real server cannot force a
+/// client to stay connected.
+pub trait ServerTransport {
+    /// Receives the next client message, `Idle`, or `Closed`.
+    fn recv(&mut self) -> Incoming;
+
+    /// Non-blocking receive: a message if one is already available,
+    /// otherwise `Idle` (or `Closed`). Engine loops use this to gather a
+    /// whole batch of already-arrived traffic before processing.
+    fn try_recv(&mut self) -> Incoming;
+
+    /// Sends `msg` to client `to` (best-effort).
+    fn send(&mut self, to: ClientId, msg: UstorMsg);
+}

@@ -1,0 +1,384 @@
+//! Length-prefixed TCP transport over `std::net`.
+//!
+//! Frames use the stream framing of [`faust_types::frame`]: a 4-byte
+//! big-endian length followed by the exact wire encoding of the message.
+//! A connection starts with a single HELLO frame carrying the client's
+//! [`ClientId`].
+//!
+//! The HELLO is *identification, not authentication*: USTOR's security
+//! argument never trusts the server or the channel — every statement that
+//! matters is client-signed and re-verified by clients. A peer that lies
+//! about its id can at worst submit messages whose signatures do not
+//! verify, which the per-client checks (and the engine's optional ingress
+//! verification) reject.
+//!
+//! Threading model: the server runs one accept loop plus one reader thread
+//! per connection, all funnelling into a single event queue consumed by
+//! [`TcpServerTransport::recv`]; writes go directly to the per-client
+//! socket. Clients ([`connect`]) spawn one reader thread and receive
+//! through an in-process queue, so [`ClientConn::recv_timeout`] works the
+//! same as on the channel transport.
+//!
+//! [`ClientConn::recv_timeout`]: crate::ClientConn::recv_timeout
+
+use crate::conn::{ClientConn, ConnSender, SenderInner};
+use crate::{Incoming, ServerTransport};
+use faust_types::frame::{read_frame, write_frame, FrameDecoder};
+use faust_types::{ClientId, UstorMsg};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long a freshly accepted connection gets to produce its HELLO
+/// frame before the accept loop gives up on it. Bounds how long one
+/// silent connector can stall the (serial) handshake pipeline.
+pub const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One client's write slot. Per-client locking: a blocking write to one
+/// stalled client must never hold up replies to the others.
+type WriterSlot = Mutex<Option<TcpStream>>;
+
+/// Upper bound on clients per server transport; keeps a hostile HELLO from
+/// sizing any table.
+pub const MAX_CLIENTS: usize = 4096;
+
+enum TcpEvent {
+    Connected,
+    Msg(ClientId, UstorMsg),
+    Disconnected(ClientId),
+}
+
+/// Server side of the TCP transport.
+///
+/// Bound with [`TcpServerTransport::bind`]; expects exactly `n` distinct
+/// clients to connect over the transport's lifetime and reports
+/// [`Incoming::Closed`] once all of them have connected and subsequently
+/// disconnected. One connection per client: a second HELLO for an
+/// already-seen id is rejected (session resumption is a transport
+/// follow-on — see ROADMAP).
+pub struct TcpServerTransport {
+    events: Receiver<TcpEvent>,
+    writers: Arc<Vec<WriterSlot>>,
+    local_addr: SocketAddr,
+    expected: usize,
+    seen: usize,
+    active: usize,
+}
+
+impl TcpServerTransport {
+    /// Binds a listener and starts accepting up to `n` client connections
+    /// in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`MAX_CLIENTS`].
+    pub fn bind(addr: impl ToSocketAddrs, n: usize) -> std::io::Result<Self> {
+        assert!(n > 0 && n <= MAX_CLIENTS, "client count out of range");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let writers: Arc<Vec<WriterSlot>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let (tx, events) = channel();
+        let accept_writers = Arc::clone(&writers);
+        std::thread::spawn(move || accept_loop(listener, n, accept_writers, tx));
+        Ok(TcpServerTransport {
+            events,
+            writers,
+            local_addr,
+            expected: n,
+            seen: 0,
+            active: 0,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    n: usize,
+    writers: Arc<Vec<WriterSlot>>,
+    tx: Sender<TcpEvent>,
+) {
+    // One connection per distinct client id, ever: counting raw accepts
+    // would let one client connect/disconnect/reconnect and consume
+    // another client's slot, after which the transport could report
+    // `Closed` with a legitimate client locked out.
+    let mut registered = vec![false; n];
+    let mut accepted = 0;
+    while accepted < n {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        // HELLO: the connecting client's id, as one frame. The read is
+        // bounded by HELLO_TIMEOUT so a connector that sends nothing
+        // cannot wedge acceptance of the remaining clients forever.
+        let _ = stream.set_read_timeout(Some(HELLO_TIMEOUT));
+        let id = match read_frame::<_, ClientId>(&mut stream) {
+            Ok(Some(id)) if id.index() < n => id,
+            _ => continue, // bad, missing, or overdue hello: reject
+        };
+        if stream.set_read_timeout(None).is_err() {
+            continue;
+        }
+        if registered[id.index()] {
+            continue; // duplicate or reconnecting id: reject
+        }
+        {
+            let mut slot = writers[id.index()].lock().expect("writer slot poisoned");
+            let Ok(write_half) = stream.try_clone() else {
+                continue;
+            };
+            *slot = Some(write_half);
+        }
+        registered[id.index()] = true;
+        accepted += 1;
+        if tx.send(TcpEvent::Connected).is_err() {
+            return; // transport dropped
+        }
+        let reader_tx = tx.clone();
+        std::thread::spawn(move || reader_loop(stream, id, reader_tx));
+    }
+}
+
+/// Pumps one connection through an incremental [`FrameDecoder`] until EOF
+/// or a protocol violation.
+fn reader_loop(mut stream: TcpStream, id: ClientId, tx: Sender<TcpEvent>) {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(got) => {
+                decoder.extend(&chunk[..got]);
+                loop {
+                    match decoder.next_frame::<UstorMsg>() {
+                        Ok(Some(msg)) => {
+                            if tx.send(TcpEvent::Msg(id, msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Garbage on the stream: hang up on this client.
+                        Err(_) => {
+                            let _ = tx.send(TcpEvent::Disconnected(id));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = tx.send(TcpEvent::Disconnected(id));
+}
+
+impl TcpServerTransport {
+    /// Applies one connection-state event; `Some` if it terminates the
+    /// receive loop with a result.
+    fn apply(&mut self, event: TcpEvent) -> Option<Incoming> {
+        match event {
+            TcpEvent::Connected => {
+                self.seen += 1;
+                self.active += 1;
+                None
+            }
+            TcpEvent::Msg(from, msg) => Some(Incoming::Msg(from, msg)),
+            TcpEvent::Disconnected(id) => {
+                self.active -= 1;
+                *self.writers[id.index()]
+                    .lock()
+                    .expect("writer slot poisoned") = None;
+                (self.seen == self.expected && self.active == 0).then_some(Incoming::Closed)
+            }
+        }
+    }
+}
+
+impl ServerTransport for TcpServerTransport {
+    fn recv(&mut self) -> Incoming {
+        loop {
+            match self.events.recv() {
+                Ok(event) => {
+                    if let Some(out) = self.apply(event) {
+                        return out;
+                    }
+                }
+                Err(_) => return Incoming::Closed,
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Incoming {
+        loop {
+            match self.events.try_recv() {
+                Ok(event) => {
+                    if let Some(out) = self.apply(event) {
+                        return out;
+                    }
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => return Incoming::Idle,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => return Incoming::Closed,
+            }
+        }
+    }
+
+    fn send(&mut self, to: ClientId, msg: UstorMsg) {
+        let Some(slot) = self.writers.get(to.index()) else {
+            return;
+        };
+        // Only this client's slot is locked: a peer with a full kernel
+        // send buffer blocks its own replies, never anyone else's.
+        let mut slot = slot.lock().expect("writer slot poisoned");
+        if let Some(stream) = slot.as_mut() {
+            if write_frame(stream, &msg).is_err() {
+                *slot = None; // client gone; stop writing to it
+            }
+        }
+    }
+}
+
+/// Connects to a server transport as client `id` and performs the HELLO
+/// handshake.
+///
+/// # Errors
+///
+/// Propagates socket errors from connecting or the handshake write.
+pub fn connect(addr: SocketAddr, id: ClientId) -> std::io::Result<ClientConn> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &id)?;
+    let read_half = stream.try_clone()?;
+    let (tx, rx) = channel();
+    std::thread::spawn(move || client_reader_loop(read_half, tx));
+    Ok(ClientConn {
+        id,
+        tx: ConnSender(SenderInner::Tcp {
+            stream: Arc::new(Mutex::new(crate::conn::OwnedStream(stream))),
+        }),
+        rx,
+    })
+}
+
+fn client_reader_loop(mut stream: TcpStream, tx: Sender<UstorMsg>) {
+    while let Ok(Some(msg)) = read_frame::<_, UstorMsg>(&mut stream) {
+        if tx.send(msg).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_crypto::Signature;
+    use faust_types::{CommitMsg, Version};
+
+    fn msg(n: usize) -> UstorMsg {
+        UstorMsg::Commit(CommitMsg {
+            version: Version::initial(n),
+            commit_sig: Signature::garbage(),
+            proof_sig: Signature::garbage(),
+        })
+    }
+
+    #[test]
+    fn loopback_roundtrip_and_close() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let c0 = connect(addr, ClientId::new(0)).unwrap();
+        let c1 = connect(addr, ClientId::new(1)).unwrap();
+
+        // Replies follow traffic from the same client (as in the real
+        // protocol), which guarantees the server has seen its HELLO.
+        c0.send(&msg(2)).unwrap();
+        let Incoming::Msg(from, _) = server.recv() else {
+            panic!("expected a message");
+        };
+        assert_eq!(from, ClientId::new(0));
+
+        c1.send(&msg(2)).unwrap();
+        let Incoming::Msg(from, _) = server.recv() else {
+            panic!("expected a message");
+        };
+        assert_eq!(from, ClientId::new(1));
+        server.send(ClientId::new(1), msg(2));
+        assert!(c1.recv().is_ok());
+
+        drop(c0);
+        drop(c1);
+        assert!(matches!(server.recv(), Incoming::Closed));
+    }
+
+    #[test]
+    fn bad_hello_is_rejected_but_good_clients_proceed() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        // An out-of-range id: the server must drop this connection.
+        let bogus = connect(addr, ClientId::new(9)).unwrap();
+        // A valid client still gets through afterwards.
+        let good = connect(addr, ClientId::new(0)).unwrap();
+        good.send(&msg(1)).unwrap();
+        let Incoming::Msg(from, _) = server.recv() else {
+            panic!("expected a message");
+        };
+        assert_eq!(from, ClientId::new(0));
+        drop(bogus);
+        drop(good);
+        assert!(matches!(server.recv(), Incoming::Closed));
+    }
+}
+
+#[cfg(test)]
+mod reconnect_tests {
+    use super::*;
+    use faust_crypto::Signature;
+    use faust_types::{CommitMsg, Version};
+
+    fn msg(n: usize) -> UstorMsg {
+        UstorMsg::Commit(CommitMsg {
+            version: Version::initial(n),
+            commit_sig: Signature::garbage(),
+            proof_sig: Signature::garbage(),
+        })
+    }
+
+    #[test]
+    fn reconnecting_client_cannot_consume_another_clients_slot() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+
+        // Client 0 connects, talks, and leaves.
+        let c0 = connect(addr, ClientId::new(0)).unwrap();
+        c0.send(&msg(2)).unwrap();
+        let Incoming::Msg(from, _) = server.recv() else {
+            panic!("expected a message");
+        };
+        assert_eq!(from, ClientId::new(0));
+        drop(c0);
+
+        // Client 0 "reconnects": the duplicate HELLO must be rejected
+        // rather than consuming client 1's accept slot.
+        let again = connect(addr, ClientId::new(0)).unwrap();
+
+        // Client 1 still gets in and is served.
+        let c1 = connect(addr, ClientId::new(1)).unwrap();
+        c1.send(&msg(2)).unwrap();
+        let Incoming::Msg(from, _) = server.recv() else {
+            panic!("expected client 1's message; transport closed early");
+        };
+        assert_eq!(from, ClientId::new(1));
+
+        drop(again);
+        drop(c1);
+        assert!(matches!(server.recv(), Incoming::Closed));
+    }
+}

@@ -43,11 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod rng;
 
 pub use metrics::Metrics;
+pub use rng::SmallRng;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -84,10 +84,10 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
-    fn sample(&self, rng: &mut StdRng) -> u64 {
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
         match *self {
             DelayModel::Fixed(d) => d,
-            DelayModel::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            DelayModel::Uniform(lo, hi) => rng.gen_range_inclusive(lo, hi),
         }
     }
 }
@@ -223,7 +223,7 @@ pub struct Simulation<M> {
     /// Traffic buffered for disconnected nodes, in arrival order.
     parked: HashMap<NodeId, VecDeque<(NodeId, M, Transport)>>,
     cancelled: std::collections::HashSet<u64>,
-    rng: StdRng,
+    rng: SmallRng,
     config: SimConfig,
     metrics: Metrics,
 }
@@ -241,7 +241,7 @@ impl<M: MessageSize> Simulation<M> {
             disconnected: Default::default(),
             parked: HashMap::new(),
             cancelled: Default::default(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SmallRng::seed_from_u64(config.seed),
             config,
             metrics: Metrics::default(),
         }
@@ -274,7 +274,14 @@ impl<M: MessageSize> Simulation<M> {
         self.enqueue_message(from, to, msg, Transport::Offline, delay);
     }
 
-    fn enqueue_message(&mut self, from: NodeId, to: NodeId, msg: M, transport: Transport, delay: u64) {
+    fn enqueue_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        transport: Transport,
+        delay: u64,
+    ) {
         if self.crashed.contains(&from) {
             return; // a crashed node takes no further steps
         }
@@ -473,8 +480,16 @@ mod tests {
             s.send(NodeId(1), NodeId(2), TestMsg(1000 + i));
         }
         let events = drain_events(&mut s);
-        let from0: Vec<u64> = events.iter().filter(|e| e.1 == NodeId(0)).map(|e| e.3).collect();
-        let from1: Vec<u64> = events.iter().filter(|e| e.1 == NodeId(1)).map(|e| e.3).collect();
+        let from0: Vec<u64> = events
+            .iter()
+            .filter(|e| e.1 == NodeId(0))
+            .map(|e| e.3)
+            .collect();
+        let from1: Vec<u64> = events
+            .iter()
+            .filter(|e| e.1 == NodeId(1))
+            .map(|e| e.3)
+            .collect();
         assert_eq!(from0, (0..50).collect::<Vec<_>>());
         assert_eq!(from1, (1000..1050).collect::<Vec<_>>());
     }
@@ -619,7 +634,7 @@ mod edge_case_tests {
         assert!(s.next().is_none()); // parked
         s.crash(NodeId(1));
         s.set_connected(NodeId(1), true); // reconnect after crash
-        // Delivery is re-scheduled but suppressed by the crash.
+                                          // Delivery is re-scheduled but suppressed by the crash.
         assert!(s.next().is_none());
     }
 

@@ -1,0 +1,267 @@
+//! Length-prefixed stream framing for [`Wire`] messages.
+//!
+//! The [`wire`](crate::wire) module defines the exact encoding of each
+//! protocol message; this module turns those encodings into a *stream*
+//! format usable over byte-oriented transports (TCP): every message is
+//! prefixed with its big-endian `u32` length. A length prefix of more than
+//! [`MAX_FRAME_LEN`] bytes is rejected before any allocation, so a hostile
+//! peer cannot make a receiver balloon its memory.
+//!
+//! Two consumption styles are provided:
+//!
+//! * [`read_frame`] / [`write_frame`] — blocking `std::io` helpers for
+//!   threads that own a socket;
+//! * [`FrameDecoder`] — an incremental, `ReadBuf`-style decoder: feed it
+//!   arbitrary byte chunks as they arrive ([`FrameDecoder::extend`]) and
+//!   pull complete messages out ([`FrameDecoder::next_frame`]). Frames may
+//!   be split at any byte boundary across chunks.
+
+use crate::wire::{Wire, WireError};
+use std::io::{self, Read, Write};
+
+/// Upper bound on the payload length of a single frame (16 MiB).
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Errors produced while decoding a framed stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// A frame header announced an implausible length.
+    Oversized(u32),
+    /// A complete frame arrived but its payload was not a valid message.
+    Malformed(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Malformed(e)
+    }
+}
+
+/// Encodes `msg` as one frame: 4-byte big-endian length, then the payload.
+pub fn frame_bytes<T: Wire>(msg: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + msg.encoded_len());
+    out.extend_from_slice(&[0; 4]);
+    msg.encode_into(&mut out);
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_be_bytes());
+    out
+}
+
+/// Writes one framed message to `w` and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write, T: Wire>(w: &mut W, msg: &T) -> io::Result<()> {
+    w.write_all(&frame_bytes(msg))?;
+    w.flush()
+}
+
+/// Reads one framed message from `r`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary); EOF in the middle of a frame is an error.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on I/O failure, an oversized header, or a
+/// payload that does not decode.
+pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> Result<Option<T>, FrameError> {
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (no header at all) from a truncated header.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(T::decode(&payload)?))
+}
+
+/// Incremental frame decoder: accumulates arbitrarily split byte chunks and
+/// yields complete messages.
+///
+/// # Example
+///
+/// ```
+/// use faust_types::frame::{frame_bytes, FrameDecoder};
+/// use faust_types::Wire;
+///
+/// let encoded = frame_bytes(&7u64);
+/// let mut dec: FrameDecoder = FrameDecoder::new();
+/// // Feed the frame one byte at a time.
+/// for b in &encoded {
+///     dec.extend(std::slice::from_ref(b));
+/// }
+/// let got: Option<u64> = dec.next_frame().unwrap();
+/// assert_eq!(got, Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted lazily.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact once the consumed prefix dominates, keeping the buffer
+        // bounded by the data actually in flight.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Attempts to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] on an oversized header or a payload that
+    /// does not decode; the decoder is poisoned afterwards in the sense
+    /// that the stream position is undefined, so callers should drop the
+    /// connection (exactly what the transports do).
+    pub fn next_frame<T: Wire>(&mut self) -> Result<Option<T>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[4..total];
+        let msg = T::decode(payload)?;
+        self.start += total;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_reader_writer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &42u64).unwrap();
+        write_frame(&mut buf, &7u32).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame::<_, u64>(&mut r).unwrap(), Some(42));
+        assert_eq!(read_frame::<_, u32>(&mut r).unwrap(), Some(7));
+        assert_eq!(read_frame::<_, u64>(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn eof_inside_header_is_an_error() {
+        let bytes = frame_bytes(&1u64);
+        let mut r = io::Cursor::new(&bytes[..2]);
+        assert!(read_frame::<_, u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn eof_inside_payload_is_an_error() {
+        let bytes = frame_bytes(&1u64);
+        let mut r = io::Cursor::new(&bytes[..bytes.len() - 1]);
+        assert!(read_frame::<_, u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_header_rejected_without_allocation() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame::<_, u64>(&mut r),
+            Err(FrameError::Oversized(_))
+        ));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        assert!(matches!(
+            dec.next_frame::<u64>(),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_handles_partial_and_concatenated_frames() {
+        let mut stream = Vec::new();
+        for i in 0..5u64 {
+            stream.extend_from_slice(&frame_bytes(&i));
+        }
+        // Feed in two lopsided chunks.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..7]);
+        assert_eq!(dec.next_frame::<u64>().unwrap(), None);
+        dec.extend(&stream[7..]);
+        for i in 0..5u64 {
+            assert_eq!(dec.next_frame::<u64>().unwrap(), Some(i));
+        }
+        assert_eq!(dec.next_frame::<u64>().unwrap(), None);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn malformed_payload_is_reported() {
+        // A frame whose payload is one byte short for a u64.
+        let mut bytes = 7u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 7]);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert!(matches!(
+            dec.next_frame::<u64>(),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

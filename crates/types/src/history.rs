@@ -10,11 +10,10 @@
 use crate::ids::{ClientId, Timestamp};
 use crate::op::OpKind;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of an operation within a [`History`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u64);
 
 impl fmt::Display for OpId {
@@ -24,7 +23,7 @@ impl fmt::Display for OpId {
 }
 
 /// The outcome of an operation, if it completed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpOutcome {
     /// Still pending (no matching response in the history).
     Pending,
@@ -36,7 +35,7 @@ pub enum OpOutcome {
 
 /// One operation of a history: a register read or write with its
 /// invocation/response events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
     /// Unique id within the history.
     pub id: OpId,
@@ -96,7 +95,7 @@ impl OpRecord {
 /// assert!(h.precedes(w, r));
 /// assert_eq!(h.complete_ops().count(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct History {
     ops: Vec<OpRecord>,
 }
@@ -149,7 +148,10 @@ impl History {
     pub fn complete_write(&mut self, id: OpId, time: u64, timestamp: Option<Timestamp>) {
         let op = &mut self.ops[id.0 as usize];
         assert_eq!(op.kind, OpKind::Write, "{id} is not a write");
-        assert!(matches!(op.outcome, OpOutcome::Pending), "{id} already complete");
+        assert!(
+            matches!(op.outcome, OpOutcome::Pending),
+            "{id} already complete"
+        );
         op.outcome = OpOutcome::WriteOk;
         op.responded_at = Some(time);
         op.timestamp = timestamp;
@@ -169,7 +171,10 @@ impl History {
     ) {
         let op = &mut self.ops[id.0 as usize];
         assert_eq!(op.kind, OpKind::Read, "{id} is not a read");
-        assert!(matches!(op.outcome, OpOutcome::Pending), "{id} already complete");
+        assert!(
+            matches!(op.outcome, OpOutcome::Pending),
+            "{id} already complete"
+        );
         op.outcome = OpOutcome::ReadReturned(value);
         op.responded_at = Some(time);
         op.timestamp = timestamp;
@@ -243,7 +248,7 @@ impl History {
         }
         self.ops
             .iter()
-            .all(|o| o.responded_at.map_or(true, |r| r >= o.invoked_at))
+            .all(|o| o.responded_at.is_none_or(|r| r >= o.invoked_at))
     }
 
     /// Checks the paper's standing assumption that all written values are

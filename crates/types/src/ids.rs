@@ -1,6 +1,5 @@
 //! Client identifiers and operation timestamps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Timestamp of an operation: the value `t` a client places in its SUBMIT
@@ -22,9 +21,7 @@ pub type Timestamp = u64;
 /// assert_eq!(c.index(), 2);
 /// assert_eq!(format!("{c}"), "C2");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct ClientId(u32);
 
 impl ClientId {
@@ -68,7 +65,10 @@ mod tests {
     #[test]
     fn ids_enumerate_in_order() {
         let ids: Vec<_> = ClientId::all(3).collect();
-        assert_eq!(ids, vec![ClientId::new(0), ClientId::new(1), ClientId::new(2)]);
+        assert_eq!(
+            ids,
+            vec![ClientId::new(0), ClientId::new(1), ClientId::new(2)]
+        );
     }
 
     #[test]

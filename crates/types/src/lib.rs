@@ -15,12 +15,16 @@
 //! * [`wire`] — the SUBMIT / REPLY / COMMIT messages of Algorithms 1–2 with
 //!   an exact, hand-rolled binary encoding. Byte-accurate sizes feed the
 //!   paper's `O(n)`-overhead experiment (E6 in DESIGN.md).
+//! * [`frame`] — length-prefixed stream framing over the wire encoding,
+//!   with an incremental decoder; this is what the TCP transport in
+//!   `faust-net` puts on the socket.
 //! * [`history`] — invocation/response records of executions, consumed by
 //!   the `faust-consistency` checkers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod history;
 pub mod ids;
 pub mod op;
@@ -28,6 +32,7 @@ pub mod value;
 pub mod version;
 pub mod wire;
 
+pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use history::{History, OpId, OpRecord};
 pub use ids::{ClientId, Timestamp};
 pub use op::{InvocationTuple, OpKind};

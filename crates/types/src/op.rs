@@ -18,11 +18,10 @@
 use crate::ids::{ClientId, Timestamp};
 use faust_crypto::sig::Signature;
 use faust_crypto::Digest;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether an operation reads or writes a register (the paper's `oc`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// `read_i(j)` — read register `X_j`.
     Read,
@@ -55,7 +54,7 @@ impl fmt::Display for OpKind {
 /// The server keeps the tuples of submitted-but-uncommitted operations in
 /// its list `L` and forwards them in REPLY messages so clients can account
 /// for concurrent operations.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct InvocationTuple {
     /// The invoking client `C_i`.
     pub client: ClientId,
@@ -136,9 +135,18 @@ mod tests {
     #[test]
     fn submit_bytes_bind_all_fields() {
         let base = submit_signing_bytes(OpKind::Read, ClientId::new(1), 5);
-        assert_ne!(base, submit_signing_bytes(OpKind::Write, ClientId::new(1), 5));
-        assert_ne!(base, submit_signing_bytes(OpKind::Read, ClientId::new(2), 5));
-        assert_ne!(base, submit_signing_bytes(OpKind::Read, ClientId::new(1), 6));
+        assert_ne!(
+            base,
+            submit_signing_bytes(OpKind::Write, ClientId::new(1), 5)
+        );
+        assert_ne!(
+            base,
+            submit_signing_bytes(OpKind::Read, ClientId::new(2), 5)
+        );
+        assert_ne!(
+            base,
+            submit_signing_bytes(OpKind::Read, ClientId::new(1), 6)
+        );
     }
 
     #[test]

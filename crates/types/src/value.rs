@@ -1,14 +1,32 @@
 //! Register values.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// Cheaply clonable byte storage backing a [`Value`].
+///
+/// Either a borrowed static slice (zero-copy literals) or reference-counted
+/// owned bytes; cloning never copies the payload.
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Repr {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Repr::Static(b) => b,
+            Repr::Shared(b) => b,
+        }
+    }
+}
 
 /// An opaque register value from the paper's domain `X`.
 ///
-/// Values are byte strings; cloning is cheap ([`Bytes`] is reference
-/// counted), which matters because the server and simulator pass values
-/// around freely. The paper's initial register content `⊥ ∉ X` is
+/// Values are byte strings; cloning is cheap (the storage is static or
+/// reference counted), which matters because the server and simulator pass
+/// values around freely. The paper's initial register content `⊥ ∉ X` is
 /// represented as `Option<Value>::None` wherever it can occur.
 ///
 /// # Example
@@ -18,18 +36,18 @@ use std::fmt;
 /// let v = Value::from_static(b"document rev 1");
 /// assert_eq!(v.as_bytes(), b"document rev 1");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-pub struct Value(Bytes);
+#[derive(Clone)]
+pub struct Value(Repr);
 
 impl Value {
     /// Creates a value from owned bytes.
-    pub fn new(bytes: impl Into<Bytes>) -> Self {
-        Value(bytes.into())
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Value(Repr::Shared(bytes.into().into()))
     }
 
     /// Creates a value from a static byte string without copying.
     pub const fn from_static(bytes: &'static [u8]) -> Self {
-        Value(Bytes::from_static(bytes))
+        Value(Repr::Static(bytes))
     }
 
     /// A small helper for tests and workloads: encodes `(client, seq)` so
@@ -38,42 +56,74 @@ impl Value {
         let mut v = Vec::with_capacity(12);
         v.extend_from_slice(&client.to_be_bytes());
         v.extend_from_slice(&seq.to_be_bytes());
-        Value(Bytes::from(v))
+        Value::new(v)
     }
 
     /// The value's bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        self.0.as_bytes()
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.as_bytes().len()
     }
 
     /// Whether the value is empty (zero-length — still a real value,
     /// distinct from the register's initial `⊥`).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.as_bytes().is_empty()
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::from_static(b"")
     }
 }
 
 impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if let Ok(s) = std::str::from_utf8(&self.0) {
+        if let Ok(s) = std::str::from_utf8(self.as_bytes()) {
             write!(f, "Value({s:?})")
         } else {
-            write!(f, "Value(0x{})", hex_prefix(&self.0))
+            write!(f, "Value(0x{})", hex_prefix(self.as_bytes()))
         }
     }
 }
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if let Ok(s) = std::str::from_utf8(&self.0) {
+        if let Ok(s) = std::str::from_utf8(self.as_bytes()) {
             f.write_str(s)
         } else {
-            write!(f, "0x{}", hex_prefix(&self.0))
+            write!(f, "0x{}", hex_prefix(self.as_bytes()))
         }
     }
 }
@@ -84,19 +134,19 @@ fn hex_prefix(bytes: &[u8]) -> String {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value(Bytes::copy_from_slice(s.as_bytes()))
+        Value::new(s.as_bytes().to_vec())
     }
 }
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
-        Value(Bytes::from(v))
+        Value::new(v)
     }
 }
 
 impl AsRef<[u8]> for Value {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_bytes()
     }
 }
 
@@ -130,5 +180,20 @@ mod tests {
         let v = Value::new(Vec::new());
         assert!(v.is_empty());
         assert_eq!(Some(v.clone()), Some(v)); // Some(empty) ≠ None (⊥)
+    }
+
+    #[test]
+    fn static_and_shared_storage_compare_equal() {
+        let a = Value::from_static(b"same");
+        let b = Value::new(b"same".to_vec());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 }

@@ -19,7 +19,6 @@
 use crate::ids::{ClientId, Timestamp};
 use faust_crypto::sig::Signature;
 use faust_crypto::Digest;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A vector of `n` operation timestamps, one per client.
@@ -33,7 +32,7 @@ use std::fmt;
 /// assert_eq!(v.get(ClientId::new(1)), 1);
 /// assert_eq!(v.get(ClientId::new(0)), 0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct TimestampVec(Vec<Timestamp>);
 
 impl TimestampVec {
@@ -131,7 +130,7 @@ impl fmt::Display for TimestampVec {
 
 /// A vector of `n` optional digests; entry `k` is the digest of the view
 /// history up to the last operation of client `C_k`, or `⊥` (`None`).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct DigestVec(Vec<Option<Digest>>);
 
 impl DigestVec {
@@ -221,7 +220,7 @@ pub enum VersionCmp {
 /// assert!(initial.le(&later));
 /// assert!(!later.le(&initial));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Version {
     v: TimestampVec,
     m: DigestVec,
@@ -351,7 +350,7 @@ impl fmt::Display for Version {
 /// The initial version `(0^n, ⊥^n)` is the only version that legitimately
 /// carries no signature (Algorithm 1 line 35 exempts it from
 /// verification).
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SignedVersion {
     /// The version `(V, M)`.
     pub version: Version,
@@ -376,7 +375,11 @@ impl fmt::Debug for SignedVersion {
             f,
             "SignedVersion({:?}, {})",
             self.version,
-            if self.sig.is_some() { "signed" } else { "unsigned" }
+            if self.sig.is_some() {
+                "signed"
+            } else {
+                "unsigned"
+            }
         )
     }
 }

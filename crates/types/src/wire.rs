@@ -18,7 +18,6 @@ use crate::value::Value;
 use crate::version::{DigestVec, SignedVersion, TimestampVec, Version};
 use faust_crypto::sig::Signature;
 use faust_crypto::Digest;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error produced when decoding a malformed wire message.
@@ -113,7 +112,9 @@ impl Wire for u32 {
         out.extend_from_slice(&self.to_be_bytes());
     }
     fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u32::from_be_bytes(take(input, 4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            take(input, 4)?.try_into().expect("4 bytes"),
+        ))
     }
 }
 
@@ -122,7 +123,9 @@ impl Wire for u64 {
         out.extend_from_slice(&self.to_be_bytes());
     }
     fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u64::from_be_bytes(take(input, 8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            take(input, 8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -256,6 +259,10 @@ impl Wire for TimestampVec {
         }
         Ok(TimestampVec::from_vec(entries))
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8 * self.len()
+    }
 }
 
 impl Wire for DigestVec {
@@ -276,6 +283,14 @@ impl Wire for DigestVec {
         }
         Ok(DigestVec::from_vec(entries))
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + self
+            .as_slice()
+            .iter()
+            .map(|d| 1 + if d.is_some() { 32 } else { 0 })
+            .sum::<usize>()
+    }
 }
 
 impl Wire for Version {
@@ -290,6 +305,13 @@ impl Wire for Version {
             return Err(WireError::BadLength(m.len() as u64));
         }
         Ok(Version::new(v, m))
+    }
+
+    // Versions ride in every COMMIT, REPLY, and offline VERSION message,
+    // and the simulator measures sizes on every send — keep this
+    // allocation-free.
+    fn encoded_len(&self) -> usize {
+        self.v().encoded_len() + self.m().encoded_len()
     }
 }
 
@@ -318,7 +340,7 @@ impl Wire for SignedVersion {
 /// SUBMIT message of the next operation") — the server processes it
 /// before the submit, preserving the FIFO ordering the protocol relies
 /// on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubmitMsg {
     /// The operation timestamp `t`.
     pub timestamp: Timestamp,
@@ -352,7 +374,7 @@ impl Wire for SubmitMsg {
 }
 
 /// The read-specific part of a REPLY: `SVER[j]` and `MEM[j]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadReply {
     /// `SVER[j]` — the largest version committed by the register's writer,
     /// as known to the server.
@@ -385,7 +407,7 @@ impl Wire for ReadReply {
 
 /// `⟨REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P⟩` — the server's answer to
 /// a SUBMIT.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplyMsg {
     /// `c` — the client that committed the last operation in the schedule.
     pub last_committer: ClientId,
@@ -422,7 +444,7 @@ impl Wire for ReplyMsg {
 }
 
 /// `⟨COMMIT, V_i, M_i, φ, ψ⟩` — a client commits its new version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitMsg {
     /// The committed version `(V_i, M_i)`.
     pub version: Version,
@@ -449,7 +471,7 @@ impl Wire for CommitMsg {
 
 /// Any USTOR client↔server message, for transports that carry a single
 /// message type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UstorMsg {
     /// Client → server.
     Submit(SubmitMsg),
@@ -594,10 +616,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = sample_submit().encode();
         bytes.push(0xFF);
-        assert_eq!(
-            SubmitMsg::decode(&bytes),
-            Err(WireError::TrailingBytes(1))
-        );
+        assert_eq!(SubmitMsg::decode(&bytes), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]
@@ -622,7 +641,11 @@ mod tests {
     fn submit_size_is_independent_of_n() {
         // SUBMIT carries no vectors: its size depends only on the value.
         let m = sample_submit();
-        assert!(m.encoded_len() < 200, "submit too large: {}", m.encoded_len());
+        assert!(
+            m.encoded_len() < 200,
+            "submit too large: {}",
+            m.encoded_len()
+        );
     }
 
     #[test]
@@ -651,5 +674,29 @@ mod tests {
         TimestampVec::zeros(2).encode_into(&mut bytes);
         DigestVec::bottoms(3).encode_into(&mut bytes);
         assert!(Version::decode(&bytes).is_err());
+    }
+}
+
+#[cfg(test)]
+mod encoded_len_tests {
+    use super::*;
+    use faust_crypto::sha256;
+
+    #[test]
+    fn arithmetic_encoded_len_matches_encoding() {
+        // The overridden (allocation-free) encoded_len implementations
+        // must agree with the actual encoding byte for byte.
+        for n in [0usize, 1, 3, 8] {
+            let mut v = Version::initial(n);
+            for k in 0..n {
+                if k % 2 == 0 {
+                    v.v_mut().set(ClientId::new(k as u32), k as u64 + 1);
+                    v.m_mut().set(ClientId::new(k as u32), sha256(&[k as u8]));
+                }
+            }
+            assert_eq!(v.v().encoded_len(), v.v().encode().len(), "n={n}");
+            assert_eq!(v.m().encoded_len(), v.m().encode().len(), "n={n}");
+            assert_eq!(v.encoded_len(), v.encode().len(), "n={n}");
+        }
     }
 }

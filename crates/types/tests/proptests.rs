@@ -1,203 +1,287 @@
 //! Property-based tests for the protocol data model: the version order of
-//! Definition 7 is a genuine partial order, and wire encodings round-trip.
+//! Definition 7 is a genuine partial order, wire encodings round-trip, and
+//! the stream framing survives arbitrary chunk boundaries.
+//!
+//! Property-style without an external framework: every case derives from a
+//! seeded [`SmallRng`], so a failure reproduces exactly from its case
+//! number.
 
 use faust_crypto::{sha256, Digest};
+use faust_sim::SmallRng;
+use faust_types::frame::{frame_bytes, FrameDecoder};
 use faust_types::{
     ClientId, CommitMsg, DigestVec, InvocationTuple, OpKind, ReadReply, ReplyMsg, SignedVersion,
     SubmitMsg, TimestampVec, UstorMsg, Value, Version, VersionCmp, Wire,
 };
-use proptest::prelude::*;
 
 const N: usize = 4;
+const CASES: u64 = 256;
 
-/// A small pool of digests so that equal-timestamp entries sometimes have
-/// equal and sometimes different digests.
-fn arb_digest() -> impl Strategy<Value = Option<Digest>> {
-    prop_oneof![
-        Just(None),
-        (0u8..6).prop_map(|label| Some(sha256(&[label]))),
-    ]
+fn arb_digest(rng: &mut SmallRng) -> Option<Digest> {
+    // A small pool of digests so that equal-timestamp entries sometimes
+    // have equal and sometimes different digests.
+    if rng.gen_bool(0.3) {
+        None
+    } else {
+        Some(sha256(&[rng.gen_index(6) as u8]))
+    }
 }
 
 /// Versions shaped like the ones the protocol actually commits: a digest
-/// entry is `⊥` exactly when the timestamp entry is 0 (no operation of that
-/// client reflected yet).
-fn arb_version() -> impl Strategy<Value = Version> {
-    (
-        proptest::collection::vec(0u64..4, N),
-        proptest::collection::vec(arb_digest(), N),
-    )
-        .prop_map(|(v, m)| {
-            let m = v
-                .iter()
-                .zip(m)
-                .map(|(&t, d)| if t == 0 { None } else { d.or(Some(sha256(b"fill"))) })
-                .collect();
-            Version::new(TimestampVec::from_vec(v), DigestVec::from_vec(m))
+/// entry is `⊥` exactly when the timestamp entry is 0 (no operation of
+/// that client reflected yet).
+fn arb_version(rng: &mut SmallRng) -> Version {
+    let v: Vec<u64> = (0..N).map(|_| rng.gen_range_inclusive(0, 3)).collect();
+    let m: Vec<Option<Digest>> = v
+        .iter()
+        .map(|&t| {
+            if t == 0 {
+                None
+            } else {
+                arb_digest(rng).or(Some(sha256(b"fill")))
+            }
         })
+        .collect();
+    Version::new(TimestampVec::from_vec(v), DigestVec::from_vec(m))
 }
 
-fn arb_sig() -> impl Strategy<Value = faust_crypto::Signature> {
-    (0u8..16).prop_map(|label| faust_crypto::Signature::from_bytes(sha256(&[label]).into_bytes()))
+fn arb_sig(rng: &mut SmallRng) -> faust_crypto::Signature {
+    faust_crypto::Signature::from_bytes(sha256(&[rng.gen_index(16) as u8]).into_bytes())
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::new)
+fn arb_value(rng: &mut SmallRng) -> Value {
+    let len = rng.gen_index(64);
+    Value::new((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
 }
 
-fn arb_tuple() -> impl Strategy<Value = InvocationTuple> {
-    (
-        0u32..N as u32,
-        prop_oneof![Just(OpKind::Read), Just(OpKind::Write)],
-        0u32..N as u32,
-        arb_sig(),
-    )
-        .prop_map(|(c, kind, r, sig)| InvocationTuple {
-            client: ClientId::new(c),
-            kind,
-            register: ClientId::new(r),
-            sig,
-        })
-}
-
-fn arb_signed_version() -> impl Strategy<Value = SignedVersion> {
-    (arb_version(), proptest::option::of(arb_sig()))
-        .prop_map(|(version, sig)| SignedVersion { version, sig })
-}
-
-fn arb_submit() -> impl Strategy<Value = SubmitMsg> {
-    (
-        0u64..1000,
-        arb_tuple(),
-        proptest::option::of(arb_value()),
-        arb_sig(),
-        proptest::option::of((arb_version(), arb_sig(), arb_sig())),
-    )
-        .prop_map(|(timestamp, tuple, value, data_sig, pb)| SubmitMsg {
-            timestamp,
-            tuple,
-            value,
-            data_sig,
-            piggyback: pb.map(|(version, commit_sig, proof_sig)| CommitMsg {
-                version,
-                commit_sig,
-                proof_sig,
-            }),
-        })
-}
-
-fn arb_reply() -> impl Strategy<Value = ReplyMsg> {
-    (
-        0u32..N as u32,
-        arb_signed_version(),
-        proptest::option::of((
-            arb_signed_version(),
-            0u64..100,
-            proptest::option::of(arb_value()),
-            proptest::option::of(arb_sig()),
-        )),
-        proptest::collection::vec(arb_tuple(), 0..4),
-        proptest::collection::vec(proptest::option::of(arb_sig()), N),
-    )
-        .prop_map(|(c, cv, read, pending, proofs)| ReplyMsg {
-            last_committer: ClientId::new(c),
-            commit_version: cv,
-            read: read.map(|(writer_version, mem_timestamp, mem_value, mem_data_sig)| ReadReply {
-                writer_version,
-                mem_timestamp,
-                mem_value,
-                mem_data_sig,
-            }),
-            pending,
-            proofs,
-        })
-}
-
-proptest! {
-    #[test]
-    fn version_le_is_reflexive(v in arb_version()) {
-        prop_assert!(v.le(&v));
-        prop_assert_eq!(v.compare(&v), VersionCmp::Equal);
+fn arb_kind(rng: &mut SmallRng) -> OpKind {
+    if rng.gen_bool(0.5) {
+        OpKind::Read
+    } else {
+        OpKind::Write
     }
+}
 
-    #[test]
-    fn version_le_is_antisymmetric(a in arb_version(), b in arb_version()) {
+fn arb_tuple(rng: &mut SmallRng) -> InvocationTuple {
+    InvocationTuple {
+        client: ClientId::new(rng.gen_index(N) as u32),
+        kind: arb_kind(rng),
+        register: ClientId::new(rng.gen_index(N) as u32),
+        sig: arb_sig(rng),
+    }
+}
+
+fn arb_signed_version(rng: &mut SmallRng) -> SignedVersion {
+    SignedVersion {
+        version: arb_version(rng),
+        sig: rng.gen_bool(0.5).then(|| arb_sig(rng)),
+    }
+}
+
+fn arb_submit(rng: &mut SmallRng) -> SubmitMsg {
+    SubmitMsg {
+        timestamp: rng.gen_range_inclusive(0, 999),
+        tuple: arb_tuple(rng),
+        value: rng.gen_bool(0.5).then(|| arb_value(rng)),
+        data_sig: arb_sig(rng),
+        piggyback: rng.gen_bool(0.4).then(|| CommitMsg {
+            version: arb_version(rng),
+            commit_sig: arb_sig(rng),
+            proof_sig: arb_sig(rng),
+        }),
+    }
+}
+
+fn arb_reply(rng: &mut SmallRng) -> ReplyMsg {
+    ReplyMsg {
+        last_committer: ClientId::new(rng.gen_index(N) as u32),
+        commit_version: arb_signed_version(rng),
+        read: rng.gen_bool(0.5).then(|| ReadReply {
+            writer_version: arb_signed_version(rng),
+            mem_timestamp: rng.gen_range_inclusive(0, 99),
+            mem_value: rng.gen_bool(0.5).then(|| arb_value(rng)),
+            mem_data_sig: rng.gen_bool(0.5).then(|| arb_sig(rng)),
+        }),
+        pending: {
+            let len = rng.gen_index(4);
+            (0..len).map(|_| arb_tuple(rng)).collect()
+        },
+        proofs: (0..N)
+            .map(|_| rng.gen_bool(0.5).then(|| arb_sig(rng)))
+            .collect(),
+    }
+}
+
+fn arb_msg(rng: &mut SmallRng) -> UstorMsg {
+    match rng.gen_index(3) {
+        0 => UstorMsg::Submit(arb_submit(rng)),
+        1 => UstorMsg::Reply(arb_reply(rng)),
+        _ => UstorMsg::Commit(CommitMsg {
+            version: arb_version(rng),
+            commit_sig: arb_sig(rng),
+            proof_sig: arb_sig(rng),
+        }),
+    }
+}
+
+/// Runs `CASES` seeded cases through `f`.
+fn for_cases(label: &str, mut f: impl FnMut(&mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case.wrapping_mul(0x9E37) ^ 0xFA57);
+        f(&mut rng);
+        let _ = (label, case); // labels appear in panics via closures
+    }
+}
+
+#[test]
+fn version_le_is_reflexive() {
+    for_cases("reflexive", |rng| {
+        let v = arb_version(rng);
+        assert!(v.le(&v));
+        assert_eq!(v.compare(&v), VersionCmp::Equal);
+    });
+}
+
+#[test]
+fn version_le_is_antisymmetric() {
+    for_cases("antisymmetric", |rng| {
+        let (a, b) = (arb_version(rng), arb_version(rng));
         if a.le(&b) && b.le(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn version_le_is_transitive(a in arb_version(), b in arb_version(), c in arb_version()) {
+#[test]
+fn version_le_is_transitive() {
+    for_cases("transitive", |rng| {
+        let (a, b, c) = (arb_version(rng), arb_version(rng), arb_version(rng));
         if a.le(&b) && b.le(&c) {
-            prop_assert!(a.le(&c));
+            assert!(a.le(&c));
         }
-    }
+    });
+}
 
-    #[test]
-    fn version_compare_is_consistent_with_le(a in arb_version(), b in arb_version()) {
-        let cmp = a.compare(&b);
-        match cmp {
-            VersionCmp::Equal => prop_assert!(a.le(&b) && b.le(&a)),
-            VersionCmp::Less => prop_assert!(a.le(&b) && !b.le(&a)),
-            VersionCmp::Greater => prop_assert!(!a.le(&b) && b.le(&a)),
-            VersionCmp::Incomparable => prop_assert!(!a.le(&b) && !b.le(&a)),
+#[test]
+fn version_compare_is_consistent_with_le() {
+    for_cases("compare", |rng| {
+        let (a, b) = (arb_version(rng), arb_version(rng));
+        match a.compare(&b) {
+            VersionCmp::Equal => assert!(a.le(&b) && b.le(&a)),
+            VersionCmp::Less => assert!(a.le(&b) && !b.le(&a)),
+            VersionCmp::Greater => assert!(!a.le(&b) && b.le(&a)),
+            VersionCmp::Incomparable => assert!(!a.le(&b) && !b.le(&a)),
         }
-    }
+    });
+}
 
-    #[test]
-    fn version_le_implies_pointwise_le(a in arb_version(), b in arb_version()) {
+#[test]
+fn version_le_implies_pointwise_le() {
+    for_cases("pointwise", |rng| {
+        let (a, b) = (arb_version(rng), arb_version(rng));
         if a.le(&b) {
-            prop_assert!(a.v().le(b.v()));
+            assert!(a.v().le(b.v()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn initial_version_below_everything(v in arb_version()) {
-        prop_assert!(Version::initial(N).le(&v));
-    }
+#[test]
+fn initial_version_below_everything() {
+    for_cases("initial", |rng| {
+        let v = arb_version(rng);
+        assert!(Version::initial(N).le(&v));
+    });
+}
 
-    #[test]
-    fn signing_bytes_injective_on_samples(a in arb_version(), b in arb_version()) {
+#[test]
+fn signing_bytes_injective_on_samples() {
+    for_cases("signing-bytes", |rng| {
+        let (a, b) = (arb_version(rng), arb_version(rng));
         if a != b {
-            prop_assert_ne!(a.signing_bytes(), b.signing_bytes());
+            assert_ne!(a.signing_bytes(), b.signing_bytes());
         }
-    }
+    });
+}
 
-    #[test]
-    fn submit_roundtrips(m in arb_submit()) {
-        prop_assert_eq!(SubmitMsg::decode(&m.encode()), Ok(m));
-    }
+#[test]
+fn submit_roundtrips() {
+    for_cases("submit", |rng| {
+        let m = arb_submit(rng);
+        assert_eq!(SubmitMsg::decode(&m.encode()), Ok(m));
+    });
+}
 
-    #[test]
-    fn reply_roundtrips(m in arb_reply()) {
-        prop_assert_eq!(ReplyMsg::decode(&m.encode()), Ok(m));
-    }
+#[test]
+fn reply_roundtrips() {
+    for_cases("reply", |rng| {
+        let m = arb_reply(rng);
+        assert_eq!(ReplyMsg::decode(&m.encode()), Ok(m));
+    });
+}
 
-    #[test]
-    fn commit_roundtrips(version in arb_version(), cs in arb_sig(), ps in arb_sig()) {
-        let m = CommitMsg { version, commit_sig: cs, proof_sig: ps };
-        prop_assert_eq!(CommitMsg::decode(&m.encode()), Ok(m));
-    }
+#[test]
+fn commit_roundtrips() {
+    for_cases("commit", |rng| {
+        let m = CommitMsg {
+            version: arb_version(rng),
+            commit_sig: arb_sig(rng),
+            proof_sig: arb_sig(rng),
+        };
+        assert_eq!(CommitMsg::decode(&m.encode()), Ok(m));
+    });
+}
 
-    #[test]
-    fn enum_roundtrips(m in prop_oneof![
-        arb_submit().prop_map(UstorMsg::Submit),
-        arb_reply().prop_map(UstorMsg::Reply),
-    ]) {
-        prop_assert_eq!(UstorMsg::decode(&m.encode()), Ok(m));
-    }
+#[test]
+fn enum_roundtrips() {
+    for_cases("enum", |rng| {
+        let m = arb_msg(rng);
+        assert_eq!(UstorMsg::decode(&m.encode()), Ok(m));
+    });
+}
 
-    #[test]
-    fn decode_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decode_never_panics_on_junk() {
+    for_cases("junk", |rng| {
+        let len = rng.gen_index(256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = UstorMsg::decode(&bytes);
         let _ = ReplyMsg::decode(&bytes);
         let _ = SubmitMsg::decode(&bytes);
         let _ = CommitMsg::decode(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn encoded_len_matches_encode(m in arb_reply()) {
-        prop_assert_eq!(m.encoded_len(), m.encode().len());
-    }
+#[test]
+fn encoded_len_matches_encode() {
+    for_cases("encoded-len", |rng| {
+        let m = arb_reply(rng);
+        assert_eq!(m.encoded_len(), m.encode().len());
+    });
+}
+
+/// Stream-framing property: any sequence of messages framed back to back
+/// and split at arbitrary byte boundaries decodes to the same sequence.
+#[test]
+fn framed_streams_roundtrip_across_arbitrary_splits() {
+    for_cases("framing", |rng| {
+        let msgs: Vec<UstorMsg> = (0..1 + rng.gen_index(5)).map(|_| arb_msg(rng)).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame_bytes(m));
+        }
+        // Split the byte stream into random chunks (including empties).
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let chunk = 1 + rng.gen_index(17.min(stream.len() - pos));
+            decoder.extend(&stream[pos..pos + chunk]);
+            pos += chunk;
+            while let Some(m) = decoder.next_frame::<UstorMsg>().expect("valid stream") {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, msgs);
+        assert_eq!(decoder.pending_bytes(), 0);
+    });
 }

@@ -46,11 +46,7 @@ impl SplitBrainServer {
     ///
     /// Panics if the groups do not partition `0..n`.
     pub fn new(n: usize, groups: Vec<Vec<ClientId>>, fork_after: usize) -> Self {
-        let mut members: Vec<usize> = groups
-            .iter()
-            .flatten()
-            .map(|c| c.index())
-            .collect();
+        let mut members: Vec<usize> = groups.iter().flatten().map(|c| c.index()).collect();
         members.sort_unstable();
         assert_eq!(
             members,
@@ -256,12 +252,10 @@ impl TamperServer {
                 reply.commit_version = SignedVersion::initial(n);
                 reply.pending.clear();
             }
-            Tamper::CorruptPendingSig => {
-                match reply.pending.first_mut() {
-                    Some(t) => t.sig = Signature::garbage(),
-                    None => return,
-                }
-            }
+            Tamper::CorruptPendingSig => match reply.pending.first_mut() {
+                Some(t) => t.sig = Signature::garbage(),
+                None => return,
+            },
             Tamper::EchoOwnTuple => {
                 reply.pending.push(submit.tuple.clone());
             }
@@ -326,11 +320,7 @@ impl TamperServer {
 impl Server for TamperServer {
     fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
         self.submits_seen += 1;
-        self.mem_history[client.index()].push((
-            msg.timestamp,
-            msg.value.clone(),
-            msg.data_sig,
-        ));
+        self.mem_history[client.index()].push((msg.timestamp, msg.value.clone(), msg.data_sig));
         let mut replies = self.inner.on_submit(client, msg.clone());
         if !self.fired && self.submits_seen > self.after_submits {
             for (to, reply) in replies.iter_mut() {

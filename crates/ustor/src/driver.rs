@@ -8,13 +8,14 @@
 //! in `faust-core` that additionally exercises the offline channel.
 
 use crate::client::{OpCompletion, UstorClient};
+use crate::engine::{serve, ServerEngine};
 use crate::fault::Fault;
 use crate::server::Server;
 use faust_crypto::sig::KeySet;
+use faust_net::QueueTransport;
+use faust_sim::SmallRng;
 use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
 use faust_types::{ClientId, History, OpId, OpKind, UstorMsg, Value, Wire};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One step of a scripted client workload.
@@ -96,7 +97,10 @@ struct Slot {
 pub struct Driver {
     n: usize,
     sim: Simulation<NetMsg>,
-    server: Box<dyn Server>,
+    /// The server side: protocol state behind the transport-agnostic
+    /// engine, fed through the deterministic queue transport.
+    engine: ServerEngine,
+    net: QueueTransport,
     slots: Vec<Slot>,
     history: History,
 }
@@ -104,7 +108,7 @@ pub struct Driver {
 impl Driver {
     /// Creates a driver for `n` clients talking to `server`. Keys are
     /// generated deterministically from `key_seed`.
-    pub fn new(n: usize, server: Box<dyn Server>, sim: SimConfig, key_seed: &[u8]) -> Self {
+    pub fn new(n: usize, server: Box<dyn Server + Send>, sim: SimConfig, key_seed: &[u8]) -> Self {
         let keys = KeySet::generate(n, key_seed);
         let slots = (0..n)
             .map(|i| Slot {
@@ -124,10 +128,16 @@ impl Driver {
         Driver {
             n,
             sim: Simulation::new(sim),
-            server,
+            engine: ServerEngine::new(n, server),
+            net: QueueTransport::new(),
             slots,
             history: History::new(),
         }
+    }
+
+    /// Read access to the server engine (session and batch statistics).
+    pub fn engine(&self) -> &ServerEngine {
+        &self.engine
     }
 
     fn server_node(&self) -> NodeId {
@@ -221,18 +231,17 @@ impl Driver {
                 continue;
             };
             if to == self.server_node() {
+                // The simulator is the transport here: each delivered
+                // message passes through the queue transport into the
+                // engine, and the engine's outputs go back into virtual
+                // time as ordinary link messages.
                 let client = ClientId::new(from.0);
-                let replies = match msg.0 {
-                    UstorMsg::Submit(m) => self.server.on_submit(client, m),
-                    UstorMsg::Commit(m) => self.server.on_commit(client, m),
-                    UstorMsg::Reply(_) => Vec::new(), // nonsense; ignore
-                };
-                for (rcpt, reply) in replies {
-                    self.sim.send(
-                        self.server_node(),
-                        self.client_node(rcpt),
-                        NetMsg(UstorMsg::Reply(reply)),
-                    );
+                self.net.push_incoming(client, msg.0);
+                serve(&mut self.engine, &mut self.net);
+                let outputs: Vec<_> = self.net.drain_outgoing().collect();
+                for (rcpt, out) in outputs {
+                    self.sim
+                        .send(self.server_node(), self.client_node(rcpt), NetMsg(out));
                 }
             } else {
                 let i = to.0 as usize;
@@ -248,11 +257,10 @@ impl Driver {
                     Ok((commit, done)) => {
                         if let Some(op_id) = slot.current.take() {
                             match done.kind {
-                                OpKind::Write => self.history.complete_write(
-                                    op_id,
-                                    now,
-                                    Some(done.timestamp),
-                                ),
+                                OpKind::Write => {
+                                    self.history
+                                        .complete_write(op_id, now, Some(done.timestamp))
+                                }
                                 OpKind::Read => self.history.complete_read(
                                     op_id,
                                     now,
@@ -280,11 +288,7 @@ impl Driver {
             .slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| {
-                s.fault
-                    .clone()
-                    .map(|f| (ClientId::new(i as u32), f))
-            })
+            .filter_map(|(i, s)| s.fault.clone().map(|f| (ClientId::new(i as u32), f)))
             .collect();
         let incomplete_ops = self
             .history
@@ -312,7 +316,7 @@ pub fn random_workloads(
     write_fraction: f64,
     seed: u64,
 ) -> Vec<Vec<WorkloadOp>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
             (0..ops_per_client)
@@ -320,7 +324,7 @@ pub fn random_workloads(
                     if rng.gen_bool(write_fraction) {
                         WorkloadOp::Write(Value::unique(i as u32, seq as u64))
                     } else {
-                        WorkloadOp::Read(ClientId::new(rng.gen_range(0..n) as u32))
+                        WorkloadOp::Read(ClientId::new(rng.gen_index(n) as u32))
                     }
                 })
                 .collect()
@@ -466,10 +470,7 @@ mod tests {
         let mut d = correct_driver(2);
         d.push_ops(
             c(0),
-            vec![
-                WorkloadOp::Write(Value::from("a")),
-                WorkloadOp::Read(c(1)),
-            ],
+            vec![WorkloadOp::Write(Value::from("a")), WorkloadOp::Read(c(1))],
         );
         d.push_ops(c(1), vec![WorkloadOp::Write(Value::from("b"))]);
         let r = d.run();

@@ -1,0 +1,650 @@
+//! The transport-agnostic server engine.
+//!
+//! [`ServerEngine`] wraps any [`Server`] implementation (the correct
+//! [`UstorServer`](crate::UstorServer) or a Byzantine adversary) behind a
+//! pure enqueue/process/poll interface over `(ClientId, UstorMsg)` pairs:
+//!
+//! 1. a transport pushes inbound messages with [`ServerEngine::enqueue`];
+//! 2. [`ServerEngine::process_all`] runs the protocol handlers in strict
+//!    FIFO arrival order — the order that *defines* the schedule of
+//!    operations in Algorithm 2;
+//! 3. the transport drains the replies with [`ServerEngine::poll_output`].
+//!
+//! Because the engine never performs I/O, the same code path serves the
+//! deterministic simulator (via [`faust_net::QueueTransport`]), the
+//! thread-per-client channel runtime, and real TCP clients — the [`serve`]
+//! loop works over any [`ServerTransport`].
+//!
+//! # Sessions
+//!
+//! The engine keeps one [`Session`] per client: message counters, the last
+//! submitted timestamp, and the hash of the client's last written value.
+//! Sessions are what make ingress verification possible — the DATA
+//! signature covers the hash of the *previous* write, which the session
+//! tracks — and give operators per-client visibility.
+//!
+//! # Ingress verification
+//!
+//! The USTOR protocol needs no server-side checks: every signature is
+//! re-verified by clients, and a server that forwards garbage is detected
+//! and pinned. A deployed service still wants to reject unauthenticated
+//! traffic at the door (resource protection, not correctness). The engine
+//! optionally does so, per message or batched
+//! ([`IngressVerification`]). Batched mode drains the whole inbox first
+//! and verifies all SUBMIT signatures through
+//! [`Verifier::verify_batch`], amortizing each signer's HMAC key schedule
+//! across the batch — measurably faster than per-message verification
+//! (see `faust-bench/benches/protocol.rs`).
+//!
+//! Note on the trust model: with the default HMAC scheme, verification
+//! keys are secrets, so handing the server a
+//! [`VerifierRegistry`](faust_crypto::VerifierRegistry) would let it forge
+//! client signatures — fine for benchmarks and closed deployments, wrong
+//! for the paper's Byzantine-server setting. With a public-key scheme
+//! substituted behind [`Verifier`], ingress verification is sound as-is;
+//! that is why the engine takes a `dyn Verifier`, not a registry.
+
+use crate::server::Server;
+use faust_crypto::sha256::sha256;
+use faust_crypto::sig::{SigContext, Verifier, VerifyItem};
+use faust_crypto::Digest;
+use faust_net::{Incoming, ServerTransport};
+use faust_types::op::{data_signing_bytes, submit_signing_bytes};
+use faust_types::{ClientId, OpKind, SubmitMsg, Timestamp, UstorMsg};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A shared, thread-safe signature verifier for ingress checks.
+pub type SharedVerifier = Arc<dyn Verifier + Send + Sync>;
+
+/// Whether (and how) the engine verifies SUBMIT signatures at ingress.
+#[derive(Clone, Default)]
+pub enum IngressVerification {
+    /// Trust the transport; forward everything (the paper's model — all
+    /// checking happens at clients). This is the default.
+    #[default]
+    Off,
+    /// Verify each SUBMIT's signatures as it is processed.
+    PerMessage(SharedVerifier),
+    /// Drain the inbox and verify all queued SUBMITs as one batch,
+    /// amortizing per-signer verifier setup.
+    Batched(SharedVerifier),
+}
+
+impl std::fmt::Debug for IngressVerification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IngressVerification::Off => "Off",
+            IngressVerification::PerMessage(_) => "PerMessage(..)",
+            IngressVerification::Batched(_) => "Batched(..)",
+        })
+    }
+}
+
+/// Per-client connection/protocol state tracked by the engine.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    /// SUBMIT messages accepted from this client.
+    pub submits: u64,
+    /// COMMIT messages accepted from this client (piggybacked commits
+    /// count here too).
+    pub commits: u64,
+    /// Messages dropped by ingress verification.
+    pub rejected: u64,
+    /// Timestamp of the last accepted SUBMIT (0 before the first).
+    pub last_timestamp: Timestamp,
+    /// Hash of the client's most recently written value (`x̄` as the
+    /// server can reconstruct it); `None` before the first write.
+    pub last_value_hash: Option<Digest>,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// SUBMITs forwarded to the protocol server.
+    pub submits: u64,
+    /// COMMITs forwarded to the protocol server.
+    pub commits: u64,
+    /// Messages dropped by ingress verification.
+    pub rejected: u64,
+    /// Client messages of a kind only the server sends (ignored).
+    pub nonsense: u64,
+    /// Number of `process_all` rounds that processed at least one message.
+    pub batches: u64,
+    /// Largest number of messages processed in one round.
+    pub max_batch: usize,
+}
+
+/// The transport-agnostic server engine. See the module docs.
+pub struct ServerEngine {
+    n: usize,
+    server: Box<dyn Server + Send>,
+    sessions: Vec<Session>,
+    inbox: VecDeque<(ClientId, UstorMsg)>,
+    outbox: VecDeque<(ClientId, UstorMsg)>,
+    verification: IngressVerification,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for ServerEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerEngine")
+            .field("n", &self.n)
+            .field("verification", &self.verification)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerEngine {
+    /// Creates an engine for `n` clients around `server`, with ingress
+    /// verification off.
+    pub fn new(n: usize, server: Box<dyn Server + Send>) -> Self {
+        ServerEngine {
+            n,
+            server,
+            sessions: vec![Session::default(); n],
+            inbox: VecDeque::new(),
+            outbox: VecDeque::new(),
+            verification: IngressVerification::Off,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Sets the ingress-verification policy (builder style).
+    pub fn with_verification(mut self, verification: IngressVerification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.n
+    }
+
+    /// The session state of `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn session(&self, client: ClientId) -> &Session {
+        &self.sessions[client.index()]
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Queues one inbound message. No processing happens until
+    /// [`ServerEngine::process_all`].
+    pub fn enqueue(&mut self, from: ClientId, msg: UstorMsg) {
+        self.inbox.push_back((from, msg));
+    }
+
+    /// Removes the next outbound `(recipient, message)` pair.
+    pub fn poll_output(&mut self) -> Option<(ClientId, UstorMsg)> {
+        self.outbox.pop_front()
+    }
+
+    /// Processes every queued message in FIFO order.
+    ///
+    /// In [`IngressVerification::Batched`] mode, all queued SUBMITs are
+    /// signature-checked in one [`Verifier::verify_batch`] call first;
+    /// processing order is unchanged.
+    pub fn process_all(&mut self) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        let batch_len = self.inbox.len();
+        self.stats.batches += 1;
+        self.stats.max_batch = self.stats.max_batch.max(batch_len);
+
+        let verdicts: Option<Vec<bool>> = match &self.verification {
+            IngressVerification::Batched(verifier) => {
+                Some(self.verify_queued_batch(Arc::clone(verifier)))
+            }
+            _ => None,
+        };
+        for idx in 0..batch_len {
+            let (from, msg) = self.inbox.pop_front().expect("counted above");
+            if let Some(verdicts) = &verdicts {
+                if !verdicts[idx] {
+                    self.reject(from);
+                    continue;
+                }
+            }
+            self.process_one(from, msg);
+        }
+    }
+
+    /// Builds and checks the signature batch for every queued message.
+    ///
+    /// Two phases, so the verdicts match per-message processing exactly.
+    /// Phase 1 verifies everything that does not depend on earlier queued
+    /// messages: all SUBMIT signatures, plus the DATA signatures of
+    /// writes (a write's `x̄` is the hash of its *own* value). Phase 2
+    /// then walks the queue again, advancing a shadow copy of each
+    /// session's last-value hash **only for writes that phase 1
+    /// accepted**, and verifies the reads' DATA signatures against that
+    /// shadow. A rejected write therefore cannot poison the expected `x̄`
+    /// of an honest read queued behind it — per-message mode would have
+    /// dropped the write and left the session hash untouched, and batched
+    /// mode now agrees.
+    fn verify_queued_batch(&mut self, verifier: SharedVerifier) -> Vec<bool> {
+        // Phase 1: shadow-independent signatures.
+        let mut items: Vec<VerifyItem> = Vec::new();
+        // For message k: (well_formed, first item index, item count).
+        let mut spans: Vec<(bool, usize, usize)> = Vec::with_capacity(self.inbox.len());
+        for (from, msg) in &self.inbox {
+            let UstorMsg::Submit(submit) = msg else {
+                // Only SUBMITs carry ingress-checked signatures.
+                spans.push((true, items.len(), 0));
+                continue;
+            };
+            if from.index() >= self.n || submit.tuple.client != *from {
+                spans.push((false, items.len(), 0));
+                continue;
+            }
+            let start = items.len();
+            items.push(VerifyItem {
+                signer: from.as_u32(),
+                context: SigContext::Submit,
+                message: submit_signing_bytes(
+                    submit.tuple.kind,
+                    submit.tuple.register,
+                    submit.timestamp,
+                ),
+                sig: submit.tuple.sig,
+            });
+            if submit.tuple.kind == OpKind::Write {
+                let xbar = submit.value.as_ref().map(|v| sha256(v.as_bytes()));
+                items.push(VerifyItem {
+                    signer: from.as_u32(),
+                    context: SigContext::Data,
+                    message: data_signing_bytes(submit.timestamp, xbar),
+                    sig: submit.data_sig,
+                });
+            }
+            spans.push((true, start, items.len() - start));
+        }
+        let results = verifier.verify_batch(&items);
+        let mut verdicts: Vec<bool> = spans
+            .into_iter()
+            .map(|(ok, start, count)| ok && results[start..start + count].iter().all(|&v| v))
+            .collect();
+
+        // Phase 2: reads, against the shadow hash advanced only by
+        // accepted writes.
+        let mut shadow_hash: Vec<Option<Digest>> =
+            self.sessions.iter().map(|s| s.last_value_hash).collect();
+        let mut read_items: Vec<VerifyItem> = Vec::new();
+        let mut read_slots: Vec<usize> = Vec::new();
+        for (idx, (from, msg)) in self.inbox.iter().enumerate() {
+            let UstorMsg::Submit(submit) = msg else {
+                continue;
+            };
+            if !verdicts[idx] {
+                continue;
+            }
+            match submit.tuple.kind {
+                OpKind::Write => {
+                    shadow_hash[from.index()] = submit.value.as_ref().map(|v| sha256(v.as_bytes()));
+                }
+                OpKind::Read => {
+                    read_items.push(VerifyItem {
+                        signer: from.as_u32(),
+                        context: SigContext::Data,
+                        message: data_signing_bytes(submit.timestamp, shadow_hash[from.index()]),
+                        sig: submit.data_sig,
+                    });
+                    read_slots.push(idx);
+                }
+            }
+        }
+        for (slot, ok) in read_slots
+            .into_iter()
+            .zip(verifier.verify_batch(&read_items))
+        {
+            verdicts[slot] = verdicts[slot] && ok;
+        }
+        verdicts
+    }
+
+    /// Verifies one SUBMIT with individual [`Verifier::verify`] calls (the
+    /// per-message path the batched mode is measured against).
+    fn verify_one(&self, verifier: &SharedVerifier, from: ClientId, submit: &SubmitMsg) -> bool {
+        if from.index() >= self.n || submit.tuple.client != from {
+            return false;
+        }
+        let submit_ok = verifier.verify(
+            from.as_u32(),
+            SigContext::Submit,
+            &submit_signing_bytes(submit.tuple.kind, submit.tuple.register, submit.timestamp),
+            &submit.tuple.sig,
+        );
+        if !submit_ok {
+            return false;
+        }
+        let xbar = match submit.tuple.kind {
+            OpKind::Write => submit.value.as_ref().map(|v| sha256(v.as_bytes())),
+            OpKind::Read => self.sessions[from.index()].last_value_hash,
+        };
+        verifier.verify(
+            from.as_u32(),
+            SigContext::Data,
+            &data_signing_bytes(submit.timestamp, xbar),
+            &submit.data_sig,
+        )
+    }
+
+    fn reject(&mut self, from: ClientId) {
+        self.stats.rejected += 1;
+        if let Some(session) = self.sessions.get_mut(from.index()) {
+            session.rejected += 1;
+        }
+    }
+
+    fn process_one(&mut self, from: ClientId, msg: UstorMsg) {
+        match msg {
+            UstorMsg::Submit(submit) => {
+                if let IngressVerification::PerMessage(verifier) = &self.verification {
+                    let verifier = Arc::clone(verifier);
+                    if !self.verify_one(&verifier, from, &submit) {
+                        self.reject(from);
+                        return;
+                    }
+                }
+                if let Some(session) = self.sessions.get_mut(from.index()) {
+                    session.submits += 1;
+                    session.last_timestamp = submit.timestamp;
+                    if submit.tuple.kind == OpKind::Write {
+                        session.last_value_hash =
+                            submit.value.as_ref().map(|v| sha256(v.as_bytes()));
+                    }
+                    if submit.piggyback.is_some() {
+                        session.commits += 1;
+                    }
+                }
+                self.stats.submits += 1;
+                for (rcpt, reply) in self.server.on_submit(from, submit) {
+                    self.outbox.push_back((rcpt, UstorMsg::Reply(reply)));
+                }
+            }
+            UstorMsg::Commit(commit) => {
+                if let Some(session) = self.sessions.get_mut(from.index()) {
+                    session.commits += 1;
+                }
+                self.stats.commits += 1;
+                for (rcpt, reply) in self.server.on_commit(from, commit) {
+                    self.outbox.push_back((rcpt, UstorMsg::Reply(reply)));
+                }
+            }
+            // Clients never legitimately send REPLY; ignore quietly.
+            UstorMsg::Reply(_) => {
+                self.stats.nonsense += 1;
+            }
+        }
+    }
+}
+
+/// Runs an engine over a transport until the transport closes (blocking
+/// transports) or drains ([`Incoming::Idle`], deterministic transports).
+///
+/// Each round greedily gathers every message already available before
+/// processing, so batched ingress verification sees real batches under
+/// load while an idle connection still gets per-message latency.
+pub fn serve<T: ServerTransport>(engine: &mut ServerEngine, transport: &mut T) {
+    loop {
+        // Block (or observe Idle) for the first message of the round.
+        let mut closed = false;
+        match transport.recv() {
+            Incoming::Msg(from, msg) => engine.enqueue(from, msg),
+            Incoming::Idle | Incoming::Closed => closed = true,
+        }
+        if !closed {
+            // Gather whatever else has already arrived.
+            loop {
+                match transport.try_recv() {
+                    Incoming::Msg(from, msg) => engine.enqueue(from, msg),
+                    Incoming::Idle => break,
+                    Incoming::Closed => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        engine.process_all();
+        while let Some((to, msg)) = engine.poll_output() {
+            transport.send(to, msg);
+        }
+        if closed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::UstorClient;
+    use crate::server::UstorServer;
+    use faust_crypto::sig::KeySet;
+    use faust_types::Value;
+
+    fn setup(
+        n: usize,
+        verification: impl Fn(&KeySet) -> IngressVerification,
+    ) -> (ServerEngine, Vec<UstorClient>) {
+        let keys = KeySet::generate(n, b"engine-tests");
+        let clients = (0..n)
+            .map(|i| {
+                UstorClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                )
+            })
+            .collect();
+        let engine = ServerEngine::new(n, Box::new(UstorServer::new(n)))
+            .with_verification(verification(&keys));
+        (engine, clients)
+    }
+
+    fn registry(keys: &KeySet) -> SharedVerifier {
+        Arc::new(keys.registry())
+    }
+
+    /// Runs one full op through the engine, asserting the reply routes
+    /// back to the submitter.
+    fn run_op(engine: &mut ServerEngine, client: &mut UstorClient, submit: faust_types::SubmitMsg) {
+        let id = client.id();
+        engine.enqueue(id, UstorMsg::Submit(submit));
+        engine.process_all();
+        let (to, reply) = engine.poll_output().expect("one reply");
+        assert_eq!(to, id);
+        let UstorMsg::Reply(reply) = reply else {
+            panic!("expected a reply");
+        };
+        let (commit, _) = client.handle_reply(reply).expect("correct server");
+        engine.enqueue(id, UstorMsg::Commit(commit.expect("immediate mode")));
+        engine.process_all();
+        assert!(engine.poll_output().is_none(), "commit produces no reply");
+    }
+
+    #[test]
+    fn engine_matches_direct_server_behavior() {
+        let (mut engine, mut clients) = setup(2, |_| IngressVerification::Off);
+        let submit = clients[0].begin_write(Value::from("v1")).unwrap();
+        run_op(&mut engine, &mut clients[0], submit);
+        let submit = clients[1].begin_read(ClientId::new(0)).unwrap();
+        run_op(&mut engine, &mut clients[1], submit);
+        assert_eq!(engine.stats().submits, 2);
+        assert_eq!(engine.stats().commits, 2);
+        assert_eq!(engine.session(ClientId::new(0)).last_timestamp, 1);
+    }
+
+    #[test]
+    fn honest_traffic_passes_both_verification_modes() {
+        for batched in [false, true] {
+            let (mut engine, mut clients) = setup(3, |keys| {
+                if batched {
+                    IngressVerification::Batched(registry(keys))
+                } else {
+                    IngressVerification::PerMessage(registry(keys))
+                }
+            });
+            // Writes then cross-reads, including a read of an unwritten
+            // register (x̄ = ⊥ for the never-written client 2).
+            let submit = clients[0].begin_write(Value::from("a")).unwrap();
+            run_op(&mut engine, &mut clients[0], submit);
+            let submit = clients[0].begin_read(ClientId::new(2)).unwrap();
+            run_op(&mut engine, &mut clients[0], submit);
+            let submit = clients[2].begin_read(ClientId::new(0)).unwrap();
+            run_op(&mut engine, &mut clients[2], submit);
+            assert_eq!(engine.stats().rejected, 0, "batched={batched}");
+        }
+    }
+
+    #[test]
+    fn batched_mode_checks_reads_against_queued_writes() {
+        // A write and a subsequent read by the same client verified in the
+        // SAME batch: the read's DATA signature covers the new value's
+        // hash, which only the shadow-tracking batch builder can know.
+        let (mut engine, mut clients) =
+            setup(2, |keys| IngressVerification::Batched(registry(keys)));
+        let w = clients[0].begin_write(Value::from("fresh")).unwrap();
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(w));
+        engine.process_all();
+        let (_, UstorMsg::Reply(reply)) = engine.poll_output().unwrap() else {
+            panic!("expected reply");
+        };
+        let (commit, _) = clients[0].handle_reply(reply).unwrap();
+        // Queue the commit AND the next read together.
+        engine.enqueue(ClientId::new(0), UstorMsg::Commit(commit.unwrap()));
+        let r = clients[0].begin_read(ClientId::new(0)).unwrap();
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r));
+        engine.process_all();
+        assert_eq!(engine.stats().rejected, 0);
+        let (_, UstorMsg::Reply(reply)) = engine.poll_output().unwrap() else {
+            panic!("expected reply");
+        };
+        let (_, done) = clients[0].handle_reply(reply).unwrap();
+        assert_eq!(done.read_value, Some(Some(Value::from("fresh"))));
+    }
+
+    #[test]
+    fn forged_submits_are_rejected_in_both_modes() {
+        for batched in [false, true] {
+            let (mut engine, mut clients) = setup(2, |keys| {
+                if batched {
+                    IngressVerification::Batched(registry(keys))
+                } else {
+                    IngressVerification::PerMessage(registry(keys))
+                }
+            });
+            // A genuine submit, tampered three ways.
+            let good = clients[0].begin_write(Value::from("v")).unwrap();
+            let mut wrong_sig = good.clone();
+            wrong_sig.tuple.sig = faust_crypto::Signature::garbage();
+            let mut wrong_value = good.clone();
+            wrong_value.value = Some(Value::from("swapped")); // DATA sig mismatch
+            let mut spoofed = good.clone();
+            spoofed.tuple.client = ClientId::new(1); // from ≠ tuple.client
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(wrong_sig));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(wrong_value));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(spoofed));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(good));
+            engine.process_all();
+            assert_eq!(engine.stats().rejected, 3, "batched={batched}");
+            assert_eq!(engine.stats().submits, 1, "batched={batched}");
+            // Only the genuine submit got a reply.
+            let mut replies = 0;
+            while engine.poll_output().is_some() {
+                replies += 1;
+            }
+            assert_eq!(replies, 1, "batched={batched}");
+        }
+    }
+
+    #[test]
+    fn rejected_write_does_not_poison_a_queued_honest_read() {
+        // A forged write queued before the same client's genuine read, in
+        // ONE batch: the write must be rejected and the read accepted
+        // against the client's *previous* value hash — identical to what
+        // per-message processing decides. (A naive batch builder that
+        // advances the shadow hash for unverified writes rejects the
+        // honest read here.)
+        for batched in [false, true] {
+            let (mut engine, mut clients) = setup(2, |keys| {
+                if batched {
+                    IngressVerification::Batched(registry(keys))
+                } else {
+                    IngressVerification::PerMessage(registry(keys))
+                }
+            });
+            // Establish a committed write so the client has a value hash.
+            let w = clients[0].begin_write(Value::from("genuine")).unwrap();
+            run_op(&mut engine, &mut clients[0], w);
+            // The client's genuine next read, signed over hash("genuine").
+            let honest = clients[0].begin_read(ClientId::new(0)).unwrap();
+            // A forgery in client 0's name (the attacker has no key).
+            let mut forged = honest.clone();
+            forged.tuple.kind = OpKind::Write;
+            forged.value = Some(Value::from("poison"));
+            forged.tuple.sig = faust_crypto::Signature::garbage();
+            forged.data_sig = faust_crypto::Signature::garbage();
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(forged));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(honest));
+            engine.process_all();
+            assert_eq!(engine.stats().rejected, 1, "batched={batched}");
+            assert_eq!(engine.stats().submits, 2, "batched={batched}");
+            let (_, UstorMsg::Reply(reply)) = engine.poll_output().unwrap() else {
+                panic!("expected the honest read's reply");
+            };
+            let (_, done) = clients[0]
+                .handle_reply(reply)
+                .expect("honest read must survive the forged write");
+            assert_eq!(done.read_value, Some(Some(Value::from("genuine"))));
+        }
+    }
+
+    #[test]
+    fn out_of_range_sender_is_rejected_not_panicking() {
+        let keys = KeySet::generate(2, b"engine-tests");
+        let mut engine = ServerEngine::new(2, Box::new(UstorServer::new(2)))
+            .with_verification(IngressVerification::Batched(Arc::new(keys.registry())));
+        let mut rogue = UstorClient::new(
+            ClientId::new(0),
+            2,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+        );
+        let mut submit = rogue.begin_write(Value::from("x")).unwrap();
+        submit.tuple.client = ClientId::new(7);
+        engine.enqueue(ClientId::new(7), UstorMsg::Submit(submit));
+        engine.process_all();
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn serve_drains_a_queue_transport() {
+        let keys = KeySet::generate(1, b"engine-tests");
+        let mut client = UstorClient::new(
+            ClientId::new(0),
+            1,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+        );
+        let mut engine = ServerEngine::new(1, Box::new(UstorServer::new(1)));
+        let mut transport = faust_net::QueueTransport::new();
+        let submit = client.begin_write(Value::from("q")).unwrap();
+        transport.push_incoming(ClientId::new(0), UstorMsg::Submit(submit));
+        serve(&mut engine, &mut transport);
+        let outputs: Vec<_> = transport.drain_outgoing().collect();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].0, ClientId::new(0));
+    }
+}

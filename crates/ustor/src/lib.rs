@@ -41,10 +41,12 @@
 pub mod adversary;
 pub mod client;
 pub mod driver;
+pub mod engine;
 pub mod fault;
 pub mod server;
 
 pub use client::{BeginError, CommitMode, OpCompletion, UstorClient};
 pub use driver::{random_workloads, Driver, RunResult, WorkloadOp};
+pub use engine::{serve, EngineStats, IngressVerification, ServerEngine, Session, SharedVerifier};
 pub use fault::Fault;
 pub use server::{MemEntry, Server, UstorServer};

@@ -300,9 +300,15 @@ mod tests {
 
         // All clients can complete without waiting for each other
         // (wait-freedom with a correct server).
-        let (c0, d0) = cs[0].handle_reply(r0.into_iter().next().unwrap().1).unwrap();
-        let (c1, d1) = cs[1].handle_reply(r1.into_iter().next().unwrap().1).unwrap();
-        let (c2, d2) = cs[2].handle_reply(r2.into_iter().next().unwrap().1).unwrap();
+        let (c0, d0) = cs[0]
+            .handle_reply(r0.into_iter().next().unwrap().1)
+            .unwrap();
+        let (c1, d1) = cs[1]
+            .handle_reply(r1.into_iter().next().unwrap().1)
+            .unwrap();
+        let (c2, d2) = cs[2]
+            .handle_reply(r2.into_iter().next().unwrap().1)
+            .unwrap();
         let (c0, c1, c2) = (c0.unwrap(), c1.unwrap(), c2.unwrap());
         assert_eq!(d0.timestamp, 1);
         assert_eq!(d1.timestamp, 1);
@@ -327,10 +333,14 @@ mod tests {
         // C1 reads while C0's write is uncommitted.
         let r = cs[1].begin_read(ClientId::new(0)).unwrap();
         let rr = s.on_submit(ClientId::new(1), r);
-        let (_, done) = cs[1].handle_reply(rr.into_iter().next().unwrap().1).unwrap();
+        let (_, done) = cs[1]
+            .handle_reply(rr.into_iter().next().unwrap().1)
+            .unwrap();
         assert_eq!(done.read_value, Some(Some(Value::from("new"))));
         // C0 completes afterwards — nobody blocked.
-        let (_, d0) = cs[0].handle_reply(wr.into_iter().next().unwrap().1).unwrap();
+        let (_, d0) = cs[0]
+            .handle_reply(wr.into_iter().next().unwrap().1)
+            .unwrap();
         assert_eq!(d0.timestamp, 1);
     }
 }

@@ -156,7 +156,12 @@ fn split_brain_before_any_ops_forks_from_scratch() {
 
 /// Builds a tamper scenario through the simulated driver and returns the
 /// detected faults.
-fn run_tamper(kind: Tamper, victim: u32, after: usize, script: Vec<(u32, WorkloadOp)>) -> Vec<(ClientId, Fault)> {
+fn run_tamper(
+    kind: Tamper,
+    victim: u32,
+    after: usize,
+    script: Vec<(u32, WorkloadOp)>,
+) -> Vec<(ClientId, Fault)> {
     let n = 3;
     let server = TamperServer::new(n, c(victim), after, kind);
     let mut driver = Driver::new(n, Box::new(server), SimConfig::default(), b"tamper");

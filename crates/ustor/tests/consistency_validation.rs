@@ -115,7 +115,10 @@ fn fig3_driver_history_matches_paper_verdicts() {
 
     assert!(check_linearizability(h, &budget).is_violated());
     assert!(check_fork_linearizability(h, &budget).is_violated());
-    assert_eq!(check_weak_fork_linearizability(h, &budget), Verdict::Satisfied);
+    assert_eq!(
+        check_weak_fork_linearizability(h, &budget),
+        Verdict::Satisfied
+    );
     assert_eq!(check_causal_consistency(h, &budget), Verdict::Satisfied);
 }
 

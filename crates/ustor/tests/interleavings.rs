@@ -2,11 +2,14 @@
 //! processing at a correct server. The driver tests randomize *network
 //! delays*; these randomize the *schedule itself*, including commits that
 //! arrive arbitrarily late (clients with many operations in between).
+//!
+//! Property-style without an external framework: each case is generated
+//! from a seeded [`SmallRng`], so failures reproduce exactly by seed.
 
 use faust_crypto::sig::KeySet;
+use faust_sim::SmallRng;
 use faust_types::{ClientId, CommitMsg, ReplyMsg, Value};
 use faust_ustor::{Server, UstorClient, UstorServer};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 fn c(i: u32) -> ClientId {
@@ -33,87 +36,77 @@ enum ToServer {
     Commit(CommitMsg),
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random schedules: at each step one client either starts its next
+/// operation (enqueuing the SUBMIT on its FIFO towards the server), has
+/// the head of that FIFO processed, or receives its next REPLY. The FIFO
+/// guarantees the paper assumes (a COMMIT is processed before the same
+/// client's next SUBMIT) hold by construction; under them, a correct
+/// server never trips a check, versions grow strictly, and the pending
+/// list stays bounded by n.
+#[test]
+fn random_message_interleavings_stay_consistent() {
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0x1317_EAF0 ^ case);
+        let n = 2 + rng.gen_index(3); // 2..5
+        let steps = 10 + rng.gen_index(70); // 10..80
+        run_case(&mut rng, n, steps, case);
+    }
+}
 
-    /// Random schedules: at each step one client either starts its next
-    /// operation (enqueuing the SUBMIT on its FIFO towards the server),
-    /// has the head of that FIFO processed, or receives its next REPLY.
-    /// The FIFO guarantees the paper assumes (a COMMIT is processed
-    /// before the same client's next SUBMIT) hold by construction; under
-    /// them, a correct server never trips a check, versions grow
-    /// strictly, and the pending list stays bounded by n.
-    #[test]
-    fn random_message_interleavings_stay_consistent(
-        seed in 0u64..10_000,
-        n in 2usize..5,
-        steps in 10usize..80,
-    ) {
-        let mut rng_state = seed | 1;
-        let mut next = move |m: usize| {
-            // xorshift for reproducible choices without pulling in rand.
-            rng_state ^= rng_state << 13;
-            rng_state ^= rng_state >> 7;
-            rng_state ^= rng_state << 17;
-            (rng_state as usize) % m
-        };
+fn run_case(rng: &mut SmallRng, n: usize, steps: usize, case: u64) {
+    let mut server = UstorServer::new(n);
+    let mut cs = clients(n, b"interleave");
+    let mut to_server: Vec<VecDeque<ToServer>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut to_client: Vec<VecDeque<ReplyMsg>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut seq: Vec<u64> = vec![0; n];
+    let mut last_version: Vec<Option<faust_types::Version>> = vec![None; n];
 
-        let mut server = UstorServer::new(n);
-        let mut cs = clients(n, b"interleave");
-        let mut to_server: Vec<VecDeque<ToServer>> = (0..n).map(|_| VecDeque::new()).collect();
-        let mut to_client: Vec<VecDeque<ReplyMsg>> = (0..n).map(|_| VecDeque::new()).collect();
-        let mut seq: Vec<u64> = vec![0; n];
-        let mut last_version: Vec<Option<faust_types::Version>> = vec![None; n];
-
-        for _ in 0..steps {
-            let i = next(n);
-            match next(3) {
-                // Start a new op: SUBMIT goes to the back of the FIFO.
-                0 => {
-                    if !cs[i].is_busy() && cs[i].fault().is_none() {
-                        seq[i] += 1;
-                        let submit = if next(2) == 0 {
-                            cs[i].begin_write(Value::unique(i as u32, seq[i]))
-                        } else {
-                            cs[i].begin_read(c(next(n) as u32))
-                        };
-                        if let Ok(msg) = submit {
-                            to_server[i].push_back(ToServer::Submit(msg));
-                        }
-                    }
-                }
-                // Server processes the head of client i's FIFO.
-                1 => {
-                    match to_server[i].pop_front() {
-                        Some(ToServer::Submit(msg)) => {
-                            for (rcpt, reply) in server.on_submit(c(i as u32), msg) {
-                                to_client[rcpt.index()].push_back(reply);
-                            }
-                        }
-                        Some(ToServer::Commit(commit)) => {
-                            server.on_commit(c(i as u32), commit);
-                        }
-                        None => {}
-                    }
-                }
-                // Client i receives its next REPLY.
-                _ => {
-                    if let Some(reply) = to_client[i].pop_front() {
-                        let (commit, done) = cs[i]
-                            .handle_reply(reply)
-                            .expect("correct server never trips a check");
-                        if let Some(prev) = &last_version[i] {
-                            prop_assert!(prev.lt(&done.version), "versions must grow");
-                        }
-                        last_version[i] = Some(done.version.clone());
-                        if let Some(commit) = commit {
-                            to_server[i].push_back(ToServer::Commit(commit));
-                        }
+    for _ in 0..steps {
+        let i = rng.gen_index(n);
+        match rng.gen_index(3) {
+            // Start a new op: SUBMIT goes to the back of the FIFO.
+            0 => {
+                if !cs[i].is_busy() && cs[i].fault().is_none() {
+                    seq[i] += 1;
+                    let submit = if rng.gen_index(2) == 0 {
+                        cs[i].begin_write(Value::unique(i as u32, seq[i]))
+                    } else {
+                        cs[i].begin_read(c(rng.gen_index(n) as u32))
+                    };
+                    if let Ok(msg) = submit {
+                        to_server[i].push_back(ToServer::Submit(msg));
                     }
                 }
             }
-            prop_assert!(server.pending_len() <= n, "L grew beyond n");
+            // Server processes the head of client i's FIFO.
+            1 => match to_server[i].pop_front() {
+                Some(ToServer::Submit(msg)) => {
+                    for (rcpt, reply) in server.on_submit(c(i as u32), msg) {
+                        to_client[rcpt.index()].push_back(reply);
+                    }
+                }
+                Some(ToServer::Commit(commit)) => {
+                    server.on_commit(c(i as u32), commit);
+                }
+                None => {}
+            },
+            // Client i receives its next REPLY.
+            _ => {
+                if let Some(reply) = to_client[i].pop_front() {
+                    let (commit, done) = cs[i]
+                        .handle_reply(reply)
+                        .expect("correct server never trips a check");
+                    if let Some(prev) = &last_version[i] {
+                        assert!(prev.lt(&done.version), "case {case}: versions must grow");
+                    }
+                    last_version[i] = Some(done.version.clone());
+                    if let Some(commit) = commit {
+                        to_server[i].push_back(ToServer::Commit(commit));
+                    }
+                }
+            }
         }
+        assert!(server.pending_len() <= n, "case {case}: L grew beyond n");
     }
 }
 

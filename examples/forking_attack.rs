@@ -107,7 +107,9 @@ fn main() {
     let result = driver.run_until(30_000);
 
     for (client, reason) in &result.failures {
-        let time = result.failure_time(*client).expect("failed clients have a time");
+        let time = result
+            .failure_time(*client)
+            .expect("failed clients have a time");
         println!("  t={time:>5}  fail_{client}: {reason}");
     }
     assert!(

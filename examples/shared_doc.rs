@@ -59,12 +59,19 @@ fn main() {
         ana,
         vec![
             FaustWorkloadOp::Write(log_value(0, &["# Shared design doc"])),
-            FaustWorkloadOp::Write(log_value(0, &["# Shared design doc", "## Goals: fail-aware storage"])),
+            FaustWorkloadOp::Write(log_value(
+                0,
+                &["# Shared design doc", "## Goals: fail-aware storage"],
+            )),
             FaustWorkloadOp::Pause(60),
             FaustWorkloadOp::Read(bruno),
             FaustWorkloadOp::Write(log_value(
                 0,
-                &["# Shared design doc", "## Goals: fail-aware storage", "(reviewed Bruno's part)"],
+                &[
+                    "# Shared design doc",
+                    "## Goals: fail-aware storage",
+                    "(reviewed Bruno's part)",
+                ],
             )),
         ],
     );
@@ -76,7 +83,10 @@ fn main() {
             FaustWorkloadOp::Read(ana),
             FaustWorkloadOp::Write(log_value(
                 1,
-                &["## Protocol: USTOR, one round/op", "## Versions: (V, M) with ≼"],
+                &[
+                    "## Protocol: USTOR, one round/op",
+                    "## Versions: (V, M) with ≼",
+                ],
             )),
         ],
     );
@@ -100,8 +110,7 @@ fn main() {
             .history
             .ops()
             .iter()
-            .filter(|op| op.client.index() == i && op.written.is_some())
-            .next_back();
+            .rfind(|op| op.client.index() == i && op.written.is_some());
         if let Some(op) = last_write {
             let text = String::from_utf8_lossy(op.written.as_ref().unwrap().as_bytes());
             print!("{text}");
@@ -127,11 +136,17 @@ fn main() {
             "with an honest provider and live collaborators, everything stabilizes"
         );
     }
-    let any_failed = result.notifications.iter().flatten().any(|(_, note)| {
-        matches!(note, Notification::Failed(_))
-    });
+    let any_failed = result
+        .notifications
+        .iter()
+        .flatten()
+        .any(|(_, note)| matches!(note, Notification::Failed(_)));
     println!(
         "\nno forks detected: {}",
-        if any_failed { "NO (!!)" } else { "correct — every edit is mutually vouched" }
+        if any_failed {
+            "NO (!!)"
+        } else {
+            "correct — every edit is mutually vouched"
+        }
     );
 }

@@ -77,12 +77,7 @@ fn main() {
     println!("\n── scenario 2: a client crashes mid-operation ──\n");
 
     // USTOR: C0 crashes while its write is in flight.
-    let mut ustor = Driver::new(
-        3,
-        Box::new(UstorServer::new(3)),
-        sim(),
-        b"wf-crash",
-    );
+    let mut ustor = Driver::new(3, Box::new(UstorServer::new(3)), sim(), b"wf-crash");
     ustor.push_ops(
         c(0),
         vec![WorkloadOp::Write(Value::from("w")), WorkloadOp::Crash],

@@ -3,6 +3,48 @@
 //! Re-exports the full protocol stack. See the individual crates for
 //! details; start with [`core`] for the fail-aware service and [`ustor`]
 //! for the underlying storage protocol.
+//!
+//! # Architecture: engine — session — transport
+//!
+//! The server side is layered so that *what the server computes* is
+//! independent of *how bytes reach it*:
+//!
+//! ```text
+//!   ┌────────────────────────────────────────────────────────────┐
+//!   │ ServerEngine (faust-ustor)                                 │
+//!   │   · pure: enqueue (ClientId, UstorMsg) → process → poll    │
+//!   │   · per-client Session state (counters, timestamps, x̄)     │
+//!   │   · optional ingress verification of SUBMIT signatures,    │
+//!   │     per-message or batched (amortized HMAC key schedule)   │
+//!   │   · wraps any `Server`: the correct UstorServer or a       │
+//!   │     Byzantine adversary                                    │
+//!   └──────────────────────────▲─────────────────────────────────┘
+//!                              │ ServerTransport (faust-net)
+//!          ┌───────────────────┼──────────────────────┐
+//!          │                   │                      │
+//!   QueueTransport      channel transport       TCP transport
+//!   (deterministic      (std::sync::mpsc,       (std::net, length-
+//!   sim adapter; the    thread-per-client       prefixed frames via
+//!   discrete-event      runtimes)               faust-types::frame,
+//!   simulator stays                             incremental decoder)
+//!   bit-reproducible)
+//! ```
+//!
+//! One engine code path serves all three: the simulation drivers
+//! ([`ustor::Driver`](faust_ustor::Driver),
+//! [`core::FaustDriver`](faust_core::FaustDriver)) pump it through the
+//! queue transport inside virtual time, while the threaded runtimes
+//! ([`core::runtime`](faust_core::runtime),
+//! [`core::threaded_faust`](faust_core::threaded_faust)) put it behind a
+//! channel or a real loopback-TCP listener. Client threads hold a
+//! transport-independent [`net::ClientConn`](faust_net::ClientConn).
+//!
+//! Messages are encoded by the hand-rolled, byte-exact codec in
+//! [`types::wire`](faust_types::wire); stream transports add the
+//! length-prefixed framing of [`types::frame`](faust_types::frame).
+//! Future scaling work (sharded engines, async transports, persistent
+//! backends) lands behind `ServerTransport`/`ServerEngine` without
+//! touching protocol code — see ROADMAP.md.
 
 #![forbid(unsafe_code)]
 
@@ -10,6 +52,7 @@ pub use faust_baseline as baseline;
 pub use faust_consistency as consistency;
 pub use faust_core as core;
 pub use faust_crypto as crypto;
+pub use faust_net as net;
 pub use faust_sim as sim;
 pub use faust_types as types;
 pub use faust_ustor as ustor;

@@ -7,9 +7,7 @@ use faust::consistency::{
     check_causal_consistency, check_fork_linearizability, check_linearizability,
     check_weak_fork_linearizability, Budget, Verdict,
 };
-use faust::core::{
-    FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification,
-};
+use faust::core::{FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification};
 use faust::sim::{DelayModel, SimConfig};
 use faust::types::{ClientId, Value};
 use faust::ustor::adversary::{CrashServer, Fig3Server, SplitBrainServer, Tamper, TamperServer};
@@ -90,7 +88,10 @@ fn figure_2_stability_cut() {
         "expected the Figure 2 cut [10,8,3] among {cuts:?}"
     );
     let last = cuts.last().expect("cuts were issued");
-    assert!(last.iter().all(|&w| w >= 10), "eventual stability: {last:?}");
+    assert!(
+        last.iter().all(|&w| w >= 10),
+        "eventual stability: {last:?}"
+    );
     // Integrity (Definition 5 property 4): Alice's timestamps increase.
     let stamps: Vec<u64> = result
         .completions(ALICE)
@@ -127,7 +128,12 @@ fn faust_correct_server_properties() {
         }
         let result = driver.run_until(20_000);
         assert!(result.failures.is_empty(), "seed {seed}");
-        let incomplete = result.history.ops().iter().filter(|o| !o.is_complete()).count();
+        let incomplete = result
+            .history
+            .ops()
+            .iter()
+            .filter(|o| !o.is_complete())
+            .count();
         assert_eq!(incomplete, 0, "wait-freedom, seed {seed}");
         assert_eq!(
             check_linearizability(&result.history, &budget),
@@ -143,9 +149,13 @@ fn faust_correct_server_properties() {
 #[test]
 fn adversary_matrix() {
     // (server, expect_detection)
-    let cases: Vec<(Box<dyn faust::ustor::Server>, bool, &str)> = vec![
+    let cases: Vec<(Box<dyn faust::ustor::Server + Send>, bool, &str)> = vec![
         (
-            Box::new(SplitBrainServer::new(3, vec![vec![c(0)], vec![c(1), c(2)]], 0)),
+            Box::new(SplitBrainServer::new(
+                3,
+                vec![vec![c(0)], vec![c(1), c(2)]],
+                0,
+            )),
             true,
             "split-brain",
         ),
@@ -156,7 +166,12 @@ fn adversary_matrix() {
             "corrupt-commit-sig",
         ),
         (
-            Box::new(TamperServer::new(3, c(1), 2, Tamper::RegressToInitialVersion)),
+            Box::new(TamperServer::new(
+                3,
+                c(1),
+                2,
+                Tamper::RegressToInitialVersion,
+            )),
             true,
             "regress-version",
         ),
@@ -164,12 +179,8 @@ fn adversary_matrix() {
         (Box::new(UstorServer::new(3)), false, "correct"),
     ];
     for (server, expect_detection, name) in cases {
-        let mut driver = FaustDriver::new(
-            3,
-            server,
-            FaustDriverConfig::default(),
-            b"adversary-matrix",
-        );
+        let mut driver =
+            FaustDriver::new(3, server, FaustDriverConfig::default(), b"adversary-matrix");
         for i in 0..3u32 {
             driver.push_ops(
                 c(i),

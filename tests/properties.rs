@@ -1,30 +1,30 @@
 //! Property-based integration tests: randomized schedules and workloads
 //! across the whole stack, validated against the Definition 5 properties.
+//!
+//! Property-style without an external framework: every case derives from a
+//! seeded [`SmallRng`], so a failure reproduces exactly by case number.
 
 use faust::consistency::{check_linearizability, check_wait_freedom, Budget, Verdict};
 use faust::core::{FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification};
-use faust::sim::{DelayModel, SimConfig};
+use faust::sim::{DelayModel, SimConfig, SmallRng};
 use faust::types::{ClientId, Value};
 use faust::ustor::adversary::SplitBrainServer;
 use faust::ustor::{random_workloads, Driver, UstorServer};
-use proptest::prelude::*;
 
 fn c(i: u32) -> ClientId {
     ClientId::new(i)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// USTOR with a correct server: every random schedule is linearizable
-    /// and wait-free (Definition 5 properties 1–2).
-    #[test]
-    fn ustor_random_schedules_linearizable(
-        seed in 0u64..5_000,
-        n in 2usize..5,
-        ops in 2usize..6,
-        write_fraction in 0.2f64..0.9,
-    ) {
+/// USTOR with a correct server: every random schedule is linearizable
+/// and wait-free (Definition 5 properties 1–2).
+#[test]
+fn ustor_random_schedules_linearizable() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0xA11CE ^ case);
+        let seed = rng.gen_range_inclusive(0, 4_999);
+        let n = 2 + rng.gen_index(3); // 2..5
+        let ops = 2 + rng.gen_index(4); // 2..6
+        let write_fraction = 0.2 + 0.7 * rng.gen_f64();
         let mut driver = Driver::new(
             n,
             Box::new(UstorServer::new(n)),
@@ -35,22 +35,30 @@ proptest! {
             },
             b"prop-lin",
         );
-        for (i, w) in random_workloads(n, ops, write_fraction, seed).into_iter().enumerate() {
+        for (i, w) in random_workloads(n, ops, write_fraction, seed)
+            .into_iter()
+            .enumerate()
+        {
             driver.push_ops(c(i as u32), w);
         }
         let result = driver.run();
-        prop_assert!(!result.detected_fault());
-        prop_assert!(check_wait_freedom(&result.history, &[]));
-        prop_assert_eq!(
+        assert!(!result.detected_fault(), "case {case}");
+        assert!(check_wait_freedom(&result.history, &[]), "case {case}");
+        assert_eq!(
             check_linearizability(&result.history, &Budget::default()),
-            Verdict::Satisfied
+            Verdict::Satisfied,
+            "case {case}"
         );
     }
+}
 
-    /// FAUST timestamps are monotone per client (Definition 5 property 4)
-    /// and stability cuts only ever grow.
-    #[test]
-    fn faust_timestamps_and_cuts_monotone(seed in 0u64..2_000) {
+/// FAUST timestamps are monotone per client (Definition 5 property 4)
+/// and stability cuts only ever grow.
+#[test]
+fn faust_timestamps_and_cuts_monotone() {
+    for case in 0u64..12 {
+        let mut rng = SmallRng::seed_from_u64(0x0DD5 ^ case);
+        let seed = rng.gen_range_inclusive(0, 1_999);
         let n = 3;
         let mut driver = FaustDriver::new(
             n,
@@ -65,23 +73,26 @@ proptest! {
             },
             b"prop-monotone",
         );
-        for (i, w) in faust::core::random_faust_workloads(n, 4, 0.5, seed).into_iter().enumerate() {
+        for (i, w) in faust::core::random_faust_workloads(n, 4, 0.5, seed)
+            .into_iter()
+            .enumerate()
+        {
             driver.push_ops(c(i as u32), w);
         }
         let result = driver.run_until(8_000);
-        prop_assert!(result.failures.is_empty());
+        assert!(result.failures.is_empty(), "case {case}");
         for i in 0..n {
             let mut last_stamp = 0;
             let mut last_cut = vec![0u64; n];
             for (_, note) in &result.notifications[i] {
                 match note {
                     Notification::Completed(done) => {
-                        prop_assert!(done.timestamp > last_stamp);
+                        assert!(done.timestamp > last_stamp, "case {case}");
                         last_stamp = done.timestamp;
                     }
                     Notification::Stable(cut) => {
                         for (a, b) in last_cut.iter().zip(&cut.w) {
-                            prop_assert!(b >= a, "cut regressed");
+                            assert!(b >= a, "case {case}: cut regressed");
                         }
                         last_cut = cut.w.clone();
                     }
@@ -90,17 +101,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// Detection completeness under random fork points and delays: a
-    /// split-brain server is always detected by every client, eventually.
-    #[test]
-    fn forks_always_detected(seed in 0u64..2_000, fork_after in 0usize..6) {
+/// Detection completeness under random fork points and delays: a
+/// split-brain server is always detected by every client, eventually.
+#[test]
+fn forks_always_detected() {
+    for case in 0u64..10 {
+        let mut rng = SmallRng::seed_from_u64(0xF08C ^ case);
+        let seed = rng.gen_range_inclusive(0, 1_999);
+        let fork_after = rng.gen_index(6);
         let n = 4;
-        let server = SplitBrainServer::new(
-            n,
-            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
-            fork_after,
-        );
+        let server = SplitBrainServer::new(n, vec![vec![c(0), c(1)], vec![c(2), c(3)]], fork_after);
         let mut driver = FaustDriver::new(
             n,
             Box::new(server),
@@ -117,17 +129,20 @@ proptest! {
         // Every client keeps writing so both branches make progress.
         for i in 0..n as u32 {
             for s in 0..3 {
-                driver.push_ops(c(i), vec![
-                    FaustWorkloadOp::Write(Value::unique(i, s)),
-                    FaustWorkloadOp::Pause(40),
-                ]);
+                driver.push_ops(
+                    c(i),
+                    vec![
+                        FaustWorkloadOp::Write(Value::unique(i, s)),
+                        FaustWorkloadOp::Pause(40),
+                    ],
+                );
             }
         }
         let result = driver.run_until(60_000);
         for i in 0..n {
-            prop_assert!(
+            assert!(
                 result.failure_time(c(i as u32)).is_some(),
-                "client {i} never detected the fork (seed {seed}, fork_after {fork_after})"
+                "client {i} never detected the fork (case {case}, seed {seed}, fork_after {fork_after})"
             );
         }
     }
