@@ -102,9 +102,21 @@ pub struct LsDriver {
 }
 
 impl LsDriver {
-    /// Creates a driver for `n` clients with a correct lock-step server.
+    /// Creates a driver for `n` clients with a correct lock-step server
+    /// (HMAC keys; see [`LsDriver::new_with_scheme`]).
     pub fn new(n: usize, sim: SimConfig, key_seed: &[u8]) -> Self {
-        let keys = KeySet::generate(n, key_seed);
+        Self::new_with_scheme(n, sim, key_seed, faust_crypto::SigScheme::Hmac)
+    }
+
+    /// [`LsDriver::new`] with an explicit signature scheme, for
+    /// comparisons on equal cryptographic footing with the USTOR driver.
+    pub fn new_with_scheme(
+        n: usize,
+        sim: SimConfig,
+        key_seed: &[u8],
+        scheme: faust_crypto::SigScheme,
+    ) -> Self {
+        let keys = KeySet::generate_with(scheme, n, key_seed);
         LsDriver {
             n,
             sim: Simulation::new(sim),

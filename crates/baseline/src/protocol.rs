@@ -5,7 +5,7 @@
 //! state; the server therefore serves operations strictly one at a time —
 //! a client's operation holds a virtual lock from the server's GRANT until
 //! the client's COMMIT. This is the standard structure of
-//! fork-linearizable storage (SUNDR [16], the lock-step protocol of [5]),
+//! fork-linearizable storage (SUNDR; the lock-step protocol of the paper's §2),
 //! and it exhibits precisely the blocking the paper proves unavoidable:
 //! *no fork-linearizable protocol is wait-free* — a reader must wait for a
 //! concurrent writer, and a crashed client wedges everyone behind it.

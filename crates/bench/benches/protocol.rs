@@ -3,9 +3,9 @@
 //! clients `n` — plus the server engine's SUBMIT ingress-verification
 //! cost, batched vs. per-message.
 
-use faust_bench::timing::{bench, bench_quiet, section};
+use faust_bench::timing::{bench, bench_quiet, report_speedup, section};
 use faust_bench::{run_one_read, run_one_write, steady_state};
-use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier, VerifyItem};
+use faust_crypto::sig::{KeySet, SigContext, SigScheme, Signer, Verifier, VerifyItem};
 use faust_types::{ClientId, Value};
 use std::hint::black_box;
 
@@ -46,9 +46,19 @@ fn main() {
     section("SUBMIT ingress verification: per-message vs batched");
     // A realistic ingress batch: SUBMIT + DATA signature per message,
     // many clients interleaved — what the engine verifies when a burst of
-    // traffic is queued.
-    for (n, batch_size) in [(4usize, 64usize), (16, 64), (16, 256)] {
-        let keys = KeySet::generate(n, b"bench-verify");
+    // traffic is queued. Run over both schemes: HMAC is the benchmarking
+    // fast path, Ed25519 the sound deployment (docs/trust-model.md); the
+    // Ed25519 sizes are smaller because each verification is ~3 orders of
+    // magnitude costlier, which is exactly why its batch equation matters.
+    let configs = [
+        (SigScheme::Hmac, 4usize, 64usize),
+        (SigScheme::Hmac, 16, 64),
+        (SigScheme::Hmac, 16, 256),
+        (SigScheme::Ed25519, 4, 16),
+        (SigScheme::Ed25519, 16, 64),
+    ];
+    for (scheme, n, batch_size) in configs {
+        let keys = KeySet::generate_with(scheme, n, b"bench-verify");
         let registry = keys.registry();
         let mut items: Vec<VerifyItem> = Vec::with_capacity(2 * batch_size);
         for k in 0..batch_size {
@@ -78,7 +88,7 @@ fn main() {
         }
 
         let per_message = bench_quiet(
-            &format!("verify_per_message/n{n}_batch{batch_size}"),
+            &format!("verify_per_message/{scheme:?}/n{n}_batch{batch_size}"),
             || {
                 for item in &items {
                     assert!(registry.verify(
@@ -90,22 +100,17 @@ fn main() {
                 }
             },
         );
-        let batched = bench_quiet(&format!("verify_batched/n{n}_batch{batch_size}"), || {
-            let verdicts = registry.verify_batch(black_box(&items));
-            assert!(verdicts.iter().all(|&v| v));
-        });
-        let speedup = per_message.ns_per_iter / batched.ns_per_iter;
-        println!(
-            "{:<44} {:>12.1} ns/batch",
-            per_message.name, per_message.ns_per_iter
+        let batched = bench_quiet(
+            &format!("verify_batched/{scheme:?}/n{n}_batch{batch_size}"),
+            || {
+                let verdicts = registry.verify_batch(black_box(&items));
+                assert!(verdicts.iter().all(|&v| v));
+            },
         );
-        println!(
-            "{:<44} {:>12.1} ns/batch   speedup {:.2}x",
-            batched.name, batched.ns_per_iter, speedup
-        );
+        let speedup = report_speedup(&per_message, &batched);
         assert!(
             speedup > 1.0,
-            "batched verification must beat per-message ({speedup:.2}x)"
+            "batched {scheme:?} verification must beat per-message ({speedup:.2}x)"
         );
     }
 }

@@ -58,7 +58,7 @@ pub fn bench_throughput(name: &str, bytes: usize, f: impl FnMut()) -> Measuremen
     m
 }
 
-/// [`bench`] without printing (callers format their own report line).
+/// [`bench()`] without printing (callers format their own report line).
 pub fn bench_quiet(name: &str, mut f: impl FnMut()) -> Measurement {
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
@@ -88,4 +88,21 @@ pub fn bench_quiet(name: &str, mut f: impl FnMut()) -> Measurement {
 /// Prints a section header.
 pub fn section(title: &str) {
     println!("\n== {title} ==");
+}
+
+/// Prints a baseline/improved measurement pair as `ns/batch` report lines
+/// plus the speedup factor, and returns that factor so callers can assert
+/// on it. Shared by the batched-verification comparisons in
+/// `benches/crypto.rs` and `benches/protocol.rs`.
+pub fn report_speedup(baseline: &Measurement, improved: &Measurement) -> f64 {
+    let speedup = baseline.ns_per_iter / improved.ns_per_iter;
+    println!(
+        "{:<44} {:>12.1} ns/batch",
+        baseline.name, baseline.ns_per_iter
+    );
+    println!(
+        "{:<44} {:>12.1} ns/batch   speedup {:.2}x",
+        improved.name, improved.ns_per_iter, speedup
+    );
+    speedup
 }

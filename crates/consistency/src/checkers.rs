@@ -555,7 +555,8 @@ pub fn check_fork_star_linearizability(history: &History, budget: &Budget) -> Ve
 /// order* — no real-time requirement at all — with the no-join condition.
 ///
 /// Strictly weaker than fork-linearizability; the paper's companion
-/// result [4] shows even this notion rules out wait-free protocols.
+/// result (reference 4 of the paper) shows even this notion rules out
+/// wait-free protocols.
 pub fn check_fork_sequential_consistency(history: &History, budget: &Budget) -> Verdict {
     check_forking(
         history,

@@ -177,14 +177,27 @@ impl Default for FaustDriverConfig {
 }
 
 impl FaustDriver {
-    /// Creates a driver for `n` FAUST clients against `server`.
+    /// Creates a driver for `n` FAUST clients against `server` (HMAC
+    /// keys — the simulator fast path; see
+    /// [`FaustDriver::new_with_scheme`]).
     pub fn new(
         n: usize,
         server: Box<dyn Server + Send>,
         config: FaustDriverConfig,
         key_seed: &[u8],
     ) -> Self {
-        let keys = KeySet::generate(n, key_seed);
+        Self::new_with_scheme(n, server, config, key_seed, faust_crypto::SigScheme::Hmac)
+    }
+
+    /// [`FaustDriver::new`] with an explicit signature scheme.
+    pub fn new_with_scheme(
+        n: usize,
+        server: Box<dyn Server + Send>,
+        config: FaustDriverConfig,
+        key_seed: &[u8],
+        scheme: faust_crypto::SigScheme,
+    ) -> Self {
+        let keys = KeySet::generate_with(scheme, n, key_seed);
         let mut sim = Simulation::new(config.sim);
         // Arm the initial tick for every client.
         for i in 0..n {

@@ -168,11 +168,12 @@ impl Wire for OfflineMsg {
     // compute the size arithmetically instead of paying the default
     // encode-and-measure allocation each time.
     fn encoded_len(&self) -> usize {
-        let fixed = 1 + 4 + Signature::LEN; // tag + sender + signature
-        match self {
-            OfflineMsg::Probe { .. } | OfflineMsg::Failure { .. } => fixed,
-            OfflineMsg::Version { version, .. } => fixed + version.encoded_len(),
-        }
+        // tag + sender + signature (scheme tag + scheme-length bytes).
+        let (sig, version) = match self {
+            OfflineMsg::Probe { sig, .. } | OfflineMsg::Failure { sig, .. } => (sig, None),
+            OfflineMsg::Version { version, sig, .. } => (sig, Some(version)),
+        };
+        1 + 4 + 1 + sig.as_bytes().len() + version.map_or(0, |v| v.encoded_len())
     }
 }
 

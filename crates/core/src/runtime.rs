@@ -10,7 +10,7 @@
 //! others, because the server answers each SUBMIT immediately and never
 //! waits for anybody's COMMIT.
 
-use faust_crypto::sig::KeySet;
+use faust_crypto::sig::{KeySet, SigScheme};
 use faust_net::{channel, ClientConn};
 use faust_types::{ClientId, UstorMsg, Value};
 use faust_ustor::{serve, Fault, Server, ServerEngine, UstorClient, UstorServer};
@@ -76,9 +76,36 @@ pub fn run_threaded_over(
     key_seed: &[u8],
     engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
 ) -> ThreadedReport {
+    run_threaded_over_with(
+        n,
+        workloads,
+        conns,
+        key_seed,
+        SigScheme::Hmac,
+        engine_thread,
+    )
+}
+
+/// [`run_threaded_over`] with an explicit signature scheme. With
+/// [`SigScheme::Ed25519`] the matching *public-key* registry
+/// (`KeySet::generate_ed25519(n, key_seed).registry()`) can be handed to
+/// the engine for sound ingress verification — the server never sees
+/// signing keys.
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != conns.len() != n` or a thread panics.
+pub fn run_threaded_over_with(
+    n: usize,
+    workloads: Vec<Vec<ThreadedOp>>,
+    conns: Vec<ClientConn>,
+    key_seed: &[u8],
+    scheme: SigScheme,
+    engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
+) -> ThreadedReport {
     assert_eq!(workloads.len(), n, "one workload per client");
     assert_eq!(conns.len(), n, "one connection per client");
-    let keys = KeySet::generate(n, key_seed);
+    let keys = KeySet::generate_with(scheme, n, key_seed);
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -250,6 +277,42 @@ mod tests {
         let report = run_threaded(n, workloads, b"heavy");
         assert!(report.faults.is_empty(), "{:?}", report.faults);
         assert_eq!(report.completions, vec![25; 8]);
+    }
+
+    #[test]
+    fn ed25519_ingress_verification_with_public_keys_only() {
+        // The sound deployment: clients sign with Ed25519, the engine
+        // verifies every SUBMIT at ingress holding *only* the public-key
+        // registry. Honest traffic passes untouched.
+        let n = 2;
+        let key_seed = b"threaded-ed25519";
+        let keys = faust_crypto::KeySet::generate_ed25519(n, key_seed);
+        let registry = keys.registry();
+        assert!(registry.is_public(), "server must hold public keys only");
+        let (transport, conns) = channel::pair(n);
+        let engine = ServerEngine::new(n, Box::new(UstorServer::new(n))).with_verification(
+            faust_ustor::IngressVerification::Batched(std::sync::Arc::new(registry)),
+        );
+        let engine_thread = spawn_engine_with(engine, transport);
+        let workloads = vec![
+            vec![
+                ThreadedOp::Write(Value::from("signed-1")),
+                ThreadedOp::Write(Value::from("signed-2")),
+            ],
+            vec![ThreadedOp::Read(c(0))],
+        ];
+        let report = run_threaded_over_with(
+            n,
+            workloads,
+            conns,
+            key_seed,
+            SigScheme::Ed25519,
+            engine_thread,
+        );
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        assert_eq!(report.completions, vec![2, 1]);
+        assert_eq!(report.engine_stats.rejected, 0);
+        assert_eq!(report.engine_stats.submits, 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
 use crate::events::{FailReason, Notification};
 use crate::offline::OfflineMsg;
-use faust_crypto::sig::KeySet;
+use faust_crypto::sig::{KeySet, SigScheme};
 use faust_net::{channel, tcp, ClientConn, TcpServerTransport};
 use faust_types::{ClientId, UstorMsg};
 use faust_ustor::Server;
@@ -31,6 +31,12 @@ pub struct ThreadedFaustConfig {
     pub tick_interval: Duration,
     /// Wall-clock duration of the run after workloads are submitted.
     pub run_for: Duration,
+    /// Signature scheme for the run's keys, derived from the same
+    /// `key_seed` on every thread. [`SigScheme::Ed25519`] makes the
+    /// registry public-key-only, so it can also be handed to a server
+    /// engine for sound ingress verification; [`SigScheme::Hmac`] is the
+    /// fast path.
+    pub scheme: SigScheme,
 }
 
 impl Default for ThreadedFaustConfig {
@@ -43,6 +49,7 @@ impl Default for ThreadedFaustConfig {
             },
             tick_interval: Duration::from_millis(10),
             run_for: Duration::from_millis(600),
+            scheme: SigScheme::Hmac,
         }
     }
 }
@@ -161,7 +168,7 @@ pub fn run_threaded_faust_over(
 ) -> ThreadedFaustReport {
     assert_eq!(workloads.len(), n, "one workload per client");
     assert_eq!(conns.len(), n, "one connection per client");
-    let keys = KeySet::generate(n, key_seed);
+    let keys = KeySet::generate_with(config.scheme, n, key_seed);
 
     // Multiplexed inbox per client: server replies (forwarded from the
     // transport) and offline messages from peers.

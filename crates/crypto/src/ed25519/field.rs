@@ -1,0 +1,339 @@
+//! Arithmetic in GF(2²⁵⁵ − 19), the base field of curve25519.
+//!
+//! Elements are held in five 51-bit limbs (radix 2⁵¹), the standard
+//! unsaturated representation for 64-bit targets: limb products fit a
+//! `u128`, and the prime's shape makes reduction a multiply-by-19 of the
+//! overflow. Every public operation returns a *weakly reduced* element
+//! (each limb < 2⁵² ); only [`Fe::to_bytes`] produces the unique canonical
+//! encoding.
+//!
+//! All arithmetic here is variable-time. That is fine for verification,
+//! which handles only public data; see the crate docs for the
+//! side-channel caveat on signing.
+
+/// Mask of one 51-bit limb.
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element of GF(2²⁵⁵ − 19).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fe(pub(crate) [u64; 5]);
+
+/// p − 2 as little-endian bytes (exponent for inversion via Fermat).
+const P_MINUS_2: [u8; 32] = {
+    let mut b = [0xffu8; 32];
+    b[0] = 0xeb; // 0xed - 2
+    b[31] = 0x7f;
+    b
+};
+
+/// (p − 5)/8 = 2²⁵² − 3 as little-endian bytes (exponent used in the
+/// square-root computation of RFC 8032 §5.1.3).
+const P_MINUS_5_OVER_8: [u8; 32] = {
+    let mut b = [0xffu8; 32];
+    b[0] = 0xfd;
+    b[31] = 0x0f;
+    b
+};
+
+/// (p − 1)/4 = 2²⁵³ − 5 as little-endian bytes (2 raised to this power is
+/// a square root of −1).
+const P_MINUS_1_OVER_4: [u8; 32] = {
+    let mut b = [0xffu8; 32];
+    b[0] = 0xfb;
+    b[31] = 0x1f;
+    b
+};
+
+impl Fe {
+    pub(crate) const ZERO: Fe = Fe([0; 5]);
+    pub(crate) const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// A small integer as a field element.
+    pub(crate) fn from_u64(v: u64) -> Fe {
+        let mut fe = Fe::ZERO;
+        fe.0[0] = v & MASK51;
+        fe.0[1] = v >> 51;
+        fe
+    }
+
+    /// Loads a little-endian 255-bit encoding (the top bit of byte 31 is
+    /// ignored, per convention).
+    pub(crate) fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load8 = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        Fe([
+            load8(0) & MASK51,
+            (load8(6) >> 3) & MASK51,
+            (load8(12) >> 6) & MASK51,
+            (load8(19) >> 1) & MASK51,
+            (load8(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Whether `bytes` is the canonical encoding of some field element,
+    /// i.e. interpreting the low 255 bits as an integer yields a value
+    /// < p. (The sign bit — bit 255 — is not examined.)
+    pub(crate) fn bytes_are_canonical(bytes: &[u8; 32]) -> bool {
+        // Values ≥ p = 2²⁵⁵ − 19 have bytes 1..31 all 0xff (modulo the
+        // sign bit) and byte 0 ≥ 0xed.
+        let mut all_ones = (bytes[31] | 0x80) == 0xff;
+        for &b in &bytes[1..31] {
+            all_ones &= b == 0xff;
+        }
+        !(all_ones && bytes[0] >= 0xed)
+    }
+
+    /// The canonical 32-byte little-endian encoding (fully reduced;
+    /// bit 255 is zero).
+    pub(crate) fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.carried().0;
+        // Compute q = floor((x + 19) / 2²⁵⁵) ∈ {0, 1}: 1 exactly when
+        // x ≥ p. Then x − q·p = x + 19q mod 2²⁵⁵ is canonical.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        let mut carry = 0u64;
+        for limb in l.iter_mut() {
+            *limb += carry;
+            carry = *limb >> 51;
+            *limb &= MASK51;
+        }
+        // carry (the 2²⁵⁵ bit) is dropped: reduction modulo 2²⁵⁵.
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in l {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                idx += 1;
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+        // 5·51 = 255 bits: seven bits remain for the final byte.
+        out[idx] = acc as u8;
+        debug_assert_eq!(idx, 31);
+        out
+    }
+
+    /// Weakly reduces so every limb is < 2⁵¹ + ε.
+    fn carried(self) -> Fe {
+        let mut l = self.0;
+        let mut carry = 0u64;
+        for limb in l.iter_mut() {
+            *limb += carry;
+            carry = *limb >> 51;
+            *limb &= MASK51;
+        }
+        l[0] += 19 * carry;
+        // One more partial pass: l[0] may have exceeded 2⁵¹ again.
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        Fe(l)
+    }
+
+    pub(crate) fn add(self, rhs: Fe) -> Fe {
+        let mut l = self.0;
+        for (a, b) in l.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+        Fe(l).carried()
+    }
+
+    pub(crate) fn sub(self, rhs: Fe) -> Fe {
+        // a + 2p − b keeps every limb non-negative: the limbs of 2p are
+        // (2⁵² − 38, 2⁵² − 2, …), ≥ any weakly reduced limb of b.
+        let two_p = [
+            (MASK51 - 18) * 2, // 2·(2⁵¹ − 19) = 2⁵² − 38
+            MASK51 * 2,        // 2·(2⁵¹ − 1) = 2⁵² − 2
+            MASK51 * 2,
+            MASK51 * 2,
+            MASK51 * 2,
+        ];
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + two_p[i] - rhs.0[i];
+        }
+        Fe(l).carried()
+    }
+
+    pub(crate) fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    pub(crate) fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+        // 19·b fits u64 comfortably: b limbs < 2⁵², 19·2⁵² < 2⁵⁷.
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
+        let mut r0 =
+            m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let mut r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        r0 += carry;
+        out[0] = (r0 as u64) & MASK51;
+        carry = r0 >> 51;
+        r1 += carry;
+        out[1] = (r1 as u64) & MASK51;
+        carry = r1 >> 51;
+        r2 += carry;
+        out[2] = (r2 as u64) & MASK51;
+        carry = r2 >> 51;
+        r3 += carry;
+        out[3] = (r3 as u64) & MASK51;
+        carry = r3 >> 51;
+        r4 += carry;
+        out[4] = (r4 as u64) & MASK51;
+        carry = r4 >> 51;
+        out[0] += 19 * (carry as u64);
+        Fe(out).carried()
+    }
+
+    pub(crate) fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `self` raised to the little-endian exponent `e` (variable time).
+    fn pow(self, e: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut started = false;
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                if started {
+                    result = result.square();
+                }
+                if (e[byte_idx] >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                    started = true;
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (x^(p−2)).
+    /// Returns zero for zero.
+    pub(crate) fn invert(self) -> Fe {
+        self.pow(&P_MINUS_2)
+    }
+
+    /// x^((p−5)/8), the core exponentiation of the Ed25519 decompression
+    /// square root (RFC 8032 §5.1.3).
+    pub(crate) fn pow_p58(self) -> Fe {
+        self.pow(&P_MINUS_5_OVER_8)
+    }
+
+    /// √−1 = 2^((p−1)/4), computed once.
+    pub(crate) fn sqrt_m1() -> Fe {
+        *SQRT_M1.get_or_init(|| Fe::from_u64(2).pow(&P_MINUS_1_OVER_4))
+    }
+
+    pub(crate) fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// The "sign" of a field element: the low bit of its canonical
+    /// encoding (RFC 8032 calls negative the elements with this bit set).
+    pub(crate) fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    pub(crate) fn ct_eq_vartime(self, rhs: Fe) -> bool {
+        self.to_bytes() == rhs.to_bytes()
+    }
+}
+
+static SQRT_M1: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn small_integer_arithmetic() {
+        assert!(fe(7).add(fe(5)).ct_eq_vartime(fe(12)));
+        assert!(fe(7).sub(fe(5)).ct_eq_vartime(fe(2)));
+        assert!(fe(7).mul(fe(6)).ct_eq_vartime(fe(42)));
+        assert!(fe(9).square().ct_eq_vartime(fe(81)));
+    }
+
+    #[test]
+    fn negation_wraps_modulo_p() {
+        // −1 ≡ p − 1: canonical bytes are (p−1) little-endian.
+        let minus_one = fe(1).neg();
+        let b = minus_one.to_bytes();
+        assert_eq!(b[0], 0xec);
+        assert_eq!(b[31], 0x7f);
+        assert!(minus_one.add(fe(1)).is_zero());
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        for v in [1u64, 2, 121666, 0xdeadbeef] {
+            assert!(fe(v).mul(fe(v).invert()).ct_eq_vartime(Fe::ONE), "v={v}");
+        }
+        assert!(Fe::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        assert!(i.square().ct_eq_vartime(fe(1).neg()));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        bytes[31] &= 0x7f;
+        // Not every 255-bit string is canonical, but this one is far
+        // below p, so from/to must round-trip exactly.
+        assert!(bytes[31] < 0x7f);
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn canonicality_check() {
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(!Fe::bytes_are_canonical(&p_bytes), "p itself");
+        p_bytes[0] = 0xec;
+        assert!(Fe::bytes_are_canonical(&p_bytes), "p − 1");
+        p_bytes[0] = 0xee;
+        assert!(!Fe::bytes_are_canonical(&p_bytes), "p + 1");
+        assert!(Fe::bytes_are_canonical(&[0u8; 32]), "zero");
+    }
+
+    #[test]
+    fn noncanonical_input_reduces() {
+        // p + 1 must decode to the element 1.
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xee;
+        bytes[31] = 0x7f;
+        assert!(Fe::from_bytes(&bytes).ct_eq_vartime(Fe::ONE));
+    }
+}

@@ -1,4 +1,4 @@
-//! HMAC-SHA256 (RFC 2104), built on the from-scratch [`crate::sha256`]
+//! HMAC-SHA256 (RFC 2104), built on the from-scratch [`mod@crate::sha256`]
 //! implementation and verified against the RFC 4231 test vectors.
 
 use crate::sha256::{Digest, Sha256};

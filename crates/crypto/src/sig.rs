@@ -1,28 +1,40 @@
 //! The signature abstraction of the FAUST paper.
 //!
-//! USTOR attaches four kinds of signatures to its messages (Section 5 of the
-//! paper): SUBMIT-signatures on invocation tuples, DATA-signatures binding a
-//! timestamp to the hash of the last written value, COMMIT-signatures on
-//! versions, and PROOF-signatures on digest-vector entries. All of them are
-//! modelled here as domain-separated signatures over byte strings.
+//! USTOR attaches four kinds of signatures to its messages (Section 5 of
+//! the paper): SUBMIT-signatures on invocation tuples, DATA-signatures
+//! binding a timestamp to the hash of the last written value,
+//! COMMIT-signatures on versions, and PROOF-signatures on digest-vector
+//! entries. All of them are modelled here as domain-separated signatures
+//! over byte strings.
 //!
-//! # Scheme
+//! # Schemes
 //!
-//! The default scheme is HMAC-SHA256 with one secret key per client. Setup
-//! ([`KeySet::generate`]) derives the per-client keys and yields:
+//! Two interchangeable schemes live behind the [`Signer`] / [`Verifier`]
+//! traits, selected at key-generation time ([`SigScheme`]):
 //!
-//! * one [`Keypair`] per client — the only value capable of producing that
-//!   client's signatures, and
-//! * a shared [`VerifierRegistry`] — handed to *clients only*, never to the
-//!   server, which therefore cannot forge any signature (it only ever sees
-//!   opaque [`Signature`] bytes).
+//! * **HMAC-SHA256** ([`SigScheme::Hmac`]) — one shared secret per
+//!   client. Fast and deterministic; the right choice for the simulator
+//!   and benchmarks. Its verification keys *are* the signing keys, so a
+//!   verifier can forge: handing the registry to the untrusted server is
+//!   unsound in the paper's trust model.
+//! * **Ed25519** ([`SigScheme::Ed25519`]) — the in-tree public-key
+//!   scheme of [`crate::ed25519`]. Verification keys carry no forging
+//!   power, so the server can be given the full registry and perform
+//!   sound ingress verification. This matches the paper's assumption
+//!   that only `C_i` can produce `sign_i`.
 //!
-//! The [`Signer`] and [`Verifier`] traits decouple the protocol from this
-//! particular scheme; a real asymmetric scheme can be dropped in without
-//! changing protocol code.
+//! `docs/trust-model.md` at the repository root spells out which
+//! properties each scheme delivers; [`VerifierRegistry::try_forge`]
+//! demonstrates the difference executable-ly.
+//!
+//! Setup ([`KeySet::generate`] / [`KeySet::generate_ed25519`]) yields one
+//! [`Keypair`] per client — the only value capable of producing that
+//! client's signatures — and a shared [`VerifierRegistry`]. Protocol code
+//! treats [`Signature`]s as opaque values and never mentions a scheme.
 
-use crate::hmac::{constant_time_eq, hmac_sha256};
+use crate::hmac::constant_time_eq;
 use crate::sha256::{sha256, Digest};
+use crate::{ed25519, sha512};
 use std::fmt;
 use std::sync::Arc;
 
@@ -31,6 +43,18 @@ use std::sync::Arc;
 /// The paper numbers clients `C_1..C_n`; this implementation uses zero-based
 /// indices throughout.
 pub type ClientIndex = u32;
+
+/// Which signature scheme a [`KeySet`] (and everything derived from it)
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SigScheme {
+    /// Shared-secret HMAC-SHA256: fast, but verification keys can forge.
+    #[default]
+    Hmac,
+    /// In-tree Ed25519: verification keys are public; sound ingress
+    /// verification at the untrusted server.
+    Ed25519,
+}
 
 /// Domain-separation tag for the four signature roles used by USTOR plus
 /// the offline-message role used by FAUST.
@@ -66,37 +90,66 @@ impl SigContext {
     }
 }
 
-/// An opaque signature value.
+/// An opaque signature value: a 32-byte MAC or a 64-byte Ed25519
+/// signature, tagged.
 ///
 /// The server stores and forwards signatures without being able to create
-/// or validate them.
+/// or validate them (Ed25519), or without being *handed the keys* to do
+/// so (HMAC). Protocol code never inspects the variant; the wire codec
+/// encodes it as a one-byte tag plus the raw bytes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Signature(Digest);
+pub enum Signature {
+    /// An HMAC-SHA256 tag.
+    Mac([u8; 32]),
+    /// An Ed25519 signature (R ‖ s).
+    Ed25519([u8; ed25519::SIGNATURE_LEN]),
+}
 
 impl Signature {
-    /// Byte length of an encoded signature.
-    pub const LEN: usize = crate::sha256::DIGEST_LEN;
-
-    /// Returns the signature bytes.
+    /// The raw signature bytes (length depends on the scheme).
     pub fn as_bytes(&self) -> &[u8] {
-        self.0.as_bytes()
+        match self {
+            Signature::Mac(b) => b,
+            Signature::Ed25519(b) => b,
+        }
     }
 
-    /// Builds a signature from raw bytes (used when decoding wire messages).
-    pub fn from_bytes(bytes: [u8; Self::LEN]) -> Self {
-        Signature(Digest::from_bytes(bytes))
+    /// The scheme this signature was produced under.
+    pub fn scheme(&self) -> SigScheme {
+        match self {
+            Signature::Mac(_) => SigScheme::Hmac,
+            Signature::Ed25519(_) => SigScheme::Ed25519,
+        }
     }
 
     /// A syntactically valid but never-verifying placeholder, useful for
     /// modelling a Byzantine server that fabricates messages.
     pub fn garbage() -> Self {
-        Signature(sha256(b"garbage signature"))
+        Signature::Mac(sha256(b"garbage signature").into_bytes())
+    }
+
+    /// Ed25519-shaped garbage: 64 fixed pseudorandom bytes. They may or
+    /// may not survive signature *parsing* (a random R decodes as a
+    /// point about half the time), but they never *verify* against any
+    /// key. Used by adversary models targeting public-key deployments.
+    pub fn garbage_ed25519() -> Self {
+        let h = sha512::sha512(b"garbage ed25519 signature");
+        let mut b = [0u8; ed25519::SIGNATURE_LEN];
+        b.copy_from_slice(&h);
+        Signature::Ed25519(b)
     }
 }
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature({}..)", &self.0.to_hex()[..8])
+        let hex: String = self.as_bytes()[..4]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        match self {
+            Signature::Mac(_) => write!(f, "Signature(mac:{hex}..)"),
+            Signature::Ed25519(_) => write!(f, "Signature(ed25519:{hex}..)"),
+        }
     }
 }
 
@@ -138,11 +191,11 @@ pub trait Verifier {
     /// order).
     ///
     /// The default implementation just loops over [`Verifier::verify`];
-    /// schemes with per-signer setup cost override it to amortize that
-    /// cost across the batch — [`VerifierRegistry`] prepares each
-    /// signer's HMAC key schedule once per batch, which is what the
-    /// server engine's batched SUBMIT verification relies on for its
-    /// speedup.
+    /// schemes with shareable per-batch work override it —
+    /// [`VerifierRegistry`] amortizes the HMAC key schedule per signer,
+    /// and runs one multi-scalar multiplication for a whole Ed25519
+    /// batch. The server engine's batched SUBMIT verification relies on
+    /// these overrides for its speedup.
     fn verify_batch(&self, items: &[VerifyItem]) -> Vec<bool> {
         items
             .iter()
@@ -151,7 +204,7 @@ pub trait Verifier {
     }
 }
 
-/// Per-client secret key material. Never leaves this module.
+/// Per-client HMAC secret key material. Never leaves this module.
 #[derive(Clone)]
 struct SecretKey([u8; 32]);
 
@@ -165,6 +218,13 @@ impl SecretKey {
     }
 }
 
+/// The scheme-specific half of a [`Keypair`].
+#[derive(Clone)]
+enum KeypairInner {
+    Hmac(SecretKey),
+    Ed25519(ed25519::SigningKey),
+}
+
 /// A client's signing capability.
 ///
 /// Only the holder of a `Keypair` can produce that client's signatures; the
@@ -172,14 +232,25 @@ impl SecretKey {
 #[derive(Clone)]
 pub struct Keypair {
     index: ClientIndex,
-    secret: SecretKey,
+    inner: KeypairInner,
 }
 
 impl fmt::Debug for Keypair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Keypair")
             .field("index", &self.index)
+            .field("scheme", &self.scheme())
             .finish_non_exhaustive()
+    }
+}
+
+impl Keypair {
+    /// The scheme this keypair signs under.
+    pub fn scheme(&self) -> SigScheme {
+        match &self.inner {
+            KeypairInner::Hmac(_) => SigScheme::Hmac,
+            KeypairInner::Ed25519(_) => SigScheme::Ed25519,
+        }
     }
 }
 
@@ -189,31 +260,57 @@ impl Signer for Keypair {
     }
 
     fn sign(&self, context: SigContext, message: &[u8]) -> Signature {
-        Signature(tagged_mac(&self.secret, context, message))
+        match &self.inner {
+            KeypairInner::Hmac(secret) => {
+                Signature::Mac(tagged_mac(secret, context, message).into_bytes())
+            }
+            KeypairInner::Ed25519(key) => {
+                Signature::Ed25519(key.sign(&tagged_message(context, message)))
+            }
+        }
     }
 }
 
-fn tagged_mac(secret: &SecretKey, context: SigContext, message: &[u8]) -> Digest {
+/// `context.tag() ‖ message` — the bytes actually signed, identical for
+/// both schemes so the domain separation argument is scheme-independent.
+fn tagged_message(context: SigContext, message: &[u8]) -> Vec<u8> {
     let mut tagged = Vec::with_capacity(1 + message.len());
     tagged.push(context.tag());
     tagged.extend_from_slice(message);
-    hmac_sha256(&secret.0, &tagged)
+    tagged
+}
+
+fn tagged_mac(secret: &SecretKey, context: SigContext, message: &[u8]) -> Digest {
+    crate::hmac::hmac_sha256(&secret.0, &tagged_message(context, message))
+}
+
+/// The scheme-specific key material of a [`VerifierRegistry`].
+#[derive(Clone)]
+enum RegistryInner {
+    /// HMAC verification keys are the signing secrets themselves.
+    Hmac(Arc<[SecretKey]>),
+    /// Ed25519 verification keys are public.
+    Ed25519(Arc<[ed25519::VerifyingKey]>),
 }
 
 /// Verification keys for all `n` clients.
 ///
-/// Distributed to clients at setup; cheap to clone (shared storage). The
-/// server never receives one, which is what makes its signatures
-/// unforgeable within this model.
+/// With [`SigScheme::Ed25519`] the registry holds *public* keys only and
+/// may be handed to anyone — including the untrusted server, which is how
+/// the engine's ingress verification becomes sound. With
+/// [`SigScheme::Hmac`] the registry holds the shared secrets and must be
+/// distributed to clients only; a server holding it could forge
+/// ([`VerifierRegistry::try_forge`]).
 #[derive(Clone)]
 pub struct VerifierRegistry {
-    keys: Arc<[SecretKey]>,
+    inner: RegistryInner,
 }
 
 impl fmt::Debug for VerifierRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VerifierRegistry")
-            .field("clients", &self.keys.len())
+            .field("scheme", &self.scheme())
+            .field("clients", &self.num_clients())
             .finish_non_exhaustive()
     }
 }
@@ -221,7 +318,96 @@ impl fmt::Debug for VerifierRegistry {
 impl VerifierRegistry {
     /// Number of clients the registry can verify for.
     pub fn num_clients(&self) -> usize {
-        self.keys.len()
+        match &self.inner {
+            RegistryInner::Hmac(keys) => keys.len(),
+            RegistryInner::Ed25519(keys) => keys.len(),
+        }
+    }
+
+    /// The scheme behind this registry.
+    pub fn scheme(&self) -> SigScheme {
+        match &self.inner {
+            RegistryInner::Hmac(_) => SigScheme::Hmac,
+            RegistryInner::Ed25519(_) => SigScheme::Ed25519,
+        }
+    }
+
+    /// Whether this registry holds only public key material, i.e. whether
+    /// handing it to the untrusted server preserves unforgeability.
+    pub fn is_public(&self) -> bool {
+        matches!(self.inner, RegistryInner::Ed25519(_))
+    }
+
+    /// Attempts to *forge* a signature for `signer` using nothing but
+    /// this registry — the attack a verification-key-holding server could
+    /// mount. Succeeds for HMAC (verification keys are signing keys) and
+    /// returns `None` for Ed25519 (public keys carry no signing power).
+    ///
+    /// This exists to make the trust-model difference testable; see
+    /// `docs/trust-model.md`.
+    pub fn try_forge(
+        &self,
+        signer: ClientIndex,
+        context: SigContext,
+        message: &[u8],
+    ) -> Option<Signature> {
+        match &self.inner {
+            RegistryInner::Hmac(keys) => {
+                let secret = keys.get(signer as usize)?;
+                Some(Signature::Mac(
+                    tagged_mac(secret, context, message).into_bytes(),
+                ))
+            }
+            RegistryInner::Ed25519(_) => None,
+        }
+    }
+
+    /// The Ed25519 batch path: one aggregate check; on failure, per-item
+    /// re-verification to identify the culprits.
+    fn verify_batch_ed25519(
+        &self,
+        keys: &[ed25519::VerifyingKey],
+        items: &[VerifyItem],
+    ) -> Vec<bool> {
+        // Pre-screen: signer in range and signature of the right shape.
+        // `candidates[k]` is the item index of the k-th screened item.
+        let mut verdicts = vec![false; items.len()];
+        let mut candidates: Vec<usize> = Vec::with_capacity(items.len());
+        let mut tagged: Vec<Vec<u8>> = Vec::with_capacity(items.len());
+        for (idx, item) in items.iter().enumerate() {
+            let in_range = (item.signer as usize) < keys.len();
+            let ed_sig = matches!(item.sig, Signature::Ed25519(_));
+            if in_range && ed_sig {
+                candidates.push(idx);
+                tagged.push(tagged_message(item.context, &item.message));
+            }
+        }
+        let batch: Vec<ed25519::BatchItem<'_>> = candidates
+            .iter()
+            .zip(&tagged)
+            .map(|(&idx, message)| {
+                let Signature::Ed25519(sig) = &items[idx].sig else {
+                    unreachable!("screened above");
+                };
+                ed25519::BatchItem {
+                    public: &keys[items[idx].signer as usize],
+                    message,
+                    sig,
+                }
+            })
+            .collect();
+        if ed25519::verify_batch(&batch) {
+            for &idx in &candidates {
+                verdicts[idx] = true;
+            }
+        } else {
+            // At least one bad signature: fall back to individual checks
+            // so the caller learns *which* items to reject.
+            for (&idx, item) in candidates.iter().zip(&batch) {
+                verdicts[idx] = item.public.verify(item.message, item.sig);
+            }
+        }
+        verdicts
     }
 }
 
@@ -233,31 +419,56 @@ impl Verifier for VerifierRegistry {
         message: &[u8],
         sig: &Signature,
     ) -> bool {
-        let Some(secret) = self.keys.get(signer as usize) else {
-            return false;
-        };
-        let expect = tagged_mac(secret, context, message);
-        constant_time_eq(&expect, &sig.0)
+        match &self.inner {
+            RegistryInner::Hmac(keys) => {
+                let Some(secret) = keys.get(signer as usize) else {
+                    return false;
+                };
+                let Signature::Mac(mac) = sig else {
+                    return false; // scheme mismatch never verifies
+                };
+                let expect = tagged_mac(secret, context, message);
+                constant_time_eq(&expect, &Digest::from_bytes(*mac))
+            }
+            RegistryInner::Ed25519(keys) => {
+                let Some(public) = keys.get(signer as usize) else {
+                    return false;
+                };
+                let Signature::Ed25519(sig) = sig else {
+                    return false;
+                };
+                public.verify(&tagged_message(context, message), sig)
+            }
+        }
     }
 
     fn verify_batch(&self, items: &[VerifyItem]) -> Vec<bool> {
-        // Amortize the HMAC key schedule: each distinct signer in the
-        // batch pays for its padded-key midstates once, after which every
-        // item costs only the message compressions. Protocol messages are
-        // short, so this is close to a 2× saving on the SUBMIT hot path.
-        let mut prepared: Vec<Option<crate::hmac::PreparedHmac>> = vec![None; self.keys.len()];
-        items
-            .iter()
-            .map(|item| {
-                let Some(secret) = self.keys.get(item.signer as usize) else {
-                    return false;
-                };
-                let mac = prepared[item.signer as usize]
-                    .get_or_insert_with(|| crate::hmac::PreparedHmac::new(&secret.0));
-                let expect = mac.mac(&[&[item.context.tag()], &item.message]);
-                constant_time_eq(&expect, &item.sig.0)
-            })
-            .collect()
+        match &self.inner {
+            RegistryInner::Hmac(keys) => {
+                // Amortize the HMAC key schedule: each distinct signer in
+                // the batch pays for its padded-key midstates once, after
+                // which every item costs only the message compressions.
+                // Protocol messages are short, so this is close to a 2×
+                // saving on the SUBMIT hot path.
+                let mut prepared: Vec<Option<crate::hmac::PreparedHmac>> = vec![None; keys.len()];
+                items
+                    .iter()
+                    .map(|item| {
+                        let Some(secret) = keys.get(item.signer as usize) else {
+                            return false;
+                        };
+                        let Signature::Mac(mac) = &item.sig else {
+                            return false;
+                        };
+                        let mac_state = prepared[item.signer as usize]
+                            .get_or_insert_with(|| crate::hmac::PreparedHmac::new(&secret.0));
+                        let expect = mac_state.mac(&[&[item.context.tag()], &item.message]);
+                        constant_time_eq(&expect, &Digest::from_bytes(*mac))
+                    })
+                    .collect()
+            }
+            RegistryInner::Ed25519(keys) => self.verify_batch_ed25519(keys, items),
+        }
     }
 }
 
@@ -267,15 +478,19 @@ impl Verifier for VerifierRegistry {
 /// # Example
 ///
 /// ```
-/// use faust_crypto::sig::{KeySet, SigContext, Signer, Verifier};
+/// use faust_crypto::sig::{KeySet, SigContext, SigScheme, Signer, Verifier};
 ///
-/// let keys = KeySet::generate(2, b"seed");
-/// let c0 = keys.keypair(0).expect("client 0");
-/// let sig = c0.sign(SigContext::Commit, b"version bytes");
-/// assert!(keys.registry().verify(0, SigContext::Commit, b"version bytes", &sig));
-/// // A different message or signer index does not verify.
-/// assert!(!keys.registry().verify(0, SigContext::Commit, b"other", &sig));
-/// assert!(!keys.registry().verify(1, SigContext::Commit, b"version bytes", &sig));
+/// for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+///     let keys = KeySet::generate_with(scheme, 2, b"seed");
+///     let c0 = keys.keypair(0).expect("client 0");
+///     let sig = c0.sign(SigContext::Commit, b"version bytes");
+///     assert!(keys.registry().verify(0, SigContext::Commit, b"version bytes", &sig));
+///     // A different message or signer index does not verify.
+///     assert!(!keys.registry().verify(0, SigContext::Commit, b"other", &sig));
+///     assert!(!keys.registry().verify(1, SigContext::Commit, b"version bytes", &sig));
+/// }
+/// // Only the Ed25519 registry is safe to hand to the untrusted server.
+/// assert!(KeySet::generate_ed25519(2, b"seed").registry().is_public());
 /// ```
 #[derive(Debug, Clone)]
 pub struct KeySet {
@@ -284,28 +499,76 @@ pub struct KeySet {
 }
 
 impl KeySet {
-    /// Deterministically generates keys for `n` clients from `seed`.
+    /// Deterministically generates HMAC keys for `n` clients from `seed`
+    /// (the simulator/bench fast path; see [`KeySet::generate_with`]).
     ///
     /// The same `(n, seed)` always yields the same keys, keeping simulated
     /// executions reproducible.
     pub fn generate(n: usize, seed: &[u8]) -> Self {
-        let secrets: Vec<SecretKey> = (0..n as ClientIndex)
-            .map(|i| SecretKey::derive(seed, i))
-            .collect();
-        let keypairs = secrets
-            .iter()
-            .enumerate()
-            .map(|(i, secret)| Keypair {
-                index: i as ClientIndex,
-                secret: secret.clone(),
-            })
-            .collect();
-        KeySet {
-            keypairs,
-            registry: VerifierRegistry {
-                keys: secrets.into(),
-            },
+        Self::generate_with(SigScheme::Hmac, n, seed)
+    }
+
+    /// Deterministically generates Ed25519 keys for `n` clients from
+    /// `seed`. The registry holds public keys only.
+    pub fn generate_ed25519(n: usize, seed: &[u8]) -> Self {
+        Self::generate_with(SigScheme::Ed25519, n, seed)
+    }
+
+    /// Deterministically generates keys for `n` clients under `scheme`.
+    pub fn generate_with(scheme: SigScheme, n: usize, seed: &[u8]) -> Self {
+        match scheme {
+            SigScheme::Hmac => {
+                let secrets: Vec<SecretKey> = (0..n as ClientIndex)
+                    .map(|i| SecretKey::derive(seed, i))
+                    .collect();
+                let keypairs = secrets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, secret)| Keypair {
+                        index: i as ClientIndex,
+                        inner: KeypairInner::Hmac(secret.clone()),
+                    })
+                    .collect();
+                KeySet {
+                    keypairs,
+                    registry: VerifierRegistry {
+                        inner: RegistryInner::Hmac(secrets.into()),
+                    },
+                }
+            }
+            SigScheme::Ed25519 => {
+                let signing: Vec<ed25519::SigningKey> = (0..n as ClientIndex)
+                    .map(|i| {
+                        let mut h = crate::sha256::Sha256::new();
+                        h.update(b"faust-ed25519-keygen/v1");
+                        h.update(seed);
+                        h.update(&i.to_be_bytes());
+                        ed25519::SigningKey::from_seed(&h.finalize().into_bytes())
+                    })
+                    .collect();
+                let publics: Vec<ed25519::VerifyingKey> =
+                    signing.iter().map(|k| k.verifying_key()).collect();
+                let keypairs = signing
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, key)| Keypair {
+                        index: i as ClientIndex,
+                        inner: KeypairInner::Ed25519(key),
+                    })
+                    .collect();
+                KeySet {
+                    keypairs,
+                    registry: VerifierRegistry {
+                        inner: RegistryInner::Ed25519(publics.into()),
+                    },
+                }
+            }
         }
+    }
+
+    /// The scheme these keys were generated under.
+    pub fn scheme(&self) -> SigScheme {
+        self.registry.scheme()
     }
 
     /// Number of clients.
@@ -318,7 +581,8 @@ impl KeySet {
         self.keypairs.get(index as usize)
     }
 
-    /// The shared verification registry (clients only).
+    /// The shared verification registry. Safe to hand to the server only
+    /// when [`VerifierRegistry::is_public`] — clients may always hold it.
     pub fn registry(&self) -> VerifierRegistry {
         self.registry.clone()
     }
@@ -328,78 +592,128 @@ impl KeySet {
 mod tests {
     use super::*;
 
+    const SCHEMES: [SigScheme; 2] = [SigScheme::Hmac, SigScheme::Ed25519];
+
     #[test]
     fn sign_verify_roundtrip() {
-        let keys = KeySet::generate(4, b"t");
-        let reg = keys.registry();
-        for i in 0..4 {
-            let kp = keys.keypair(i).unwrap();
-            let sig = kp.sign(SigContext::Submit, b"hello");
-            assert!(reg.verify(i, SigContext::Submit, b"hello", &sig));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 4, b"t");
+            let reg = keys.registry();
+            for i in 0..4 {
+                let kp = keys.keypair(i).unwrap();
+                let sig = kp.sign(SigContext::Submit, b"hello");
+                assert!(
+                    reg.verify(i, SigContext::Submit, b"hello", &sig),
+                    "{scheme:?}/{i}"
+                );
+            }
         }
     }
 
     #[test]
     fn wrong_message_rejected() {
-        let keys = KeySet::generate(2, b"t");
-        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m1");
-        assert!(!keys.registry().verify(0, SigContext::Data, b"m2", &sig));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 2, b"t");
+            let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m1");
+            assert!(!keys.registry().verify(0, SigContext::Data, b"m2", &sig));
+        }
     }
 
     #[test]
     fn wrong_signer_rejected() {
-        let keys = KeySet::generate(2, b"t");
-        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
-        assert!(!keys.registry().verify(1, SigContext::Data, b"m", &sig));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 2, b"t");
+            let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+            assert!(!keys.registry().verify(1, SigContext::Data, b"m", &sig));
+        }
     }
 
     #[test]
     fn wrong_context_rejected() {
-        let keys = KeySet::generate(1, b"t");
-        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
-        assert!(!keys.registry().verify(0, SigContext::Commit, b"m", &sig));
-        assert!(!keys.registry().verify(0, SigContext::Proof, b"m", &sig));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 1, b"t");
+            let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+            assert!(!keys.registry().verify(0, SigContext::Commit, b"m", &sig));
+            assert!(!keys.registry().verify(0, SigContext::Proof, b"m", &sig));
+        }
     }
 
     #[test]
     fn out_of_range_signer_rejected() {
-        let keys = KeySet::generate(2, b"t");
-        let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
-        assert!(!keys.registry().verify(99, SigContext::Data, b"m", &sig));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 2, b"t");
+            let sig = keys.keypair(0).unwrap().sign(SigContext::Data, b"m");
+            assert!(!keys.registry().verify(99, SigContext::Data, b"m", &sig));
+        }
     }
 
     #[test]
     fn garbage_signature_rejected() {
-        let keys = KeySet::generate(2, b"t");
-        assert!(!keys
-            .registry()
-            .verify(0, SigContext::Data, b"m", &Signature::garbage()));
+        for scheme in SCHEMES {
+            let keys = KeySet::generate_with(scheme, 2, b"t");
+            for garbage in [Signature::garbage(), Signature::garbage_ed25519()] {
+                assert!(
+                    !keys.registry().verify(0, SigContext::Data, b"m", &garbage),
+                    "{scheme:?}/{garbage:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_scheme_signatures_rejected() {
+        // An HMAC signature shown to an Ed25519 registry (and vice versa)
+        // must fail cleanly, not panic or alias.
+        let hmac = KeySet::generate(2, b"x");
+        let ed = KeySet::generate_ed25519(2, b"x");
+        let mac_sig = hmac.keypair(0).unwrap().sign(SigContext::Data, b"m");
+        let ed_sig = ed.keypair(0).unwrap().sign(SigContext::Data, b"m");
+        assert!(!ed.registry().verify(0, SigContext::Data, b"m", &mac_sig));
+        assert!(!hmac.registry().verify(0, SigContext::Data, b"m", &ed_sig));
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let a = KeySet::generate(3, b"same-seed");
-        let b = KeySet::generate(3, b"same-seed");
-        let sig_a = a.keypair(1).unwrap().sign(SigContext::Proof, b"x");
-        let sig_b = b.keypair(1).unwrap().sign(SigContext::Proof, b"x");
-        assert_eq!(sig_a, sig_b);
+        for scheme in SCHEMES {
+            let a = KeySet::generate_with(scheme, 3, b"same-seed");
+            let b = KeySet::generate_with(scheme, 3, b"same-seed");
+            let sig_a = a.keypair(1).unwrap().sign(SigContext::Proof, b"x");
+            let sig_b = b.keypair(1).unwrap().sign(SigContext::Proof, b"x");
+            assert_eq!(sig_a, sig_b);
+        }
     }
 
     #[test]
     fn different_seeds_different_keys() {
-        let a = KeySet::generate(1, b"seed-a");
-        let b = KeySet::generate(1, b"seed-b");
-        let sig = a.keypair(0).unwrap().sign(SigContext::Proof, b"x");
-        assert!(!b.registry().verify(0, SigContext::Proof, b"x", &sig));
+        for scheme in SCHEMES {
+            let a = KeySet::generate_with(scheme, 1, b"seed-a");
+            let b = KeySet::generate_with(scheme, 1, b"seed-b");
+            let sig = a.keypair(0).unwrap().sign(SigContext::Proof, b"x");
+            assert!(!b.registry().verify(0, SigContext::Proof, b"x", &sig));
+        }
     }
 
     #[test]
-    fn signature_bytes_roundtrip() {
-        let keys = KeySet::generate(1, b"t");
-        let sig = keys.keypair(0).unwrap().sign(SigContext::Submit, b"m");
-        let mut raw = [0u8; Signature::LEN];
-        raw.copy_from_slice(sig.as_bytes());
-        assert_eq!(Signature::from_bytes(raw), sig);
+    fn hmac_registry_can_forge_but_ed25519_cannot() {
+        // The executable statement of the trust-model gap: a server
+        // holding the HMAC registry can fabricate any client's signature;
+        // one holding only Ed25519 public keys cannot.
+        let hmac = KeySet::generate(2, b"forge");
+        let forged = hmac
+            .registry()
+            .try_forge(0, SigContext::Submit, b"evil op")
+            .expect("HMAC registries can forge");
+        assert!(hmac
+            .registry()
+            .verify(0, SigContext::Submit, b"evil op", &forged));
+
+        let ed = KeySet::generate_ed25519(2, b"forge");
+        assert!(ed
+            .registry()
+            .try_forge(0, SigContext::Submit, b"evil op")
+            .is_none());
+        assert!(ed.registry().is_public());
+        assert!(!hmac.registry().is_public());
     }
 }
 
@@ -407,8 +721,8 @@ mod tests {
 mod batch_tests {
     use super::*;
 
-    fn batch(n: u32, per_signer: u64) -> (VerifierRegistry, Vec<VerifyItem>) {
-        let keys = KeySet::generate(n as usize, b"batch");
+    fn batch(scheme: SigScheme, n: u32, per_signer: u64) -> (VerifierRegistry, Vec<VerifyItem>) {
+        let keys = KeySet::generate_with(scheme, n as usize, b"batch");
         let mut items = Vec::new();
         for i in 0..n {
             let kp = keys.keypair(i).unwrap();
@@ -428,30 +742,86 @@ mod batch_tests {
 
     #[test]
     fn batch_agrees_with_per_item_verification() {
-        let (reg, mut items) = batch(4, 5);
-        // Corrupt a few items in distinctive ways.
-        items[3].sig = Signature::garbage();
-        items[7].message.push(0xFF);
-        items[11].signer = (items[11].signer + 1) % 4;
-        items[13].context = SigContext::Data;
-        let per_item: Vec<bool> = items
-            .iter()
-            .map(|it| reg.verify(it.signer, it.context, &it.message, &it.sig))
-            .collect();
-        assert_eq!(reg.verify_batch(&items), per_item);
-        assert_eq!(per_item.iter().filter(|ok| !**ok).count(), 4);
+        for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+            let (reg, mut items) = batch(scheme, 4, 5);
+            // Corrupt a few items in distinctive ways.
+            items[3].sig = Signature::garbage();
+            items[7].message.push(0xFF);
+            items[11].signer = (items[11].signer + 1) % 4;
+            items[13].context = SigContext::Data;
+            let per_item: Vec<bool> = items
+                .iter()
+                .map(|it| reg.verify(it.signer, it.context, &it.message, &it.sig))
+                .collect();
+            assert_eq!(reg.verify_batch(&items), per_item, "{scheme:?}");
+            assert_eq!(per_item.iter().filter(|ok| !**ok).count(), 4, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn all_honest_batch_is_all_true() {
+        for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+            let (reg, items) = batch(scheme, 3, 4);
+            assert!(reg.verify_batch(&items).iter().all(|&v| v), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn single_bad_signature_is_identified_not_smeared() {
+        // The acceptance-criteria case: a batch with exactly one bad
+        // signature must reject that item and keep the others.
+        for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+            let (reg, mut items) = batch(scheme, 3, 3);
+            items[4].sig = match scheme {
+                SigScheme::Hmac => Signature::garbage(),
+                SigScheme::Ed25519 => Signature::garbage_ed25519(),
+            };
+            let verdicts = reg.verify_batch(&items);
+            for (i, ok) in verdicts.iter().enumerate() {
+                assert_eq!(*ok, i != 4, "{scheme:?} item {i}");
+            }
+        }
     }
 
     #[test]
     fn batch_rejects_unknown_signer() {
-        let (reg, mut items) = batch(2, 1);
-        items[0].signer = 99;
-        assert_eq!(reg.verify_batch(&items), vec![false, true]);
+        for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+            let (reg, mut items) = batch(scheme, 2, 1);
+            items[0].signer = 99;
+            assert_eq!(reg.verify_batch(&items), vec![false, true], "{scheme:?}");
+        }
     }
 
     #[test]
     fn empty_batch_is_empty() {
-        let (reg, _) = batch(2, 1);
-        assert!(reg.verify_batch(&[]).is_empty());
+        for scheme in [SigScheme::Hmac, SigScheme::Ed25519] {
+            let (reg, _) = batch(scheme, 2, 1);
+            assert!(reg.verify_batch(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_style_corruptions_rejected() {
+        // Wire decoding makes truncation unrepresentable (fixed-length
+        // reads), so "truncated" arrives as bit-corrupted or
+        // wrong-variant signatures; both must fail closed.
+        let (reg, items) = batch(SigScheme::Ed25519, 2, 1);
+        let Signature::Ed25519(good) = items[0].sig else {
+            panic!("ed25519 batch");
+        };
+        let mut zeroed_r = good;
+        zeroed_r[..32].fill(0);
+        let mut huge_s = good;
+        huge_s[32..].fill(0xFF); // s ≥ L: non-canonical
+        for bad in [
+            Signature::Ed25519(zeroed_r),
+            Signature::Ed25519(huge_s),
+            Signature::Mac([0xAB; 32]),
+        ] {
+            assert!(!reg.verify(0, SigContext::Submit, &items[0].message, &bad));
+            let mut tampered = items.clone();
+            tampered[0].sig = bad;
+            assert_eq!(reg.verify_batch(&tampered), vec![false, true], "{bad:?}");
+        }
     }
 }

@@ -17,6 +17,40 @@
 //! Client threads hold a [`ClientConn`] regardless of which transport
 //! backs it, so runtimes are written once and run over channels or TCP
 //! unchanged.
+//!
+//! # Invariants
+//!
+//! * Transports move `(ClientId, UstorMsg)` pairs verbatim: no
+//!   reordering within one client's stream, no inspection — signatures
+//!   and their verification are the business of `faust-crypto` and the
+//!   engine's ingress policy, never the transport's.
+//! * Sends are best-effort (a departed client's replies are dropped);
+//!   receives surface closure as [`Incoming::Closed`] exactly once all
+//!   clients are gone.
+//!
+//! # Example
+//!
+//! The deterministic queue pair, standing where the simulator would:
+//!
+//! ```
+//! use faust_net::{Incoming, QueueTransport, ServerTransport};
+//! use faust_types::{ClientId, UstorMsg, Version, CommitMsg};
+//! use faust_crypto::Signature;
+//!
+//! let commit = CommitMsg {
+//!     version: Version::initial(2),
+//!     commit_sig: Signature::garbage(),
+//!     proof_sig: Signature::garbage(),
+//! };
+//! let mut t = QueueTransport::new();
+//! t.push_incoming(ClientId::new(0), UstorMsg::Commit(commit.clone()));
+//! // The engine side drains it...
+//! let Incoming::Msg(from, _msg) = t.recv() else { panic!("queued above") };
+//! assert_eq!(from, ClientId::new(0));
+//! // ...and can address replies back at clients.
+//! t.send(ClientId::new(0), UstorMsg::Commit(commit));
+//! assert_eq!(t.drain_outgoing().count(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

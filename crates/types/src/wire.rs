@@ -139,12 +139,29 @@ impl Wire for ClientId {
 }
 
 impl Wire for Signature {
+    // One scheme-tag byte, then the scheme's fixed-length raw bytes: a
+    // 32-byte MAC or a 64-byte Ed25519 signature. Truncation inside the
+    // raw bytes surfaces as `Truncated`; an unknown scheme tag as
+    // `BadTag` — decoding never fabricates a verifiable signature.
     fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Signature::Mac(_) => out.push(0),
+            Signature::Ed25519(_) => out.push(1),
+        }
         out.extend_from_slice(self.as_bytes());
     }
     fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
-        let raw = take(input, Signature::LEN)?;
-        Ok(Signature::from_bytes(raw.try_into().expect("fixed length")))
+        match u8::decode_from(input)? {
+            0 => {
+                let raw = take(input, 32)?;
+                Ok(Signature::Mac(raw.try_into().expect("fixed length")))
+            }
+            1 => {
+                let raw = take(input, 64)?;
+                Ok(Signature::Ed25519(raw.try_into().expect("fixed length")))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
     }
 }
 
@@ -514,7 +531,15 @@ mod tests {
     use faust_crypto::sha256;
 
     fn sig(label: u8) -> Signature {
-        Signature::from_bytes(sha256(&[label]).into_bytes())
+        Signature::Mac(sha256(&[label]).into_bytes())
+    }
+
+    fn ed_sig(label: u8) -> Signature {
+        let d = sha256(&[label]).into_bytes();
+        let mut raw = [0u8; 64];
+        raw[..32].copy_from_slice(&d);
+        raw[32..].copy_from_slice(&d);
+        Signature::Ed25519(raw)
     }
 
     fn sample_submit() -> SubmitMsg {
@@ -625,6 +650,35 @@ mod tests {
         // Option tag must be 0 or 1.
         let err = Option::<Signature>::decode(&[7]);
         assert_eq!(err, Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn signature_scheme_tag_roundtrips_and_rejects_unknown() {
+        for s in [sig(1), ed_sig(2)] {
+            assert_eq!(Signature::decode(&s.encode()), Ok(s));
+        }
+        // MAC and Ed25519 payloads have different wire lengths.
+        assert_eq!(sig(1).encoded_len(), 1 + 32);
+        assert_eq!(ed_sig(1).encoded_len(), 1 + 64);
+        assert_eq!(Signature::decode(&[9]), Err(WireError::BadTag(9)));
+        // Ed25519 tag with a MAC-sized payload is a truncation.
+        let mut short = ed_sig(1).encode();
+        short.truncate(33);
+        assert_eq!(Signature::decode(&short), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn messages_with_ed25519_signatures_roundtrip() {
+        let mut m = sample_submit();
+        m.tuple.sig = ed_sig(1);
+        m.data_sig = ed_sig(2);
+        assert_eq!(SubmitMsg::decode(&m.encode()), Ok(m));
+        let c = CommitMsg {
+            version: sample_version(3),
+            commit_sig: ed_sig(3),
+            proof_sig: ed_sig(4),
+        };
+        assert_eq!(CommitMsg::decode(&c.encode()), Ok(c));
     }
 
     #[test]

@@ -46,7 +46,15 @@ fn arb_version(rng: &mut SmallRng) -> Version {
 }
 
 fn arb_sig(rng: &mut SmallRng) -> faust_crypto::Signature {
-    faust_crypto::Signature::from_bytes(sha256(&[rng.gen_index(16) as u8]).into_bytes())
+    let digest = sha256(&[rng.gen_index(16) as u8]).into_bytes();
+    if rng.gen_bool(0.5) {
+        faust_crypto::Signature::Mac(digest)
+    } else {
+        let mut raw = [0u8; 64];
+        raw[..32].copy_from_slice(&digest);
+        raw[32..].copy_from_slice(&digest);
+        faust_crypto::Signature::Ed25519(raw)
+    }
 }
 
 fn arb_value(rng: &mut SmallRng) -> Value {

@@ -107,9 +107,23 @@ pub struct Driver {
 
 impl Driver {
     /// Creates a driver for `n` clients talking to `server`. Keys are
-    /// generated deterministically from `key_seed`.
+    /// generated deterministically from `key_seed` under the HMAC fast
+    /// path; [`Driver::new_with_scheme`] selects the scheme.
     pub fn new(n: usize, server: Box<dyn Server + Send>, sim: SimConfig, key_seed: &[u8]) -> Self {
-        let keys = KeySet::generate(n, key_seed);
+        Self::new_with_scheme(n, server, sim, key_seed, faust_crypto::SigScheme::Hmac)
+    }
+
+    /// [`Driver::new`] with an explicit signature scheme — the simulated
+    /// stack runs identically over HMAC or Ed25519 keys, since protocol
+    /// code only sees the `Signer`/`Verifier` traits.
+    pub fn new_with_scheme(
+        n: usize,
+        server: Box<dyn Server + Send>,
+        sim: SimConfig,
+        key_seed: &[u8],
+        scheme: faust_crypto::SigScheme,
+    ) -> Self {
+        let keys = KeySet::generate_with(scheme, n, key_seed);
         let slots = (0..n)
             .map(|i| Slot {
                 proto: UstorClient::new(

@@ -32,17 +32,23 @@
 //! optionally does so, per message or batched
 //! ([`IngressVerification`]). Batched mode drains the whole inbox first
 //! and verifies all SUBMIT signatures through
-//! [`Verifier::verify_batch`], amortizing each signer's HMAC key schedule
-//! across the batch — measurably faster than per-message verification
-//! (see `faust-bench/benches/protocol.rs`).
+//! [`Verifier::verify_batch`] — for HMAC keys that amortizes each
+//! signer's key schedule, for Ed25519 keys it runs one multi-scalar
+//! batch equation over the whole inbox; both are measurably faster than
+//! per-message verification (see `faust-bench/benches/protocol.rs` and
+//! `faust-bench/benches/crypto.rs`).
 //!
-//! Note on the trust model: with the default HMAC scheme, verification
-//! keys are secrets, so handing the server a
-//! [`VerifierRegistry`](faust_crypto::VerifierRegistry) would let it forge
-//! client signatures — fine for benchmarks and closed deployments, wrong
-//! for the paper's Byzantine-server setting. With a public-key scheme
-//! substituted behind [`Verifier`], ingress verification is sound as-is;
-//! that is why the engine takes a `dyn Verifier`, not a registry.
+//! Note on the trust model (`docs/trust-model.md` has the full story):
+//! the engine takes a `dyn` [`Verifier`], and which keys stand behind it
+//! decides whether ingress verification is *sound* in the paper's
+//! Byzantine-server setting. An Ed25519 registry
+//! ([`KeySet::generate_ed25519`](faust_crypto::KeySet::generate_ed25519))
+//! holds public keys only — handing it to the server grants no forging
+//! power, so rejection at the door is sound. An HMAC registry holds the
+//! shared signing secrets
+//! ([`VerifierRegistry::try_forge`](faust_crypto::VerifierRegistry::try_forge)
+//! demonstrates the forgery), so HMAC-backed ingress verification is a
+//! benchmarking/closed-deployment device only.
 
 use crate::server::Server;
 use faust_crypto::sha256::sha256;

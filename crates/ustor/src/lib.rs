@@ -21,6 +21,17 @@
 //! * [`Driver`] — a deterministic simulation harness producing recorded
 //!   histories for tests and experiments.
 //!
+//! # Invariants
+//!
+//! * Clients are sequential (one operation in flight) and halt forever on
+//!   the first detected [`Fault`] — the paper's `output fail_i; halt`.
+//! * All protocol code is scheme-agnostic: signatures come from
+//!   `faust-crypto` behind the `Signer`/`Verifier` traits, and the same
+//!   stack runs over HMAC or Ed25519 keys
+//!   ([`Driver::new_with_scheme`]). Server-side ingress verification
+//!   ([`IngressVerification`]) is *sound* only with a public-key
+//!   registry — see `docs/trust-model.md` at the repository root.
+//!
 //! # Example
 //!
 //! ```

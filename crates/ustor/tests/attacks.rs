@@ -511,3 +511,178 @@ fn tamper_server_reports_firing() {
     let _ = server.on_submit(c(0), s);
     assert!(server.has_fired());
 }
+
+// --- Trust model: what a verification-key-holding server can do -------------
+//
+// The paper assumes the untrusted server cannot produce any client's
+// signatures. Whether handing the server the verifier registry preserves
+// that depends on the scheme: Ed25519 registries hold public keys only,
+// HMAC registries hold the signing secrets themselves. These tests make
+// both sides of `docs/trust-model.md` executable.
+
+mod trust_model {
+    use super::c;
+    use faust_crypto::sig::{KeySet, SigContext, Signature};
+    use faust_types::op::{data_signing_bytes, submit_signing_bytes};
+    use faust_types::{InvocationTuple, OpKind, SubmitMsg, UstorMsg, Value};
+    use faust_ustor::{IngressVerification, ServerEngine, UstorClient, UstorServer};
+    use std::sync::Arc;
+
+    /// A server armed with every client's *public* key still cannot get a
+    /// forged SUBMIT past its own ingress verification — and `try_forge`,
+    /// the API that makes HMAC forgery trivial, has nothing to offer.
+    #[test]
+    fn server_with_public_keys_cannot_forge_a_submit() {
+        let n = 2;
+        let keys = KeySet::generate_ed25519(n, b"pk-attack");
+        let registry = keys.registry();
+        assert!(registry.is_public(), "Ed25519 registry is public-only");
+        assert!(
+            registry.try_forge(0, SigContext::Submit, b"evil").is_none(),
+            "public keys must not sign"
+        );
+
+        for batched in [false, true] {
+            let verification = if batched {
+                IngressVerification::Batched(Arc::new(keys.registry()))
+            } else {
+                IngressVerification::PerMessage(Arc::new(keys.registry()))
+            };
+            let mut engine =
+                ServerEngine::new(n, Box::new(UstorServer::new(n))).with_verification(verification);
+            // One genuine operation gives the attacker real signatures to
+            // replay.
+            let mut honest =
+                UstorClient::new(c(0), n, keys.keypair(0).unwrap().clone(), keys.registry());
+            let genuine = honest.begin_write(Value::from("honest")).unwrap();
+            engine.enqueue(c(0), UstorMsg::Submit(genuine.clone()));
+            engine.process_all();
+            assert_eq!(engine.stats().submits, 1, "batched={batched}");
+            while engine.poll_output().is_some() {}
+
+            // Forgery 1: fresh content, garbage Ed25519-shaped signatures.
+            let mut garbage = genuine.clone();
+            garbage.timestamp = 2;
+            garbage.value = Some(Value::from("evil"));
+            garbage.tuple.sig = Signature::garbage_ed25519();
+            garbage.data_sig = Signature::garbage_ed25519();
+            // Forgery 2: replay the genuine SUBMIT-signature under a new
+            // timestamp (the signature covers t, so it cannot transfer).
+            let mut bumped = genuine.clone();
+            bumped.timestamp = 2;
+            // Forgery 3: keep the signatures, swap the written value (the
+            // DATA-signature covers the value hash).
+            let mut swapped = genuine.clone();
+            swapped.value = Some(Value::from("evil"));
+
+            for (label, forgery) in [
+                ("garbage", garbage),
+                ("bumped", bumped),
+                ("swapped", swapped),
+            ] {
+                let rejected_before = engine.stats().rejected;
+                engine.enqueue(c(0), UstorMsg::Submit(forgery));
+                engine.process_all();
+                assert_eq!(
+                    engine.stats().rejected,
+                    rejected_before + 1,
+                    "{label} must be rejected (batched={batched})"
+                );
+            }
+            assert_eq!(engine.stats().submits, 1, "batched={batched}");
+            assert!(engine.poll_output().is_none(), "no forged replies");
+        }
+    }
+
+    /// The contrast case the trust-model doc warns about: an HMAC
+    /// registry holds the signing secrets, so a server given one can
+    /// manufacture a SUBMIT that sails through its own ingress checks.
+    #[test]
+    fn hmac_registry_holder_forges_a_submit_by_contrast() {
+        let n = 2;
+        let keys = KeySet::generate(n, b"hmac-attack");
+        let registry = keys.registry();
+        assert!(!registry.is_public());
+
+        let t = 1;
+        let value = Value::from("poison");
+        let value_hash = faust_crypto::sha256(value.as_bytes());
+        let submit_sig = registry
+            .try_forge(
+                0,
+                SigContext::Submit,
+                &submit_signing_bytes(OpKind::Write, c(0), t),
+            )
+            .expect("HMAC registries can forge");
+        let data_sig = registry
+            .try_forge(
+                0,
+                SigContext::Data,
+                &data_signing_bytes(t, Some(value_hash)),
+            )
+            .expect("HMAC registries can forge");
+        let forged = SubmitMsg {
+            timestamp: t,
+            tuple: InvocationTuple {
+                client: c(0),
+                kind: OpKind::Write,
+                register: c(0),
+                sig: submit_sig,
+            },
+            value: Some(value),
+            data_sig,
+            piggyback: None,
+        };
+
+        let mut engine = ServerEngine::new(n, Box::new(UstorServer::new(n)))
+            .with_verification(IngressVerification::PerMessage(Arc::new(keys.registry())));
+        engine.enqueue(c(0), UstorMsg::Submit(forged));
+        engine.process_all();
+        assert_eq!(
+            engine.stats().submits,
+            1,
+            "the forgery passes HMAC ingress verification — that is the attack"
+        );
+        assert_eq!(engine.stats().rejected, 0);
+    }
+
+    /// The whole simulated USTOR stack — driver, engine, clients — runs
+    /// unchanged over Ed25519 keys, and detection still works: a server
+    /// that garbles a commit signature is caught by the reader.
+    #[test]
+    fn full_driver_runs_and_detects_over_ed25519() {
+        use faust_sim::SimConfig;
+        use faust_ustor::adversary::{Tamper, TamperServer};
+        use faust_ustor::{Driver, WorkloadOp};
+
+        // Correct server: everything completes, no faults.
+        let mut driver = Driver::new_with_scheme(
+            2,
+            Box::new(UstorServer::new(2)),
+            SimConfig::default(),
+            b"ed25519-sim",
+            faust_crypto::SigScheme::Ed25519,
+        );
+        driver.push_op(c(0), WorkloadOp::Write(Value::from("v1")));
+        driver.push_op(c(1), WorkloadOp::Read(c(0)));
+        let result = driver.run();
+        assert!(!result.detected_fault(), "{:?}", result.faults);
+        assert_eq!(result.incomplete_ops, 0);
+
+        // Tampering server: the corrupted commit signature is detected
+        // under Ed25519 exactly as under HMAC.
+        let server = TamperServer::new(2, c(1), 1, Tamper::CorruptCommitSig);
+        let mut driver = Driver::new_with_scheme(
+            2,
+            Box::new(server),
+            SimConfig::default(),
+            b"ed25519-tamper",
+            faust_crypto::SigScheme::Ed25519,
+        );
+        driver.push_op(c(0), WorkloadOp::Write(Value::from("a")));
+        driver.push_op(c(1), WorkloadOp::Write(Value::from("b")));
+        driver.push_op(c(1), WorkloadOp::Write(Value::from("c")));
+        let faults = driver.run().faults;
+        assert!(!faults.is_empty(), "tampering must be detected");
+    }
+}

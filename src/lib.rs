@@ -15,7 +15,9 @@
 //!   │   · pure: enqueue (ClientId, UstorMsg) → process → poll    │
 //!   │   · per-client Session state (counters, timestamps, x̄)     │
 //!   │   · optional ingress verification of SUBMIT signatures,    │
-//!   │     per-message or batched (amortized HMAC key schedule)   │
+//!   │     per-message or batched (HMAC: amortized key schedule;  │
+//!   │     Ed25519: one multi-scalar batch equation) — sound in   │
+//!   │     the paper's trust model with public-key registries     │
 //!   │   · wraps any `Server`: the correct UstorServer or a       │
 //!   │     Byzantine adversary                                    │
 //!   └──────────────────────────▲─────────────────────────────────┘
@@ -31,17 +33,17 @@
 //! ```
 //!
 //! One engine code path serves all three: the simulation drivers
-//! ([`ustor::Driver`](faust_ustor::Driver),
-//! [`core::FaustDriver`](faust_core::FaustDriver)) pump it through the
+//! ([`ustor::Driver`],
+//! [`core::FaustDriver`]) pump it through the
 //! queue transport inside virtual time, while the threaded runtimes
-//! ([`core::runtime`](faust_core::runtime),
-//! [`core::threaded_faust`](faust_core::threaded_faust)) put it behind a
+//! ([`core::runtime`],
+//! [`core::threaded_faust`]) put it behind a
 //! channel or a real loopback-TCP listener. Client threads hold a
-//! transport-independent [`net::ClientConn`](faust_net::ClientConn).
+//! transport-independent [`net::ClientConn`].
 //!
 //! Messages are encoded by the hand-rolled, byte-exact codec in
-//! [`types::wire`](faust_types::wire); stream transports add the
-//! length-prefixed framing of [`types::frame`](faust_types::frame).
+//! [`types::wire`]; stream transports add the
+//! length-prefixed framing of [`types::frame`].
 //! Future scaling work (sharded engines, async transports, persistent
 //! backends) lands behind `ServerTransport`/`ServerEngine` without
 //! touching protocol code — see ROADMAP.md.
