@@ -1,0 +1,146 @@
+//! Persistence benchmarks: what durability costs on the hot path, and
+//! how recovery time scales with log length.
+//!
+//! * **Append throughput (fsync off)** — raw write-ahead-log appends and
+//!   full logged protocol ops, against the in-memory baseline. Fsync-off
+//!   isolates the CPU+syscall cost of the format itself (checksum,
+//!   encode, one `write_all`); an `Always`-durability line shows what
+//!   the fsync adds on this machine's disk.
+//! * **Recovery time vs. log length** — `PersistentServer::recover` over
+//!   logs of increasing record counts; the per-record cost must stay
+//!   flat (linear total), since recovery is one strict scan + replay.
+//!
+//! Run with: `cargo bench -p faust-bench --bench store`
+
+use faust_bench::timing::{bench, bench_throughput, section};
+use faust_store::codec::LogRecord;
+use faust_store::log::Wal;
+use faust_store::testutil::{self, run_op};
+use faust_store::{Durability, PersistentServer, StoreConfig};
+use faust_types::{ClientId, Value, Wire};
+use faust_ustor::{UstorClient, UstorServer};
+use std::time::Instant;
+
+fn no_sync() -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Never,
+        snapshot_every: 0,
+    }
+}
+
+fn clients(n: usize) -> Vec<UstorClient> {
+    testutil::clients(n, b"bench-store")
+}
+
+/// Raw log appends of a fixed record, fsync off.
+fn bench_wal_append(value_len: usize) {
+    let dir = testutil::scratch_dir("bench-append");
+    let mut wal = Wal::create(&dir, 2, 0, false).expect("create");
+    let mut c = clients(2).remove(0);
+    let record = LogRecord::Submit {
+        from: ClientId::new(0),
+        msg: c.begin_write(Value::new(vec![0xA5; value_len])).unwrap(),
+    };
+    let bytes = record.encoded_len() + 8 + faust_store::log::RECORD_OVERHEAD;
+    bench_throughput(
+        &format!("wal append fsync-off ({value_len} B value)"),
+        bytes,
+        || {
+            wal.append(&record, false).expect("append");
+        },
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A full protocol op (submit + commit) through a server, memory vs
+/// logged fsync-off vs logged fsync-always.
+fn bench_logged_op() {
+    // A fresh client per server: each server starts from version zero,
+    // and a client that had advanced against a previous server would
+    // (correctly!) flag the fresh one as a rollback.
+    let mut cs = clients(1);
+    let mut memory = UstorServer::new(1);
+    bench("protocol op, in-memory server", || {
+        let submit = cs[0].begin_write(Value::from("x")).unwrap();
+        run_op(&mut memory, &mut cs[0], submit);
+    });
+
+    let dir = testutil::scratch_dir("bench-op-nosync");
+    let mut cs = clients(1);
+    let mut persistent = PersistentServer::open(&dir, 1, no_sync()).unwrap();
+    bench("protocol op, logged fsync-off", || {
+        let submit = cs[0].begin_write(Value::from("x")).unwrap();
+        run_op(&mut persistent, &mut cs[0], submit);
+    });
+    drop(persistent);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = testutil::scratch_dir("bench-op-sync");
+    let mut cs = clients(1);
+    let mut persistent = PersistentServer::open(
+        &dir,
+        1,
+        StoreConfig {
+            durability: Durability::Always,
+            snapshot_every: 0,
+        },
+    )
+    .unwrap();
+    bench("protocol op, logged fsync-always", || {
+        let submit = cs[0].begin_write(Value::from("x")).unwrap();
+        run_op(&mut persistent, &mut cs[0], submit);
+    });
+    drop(persistent);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a store whose log holds exactly `records` records (submit +
+/// commit pairs, interleaved across 2 clients so `L` stays short).
+fn build_log(dir: &std::path::Path, records: u64) {
+    let n = 2;
+    let mut server = PersistentServer::open(dir, n, no_sync()).expect("open");
+    let mut cs = clients(n);
+    let mut round = 0u64;
+    while server.next_seq() < records {
+        let i = (round % n as u64) as usize;
+        let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+        run_op(&mut server, &mut cs[i], submit);
+        round += 1;
+    }
+    assert_eq!(server.next_seq(), records);
+}
+
+/// Recovery wall time as the log grows; reports per-record cost too.
+fn bench_recovery_scaling() {
+    for records in [1_000u64, 4_000, 16_000] {
+        let dir = testutil::scratch_dir("bench-recover");
+        build_log(&dir, records);
+        // recover() is too slow to batch thousands of times; measure a
+        // handful of full runs and take the best (I/O cache warm).
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let server = PersistentServer::recover(&dir, 2, no_sync()).expect("recover");
+            assert_eq!(server.next_seq(), records);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!(
+            "recover {records:>6} records                      {:>10.2} ms {:>12.0} records/s",
+            best * 1e3,
+            records as f64 / best
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn main() {
+    section("write-ahead log appends");
+    bench_wal_append(64);
+    bench_wal_append(1024);
+
+    section("logged protocol operations");
+    bench_logged_op();
+
+    section("recovery time vs log length");
+    bench_recovery_scaling();
+}

@@ -1,0 +1,233 @@
+//! CI bench smoke: a quick-mode pass over one representative metric per
+//! subsystem (wire codec, crypto, protocol engine, persistence), emitted
+//! as JSON so the CI `bench-smoke` job can archive a perf trajectory
+//! point per commit.
+//!
+//! Quick mode trades precision for wall time (seconds, not minutes);
+//! the numbers are for *trend* plots, not for the README's tables —
+//! regenerate those with the full benches.
+//!
+//! Usage: `cargo run -p faust-bench --bin bench_smoke --release -- [--json PATH]`
+
+use faust_bench::timing::{bench_quiet_with, Measurement, TimingConfig};
+use faust_crypto::sha256::sha256;
+use faust_crypto::sig::{KeySet, SigContext, Signer};
+use faust_store::codec::LogRecord;
+use faust_store::log::Wal;
+use faust_store::testutil::{self, run_op};
+use faust_store::{Durability, PersistentServer, StoreConfig};
+use faust_types::{ClientId, UstorMsg, Value, Wire};
+use faust_ustor::{Server, ServerEngine, UstorClient, UstorServer};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn clients(n: usize) -> Vec<UstorClient> {
+    testutil::clients(n, b"bench-smoke")
+}
+
+/// One data point of the smoke report.
+struct Point {
+    name: &'static str,
+    ns_per_iter: f64,
+    per_second: f64,
+}
+
+impl From<(&'static str, Measurement)> for Point {
+    fn from((name, m): (&'static str, Measurement)) -> Self {
+        Point {
+            name,
+            ns_per_iter: m.ns_per_iter,
+            per_second: m.per_second(),
+        }
+    }
+}
+
+fn collect(quick: TimingConfig) -> Vec<Point> {
+    let mut points: Vec<Point> = Vec::new();
+    let mut add = |name: &'static str, m: Measurement| {
+        println!(
+            "{name:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+            m.ns_per_iter,
+            m.per_second()
+        );
+        points.push(Point::from((name, m)));
+    };
+
+    // Wire codec: a REPLY for 8 clients, encode and decode.
+    let mut cs = clients(8);
+    let mut server = UstorServer::new(8);
+    for i in 0..8usize {
+        let submit = cs[i].begin_write(Value::unique(i as u32, 0)).unwrap();
+        run_op(&mut server, &mut cs[i], submit);
+    }
+    let submit = cs[0].begin_read(ClientId::new(1)).unwrap();
+    let (_, reply) = server.on_submit(ClientId::new(0), submit).pop().unwrap();
+    let reply = UstorMsg::Reply(reply);
+    let encoded = reply.encode();
+    add(
+        "wire: encode REPLY (n=8, read)",
+        bench_quiet_with(quick, "", || {
+            std::hint::black_box(reply.encode());
+        }),
+    );
+    add(
+        "wire: decode REPLY (n=8, read)",
+        bench_quiet_with(quick, "", || {
+            std::hint::black_box(UstorMsg::decode(&encoded).expect("valid"));
+        }),
+    );
+
+    // Crypto: the store's checksum primitive and the HMAC hot path.
+    let kib = vec![0xA5u8; 1024];
+    add(
+        "crypto: sha256 (1 KiB)",
+        bench_quiet_with(quick, "", || {
+            std::hint::black_box(sha256(&kib));
+        }),
+    );
+    let keys = KeySet::generate(1, b"bench-smoke-sign");
+    let keypair = keys.keypair(0).unwrap().clone();
+    let msg = vec![0x5Au8; 64];
+    add(
+        "crypto: hmac sign (64 B)",
+        bench_quiet_with(quick, "", || {
+            std::hint::black_box(keypair.sign(SigContext::Submit, &msg));
+        }),
+    );
+
+    // Protocol: one full write op through the transport-agnostic engine.
+    let mut engine_cs = clients(1);
+    let mut engine = ServerEngine::new(1, Box::new(UstorServer::new(1)));
+    add(
+        "engine: write op (submit+commit, n=1)",
+        bench_quiet_with(quick, "", || {
+            let submit = engine_cs[0].begin_write(Value::from("x")).unwrap();
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(submit));
+            engine.process_all();
+            let (_, UstorMsg::Reply(reply)) = engine.poll_output().expect("reply") else {
+                panic!("expected reply");
+            };
+            let (commit, _) = engine_cs[0].handle_reply(reply).expect("correct");
+            engine.enqueue(
+                ClientId::new(0),
+                UstorMsg::Commit(commit.expect("immediate")),
+            );
+            engine.process_all();
+        }),
+    );
+
+    // Store: raw append, logged op, and a 2k-record recovery.
+    let no_sync = StoreConfig {
+        durability: Durability::Never,
+        snapshot_every: 0,
+    };
+    let dir = testutil::scratch_dir("smoke-append");
+    let mut wal = Wal::create(&dir, 1, 0, false).expect("create");
+    let mut wal_client = clients(1).remove(0);
+    let record = LogRecord::Submit {
+        from: ClientId::new(0),
+        msg: wal_client.begin_write(Value::new(vec![0xA5; 64])).unwrap(),
+    };
+    add(
+        "store: wal append fsync-off (64 B value)",
+        bench_quiet_with(quick, "", || {
+            wal.append(&record, false).expect("append");
+        }),
+    );
+    drop(wal);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = testutil::scratch_dir("smoke-op");
+    let mut persistent = PersistentServer::open(&dir, 1, no_sync.clone()).expect("open");
+    let mut store_cs = clients(1);
+    add(
+        "store: logged write op fsync-off",
+        bench_quiet_with(quick, "", || {
+            let submit = store_cs[0].begin_write(Value::from("x")).unwrap();
+            run_op(&mut persistent, &mut store_cs[0], submit);
+        }),
+    );
+    drop(persistent);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Recovery: not an iteration bench — one timed scan+replay of a
+    // 2000-record log, best of 3.
+    let dir = testutil::scratch_dir("smoke-recover");
+    {
+        let mut server = PersistentServer::open(&dir, 2, no_sync.clone()).expect("open");
+        let mut cs = clients(2);
+        let mut round = 0u64;
+        while server.next_seq() < 2_000 {
+            let i = (round % 2) as usize;
+            let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+            run_op(&mut server, &mut cs[i], submit);
+            round += 1;
+        }
+    }
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let server = PersistentServer::recover(&dir, 2, no_sync.clone()).expect("recover");
+        assert_eq!(server.next_seq(), 2_000);
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "{:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+        "store: recover 2000-record log",
+        best,
+        1e9 / best
+    );
+    points.push(Point {
+        name: "store: recover 2000-record log",
+        ns_per_iter: best,
+        per_second: 1e9 / best,
+    });
+
+    points
+}
+
+/// Hand-rolled JSON (names are fixed ASCII literals, so no escaping is
+/// needed beyond what the format string provides).
+fn to_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"mode\": \"quick\",\n  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {:.1}}}{}\n",
+            p.name,
+            p.ns_per_iter,
+            p.per_second,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_smoke [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("FAUST bench smoke (quick mode)");
+    println!("==============================");
+    let points = collect(TimingConfig::quick());
+    let json = to_json(&points);
+    match json_path {
+        Some(path) => {
+            let mut file = std::fs::File::create(&path).expect("create json output");
+            file.write_all(json.as_bytes()).expect("write json output");
+            println!("\nwrote {} results to {path}", points.len());
+        }
+        None => print!("\n{json}"),
+    }
+}

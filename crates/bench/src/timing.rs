@@ -8,12 +8,55 @@
 
 use std::time::{Duration, Instant};
 
-/// Target duration of one timed sample.
-const SAMPLE_TARGET: Duration = Duration::from_millis(60);
-/// Warm-up duration before calibration.
-const WARMUP: Duration = Duration::from_millis(20);
-/// Number of timed samples; the median is reported.
-const SAMPLES: usize = 5;
+/// Tuning of the measurement loop: how long to warm up, how long one
+/// timed sample should run, and how many samples feed the median.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Warm-up duration before calibration.
+    pub warmup: Duration,
+    /// Target duration of one timed sample.
+    pub sample_target: Duration,
+    /// Number of timed samples; the median is reported.
+    pub samples: usize,
+}
+
+impl TimingConfig {
+    /// The defaults every bench has always used.
+    pub const fn standard() -> Self {
+        TimingConfig {
+            warmup: Duration::from_millis(20),
+            sample_target: Duration::from_millis(60),
+            samples: 5,
+        }
+    }
+
+    /// Quick mode for CI smoke runs: ~10× less wall time per metric,
+    /// noisier but still median-of-samples. Selected by
+    /// `FAUST_BENCH_QUICK=1` (see [`TimingConfig::from_env`]) or used
+    /// directly by the `bench_smoke` binary.
+    pub const fn quick() -> Self {
+        TimingConfig {
+            warmup: Duration::from_millis(5),
+            sample_target: Duration::from_millis(10),
+            samples: 3,
+        }
+    }
+
+    /// [`TimingConfig::quick`] when the environment variable
+    /// `FAUST_BENCH_QUICK` is `1`, [`TimingConfig::standard`] otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var("FAUST_BENCH_QUICK") {
+            Ok(v) if v == "1" => TimingConfig::quick(),
+            _ => TimingConfig::standard(),
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::standard()
+    }
+}
 
 /// Result of one benchmark.
 #[derive(Debug, Clone)]
@@ -59,16 +102,23 @@ pub fn bench_throughput(name: &str, bytes: usize, f: impl FnMut()) -> Measuremen
 }
 
 /// [`bench()`] without printing (callers format their own report line).
-pub fn bench_quiet(name: &str, mut f: impl FnMut()) -> Measurement {
+/// Tuning comes from the environment ([`TimingConfig::from_env`]), so
+/// `FAUST_BENCH_QUICK=1` flips every existing bench to quick mode.
+pub fn bench_quiet(name: &str, f: impl FnMut()) -> Measurement {
+    bench_quiet_with(TimingConfig::from_env(), name, f)
+}
+
+/// [`bench_quiet`] with explicit tuning.
+pub fn bench_quiet_with(config: TimingConfig, name: &str, mut f: impl FnMut()) -> Measurement {
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
-    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+    while warm_start.elapsed() < config.warmup || warm_iters == 0 {
         f();
         warm_iters += 1;
     }
     let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
-    let batch = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let batch = ((config.sample_target.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+    let mut samples: Vec<f64> = (0..config.samples.max(1))
         .map(|_| {
             let start = Instant::now();
             for _ in 0..batch {
@@ -80,7 +130,7 @@ pub fn bench_quiet(name: &str, mut f: impl FnMut()) -> Measurement {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     Measurement {
         name: name.to_string(),
-        ns_per_iter: samples[SAMPLES / 2],
+        ns_per_iter: samples[samples.len() / 2],
         batch,
     }
 }

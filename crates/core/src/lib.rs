@@ -63,6 +63,6 @@ pub use driver::{
 pub use events::{FailReason, FaustCompletion, Notification, StabilityCut};
 pub use offline::OfflineMsg;
 pub use threaded_faust::{
-    run_threaded_faust, run_threaded_faust_over, run_threaded_faust_tcp, ThreadedFaustConfig,
-    ThreadedFaustReport,
+    run_faust_session, run_threaded_faust, run_threaded_faust_over, run_threaded_faust_tcp,
+    FaustSession, ThreadedFaustConfig, ThreadedFaustReport,
 };

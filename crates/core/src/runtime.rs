@@ -53,9 +53,26 @@ pub struct ThreadedReport {
 ///
 /// Panics if `workloads.len() != n` or a thread panics.
 pub fn run_threaded(n: usize, workloads: Vec<Vec<ThreadedOp>>, key_seed: &[u8]) -> ThreadedReport {
+    run_threaded_with_server(n, workloads, key_seed, Box::new(UstorServer::new(n)))
+}
+
+/// [`run_threaded`] with an explicit server implementation — the hook
+/// through which the threaded runtime runs durably: pass a server built
+/// by any [`faust_ustor::ServerBackend`] (e.g. `faust-store`'s
+/// `PersistentBackend`) instead of the default volatile [`UstorServer`].
+///
+/// # Panics
+///
+/// Panics if `workloads.len() != n` or a thread panics.
+pub fn run_threaded_with_server(
+    n: usize,
+    workloads: Vec<Vec<ThreadedOp>>,
+    key_seed: &[u8],
+    server: Box<dyn Server + Send>,
+) -> ThreadedReport {
     let (mut transport, conns) = channel::pair(n);
     let engine_thread = std::thread::spawn(move || {
-        let mut engine = ServerEngine::new(n, Box::new(UstorServer::new(n)));
+        let mut engine = ServerEngine::new(n, server);
         serve(&mut engine, &mut transport);
         engine.stats().clone()
     });
@@ -313,6 +330,40 @@ mod tests {
         assert_eq!(report.completions, vec![2, 1]);
         assert_eq!(report.engine_stats.rejected, 0);
         assert_eq!(report.engine_stats.submits, 3);
+    }
+
+    #[test]
+    fn threaded_runtime_runs_durably_over_a_persistent_backend() {
+        // The same thread-per-client runtime, with the engine built from
+        // the persistent backend via `ServerEngine::from_backend`: every
+        // acknowledged message is in the log afterwards, and recovery
+        // rebuilds the full schedule.
+        use faust_store::{Durability, PersistentBackend, PersistentServer, StoreConfig};
+        let n = 2;
+        let dir = faust_store::testutil::scratch_dir("threaded-durable");
+        let config = StoreConfig {
+            durability: Durability::Never,
+            ..StoreConfig::default()
+        };
+        let backend = PersistentBackend::new(&dir, config.clone());
+        let (transport, conns) = channel::pair(n);
+        let engine = ServerEngine::from_backend(n, &backend).expect("fresh store");
+        let engine_thread = spawn_engine_with(engine, transport);
+        let workloads = vec![
+            vec![
+                ThreadedOp::Write(Value::from("d1")),
+                ThreadedOp::Write(Value::from("d2")),
+            ],
+            vec![ThreadedOp::Read(c(0))],
+        ];
+        let report = run_threaded_over(n, workloads, conns, b"durable-threaded", engine_thread);
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        assert_eq!(report.completions, vec![2, 1]);
+        // 3 submits + 3 commits were acknowledged, so 6 records are
+        // durable; recovery resumes exactly there.
+        let recovered = PersistentServer::recover(&dir, n, config).expect("clean recovery");
+        assert_eq!(recovered.next_seq(), 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -166,12 +166,105 @@ pub fn run_threaded_faust_over(
     key_seed: &[u8],
     engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
 ) -> ThreadedFaustReport {
-    assert_eq!(workloads.len(), n, "one workload per client");
-    assert_eq!(conns.len(), n, "one connection per client");
-    let keys = KeySet::generate_with(config.scheme, n, key_seed);
+    let session = FaustSession::new(n, &config, key_seed);
+    run_faust_session(session, workloads, conns, config, engine_thread).0
+}
+
+/// The FAUST client side of a deployment, detached from any particular
+/// server incarnation — protocol state machines plus a continuing
+/// protocol clock.
+///
+/// A session can be run against a server, paused (clients disconnect,
+/// the server engine winds down), and **resumed** against a *new* server
+/// incarnation with all client state — version vectors, stability
+/// machinery, detected failures — intact. That is exactly what a
+/// kill-and-restart of the server looks like from the clients' side, and
+/// what makes the crash-recovery end-to-end tests honest: whether the
+/// restarted server is caught must depend on the server's *state*, not
+/// on clients having forgotten what they had seen.
+pub struct FaustSession {
+    clients: Vec<FaustClient>,
+    clock_ms: u64,
+}
+
+impl FaustSession {
+    /// Builds `n` fresh FAUST clients with keys derived from `key_seed`
+    /// under `config.scheme`, protocol-tuned by `config.faust`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, config: &ThreadedFaustConfig, key_seed: &[u8]) -> Self {
+        assert!(n > 0, "at least one client");
+        let keys = KeySet::generate_with(config.scheme, n, key_seed);
+        let clients = (0..n)
+            .map(|i| {
+                FaustClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).expect("generated").clone(),
+                    keys.registry(),
+                    config.faust,
+                )
+            })
+            .collect();
+        FaustSession {
+            clients,
+            clock_ms: 0,
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The session's protocol clock: milliseconds of run time consumed
+    /// so far. Resumed runs continue from here, so client-side timers
+    /// (probe periods, stability bookkeeping) never see time move
+    /// backwards across a server restart.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Read access to a client's protocol state (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn client(&self, id: ClientId) -> &FaustClient {
+        &self.clients[id.index()]
+    }
+}
+
+/// Runs one phase of a [`FaustSession`] against whatever server the
+/// caller stood up behind `conns`/`engine_thread`, then hands the
+/// session back for the next phase.
+///
+/// Each client first submits its phase workload, then keeps ticking
+/// (probes, dummy reads) until `config.run_for` elapses, exactly like
+/// [`run_threaded_faust`]; `config.scheme`/`config.faust` are ignored
+/// here — they were fixed when the session was created.
+///
+/// # Panics
+///
+/// Panics if `workloads.len()` or `conns.len()` disagree with the
+/// session's client count, connections are out of client order, or a
+/// thread panics.
+pub fn run_faust_session(
+    mut session: FaustSession,
+    workloads: Vec<Vec<UserOp>>,
+    conns: Vec<ClientConn>,
+    config: ThreadedFaustConfig,
+    engine_thread: std::thread::JoinHandle<faust_ustor::EngineStats>,
+) -> (ThreadedFaustReport, FaustSession) {
+    let n = session.num_clients();
+    let clock_base = session.clock_ms;
 
     // Multiplexed inbox per client: server replies (forwarded from the
     // transport) and offline messages from peers.
+    assert_eq!(workloads.len(), n, "one workload per client");
+    assert_eq!(conns.len(), n, "one connection per client");
     let mut inbox_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n);
     let mut inbox_rxs: Vec<Option<Receiver<ToClient>>> = Vec::with_capacity(n);
     for _ in 0..n {
@@ -181,11 +274,12 @@ pub fn run_threaded_faust_over(
     }
 
     let mut handles = Vec::with_capacity(n);
-    for (i, (workload, conn)) in workloads.into_iter().zip(conns).enumerate() {
+    let clients = std::mem::take(&mut session.clients);
+    for (i, ((workload, conn), mut proto)) in
+        workloads.into_iter().zip(conns).zip(clients).enumerate()
+    {
         let id = ClientId::new(i as u32);
         assert_eq!(conn.id(), id, "connections must be in client order");
-        let keypair = keys.keypair(i as u32).expect("generated").clone();
-        let registry = keys.registry();
         let peers = inbox_txs.clone();
         let rx = inbox_rxs[i].take().expect("one receiver per client");
         let cfg = config;
@@ -206,10 +300,11 @@ pub fn run_threaded_faust_over(
         });
 
         handles.push(std::thread::spawn(move || {
-            let mut proto = FaustClient::new(id, n, keypair, registry, cfg.faust);
             let mut log: Vec<(u64, Notification)> = Vec::new();
             let begun = Instant::now();
-            let now_ms = |begun: Instant| begun.elapsed().as_millis() as u64;
+            // The protocol clock continues across phases: time never
+            // rewinds for a resumed client.
+            let now_ms = move |begun: Instant| clock_base + begun.elapsed().as_millis() as u64;
 
             let dispatch = |actions: Actions, log: &mut Vec<(u64, Notification)>, t: u64| {
                 for msg in actions.to_server {
@@ -264,26 +359,40 @@ pub fn run_threaded_faust_over(
             // forwarder exits on the closed transport.
             drop(to_server);
             let _ = forwarder.join();
-            (log, proto.failure().cloned())
+            // The last timestamp this client could have observed: the
+            // loop handles messages slightly *past* the deadline (the
+            // condition is checked before handling), so the next phase's
+            // clock must start no earlier than this.
+            let end_ms = now_ms(begun);
+            (log, proto, end_ms)
         }));
     }
     drop(inbox_txs);
 
     let mut notifications = Vec::with_capacity(n);
     let mut failures = Vec::new();
+    let mut clock_ms = clock_base + config.run_for.as_millis() as u64;
     for (i, handle) in handles.into_iter().enumerate() {
-        let (log, failure) = handle.join().expect("client thread panicked");
+        let (log, proto, end_ms) = handle.join().expect("client thread panicked");
         notifications.push(log);
-        if let Some(reason) = failure {
+        // A failure sticks to the client (it halted), so a resumed
+        // session reports it again in every subsequent phase.
+        if let Some(reason) = proto.failure().cloned() {
             failures.push((ClientId::new(i as u32), reason));
         }
+        clock_ms = clock_ms.max(end_ms);
+        session.clients.push(proto);
     }
+    session.clock_ms = clock_ms;
     let engine_stats = engine_thread.join().expect("server thread panicked");
-    ThreadedFaustReport {
-        notifications,
-        failures,
-        engine_stats,
-    }
+    (
+        ThreadedFaustReport {
+            notifications,
+            failures,
+            engine_stats,
+        },
+        session,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,71 @@
+//! Shared helpers for tests and benchmarks: scratch directories (the
+//! repository vendors no `tempfile` crate) and the synchronous
+//! op-driving shorthand every store test needs.
+
+use faust_crypto::sig::KeySet;
+use faust_types::{ClientId, SubmitMsg};
+use faust_ustor::{Server, UstorClient};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Creates a fresh, empty directory under the system temp dir, unique to
+/// this process and call. Callers remove it when done (`remove_dir_all`);
+/// a leaked directory under `$TMPDIR` is harmless.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — tests cannot run without
+/// a writable temp dir, so failing loudly beats limping on.
+pub fn scratch_dir(label: &str) -> PathBuf {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("faust-store-{label}-{}-{id}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Builds `n` USTOR clients with HMAC keys derived from `seed` — the
+/// setup boilerplate of every test/bench that drives a server directly.
+pub fn clients(n: usize, seed: &[u8]) -> Vec<UstorClient> {
+    let keys = KeySet::generate(n, seed);
+    (0..n)
+        .map(|i| {
+            UstorClient::new(
+                ClientId::new(i as u32),
+                n,
+                keys.keypair(i as u32).expect("generated").clone(),
+                keys.registry(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one full synchronous operation (submit → reply → commit)
+/// through any server.
+///
+/// # Panics
+///
+/// Panics if the server misbehaves — these helpers drive *correct*
+/// servers; adversarial paths assert on errors explicitly.
+pub fn run_op(server: &mut dyn Server, client: &mut UstorClient, submit: SubmitMsg) {
+    let id = client.id();
+    let (_, reply) = server.on_submit(id, submit).pop().expect("one reply");
+    let (commit, _) = client.handle_reply(reply).expect("correct server");
+    server.on_commit(id, commit.expect("immediate mode"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_distinct_and_empty() {
+        let a = scratch_dir("x");
+        let b = scratch_dir("x");
+        assert_ne!(a, b);
+        assert_eq!(std::fs::read_dir(&a).unwrap().count(), 0);
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+}

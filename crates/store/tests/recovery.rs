@@ -1,0 +1,222 @@
+//! Recovery invariants: a recovered server is bit-identical to the
+//! pre-crash server — mid-protocol, across snapshots, and under the one
+//! benign crash window (snapshot written, log not yet rotated).
+
+use faust_store::snapshot::{write_snapshot, Snapshot};
+use faust_store::testutil::{self, clients, run_op};
+use faust_store::{Durability, PersistentServer, StoreConfig, StoreError};
+use faust_types::{ClientId, Value};
+use faust_ustor::{Server, UstorClient, UstorServer};
+
+fn c(i: u32) -> ClientId {
+    ClientId::new(i)
+}
+
+fn no_sync() -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Never,
+        ..StoreConfig::default()
+    }
+}
+
+/// Drives traffic into a persistent server, leaving `pending`
+/// uncommitted ops in `L`, then "crashes" it. Returns a clone of the
+/// exact pre-crash protocol state as the bit-identity reference.
+fn crashed_run(
+    dir: &std::path::Path,
+    config: StoreConfig,
+    rounds: u64,
+    pending: usize,
+) -> (UstorServer, Vec<UstorClient>) {
+    let n = 3;
+    let mut persistent = PersistentServer::open(dir, n, config).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+    for round in 0..rounds {
+        for i in 0..n {
+            let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+            run_op(&mut persistent, &mut cs[i], submit);
+        }
+    }
+    // Leave some submits uncommitted so recovery must rebuild `L` too.
+    for i in 0..pending {
+        let submit = cs[i].begin_write(Value::unique(i as u32, 999)).unwrap();
+        persistent.on_submit(c(i as u32), submit);
+    }
+    assert_eq!(persistent.server().pending_len(), pending);
+    let reference = persistent.server().clone();
+    drop(persistent); // the crash
+    (reference, cs)
+}
+
+#[test]
+fn recovery_is_bit_identical_mid_protocol() {
+    let dir = testutil::scratch_dir("recovery-identical");
+    let (reference, mut cs) = crashed_run(&dir, no_sync(), 3, 2);
+
+    let recovered = PersistentServer::recover(&dir, 3, no_sync()).unwrap();
+    assert_eq!(
+        *recovered.server(),
+        reference,
+        "recovered state must be bit-identical"
+    );
+    assert_eq!(recovered.server().pending_len(), 2);
+
+    // The restarted server keeps serving the *same* clients: the two
+    // blocked writers never see their first reply (it died with the old
+    // process), but a fresh client op completes without any violation.
+    let mut recovered: Box<dyn Server + Send> = Box::new(recovered);
+    let submit = cs[2].begin_read(c(0)).unwrap();
+    let (_, reply) = recovered.on_submit(c(2), submit).pop().unwrap();
+    let (_, done) = cs[2].handle_reply(reply).expect("recovery is invisible");
+    // MEM[0] is updated at SUBMIT time (Algorithm 2), so the read sees
+    // C0's still-uncommitted round-999 write — proving the recovered
+    // server rebuilt MEM from the log's uncommitted suffix too.
+    assert_eq!(done.read_value, Some(Some(Value::unique(0, 999))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_with_fsync_always_matches_too() {
+    let dir = testutil::scratch_dir("recovery-fsync");
+    let config = StoreConfig::default(); // Durability::Always
+    let (reference, _) = crashed_run(&dir, config.clone(), 1, 1);
+    let recovered = PersistentServer::recover(&dir, 3, config).unwrap();
+    assert_eq!(*recovered.server(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_across_snapshot_compaction() {
+    let dir = testutil::scratch_dir("recovery-snapshot");
+    let config = StoreConfig {
+        durability: Durability::Never,
+        snapshot_every: 5, // force several rotations over 18 records
+    };
+    let (reference, _) = crashed_run(&dir, config.clone(), 3, 0);
+    let recovered = PersistentServer::recover(&dir, 3, config).unwrap();
+    assert_eq!(*recovered.server(), reference);
+    assert_eq!(recovered.next_seq(), 18);
+    assert!(
+        recovered.wal_records() < 18,
+        "snapshots must have compacted the log"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_snapshot_and_rotation_is_benign() {
+    // The documented ordering: snapshot renamed into place, *then* the
+    // log rotated. A crash in between leaves a snapshot whose coverage
+    // overlaps the log's early records; recovery verifies but skips them.
+    let dir = testutil::scratch_dir("recovery-overlap");
+    let n = 3;
+    let mut persistent = PersistentServer::open(&dir, n, no_sync()).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+    for i in 0..n {
+        let submit = cs[i].begin_write(Value::unique(i as u32, 0)).unwrap();
+        run_op(&mut persistent, &mut cs[i], submit);
+    }
+    let reference = persistent.server().clone();
+    // Snapshot covering ALL 6 records, written by hand without rotating
+    // the log — exactly the state a crash inside `snapshot()` leaves.
+    write_snapshot(
+        &dir,
+        &Snapshot {
+            n,
+            next_seq: persistent.next_seq(),
+            state: persistent.server().export_state(),
+        },
+        false,
+    )
+    .unwrap();
+    drop(persistent);
+
+    let recovered = PersistentServer::recover(&dir, n, no_sync()).unwrap();
+    assert_eq!(*recovered.server(), reference);
+    assert_eq!(recovered.next_seq(), 6);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_only_directory_is_flagged_as_rollback_suspect() {
+    let dir = testutil::scratch_dir("recovery-missing-wal");
+    let config = StoreConfig {
+        durability: Durability::Never,
+        snapshot_every: 2,
+    };
+    let (_, _) = crashed_run(&dir, config.clone(), 2, 0);
+    std::fs::remove_file(dir.join("wal.bin")).unwrap();
+    assert!(matches!(
+        PersistentServer::recover(&dir, 3, config).unwrap_err(),
+        StoreError::MissingWal
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_ending_before_snapshot_coverage_is_refused() {
+    // Start from the benign overlap window (snapshot covers to 6, wal
+    // still holds records 0..6), then truncate the wal to 4 records.
+    // The snapshot alone *could* serve the state — but accepting it
+    // would rewind the append counter to 4, and records later logged at
+    // seqs 4 and 5 would be silently skipped (as snapshot-covered) by
+    // the NEXT recovery. Strict recovery must refuse.
+    let dir = testutil::scratch_dir("recovery-short-log");
+    let n = 3;
+    let mut persistent = PersistentServer::open(&dir, n, no_sync()).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+    for i in 0..n {
+        let submit = cs[i].begin_write(Value::unique(i as u32, 0)).unwrap();
+        run_op(&mut persistent, &mut cs[i], submit);
+    }
+    write_snapshot(
+        &dir,
+        &Snapshot {
+            n,
+            next_seq: persistent.next_seq(),
+            state: persistent.server().export_state(),
+        },
+        false,
+    )
+    .unwrap();
+    drop(persistent);
+    assert_eq!(faust_store::truncate_tail_records(&dir, 2).unwrap(), 4);
+    assert!(matches!(
+        PersistentServer::recover(&dir, n, no_sync()).unwrap_err(),
+        StoreError::LogEndsBeforeSnapshot {
+            snapshot_next: 6,
+            log_next: 4
+        }
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_starting_after_snapshot_coverage_is_a_gap() {
+    // A log whose base_seq jumps past the snapshot's next_seq means
+    // records between them vanished.
+    let dir = testutil::scratch_dir("recovery-ahead");
+    let n = 2;
+    let server = PersistentServer::open(&dir, n, no_sync()).unwrap();
+    write_snapshot(
+        &dir,
+        &Snapshot {
+            n,
+            next_seq: 3,
+            state: server.server().export_state(),
+        },
+        false,
+    )
+    .unwrap();
+    drop(server);
+    // Rewrite the wal with base_seq far beyond the snapshot.
+    faust_store::log::Wal::create(&dir, n, 10, false).unwrap();
+    assert!(matches!(
+        PersistentServer::recover(&dir, n, no_sync()).unwrap_err(),
+        StoreError::SnapshotAheadOfLog {
+            snapshot_next: 3,
+            base_seq: 10
+        }
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -157,6 +157,20 @@ impl ServerEngine {
         }
     }
 
+    /// Creates an engine whose server comes from `backend` — the hook
+    /// through which every runtime (simulator, threaded, TCP) chooses
+    /// between volatile and persistent server state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's build/recovery error.
+    pub fn from_backend(
+        n: usize,
+        backend: &(dyn crate::server::ServerBackend + Send),
+    ) -> std::io::Result<Self> {
+        Ok(ServerEngine::new(n, backend.build(n)?))
+    }
+
     /// Sets the ingress-verification policy (builder style).
     pub fn with_verification(mut self, verification: IngressVerification) -> Self {
         self.verification = verification;

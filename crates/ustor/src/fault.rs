@@ -1,4 +1,4 @@
-//! Server-misbehaviour diagnoses.
+//! Server-misbehaviour diagnoses and server-side fault *injection*.
 //!
 //! Every check a USTOR client performs on a REPLY message (Algorithm 1,
 //! lines 35–52) has a corresponding [`Fault`] variant, so tests and
@@ -6,7 +6,17 @@
 //! is proof that the server violated its specification: a correct server
 //! never triggers one (failure-detection accuracy, Definition 5 property
 //! 5).
+//!
+//! The injection side lives in [`CrashRestartServer`]: a wrapper that
+//! kills its inner server after a scheduled number of messages and
+//! rebuilds it from a [`ServerBackend`], optionally
+//! running a tamper hook (e.g. log truncation) in between. With a
+//! volatile backend the "restart" silently erases the schedule — the
+//! rollback clients must detect; with a persistent backend an honest
+//! restart is invisible.
 
+use crate::server::{Server, ServerBackend};
+use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
 use std::fmt;
 
 /// Proof of server misbehaviour detected by a client.
@@ -122,6 +132,139 @@ impl fmt::Display for Fault {
 }
 
 impl std::error::Error for Fault {}
+
+/// A hook run between the simulated crash and the recovery, while the
+/// server is "down" — the natural place to tamper with durable state
+/// (truncate the log, delete a snapshot) and model a rollback attack.
+pub type RestartHook = Box<dyn FnMut() + Send>;
+
+/// Fault injection: a server that crashes after a scheduled number of
+/// messages and restarts from its backend.
+///
+/// The wrapper processes each message through the inner server first and
+/// crashes *between* messages, so every acknowledged operation was fully
+/// handled before the crash — exactly the situation a write-ahead log
+/// must survive. On the crash it drops the inner server (the "kill"),
+/// runs the optional [`RestartHook`], then rebuilds the inner server via
+/// [`ServerBackend::build`] (the "restart" — for a persistent backend,
+/// recovery from disk).
+///
+/// Whether clients notice is entirely the backend's doing:
+///
+/// * [`MemoryBackend`](crate::MemoryBackend): the restart erases `MEM`,
+///   `SVER`, and the schedule. The next reply carries a rewound version,
+///   which clients flag as [`Fault::VersionRegression`] /
+///   [`Fault::OwnTimestampMismatch`].
+/// * a persistent backend with a complete log: recovery rebuilds
+///   bit-identical state and the restart is invisible.
+/// * a persistent backend whose log was truncated by the hook: locally
+///   consistent recovery of a *prefix* — the rollback attack, detected by
+///   clients exactly like the volatile case.
+///
+/// If the backend fails to rebuild, the server stays down and answers
+/// nothing (crash-silence), which the fail-aware layer already models.
+pub struct CrashRestartServer {
+    n: usize,
+    backend: Box<dyn ServerBackend + Send>,
+    inner: Option<Box<dyn Server + Send>>,
+    crash_after: usize,
+    seen: usize,
+    hook: Option<RestartHook>,
+    restarts: usize,
+}
+
+impl fmt::Debug for CrashRestartServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashRestartServer")
+            .field("n", &self.n)
+            .field("crash_after", &self.crash_after)
+            .field("seen", &self.seen)
+            .field("restarts", &self.restarts)
+            .field("down", &self.inner.is_none())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CrashRestartServer {
+    /// Wraps a server built from `backend`, scheduled to crash after
+    /// `crash_after` messages (SUBMITs and COMMITs both count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's error for the *initial* build.
+    pub fn new(
+        n: usize,
+        backend: Box<dyn ServerBackend + Send>,
+        crash_after: usize,
+    ) -> std::io::Result<Self> {
+        let inner = backend.build(n)?;
+        Ok(CrashRestartServer {
+            n,
+            backend,
+            inner: Some(inner),
+            crash_after,
+            seen: 0,
+            hook: None,
+            restarts: 0,
+        })
+    }
+
+    /// Installs a hook run while the server is down, between the kill and
+    /// the recovery (builder style).
+    #[must_use]
+    pub fn with_hook(mut self, hook: RestartHook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Number of crash/restart cycles performed so far.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Whether the server is currently down (backend rebuild failed).
+    pub fn is_down(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Counts one processed message and performs the scheduled
+    /// crash/restart once the count is reached.
+    fn after_message(&mut self) {
+        self.seen += 1;
+        if self.seen != self.crash_after {
+            return;
+        }
+        // Kill: drop all volatile state.
+        self.inner = None;
+        // Tamper with durable state while down, if scheduled.
+        if let Some(hook) = &mut self.hook {
+            hook();
+        }
+        // Restart: whatever the backend can recover.
+        self.inner = self.backend.build(self.n).ok();
+        self.restarts += 1;
+    }
+}
+
+impl Server for CrashRestartServer {
+    fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        let replies = match &mut self.inner {
+            Some(server) => server.on_submit(client, msg),
+            None => Vec::new(), // down: crash-silence
+        };
+        self.after_message();
+        replies
+    }
+
+    fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        let replies = match &mut self.inner {
+            Some(server) => server.on_commit(client, msg),
+            None => Vec::new(),
+        };
+        self.after_message();
+        replies
+    }
+}
 
 #[cfg(test)]
 mod tests {

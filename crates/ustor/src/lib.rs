@@ -59,5 +59,5 @@ pub mod server;
 pub use client::{BeginError, CommitMode, OpCompletion, UstorClient};
 pub use driver::{random_workloads, Driver, RunResult, WorkloadOp};
 pub use engine::{serve, EngineStats, IngressVerification, ServerEngine, Session, SharedVerifier};
-pub use fault::Fault;
-pub use server::{MemEntry, Server, UstorServer};
+pub use fault::{CrashRestartServer, Fault, RestartHook};
+pub use server::{MemEntry, MemoryBackend, Server, ServerBackend, ServerState, UstorServer};

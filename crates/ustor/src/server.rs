@@ -45,6 +45,57 @@ impl MemEntry {
     }
 }
 
+/// A factory for [`Server`] instances — how runtimes choose *where the
+/// server's state lives* without caring which transport carries it.
+///
+/// [`MemoryBackend`] builds a fresh volatile [`UstorServer`]; the
+/// `faust-store` crate's `PersistentBackend` recovers one from an
+/// append-only log + snapshot directory. Because `build` is a factory
+/// (not a single instance), the same backend can be invoked again after
+/// a crash to model a server restart — see
+/// [`CrashRestartServer`](crate::fault::CrashRestartServer).
+pub trait ServerBackend {
+    /// Builds (or recovers) a server instance for `n` clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from persistent backends; the in-memory
+    /// backend never fails.
+    fn build(&self, n: usize) -> std::io::Result<Box<dyn Server + Send>>;
+}
+
+/// The default backend: a fresh in-memory [`UstorServer`]. All state is
+/// volatile — a restart erases `MEM`, `SVER`, and the schedule, which
+/// clients whose versions have advanced detect as a protocol violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryBackend;
+
+impl ServerBackend for MemoryBackend {
+    fn build(&self, n: usize) -> std::io::Result<Box<dyn Server + Send>> {
+        Ok(Box::new(UstorServer::new(n)))
+    }
+}
+
+/// The complete protocol state of a correct server, exported for
+/// persistence backends (snapshots) and state-identity assertions.
+///
+/// [`UstorServer::export_state`] and [`UstorServer::from_state`] round-trip
+/// through this struct; two servers with equal states behave identically
+/// on all future inputs (the server is deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    /// `MEM` — register contents, indexed by client.
+    pub mem: Vec<MemEntry>,
+    /// `SVER` — last committed version per client.
+    pub sver: Vec<SignedVersion>,
+    /// `P` — PROOF-signatures per client.
+    pub proofs: Vec<Option<Signature>>,
+    /// `c` — the client that committed the last operation in the schedule.
+    pub last_committer: ClientId,
+    /// `L` — submitted-but-uncommitted invocation tuples, schedule order.
+    pub pending: Vec<InvocationTuple>,
+}
+
 /// The correct USTOR server (Algorithm 2).
 ///
 /// The order in which SUBMIT messages are processed defines the schedule
@@ -62,7 +113,7 @@ impl MemEntry {
 /// assert_eq!(server.pending_len(), 0);
 /// let _: &dyn Server = &server;
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UstorServer {
     n: usize,
     /// `MEM` — register contents.
@@ -110,6 +161,38 @@ impl UstorServer {
     /// The last committed version of `client` (test/diagnostic access).
     pub fn stored_version(&self, client: ClientId) -> &SignedVersion {
         &self.sver[client.index()]
+    }
+
+    /// Exports the complete protocol state (for snapshots).
+    pub fn export_state(&self) -> ServerState {
+        ServerState {
+            mem: self.mem.clone(),
+            sver: self.sver.clone(),
+            proofs: self.proofs.clone(),
+            last_committer: self.last_committer,
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Rebuilds a server from an exported state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's per-client vectors disagree on the client
+    /// count (a decoded snapshot must be validated before this call).
+    pub fn from_state(state: ServerState) -> Self {
+        let n = state.mem.len();
+        assert_eq!(state.sver.len(), n, "SVER arity");
+        assert_eq!(state.proofs.len(), n, "proofs arity");
+        assert!(state.last_committer.index() < n, "last committer in range");
+        UstorServer {
+            n,
+            mem: state.mem,
+            sver: state.sver,
+            proofs: state.proofs,
+            last_committer: state.last_committer,
+            pending: state.pending,
+        }
     }
 
     /// Builds the REPLY for a submit without mutating state further;
@@ -321,6 +404,41 @@ mod tests {
         s.on_commit(ClientId::new(1), c1);
         s.on_commit(ClientId::new(2), c2);
         assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn exported_state_roundtrips_bit_identically() {
+        let (mut s, mut cs) = setup(3);
+        // Leave the server mid-protocol: committed ops AND a pending one.
+        for round in 0..2u64 {
+            for i in 0..3usize {
+                let submit = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+                run_op(&mut s, &mut cs[i], submit);
+            }
+        }
+        let uncommitted = cs[0].begin_write(Value::from("in-flight")).unwrap();
+        s.on_submit(ClientId::new(0), uncommitted);
+        assert_eq!(s.pending_len(), 1);
+
+        let rebuilt = UstorServer::from_state(s.export_state());
+        assert_eq!(rebuilt, s, "round-trip must be bit-identical");
+        // And the rebuilt server behaves identically on new input.
+        let mut a = s.clone();
+        let mut b = rebuilt;
+        let submit = cs[1].begin_read(ClientId::new(0)).unwrap();
+        let ra = a.on_submit(ClientId::new(1), submit.clone());
+        let rb = b.on_submit(ClientId::new(1), submit);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_backend_builds_a_fresh_server() {
+        let server = MemoryBackend.build(4).expect("infallible");
+        // The backend starts from scratch: nothing pending, no state.
+        let direct = UstorServer::new(4);
+        assert_eq!(direct.pending_len(), 0);
+        drop(server);
     }
 
     #[test]

@@ -504,6 +504,58 @@ fn mute_server_never_trips_a_check() {
 }
 
 #[test]
+fn volatile_server_restart_is_detected_as_rollback() {
+    // A server whose MEM/SVER live only in memory crashes after message 7
+    // and "restarts" from the volatile MemoryBackend — i.e. from scratch.
+    // The erased schedule is indistinguishable from a rollback attack,
+    // and the first reply after the restart carries a rewound version
+    // that some client pins as a protocol violation. This is exactly the
+    // failure mode the persistent backend (`faust-store`) exists to
+    // remove: with a complete log the same crash/restart is invisible
+    // (proved in `faust-store/tests/attacks.rs`).
+    let n = 2;
+    let server = faust_ustor::CrashRestartServer::new(
+        n,
+        Box::new(faust_ustor::MemoryBackend),
+        7, // mid-run: after C0's and C1's first ops committed
+    )
+    .expect("memory backend never fails");
+    let mut driver = Driver::new(n, Box::new(server), SimConfig::default(), b"volatile");
+    driver.push_ops(
+        c(0),
+        vec![
+            WorkloadOp::Write(Value::from("a1")),
+            WorkloadOp::Write(Value::from("a2")),
+            WorkloadOp::Write(Value::from("a3")),
+        ],
+    );
+    driver.push_ops(
+        c(1),
+        vec![
+            WorkloadOp::Write(Value::from("b1")),
+            WorkloadOp::Write(Value::from("b2")),
+            WorkloadOp::Write(Value::from("b3")),
+        ],
+    );
+    let result = driver.run();
+    assert!(
+        result.detected_fault(),
+        "a restarted volatile server must be caught"
+    );
+    // Which check fires first depends on interleaving: a rewound version
+    // (regression / own-timestamp) or the erased proof store — all three
+    // are symptoms of the same lost-state rollback.
+    assert!(
+        result.faults.iter().any(|(_, f)| matches!(
+            f,
+            Fault::VersionRegression | Fault::OwnTimestampMismatch | Fault::MissingProofSignature
+        )),
+        "the rollback should trip a state-loss check, got {:?}",
+        result.faults
+    );
+}
+
+#[test]
 fn tamper_server_reports_firing() {
     let mut server = TamperServer::new(2, c(0), 0, Tamper::EchoOwnTuple);
     let mut cs = clients(2, b"fired");

@@ -44,9 +44,16 @@
 //! Messages are encoded by the hand-rolled, byte-exact codec in
 //! [`types::wire`]; stream transports add the
 //! length-prefixed framing of [`types::frame`].
-//! Future scaling work (sharded engines, async transports, persistent
-//! backends) lands behind `ServerTransport`/`ServerEngine` without
-//! touching protocol code — see ROADMAP.md.
+//!
+//! Below the engine sits a pluggable [`ustor::ServerBackend`]: the
+//! volatile [`ustor::MemoryBackend`], or the crash-safe
+//! [`store::PersistentBackend`] (append-only write-ahead log +
+//! snapshots, `docs/persistence.md`), under which a restarted server
+//! resumes mid-protocol invisibly to clients — and a rolled-back log is
+//! detected by them as a violation.
+//! Future scaling work (sharded engines, async transports) lands behind
+//! `ServerTransport`/`ServerEngine` without touching protocol code —
+//! see ROADMAP.md.
 
 #![forbid(unsafe_code)]
 
@@ -56,5 +63,6 @@ pub use faust_core as core;
 pub use faust_crypto as crypto;
 pub use faust_net as net;
 pub use faust_sim as sim;
+pub use faust_store as store;
 pub use faust_types as types;
 pub use faust_ustor as ustor;

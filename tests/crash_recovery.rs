@@ -1,0 +1,176 @@
+//! Kill-and-restart end-to-end tests over the TCP runtime: the full
+//! FAUST stack (stability, probes, failure detection) runs against a
+//! persistent server engine behind real loopback sockets; mid-run the
+//! server process is killed — engine thread wound down, sockets torn
+//! down, all volatile state dropped — and a *new* incarnation is
+//! recovered from disk on a fresh socket, with the same FAUST clients
+//! (state intact, protocol clock continuing) redialing it.
+//!
+//! The two claims of the persistent backend, end to end:
+//!
+//! * **Honest recovery is invisible**: the run completes across the
+//!   restart with zero `fail` notifications and stability still
+//!   advancing.
+//! * **Truncated recovery is a detected violation**: if the log loses
+//!   acknowledged records while the server is down, the restarted server
+//!   presents a rolled-back schedule and clients flag it.
+
+use faust::core::runtime::spawn_engine;
+use faust::core::threaded_faust::{run_faust_session, FaustSession, ThreadedFaustConfig};
+use faust::core::{FailReason, FaustConfig, ThreadedFaustReport, UserOp};
+use faust::net::{tcp, ClientConn, TcpServerTransport};
+use faust::store::{testutil, truncate_tail_records, Durability, PersistentBackend, StoreConfig};
+use faust::types::{ClientId, Value};
+use faust::ustor::ServerBackend;
+use std::time::Duration;
+
+fn c(i: u32) -> ClientId {
+    ClientId::new(i)
+}
+
+/// CI-friendly timing; dummy reads are disabled so that when a phase's
+/// deadline passes every client is quiescent (no operation in flight),
+/// which is what makes a clean kill between phases possible — exactly
+/// like an operator draining traffic before stopping a process.
+fn config() -> ThreadedFaustConfig {
+    ThreadedFaustConfig {
+        faust: FaustConfig {
+            dummy_reads: false,
+            ..FaustConfig::default()
+        },
+        run_for: Duration::from_millis(1200),
+        ..ThreadedFaustConfig::default()
+    }
+}
+
+/// Stands up a server incarnation from `backend` on a fresh loopback
+/// socket and runs one phase of `session` against it. When this returns,
+/// that incarnation is dead: clients disconnected, engine thread joined.
+fn run_phase(
+    session: FaustSession,
+    backend: &PersistentBackend,
+    workloads: Vec<Vec<UserOp>>,
+) -> (ThreadedFaustReport, FaustSession) {
+    let n = session.num_clients();
+    let transport = TcpServerTransport::bind("127.0.0.1:0", n).expect("bind loopback");
+    let addr = transport.local_addr();
+    let server = backend.build(n).expect("backend builds/recovers");
+    let engine_thread = spawn_engine(n, server, transport);
+    let conns: Vec<ClientConn> = (0..n)
+        .map(|i| tcp::connect(addr, c(i as u32)).expect("connect"))
+        .collect();
+    run_faust_session(session, workloads, conns, config(), engine_thread)
+}
+
+fn phase1_workloads() -> Vec<Vec<UserOp>> {
+    vec![
+        vec![
+            UserOp::Write(Value::from("a1")),
+            UserOp::Write(Value::from("a2")),
+        ],
+        vec![UserOp::Write(Value::from("b1"))],
+        vec![UserOp::Read(c(0))],
+    ]
+}
+
+fn phase2_workloads() -> Vec<Vec<UserOp>> {
+    vec![
+        vec![UserOp::Read(c(1)), UserOp::Write(Value::from("a3"))],
+        vec![UserOp::Read(c(0))],
+        vec![UserOp::Write(Value::from("c1"))],
+    ]
+}
+
+#[test]
+fn server_killed_and_recovered_mid_run_is_invisible_to_clients() {
+    let n = 3;
+    let dir = testutil::scratch_dir("e2e-honest");
+    // The real deployment configuration: fsync before acknowledging.
+    let backend = PersistentBackend::new(&dir, StoreConfig::default());
+    let session = FaustSession::new(n, &config(), b"crash-e2e");
+
+    let (report1, session) = run_phase(session, &backend, phase1_workloads());
+    assert!(report1.failures.is_empty(), "{:?}", report1.failures);
+    assert_eq!(report1.completions(c(0)), 2);
+    assert_eq!(report1.completions(c(1)), 1);
+    assert_eq!(report1.completions(c(2)), 1);
+    // <-- the server incarnation is dead here; only the log survives.
+
+    let (report2, session) = run_phase(session, &backend, phase2_workloads());
+    assert!(
+        report2.failures.is_empty(),
+        "honest recovery must be invisible over TCP: {:?}",
+        report2.failures
+    );
+    assert_eq!(report2.completions(c(0)), 2);
+    assert_eq!(report2.completions(c(1)), 1);
+    assert_eq!(report2.completions(c(2)), 1);
+    // The restarted engine really served the second phase...
+    assert!(report2.engine_stats.submits >= 4);
+    assert_eq!(report2.engine_stats.rejected, 0);
+    // ...the read crossing the restart saw the pre-crash write...
+    let cross_read = report2.notifications[1]
+        .iter()
+        .find_map(|(_, note)| match note {
+            faust::core::Notification::Completed(done) => done.read_value.clone(),
+            _ => None,
+        })
+        .expect("C1's read completed");
+    assert_eq!(
+        cross_read,
+        Some(Value::from("a2")),
+        "read after restart must see the last pre-crash value"
+    );
+    // ...and stability kept advancing across the restart.
+    let cut = session.client(c(0)).stability_cut().w;
+    assert!(
+        cut.iter().all(|&w| w >= 1),
+        "stability must survive the restart, got {cut:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_recovered_from_truncated_log_is_detected_as_violation() {
+    let n = 3;
+    let dir = testutil::scratch_dir("e2e-truncated");
+    // No auto-snapshots, so the whole acknowledged history sits in the
+    // log — and the truncation below provably discards acknowledged
+    // operations.
+    let backend = PersistentBackend::new(
+        &dir,
+        StoreConfig {
+            durability: Durability::Always,
+            snapshot_every: 0,
+        },
+    );
+    let session = FaustSession::new(n, &config(), b"rollback-e2e");
+
+    let (report1, session) = run_phase(session, &backend, phase1_workloads());
+    assert!(report1.failures.is_empty(), "{:?}", report1.failures);
+
+    // While the server is down, its log loses the last 6 acknowledged
+    // records — truncated at a record boundary, so the recovery itself
+    // is locally flawless. This is the rollback attack (or a disk that
+    // lied about fsync); either way the schedule the new incarnation
+    // serves is a prefix of what clients have signed proof of.
+    let kept = truncate_tail_records(&dir, 6).expect("tamper with the log");
+    assert!(kept > 0, "a rollback, not a wipe");
+
+    let (report2, _session) = run_phase(session, &backend, phase2_workloads());
+    assert!(
+        !report2.failures.is_empty(),
+        "clients must detect the rolled-back schedule"
+    );
+    // At least one client pinned it as a protocol violation (the others
+    // may learn of it via offline gossip instead).
+    assert!(
+        report2.failures.iter().any(|(_, reason)| matches!(
+            reason,
+            FailReason::Ustor(_) | FailReason::IncomparableVersions { .. }
+        )),
+        "expected a protocol-violation reason, got {:?}",
+        report2.failures
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
