@@ -9,6 +9,7 @@
 //!
 //! Usage: `cargo run -p faust-bench --bin bench_smoke --release -- [--json PATH]`
 
+use faust_bench::pipelined_writes;
 use faust_bench::timing::{bench_quiet_with, Measurement, TimingConfig};
 use faust_crypto::sha256::sha256;
 use faust_crypto::sig::{KeySet, SigContext, Signer};
@@ -17,9 +18,9 @@ use faust_store::log::Wal;
 use faust_store::testutil::{self, run_op};
 use faust_store::{Durability, PersistentServer, StoreConfig};
 use faust_types::{ClientId, UstorMsg, Value, Wire};
-use faust_ustor::{Server, ServerEngine, UstorClient, UstorServer};
+use faust_ustor::{serve, EngineStats, Server, ServerEngine, UstorClient, UstorServer};
 use std::io::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn clients(n: usize) -> Vec<UstorClient> {
     testutil::clients(n, b"bench-smoke")
@@ -40,6 +41,27 @@ impl From<(&'static str, Measurement)> for Point {
             per_second: m.per_second(),
         }
     }
+}
+
+/// One deterministic pipelined round through the engine: 4 clients × 8
+/// pre-signed write submits in a single batch, drained per client. The
+/// resulting counters are exact (no timing), so the JSON shows egress
+/// batching efficacy — flushes (= would-be socket writes) vs frames —
+/// per commit.
+fn egress_stats() -> EngineStats {
+    let n = 4;
+    let keys = KeySet::generate(n, b"bench-smoke-egress");
+    let mut engine = ServerEngine::new(n, Box::new(UstorServer::new(n)));
+    let mut transport = faust_net::QueueTransport::new();
+    for i in 0..n {
+        let id = ClientId::new(i as u32);
+        for submit in pipelined_writes(&keys, id, 8, 64) {
+            transport.push_incoming(id, UstorMsg::Submit(submit));
+        }
+    }
+    serve(&mut engine, &mut transport);
+    assert_eq!(transport.drain_outgoing().count() as u64, 8 * n as u64);
+    engine.stats().clone()
 }
 
 fn collect(quick: TimingConfig) -> Vec<Point> {
@@ -150,6 +172,58 @@ fn collect(quick: TimingConfig) -> Vec<Point> {
     drop(persistent);
     std::fs::remove_dir_all(&dir).ok();
 
+    // The durability ladder: per-record fsync vs group commit (batch 8),
+    // so every commit's JSON carries the amortization trend.
+    let dir = testutil::scratch_dir("smoke-op-sync");
+    let mut persistent = PersistentServer::open(
+        &dir,
+        1,
+        StoreConfig {
+            durability: Durability::Always,
+            snapshot_every: 0,
+        },
+    )
+    .expect("open");
+    let mut store_cs = clients(1);
+    add(
+        "store: logged write op fsync-always",
+        bench_quiet_with(quick, "", || {
+            let submit = store_cs[0].begin_write(Value::from("x")).unwrap();
+            run_op(&mut persistent, &mut store_cs[0], submit);
+        }),
+    );
+    drop(persistent);
+    std::fs::remove_dir_all(&dir).ok();
+
+    const GROUP_BATCH: usize = 8;
+    let dir = testutil::scratch_dir("smoke-op-group");
+    let mut persistent = PersistentServer::open(
+        &dir,
+        GROUP_BATCH,
+        StoreConfig {
+            durability: Durability::Group {
+                max_records: 10 * GROUP_BATCH as u64, // explicit flush decides
+                max_wait: Duration::from_secs(3600),
+            },
+            snapshot_every: 0,
+        },
+    )
+    .expect("open");
+    let mut group_cs = clients(GROUP_BATCH);
+    let mut round = 0u64;
+    let per_round = bench_quiet_with(quick, "", || {
+        faust_bench::group_commit_round(&mut persistent, &mut group_cs, round);
+        round += 1;
+    });
+    drop(persistent);
+    std::fs::remove_dir_all(&dir).ok();
+    let per_op = Measurement {
+        name: per_round.name,
+        ns_per_iter: per_round.ns_per_iter / GROUP_BATCH as f64,
+        batch: per_round.batch,
+    };
+    add("store: logged write op group-commit(8)", per_op);
+
     // Recovery: not an iteration bench — one timed scan+replay of a
     // 2000-record log, best of 3.
     let dir = testutil::scratch_dir("smoke-recover");
@@ -184,13 +258,46 @@ fn collect(quick: TimingConfig) -> Vec<Point> {
         per_second: 1e9 / best,
     });
 
+    // End-to-end TCP: one small pipelined run (2 clients × 32 writes)
+    // against a group-commit store over loopback — not an iteration
+    // bench, a single timed pass (sockets + threads are too heavy to
+    // batch in quick mode on this 1-CPU container).
+    let (elapsed, stats) = faust_bench::tcp_pipelined_run(
+        2,
+        32,
+        64,
+        Durability::Group {
+            max_records: 64,
+            max_wait: std::time::Duration::from_millis(2),
+        },
+    );
+    assert!(
+        stats.flushes < stats.frames_out,
+        "egress must coalesce: {} writes for {} frames",
+        stats.flushes,
+        stats.frames_out
+    );
+    let ops = 2.0 * 32.0;
+    let ns_per_op = elapsed.as_nanos() as f64 / ops;
+    println!(
+        "{:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+        "e2e: tcp write op, group-commit (2x32)",
+        ns_per_op,
+        1e9 / ns_per_op
+    );
+    points.push(Point {
+        name: "e2e: tcp write op, group-commit (2x32)",
+        ns_per_iter: ns_per_op,
+        per_second: 1e9 / ns_per_op,
+    });
+
     points
 }
 
 /// Hand-rolled JSON (names are fixed ASCII literals, so no escaping is
 /// needed beyond what the format string provides).
-fn to_json(points: &[Point]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"mode\": \"quick\",\n  \"results\": [\n");
+fn to_json(points: &[Point], egress: &EngineStats) -> String {
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"mode\": \"quick\",\n  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {:.1}}}{}\n",
@@ -200,7 +307,12 @@ fn to_json(points: &[Point]) -> String {
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"egress\": {{\"frames_out\": {}, \"flushes\": {}, \"max_egress_batch\": {}}}\n",
+        egress.frames_out, egress.flushes, egress.max_egress_batch
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -221,7 +333,15 @@ fn main() {
     println!("FAUST bench smoke (quick mode)");
     println!("==============================");
     let points = collect(TimingConfig::quick());
-    let json = to_json(&points);
+    let egress = egress_stats();
+    println!(
+        "{:<44} {:>4} frames in {} flushes (max batch {})",
+        "engine: egress coalescing (4 x 8 pipelined)",
+        egress.frames_out,
+        egress.flushes,
+        egress.max_egress_batch
+    );
+    let json = to_json(&points, &egress);
     match json_path {
         Some(path) => {
             let mut file = std::fs::File::create(&path).expect("create json output");

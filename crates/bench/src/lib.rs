@@ -444,6 +444,139 @@ pub fn stability_latency_sweep(configs: &[(u64, u64)], seeds: u64, n: usize) -> 
         .collect()
 }
 
+/// Pre-signs a pipelined burst of `count` write SUBMITs by client `id`
+/// (timestamps `1..=count`, each DATA-signature covering its own value's
+/// hash) — the load generator for the egress-coalescing benches.
+///
+/// [`UstorClient`] is deliberately sequential (one op in flight, as in
+/// the paper), but nothing in the *protocol* stops a client from
+/// pipelining: every SUBMIT's signatures depend only on the client's own
+/// op counter and values, never on the server's replies. Pre-signing a
+/// burst therefore produces exactly the wire traffic a future pipelined
+/// client would send, which is what batched ingress verification and
+/// coalesced egress need to show their worth.
+pub fn pipelined_writes(
+    keys: &KeySet,
+    id: ClientId,
+    count: u64,
+    value_len: usize,
+) -> Vec<faust_types::SubmitMsg> {
+    use faust_crypto::sha256::sha256;
+    use faust_crypto::sig::{SigContext, Signer};
+    use faust_types::op::{data_signing_bytes, submit_signing_bytes, InvocationTuple};
+    use faust_types::OpKind;
+
+    let keypair = keys.keypair(id.as_u32()).expect("client key");
+    (1..=count)
+        .map(|t| {
+            let mut bytes = vec![0xB6u8; value_len];
+            bytes[..8.min(value_len)].copy_from_slice(&t.to_be_bytes()[..8.min(value_len)]);
+            let value = Value::new(bytes);
+            let xbar = Some(sha256(value.as_bytes()));
+            faust_types::SubmitMsg {
+                timestamp: t,
+                tuple: InvocationTuple {
+                    client: id,
+                    kind: OpKind::Write,
+                    register: id,
+                    sig: keypair.sign(
+                        SigContext::Submit,
+                        &submit_signing_bytes(OpKind::Write, id, t),
+                    ),
+                },
+                value: Some(value),
+                data_sig: keypair.sign(SigContext::Data, &data_signing_bytes(t, xbar)),
+                piggyback: None,
+            }
+        })
+        .collect()
+}
+
+/// One group-commit round of a full protocol op per client: every
+/// client's submit is appended (reply withheld), ONE forced flush
+/// releases the whole batch, then the commits are logged (their appends
+/// ride the next round's fsync). Shared by the `store` bench and
+/// `bench_smoke`, so both measure the identical round protocol.
+///
+/// The server must run `Durability::Group` with thresholds the round
+/// cannot reach on its own — the explicit flush is the batch boundary.
+pub fn group_commit_round(
+    server: &mut faust_store::PersistentServer,
+    cs: &mut [UstorClient],
+    round: u64,
+) {
+    for (i, client) in cs.iter_mut().enumerate() {
+        let submit = client.begin_write(Value::unique(i as u32, round)).unwrap();
+        let eager = server.on_submit(client.id(), submit);
+        assert!(eager.is_empty(), "replies must wait for the batch fsync");
+    }
+    let replies = server.flush(true);
+    assert_eq!(replies.len(), cs.len(), "one fsync released the batch");
+    for (to, reply) in replies {
+        let (commit, _) = cs[to.index()].handle_reply(reply).expect("correct");
+        server.on_commit(to, commit.expect("immediate mode"));
+    }
+}
+
+/// Runs `clients × pipeline` pre-signed write SUBMITs ([`pipelined_writes`])
+/// over real loopback TCP against a fresh `PersistentServer` with the
+/// given durability, waiting for every reply. Returns the loaded-phase
+/// wall time and the engine's final stats — the shared core of the
+/// `e2e_tcp` bench and the `bench_smoke` e2e data point.
+pub fn tcp_pipelined_run(
+    clients: usize,
+    pipeline: u64,
+    value_len: usize,
+    durability: faust_store::Durability,
+) -> (std::time::Duration, faust_ustor::EngineStats) {
+    use faust_store::{testutil, PersistentBackend, StoreConfig};
+    use faust_types::UstorMsg;
+
+    let dir = testutil::scratch_dir("bench-e2e-tcp");
+    let backend = PersistentBackend::new(
+        &dir,
+        StoreConfig {
+            durability,
+            snapshot_every: 0,
+        },
+    );
+    let transport =
+        faust_net::TcpServerTransport::bind("127.0.0.1:0", clients).expect("bind loopback");
+    let addr = transport.local_addr();
+    let server = faust_ustor::ServerBackend::build(&backend, clients).expect("fresh store");
+    let engine_thread = faust_core::runtime::spawn_engine(clients, server, transport);
+
+    let keys = KeySet::generate(clients, b"bench-e2e-tcp");
+    let start = std::time::Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let id = c(i as u32);
+            let burst = pipelined_writes(&keys, id, pipeline, value_len);
+            std::thread::spawn(move || {
+                let conn = faust_net::tcp::connect(addr, id).expect("connect");
+                for submit in &burst {
+                    conn.send(&UstorMsg::Submit(submit.clone())).expect("send");
+                }
+                let mut replies = 0u64;
+                while replies < pipeline {
+                    match conn.recv().expect("reply stream") {
+                        UstorMsg::Reply(_) => replies += 1,
+                        _ => panic!("server sends only replies"),
+                    }
+                }
+                replies
+            })
+        })
+        .collect();
+    for worker in workers {
+        assert_eq!(worker.join().expect("client thread"), pipeline);
+    }
+    let elapsed = start.elapsed();
+    let stats = engine_thread.join().expect("engine thread");
+    std::fs::remove_dir_all(&dir).ok();
+    (elapsed, stats)
+}
+
 /// Runs a full operation (submit → reply → commit) through client and
 /// server state machines, for the protocol-throughput benches (E10).
 pub fn run_one_write(

@@ -367,6 +367,48 @@ mod tests {
     }
 
     #[test]
+    fn threaded_runtime_group_commit_amortizes_fsyncs_and_stays_correct() {
+        // The full pipeline under `Durability::Group`: replies are held
+        // until the batch fsync, the serve loop honours the flush
+        // deadline (no deadlock with synchronous clients), every op
+        // completes, and recovery sees every acknowledged record.
+        use faust_store::{Durability, PersistentBackend, PersistentServer, StoreConfig};
+        let n = 3;
+        let dir = faust_store::testutil::scratch_dir("threaded-group");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 8,
+                max_wait: Duration::from_millis(2),
+            },
+            snapshot_every: 0,
+        };
+        let backend = PersistentBackend::new(&dir, config.clone());
+        let (transport, conns) = channel::pair(n);
+        let engine = ServerEngine::from_backend(n, &backend).expect("fresh store");
+        let engine_thread = spawn_engine_with(engine, transport);
+        let workloads: Vec<Vec<ThreadedOp>> = (0..n)
+            .map(|i| {
+                (0..5)
+                    .map(|s| {
+                        if s % 2 == 0 {
+                            ThreadedOp::Write(Value::unique(i as u32, s))
+                        } else {
+                            ThreadedOp::Read(c(((i as u32) + 1) % n as u32))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = run_threaded_over(n, workloads, conns, b"group-threaded", engine_thread);
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        assert_eq!(report.completions, vec![5; n]);
+        // 15 submits + 15 commits acknowledged ⇒ 30 durable records.
+        let recovered = PersistentServer::recover(&dir, n, config).expect("clean recovery");
+        assert_eq!(recovered.next_seq(), 30);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn threaded_run_over_tcp_loopback() {
         // The same runtime, with the engine behind real TCP framing.
         let n = 3;

@@ -8,7 +8,8 @@
 use crate::conn::{ClientConn, ConnSender, SenderInner};
 use crate::{Incoming, ServerTransport};
 use faust_types::{ClientId, UstorMsg};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Instant;
 
 /// Server side of the in-process channel transport.
 pub struct ChannelServerTransport {
@@ -22,6 +23,15 @@ impl ServerTransport for ChannelServerTransport {
             Ok((from, msg)) => Incoming::Msg(from, msg),
             // All client connections dropped.
             Err(_) => Incoming::Closed,
+        }
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Incoming {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(timeout) {
+            Ok((from, msg)) => Incoming::Msg(from, msg),
+            Err(RecvTimeoutError::Timeout) => Incoming::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => Incoming::Closed,
         }
     }
 

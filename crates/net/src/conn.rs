@@ -1,7 +1,8 @@
 //! The client-side handle of a transport.
 
-use faust_types::frame::write_frame;
+use faust_types::frame::frame_into;
 use faust_types::{ClientId, UstorMsg};
+use std::io::Write;
 use std::net::{Shutdown, TcpStream};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -19,6 +20,30 @@ pub(crate) struct OwnedStream(pub(crate) TcpStream);
 impl Drop for OwnedStream {
     fn drop(&mut self) {
         let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
+/// The write half of a client's TCP connection: the socket plus a reused
+/// frame buffer, so every send is exactly one allocation-free `write_all`
+/// (the sockets run `TCP_NODELAY`; the explicit single write is what
+/// keeps a frame in one segment, not Nagle).
+pub(crate) struct TcpWriter {
+    pub(crate) stream: OwnedStream,
+    buf: Vec<u8>,
+}
+
+impl TcpWriter {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        TcpWriter {
+            stream: OwnedStream(stream),
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    fn send(&mut self, msg: &UstorMsg) -> std::io::Result<()> {
+        self.buf.clear();
+        frame_into(&mut self.buf, msg);
+        self.stream.0.write_all(&self.buf)
     }
 }
 
@@ -42,7 +67,7 @@ pub(crate) enum SenderInner {
     },
     /// Framed writes on a TCP socket (shared with nobody but clones of
     /// this sender).
-    Tcp { stream: Arc<Mutex<OwnedStream>> },
+    Tcp { writer: Arc<Mutex<TcpWriter>> },
 }
 
 /// The sending half of a [`ClientConn`]; clonable so a runtime can keep a
@@ -56,8 +81,8 @@ impl Clone for ConnSender {
                 id: *id,
                 tx: tx.clone(),
             },
-            SenderInner::Tcp { stream } => SenderInner::Tcp {
-                stream: Arc::clone(stream),
+            SenderInner::Tcp { writer } => SenderInner::Tcp {
+                writer: Arc::clone(writer),
             },
         })
     }
@@ -74,9 +99,9 @@ impl ConnSender {
             SenderInner::Channel { id, tx } => {
                 tx.send((*id, msg.clone())).map_err(|_| TransportClosed)
             }
-            SenderInner::Tcp { stream } => {
-                let mut guard = stream.lock().map_err(|_| TransportClosed)?;
-                write_frame(&mut guard.0, msg).map_err(|_| TransportClosed)
+            SenderInner::Tcp { writer } => {
+                let mut guard = writer.lock().map_err(|_| TransportClosed)?;
+                guard.send(msg).map_err(|_| TransportClosed)
             }
         }
     }

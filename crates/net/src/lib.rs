@@ -66,6 +66,7 @@ pub use queue::QueueTransport;
 pub use tcp::{TcpServerTransport, MAX_CLIENTS};
 
 use faust_types::{ClientId, UstorMsg};
+use std::time::Instant;
 
 /// One receive attempt on a server-side transport.
 #[derive(Debug)]
@@ -76,6 +77,10 @@ pub enum Incoming {
     /// transports such as [`QueueTransport`]); the caller should return
     /// control to whatever schedules deliveries.
     Idle,
+    /// A [`ServerTransport::recv_deadline`] call reached its deadline
+    /// with no traffic. The caller should run its due work (a durability
+    /// flush) and come back; the transport is still open.
+    TimedOut,
     /// The transport is finished: every client connection has ended.
     Closed,
 }
@@ -93,6 +98,20 @@ pub trait ServerTransport {
     /// Receives the next client message, `Idle`, or `Closed`.
     fn recv(&mut self) -> Incoming;
 
+    /// Receives like [`ServerTransport::recv`], but returns
+    /// [`Incoming::TimedOut`] once `deadline` passes with nothing to
+    /// deliver — how a serve loop honours a group-commit flush deadline
+    /// without stranding held replies behind a blocking receive.
+    ///
+    /// The default simply delegates to `recv`, which is correct for
+    /// non-blocking transports (they return [`Incoming::Idle`] instead
+    /// of parking); blocking transports override it with a real timed
+    /// wait.
+    fn recv_deadline(&mut self, deadline: Instant) -> Incoming {
+        let _ = deadline;
+        self.recv()
+    }
+
     /// Non-blocking receive: a message if one is already available,
     /// otherwise `Idle` (or `Closed`). Engine loops use this to gather a
     /// whole batch of already-arrived traffic before processing.
@@ -100,4 +119,17 @@ pub trait ServerTransport {
 
     /// Sends `msg` to client `to` (best-effort).
     fn send(&mut self, to: ClientId, msg: UstorMsg);
+
+    /// Sends a whole batch of messages to client `to` (best-effort),
+    /// preserving their order.
+    ///
+    /// The default loops over [`ServerTransport::send`]; transports with
+    /// per-message syscall cost override it to coalesce the batch into
+    /// one write — the TCP transport encodes every frame into a single
+    /// reused buffer and issues one `write_all` per client per batch.
+    fn send_batch(&mut self, to: ClientId, msgs: Vec<UstorMsg>) {
+        for msg in msgs {
+            self.send(to, msg);
+        }
+    }
 }

@@ -21,15 +21,15 @@
 //!
 //! [`ClientConn::recv_timeout`]: crate::ClientConn::recv_timeout
 
-use crate::conn::{ClientConn, ConnSender, SenderInner};
+use crate::conn::{ClientConn, ConnSender, SenderInner, TcpWriter};
 use crate::{Incoming, ServerTransport};
-use faust_types::frame::{read_frame, write_frame, FrameDecoder};
+use faust_types::frame::{frame_into, read_frame, write_frame, FrameDecoder};
 use faust_types::{ClientId, UstorMsg};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a freshly accepted connection gets to produce its HELLO
 /// frame before the accept loop gives up on it. Bounds how long one
@@ -65,6 +65,11 @@ pub struct TcpServerTransport {
     expected: usize,
     seen: usize,
     active: usize,
+    /// Reused frame-assembly buffer: single sends and whole egress
+    /// batches alike are encoded here and written with one `write_all`
+    /// per client (the sockets run `TCP_NODELAY`, so that one write is
+    /// what bounds both syscall count and latency).
+    sendbuf: Vec<u8>,
 }
 
 impl TcpServerTransport {
@@ -93,6 +98,7 @@ impl TcpServerTransport {
             expected: n,
             seen: 0,
             active: 0,
+            sendbuf: Vec::with_capacity(4096),
         })
     }
 
@@ -203,6 +209,24 @@ impl TcpServerTransport {
     }
 }
 
+impl TcpServerTransport {
+    /// Writes the assembled `sendbuf` to `to`'s socket in one
+    /// `write_all`, dropping the writer on error (client gone).
+    fn write_assembled(writers: &[WriterSlot], to: ClientId, buf: &[u8]) {
+        let Some(slot) = writers.get(to.index()) else {
+            return;
+        };
+        // Only this client's slot is locked: a peer with a full kernel
+        // send buffer blocks its own replies, never anyone else's.
+        let mut slot = slot.lock().expect("writer slot poisoned");
+        if let Some(stream) = slot.as_mut() {
+            if stream.write_all(buf).is_err() {
+                *slot = None; // client gone; stop writing to it
+            }
+        }
+    }
+}
+
 impl ServerTransport for TcpServerTransport {
     fn recv(&mut self) -> Incoming {
         loop {
@@ -213,6 +237,21 @@ impl ServerTransport for TcpServerTransport {
                     }
                 }
                 Err(_) => return Incoming::Closed,
+            }
+        }
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Incoming {
+        loop {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.events.recv_timeout(timeout) {
+                Ok(event) => {
+                    if let Some(out) = self.apply(event) {
+                        return out;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return Incoming::TimedOut,
+                Err(RecvTimeoutError::Disconnected) => return Incoming::Closed,
             }
         }
     }
@@ -232,17 +271,20 @@ impl ServerTransport for TcpServerTransport {
     }
 
     fn send(&mut self, to: ClientId, msg: UstorMsg) {
-        let Some(slot) = self.writers.get(to.index()) else {
-            return;
-        };
-        // Only this client's slot is locked: a peer with a full kernel
-        // send buffer blocks its own replies, never anyone else's.
-        let mut slot = slot.lock().expect("writer slot poisoned");
-        if let Some(stream) = slot.as_mut() {
-            if write_frame(stream, &msg).is_err() {
-                *slot = None; // client gone; stop writing to it
-            }
+        self.sendbuf.clear();
+        frame_into(&mut self.sendbuf, &msg);
+        Self::write_assembled(&self.writers, to, &self.sendbuf);
+    }
+
+    fn send_batch(&mut self, to: ClientId, msgs: Vec<UstorMsg>) {
+        // Coalesce the whole per-client batch into one buffer and one
+        // socket write — the `writev`-style egress path: syscalls scale
+        // with *clients touched per round*, not with frames sent.
+        self.sendbuf.clear();
+        for msg in &msgs {
+            frame_into(&mut self.sendbuf, msg);
         }
+        Self::write_assembled(&self.writers, to, &self.sendbuf);
     }
 }
 
@@ -262,7 +304,7 @@ pub fn connect(addr: SocketAddr, id: ClientId) -> std::io::Result<ClientConn> {
     Ok(ClientConn {
         id,
         tx: ConnSender(SenderInner::Tcp {
-            stream: Arc::new(Mutex::new(crate::conn::OwnedStream(stream))),
+            writer: Arc::new(Mutex::new(TcpWriter::new(stream))),
         }),
         rx,
     })
@@ -315,6 +357,42 @@ mod tests {
 
         drop(c0);
         drop(c1);
+        assert!(matches!(server.recv(), Incoming::Closed));
+    }
+
+    #[test]
+    fn send_batch_coalesces_but_delivers_every_frame_in_order() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let c0 = connect(addr, ClientId::new(0)).unwrap();
+        c0.send(&msg(1)).unwrap();
+        let Incoming::Msg(_, _) = server.recv() else {
+            panic!("expected a message");
+        };
+        // One coalesced write carrying 5 frames; the client's incremental
+        // decoder must recover each one, in order.
+        let batch: Vec<UstorMsg> = (0..5).map(|_| msg(1)).collect();
+        server.send_batch(ClientId::new(0), batch);
+        for _ in 0..5 {
+            assert!(matches!(c0.recv(), Ok(UstorMsg::Commit(_))));
+        }
+        drop(c0);
+        assert!(matches!(server.recv(), Incoming::Closed));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_still_delivers() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let c0 = connect(addr, ClientId::new(0)).unwrap();
+        // Nothing in flight: the deadline elapses.
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(matches!(server.recv_deadline(deadline), Incoming::TimedOut));
+        // Traffic arrives well before a generous deadline.
+        c0.send(&msg(1)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        assert!(matches!(server.recv_deadline(deadline), Incoming::Msg(..)));
+        drop(c0);
         assert!(matches!(server.recv(), Incoming::Closed));
     }
 

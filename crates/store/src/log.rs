@@ -323,6 +323,20 @@ impl Wal {
         Ok(seq)
     }
 
+    /// Makes every record appended so far durable with one `fsync` —
+    /// the group-commit primitive: append a whole batch with
+    /// `sync = false`, then pay the disk round-trip once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync error; the caller must treat every record
+    /// appended since the last successful sync as *not* durable (and
+    /// must not acknowledge the messages behind them).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
     /// Sequence number the next appended record will carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq

@@ -20,6 +20,7 @@ use crate::StoreError;
 use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
 use faust_ustor::{Server, ServerBackend, UstorServer};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// When appended records become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,6 +33,35 @@ pub enum Durability {
     /// nothing (the data is in kernel buffers), a machine crash may lose
     /// the tail. Benchmark and test mode.
     Never,
+    /// **Group commit**: append records *without* fsyncing and hold
+    /// their replies back; one fsync per batch makes the whole batch
+    /// durable, and only then are its replies released ([`Server::flush`]).
+    ///
+    /// Acknowledged ⇒ durable still holds, batch-wise: a reply a client
+    /// can observe is always preceded by the fsync covering its record.
+    /// What changes is *latency*, bounded by the two knobs: a flush
+    /// becomes due once `max_records` records are waiting, or once the
+    /// oldest waiting record is `max_wait` old (a forced flush — e.g. a
+    /// closing transport — ignores both). A crash between append and
+    /// fsync loses only records whose replies were never released.
+    Group {
+        /// Flush once this many records are waiting (`0` behaves as `1`).
+        max_records: u64,
+        /// Flush once the oldest waiting record is this old — the upper
+        /// bound on reply latency added by group commit.
+        max_wait: Duration,
+    },
+}
+
+impl Durability {
+    /// A group-commit policy with moderate defaults: batches of up to 64
+    /// records, at most 2 ms of added reply latency.
+    pub fn group() -> Self {
+        Durability::Group {
+            max_records: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
 }
 
 /// Configuration of a persistent store.
@@ -55,8 +85,16 @@ impl Default for StoreConfig {
 }
 
 impl StoreConfig {
+    /// Whether snapshots, rotations, and file creation fsync. Group
+    /// commit is a *durable* policy — only the per-append fsync is
+    /// amortized, never the rename barriers.
     fn sync(&self) -> bool {
-        self.durability == Durability::Always
+        !matches!(self.durability, Durability::Never)
+    }
+
+    /// Whether each individual append fsyncs before returning.
+    fn sync_each_append(&self) -> bool {
+        matches!(self.durability, Durability::Always)
     }
 }
 
@@ -77,6 +115,15 @@ pub struct PersistentServer {
     /// First append error, if any; once set the server is wedged and
     /// acknowledges nothing further.
     wedged: Option<StoreError>,
+    /// Group commit: replies whose records are appended but whose batch
+    /// has not yet been fsynced — withheld until [`Server::flush`].
+    held: Vec<(ClientId, ReplyMsg)>,
+    /// Records appended since the last fsync (or snapshot, which covers
+    /// them durably).
+    unsynced: u64,
+    /// When the oldest unflushed record of the current batch was
+    /// appended — the age the `max_wait` policy is measured against.
+    batch_started: Option<Instant>,
 }
 
 impl PersistentServer {
@@ -101,6 +148,9 @@ impl PersistentServer {
             inner: UstorServer::new(n),
             wal,
             wedged: None,
+            held: Vec::new(),
+            unsynced: 0,
+            batch_started: None,
         })
     }
 
@@ -189,6 +239,9 @@ impl PersistentServer {
             inner,
             wal,
             wedged: None,
+            held: Vec::new(),
+            unsynced: 0,
+            batch_started: None,
         })
     }
 
@@ -211,6 +264,17 @@ impl PersistentServer {
     /// The first append/snapshot error, if the server has wedged.
     pub fn wedge_error(&self) -> Option<&StoreError> {
         self.wedged.as_ref()
+    }
+
+    /// Replies currently withheld for group commit (diagnostics/tests).
+    pub fn held_replies(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Records appended but not yet covered by an fsync or snapshot
+    /// (diagnostics/tests).
+    pub fn unsynced_records(&self) -> u64 {
+        self.unsynced
     }
 
     /// The store directory.
@@ -246,20 +310,35 @@ impl PersistentServer {
             next_seq,
             self.config.sync(),
         )?;
+        // The (durably renamed) snapshot covers every record appended so
+        // far, including an unsynced group-commit tail — those records
+        // are durable now without their own fsync.
+        self.unsynced = 0;
         Ok(())
     }
 
+    /// Wedges the server: record the first error, and drop every
+    /// withheld reply — their records may not be durable, and a wedged
+    /// server acknowledges nothing (crash-silence).
+    fn wedge(&mut self, e: StoreError) {
+        self.wedged = Some(e);
+        self.held.clear();
+        self.unsynced = 0;
+        self.batch_started = None;
+    }
+
     /// Appends `record` ahead of applying it; on failure wedges the
-    /// server. Returns whether the record was made durable (and the
-    /// message may therefore be acknowledged).
+    /// server. Returns whether the record was appended (and, under
+    /// per-append fsync, made durable — so the message may be
+    /// acknowledged).
     fn log(&mut self, record: &LogRecord) -> bool {
         if self.wedged.is_some() {
             return false;
         }
-        match self.wal.append(record, self.config.sync()) {
+        match self.wal.append(record, self.config.sync_each_append()) {
             Ok(_) => true,
             Err(e) => {
-                self.wedged = Some(e);
+                self.wedge(e);
                 false
             }
         }
@@ -273,7 +352,7 @@ impl PersistentServer {
             return;
         }
         if let Err(e) = self.snapshot() {
-            self.wedged = Some(e);
+            self.wedge(e);
         }
     }
 }
@@ -282,13 +361,34 @@ impl PersistentServer {
     /// The shared write path: log the record (write-ahead), then apply
     /// the very record that was logged — no copies, no divergence
     /// between what is durable and what executed.
+    ///
+    /// Under [`Durability::Group`] the replies are *withheld* instead of
+    /// returned: they join the current batch and come out of
+    /// [`Server::flush`] once the batch's single fsync has run. If the
+    /// batch fills up (`max_records`) right here, the flush happens
+    /// inline and this call releases the whole batch.
     fn log_then_apply(&mut self, record: LogRecord) -> Vec<(ClientId, ReplyMsg)> {
         if !self.log(&record) {
             return Vec::new(); // wedged: crash-silence, never unlogged acks
         }
         let replies = record.apply(&mut self.inner);
-        self.maybe_snapshot();
-        replies
+        match self.config.durability {
+            Durability::Group { max_records, .. } => {
+                self.unsynced += 1;
+                self.batch_started.get_or_insert_with(Instant::now);
+                self.held.extend(replies);
+                self.maybe_snapshot();
+                if self.unsynced >= max_records.max(1) {
+                    self.flush(true)
+                } else {
+                    Vec::new()
+                }
+            }
+            Durability::Always | Durability::Never => {
+                self.maybe_snapshot();
+                replies
+            }
+        }
     }
 }
 
@@ -299,6 +399,59 @@ impl Server for PersistentServer {
 
     fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
         self.log_then_apply(LogRecord::Commit { from: client, msg })
+    }
+
+    /// The group-commit release point: fsync the batch once, then hand
+    /// back every withheld reply. Without [`Durability::Group`] (or with
+    /// nothing waiting) this is a no-op.
+    ///
+    /// A non-forced flush respects the batching policy — it runs only
+    /// once the batch is full (`max_records`), old enough (`max_wait`),
+    /// or already durable (absorbed by a snapshot). A failed fsync
+    /// wedges the server and the withheld replies are dropped, exactly
+    /// like a failed append: crash-silence, never an unfsynced ack.
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        let Durability::Group {
+            max_records,
+            max_wait,
+        } = self.config.durability
+        else {
+            return Vec::new();
+        };
+        if self.wedged.is_some() || (self.held.is_empty() && self.unsynced == 0) {
+            return Vec::new();
+        }
+        let due = force
+            || self.unsynced == 0 // snapshot already made the batch durable
+            || self.unsynced >= max_records.max(1)
+            || self
+                .batch_started
+                .is_some_and(|t| t.elapsed() >= max_wait);
+        if !due {
+            return Vec::new();
+        }
+        if self.unsynced > 0 {
+            if let Err(e) = self.wal.sync() {
+                self.wedge(e);
+                return Vec::new();
+            }
+            self.unsynced = 0;
+        }
+        self.batch_started = None;
+        std::mem::take(&mut self.held)
+    }
+
+    fn flush_deadline(&self) -> Option<Instant> {
+        let Durability::Group { max_wait, .. } = self.config.durability else {
+            return None;
+        };
+        if self.wedged.is_some() || (self.held.is_empty() && self.unsynced == 0) {
+            return None;
+        }
+        // `batch_started` is always `Some` while anything is held or
+        // unsynced (every append sets it; wedge and flush clear all
+        // three together) — `?` keeps that invariant self-enforcing.
+        Some(self.batch_started? + max_wait)
     }
 }
 
@@ -417,6 +570,119 @@ mod tests {
                 found: 2
             }
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Group commit with thresholds no test path reaches by accident:
+    /// releases happen only when the test flushes or fills the batch.
+    fn group(max_records: u64) -> StoreConfig {
+        StoreConfig {
+            durability: Durability::Group {
+                max_records,
+                max_wait: std::time::Duration::from_secs(3600),
+            },
+            snapshot_every: 0,
+        }
+    }
+
+    #[test]
+    fn group_commit_withholds_replies_until_flush() {
+        let dir = scratch_dir("srv-group-hold");
+        let mut server = PersistentServer::open(&dir, 2, group(100)).unwrap();
+        let mut cs = clients(2);
+        let submit = cs[0].begin_write(Value::from("held")).unwrap();
+        // The append happens, but the reply is withheld: acked ⇒ durable.
+        assert!(server.on_submit(ClientId::new(0), submit).is_empty());
+        assert_eq!(server.held_replies(), 1);
+        assert_eq!(server.unsynced_records(), 1);
+        assert_eq!(server.next_seq(), 1, "record was appended");
+        // A non-forced flush is not due (batch small, age young).
+        assert!(server.flush(false).is_empty());
+        assert_eq!(server.held_replies(), 1);
+        assert!(server.flush_deadline().is_some());
+        // A forced flush fsyncs once and releases the reply.
+        let mut released = server.flush(true);
+        assert_eq!(released.len(), 1);
+        assert_eq!(server.held_replies(), 0);
+        assert_eq!(server.unsynced_records(), 0);
+        assert!(server.flush_deadline().is_none());
+        // The released reply is a perfectly ordinary protocol reply.
+        let (to, reply) = released.pop().unwrap();
+        assert_eq!(to, ClientId::new(0));
+        let (commit, done) = cs[0].handle_reply(reply).expect("correct server");
+        assert_eq!(done.timestamp, 1);
+        // The commit's append joins the next batch.
+        assert!(server
+            .on_commit(ClientId::new(0), commit.unwrap())
+            .is_empty());
+        assert_eq!(server.unsynced_records(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_releases_inline_when_the_batch_fills() {
+        let dir = scratch_dir("srv-group-full");
+        let mut server = PersistentServer::open(&dir, 3, group(3)).unwrap();
+        let mut cs = clients(3);
+        for i in 0..2u32 {
+            let submit = cs[i as usize].begin_write(Value::unique(i, 0)).unwrap();
+            assert!(server.on_submit(ClientId::new(i), submit).is_empty());
+        }
+        // The third append fills the batch: one fsync, all three replies
+        // released by the very on_submit call that crossed the line.
+        let submit = cs[2].begin_write(Value::unique(2, 0)).unwrap();
+        let released = server.on_submit(ClientId::new(2), submit);
+        assert_eq!(released.len(), 3);
+        assert_eq!(server.unsynced_records(), 0);
+        assert_eq!(server.held_replies(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_max_wait_makes_a_flush_due() {
+        let dir = scratch_dir("srv-group-age");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 1000,
+                max_wait: std::time::Duration::from_millis(1),
+            },
+            snapshot_every: 0,
+        };
+        let mut server = PersistentServer::open(&dir, 1, config).unwrap();
+        let mut cs = clients(1);
+        let submit = cs[0].begin_write(Value::from("aging")).unwrap();
+        assert!(server.on_submit(ClientId::new(0), submit).is_empty());
+        let deadline = server.flush_deadline().expect("reply is held");
+        std::thread::sleep(deadline.saturating_duration_since(std::time::Instant::now()));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // Past max_wait, an ordinary (non-forced) flush is due.
+        assert_eq!(server.flush(false).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_absorbs_an_unsynced_group_batch() {
+        let dir = scratch_dir("srv-group-snap");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 1000,
+                max_wait: std::time::Duration::from_secs(3600),
+            },
+            snapshot_every: 2,
+        };
+        let mut server = PersistentServer::open(&dir, 2, config).unwrap();
+        let mut cs = clients(2);
+        for i in 0..2u32 {
+            let submit = cs[i as usize].begin_write(Value::unique(i, 0)).unwrap();
+            server.on_submit(ClientId::new(i), submit);
+        }
+        // The rotation threshold hit: the durably-written snapshot now
+        // covers the batch, so nothing is left unsynced...
+        assert_eq!(server.unsynced_records(), 0);
+        assert!(dir.join(crate::snapshot::SNAPSHOT_FILE).exists());
+        // ...and the next non-forced flush releases without any policy
+        // wait (the records are already durable).
+        assert_eq!(server.flush(false).len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

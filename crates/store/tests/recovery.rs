@@ -191,6 +191,148 @@ fn log_ending_before_snapshot_coverage_is_refused() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A group-commit config whose thresholds nothing reaches by accident:
+/// only explicit `flush(true)` (or `max_records`) releases replies.
+fn group_config() -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Group {
+            max_records: 1_000,
+            max_wait: std::time::Duration::from_secs(3600),
+        },
+        snapshot_every: 0,
+    }
+}
+
+#[test]
+fn group_commit_acked_batch_survives_a_crash() {
+    // A full batch: appended, ONE fsync, replies released (= acked).
+    // Every acked operation must survive the crash bit-identically.
+    let dir = testutil::scratch_dir("recovery-group-acked");
+    let n = 3;
+    let mut server = PersistentServer::open(&dir, n, group_config()).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+    for i in 0..n {
+        let submit = cs[i].begin_write(Value::unique(i as u32, 0)).unwrap();
+        assert!(server.on_submit(c(i as u32), submit).is_empty());
+    }
+    let released = server.flush(true);
+    assert_eq!(released.len(), n, "one fsync released the whole batch");
+    // Feed the replies back and log the commits; flush them too so the
+    // entire history is acknowledged state.
+    for (to, reply) in released {
+        let (commit, _) = cs[to.index()].handle_reply(reply).expect("correct");
+        server.on_commit(to, commit.expect("immediate mode"));
+    }
+    server.flush(true);
+    let reference = server.server().clone();
+    let acked_seq = server.next_seq();
+    drop(server); // the crash — after the fsync, so nothing may be lost
+
+    let recovered = PersistentServer::recover(&dir, n, group_config()).unwrap();
+    assert_eq!(
+        *recovered.server(),
+        reference,
+        "acked group-commit state must be bit-identical after recovery"
+    );
+    assert_eq!(recovered.next_seq(), acked_seq);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_append_and_fsync_loses_only_unacked_records() {
+    // Records are appended and replies WITHHELD; the machine dies before
+    // the batch's fsync. Model the power cut by dropping the unsynced
+    // tail from the log: recovery must come back exactly at the acked
+    // prefix — no reply a client could have observed refers to a lost
+    // record.
+    let dir = testutil::scratch_dir("recovery-group-tail");
+    let n = 3;
+    let mut server = PersistentServer::open(&dir, n, group_config()).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+
+    // Acked prefix: one write, flushed, reply delivered, commit flushed.
+    let submit = cs[0].begin_write(Value::from("acked")).unwrap();
+    server.on_submit(c(0), submit);
+    let (to, reply) = server.flush(true).pop().unwrap();
+    let (commit, _) = cs[to.index()].handle_reply(reply).unwrap();
+    server.on_commit(c(0), commit.unwrap());
+    server.flush(true);
+    let acked_state = server.server().clone();
+    let acked_seq = server.next_seq();
+
+    // Unacked mid-batch tail: two appends, fsync never happens.
+    let submit = cs[1].begin_write(Value::from("doomed-1")).unwrap();
+    assert!(server.on_submit(c(1), submit).is_empty());
+    let submit = cs[2].begin_write(Value::from("doomed-2")).unwrap();
+    assert!(server.on_submit(c(2), submit).is_empty());
+    assert_eq!(server.held_replies(), 2, "nobody saw these replies");
+    assert_eq!(server.unsynced_records(), 2);
+    drop(server); // crash between append and fsync
+
+    // The power cut takes the unsynced records with it.
+    let kept = faust_store::truncate_tail_records(&dir, 2).unwrap();
+    assert_eq!(kept as u64, acked_seq);
+
+    let recovered = PersistentServer::recover(&dir, n, group_config()).unwrap();
+    assert_eq!(
+        *recovered.server(),
+        acked_state,
+        "recovery lands exactly on the acked prefix"
+    );
+    assert_eq!(recovered.next_seq(), acked_seq);
+    let mut recovered: Box<dyn Server + Send> = Box::new(recovered);
+    // C1 is still waiting on its doomed (never-acked) write — a
+    // sequential client cannot begin a new op mid-flight, so losing
+    // that record strands no acknowledged state.
+    assert!(cs[1].begin_read(c(0)).is_err(), "C1 is mid-operation");
+    // C0's history is fully acked; it keeps operating without any
+    // violation and sees the acked write.
+    let submit = cs[0].begin_read(c(0)).unwrap();
+    let mut replies = recovered.on_submit(c(0), submit);
+    // Group policy on the recovered server again: flush to release.
+    if replies.is_empty() {
+        replies = recovered.flush(true);
+    }
+    let (_, reply) = replies.pop().unwrap();
+    let (_, done) = cs[0].handle_reply(reply).expect("no violation");
+    assert_eq!(done.read_value, Some(Some(Value::from("acked"))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_unacked_tail_under_group_commit_repairs_cleanly() {
+    // A crash mid-`write_all` leaves a torn half-record behind the
+    // acked prefix. Strict recovery refuses (no silent prefixes); the
+    // explicit torn-tail repair keeps every complete record, and — with
+    // group commit — everything it drops was by construction unacked.
+    let dir = testutil::scratch_dir("recovery-group-torn");
+    let n = 2;
+    let mut server = PersistentServer::open(&dir, n, group_config()).unwrap();
+    let mut cs = clients(n, b"recovery-mirror");
+    let submit = cs[0].begin_write(Value::from("acked")).unwrap();
+    server.on_submit(c(0), submit);
+    server.flush(true); // acked
+    let acked_seq = server.next_seq();
+    // One more append the batch never fsyncs...
+    let submit = cs[1].begin_write(Value::from("unacked")).unwrap();
+    assert!(server.on_submit(c(1), submit).is_empty());
+    drop(server);
+    // ...and the crash tears some trailing bytes of the file off (a
+    // half-flushed page), leaving a torn record.
+    let wal_path = dir.join("wal.bin");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let err = PersistentServer::recover(&dir, n, group_config()).unwrap_err();
+    assert!(matches!(err, StoreError::TornRecord { .. }), "{err:?}");
+    // The documented repair: drop the torn bytes only.
+    let kept = faust_store::truncate_tail_records(&dir, 0).unwrap();
+    assert_eq!(kept as u64, acked_seq, "every acked record kept");
+    let recovered = PersistentServer::recover(&dir, n, group_config()).unwrap();
+    assert_eq!(recovered.next_seq(), acked_seq);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn log_starting_after_snapshot_coverage_is_a_gap() {
     // A log whose base_seq jumps past the snapshot's next_seq means

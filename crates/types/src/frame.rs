@@ -60,11 +60,20 @@ impl From<WireError> for FrameError {
 /// Encodes `msg` as one frame: 4-byte big-endian length, then the payload.
 pub fn frame_bytes<T: Wire>(msg: &T) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + msg.encoded_len());
-    out.extend_from_slice(&[0; 4]);
-    msg.encode_into(&mut out);
-    let len = (out.len() - 4) as u32;
-    out[..4].copy_from_slice(&len.to_be_bytes());
+    frame_into(&mut out, msg);
     out
+}
+
+/// Appends one frame to `out` without allocating a fresh buffer — the
+/// building block for coalesced sends: encode many frames back to back
+/// into one reused buffer, then hand the whole thing to a single
+/// `write_all`.
+pub fn frame_into<T: Wire>(out: &mut Vec<u8>, msg: &T) {
+    let start = out.len();
+    out.extend_from_slice(&[0; 4]);
+    msg.encode_into(out);
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_be_bytes());
 }
 
 /// Writes one framed message to `w` and flushes.
@@ -249,6 +258,22 @@ mod tests {
             assert_eq!(dec.next_frame::<u64>().unwrap(), Some(i));
         }
         assert_eq!(dec.next_frame::<u64>().unwrap(), None);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_into_coalesces_frames_decodably() {
+        // Several frames appended to one reused buffer decode exactly as
+        // if they had been written one `write_frame` at a time.
+        let mut buf = Vec::new();
+        for i in 0..4u64 {
+            frame_into(&mut buf, &i);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&buf);
+        for i in 0..4u64 {
+            assert_eq!(dec.next_frame::<u64>().unwrap(), Some(i));
+        }
         assert_eq!(dec.pending_bytes(), 0);
     }
 

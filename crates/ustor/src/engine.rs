@@ -119,6 +119,16 @@ pub struct EngineStats {
     pub batches: u64,
     /// Largest number of messages processed in one round.
     pub max_batch: usize,
+    /// Outbound messages handed to the transport.
+    pub frames_out: u64,
+    /// Transport hand-offs (one per [`ServerEngine::poll_output`] frame,
+    /// one per [`ServerEngine::poll_output_batch`] *batch*). With a
+    /// coalescing transport this is the number of socket writes, so
+    /// `flushes < frames_out` is the measurable proof that egress
+    /// batching works.
+    pub flushes: u64,
+    /// Largest per-client egress batch drained in one hand-off.
+    pub max_egress_batch: usize,
 }
 
 /// The transport-agnostic server engine. See the module docs.
@@ -128,6 +138,10 @@ pub struct ServerEngine {
     sessions: Vec<Session>,
     inbox: VecDeque<(ClientId, UstorMsg)>,
     outbox: VecDeque<(ClientId, UstorMsg)>,
+    /// Per-client egress batches grouped out of the outbox by the last
+    /// [`ServerEngine::poll_output_batch`] pass, in first-seen client
+    /// order; always older than anything still in `outbox`.
+    staged: VecDeque<(ClientId, Vec<UstorMsg>)>,
     verification: IngressVerification,
     stats: EngineStats,
 }
@@ -152,6 +166,7 @@ impl ServerEngine {
             sessions: vec![Session::default(); n],
             inbox: VecDeque::new(),
             outbox: VecDeque::new(),
+            staged: VecDeque::new(),
             verification: IngressVerification::Off,
             stats: EngineStats::default(),
         }
@@ -204,38 +219,108 @@ impl ServerEngine {
 
     /// Removes the next outbound `(recipient, message)` pair.
     pub fn poll_output(&mut self) -> Option<(ClientId, UstorMsg)> {
-        self.outbox.pop_front()
+        let out = match self.staged.front_mut() {
+            // A grouping pass already staged batches: serve their frames
+            // first (they are older than anything still in the outbox).
+            Some((to, batch)) => {
+                let msg = batch.remove(0);
+                let to = *to;
+                if batch.is_empty() {
+                    self.staged.pop_front();
+                }
+                Some((to, msg))
+            }
+            None => self.outbox.pop_front(),
+        };
+        if out.is_some() {
+            self.stats.frames_out += 1;
+            self.stats.flushes += 1;
+            self.stats.max_egress_batch = self.stats.max_egress_batch.max(1);
+        }
+        out
     }
 
-    /// Processes every queued message in FIFO order.
+    /// Removes the next per-client egress batch: every outbound message
+    /// addressed to the recipient of the oldest queued message
+    /// (per-client FIFO order is preserved; messages to *different*
+    /// clients carry no ordering guarantee — they travel on separate
+    /// connections anyway).
+    ///
+    /// The first call after a round groups the whole outbox per client
+    /// in one pass; subsequent calls pop the staged batches, so a full
+    /// drain is `O(frames)` regardless of how many clients it touches.
+    ///
+    /// Serve loops feed each batch to [`ServerTransport::send_batch`],
+    /// which the TCP transport coalesces into one socket write — egress
+    /// syscalls then scale with clients touched per round, not frames.
+    pub fn poll_output_batch(&mut self) -> Option<(ClientId, Vec<UstorMsg>)> {
+        if self.staged.is_empty() && !self.outbox.is_empty() {
+            let mut index: std::collections::HashMap<ClientId, usize> =
+                std::collections::HashMap::new();
+            for (to, msg) in self.outbox.drain(..) {
+                match index.get(&to) {
+                    Some(&slot) => self.staged[slot].1.push(msg),
+                    None => {
+                        index.insert(to, self.staged.len());
+                        self.staged.push_back((to, vec![msg]));
+                    }
+                }
+            }
+        }
+        let (to, batch) = self.staged.pop_front()?;
+        self.stats.frames_out += batch.len() as u64;
+        self.stats.flushes += 1;
+        self.stats.max_egress_batch = self.stats.max_egress_batch.max(batch.len());
+        Some((to, batch))
+    }
+
+    /// Offers the server a durability flush point and queues whatever
+    /// replies it releases. `force` overrides the server's batching
+    /// policy (used when a transport closes, so held replies are never
+    /// stranded).
+    pub fn flush_server(&mut self, force: bool) {
+        for (to, reply) in self.server.flush(force) {
+            self.outbox.push_back((to, UstorMsg::Reply(reply)));
+        }
+    }
+
+    /// When the server must next be flushed even without new traffic
+    /// (`None` while nothing is held) — see [`Server::flush_deadline`].
+    pub fn flush_deadline(&self) -> Option<std::time::Instant> {
+        self.server.flush_deadline()
+    }
+
+    /// Processes every queued message in FIFO order, then offers the
+    /// server a (non-forced) durability flush point — one processing
+    /// round is the natural group-commit batch.
     ///
     /// In [`IngressVerification::Batched`] mode, all queued SUBMITs are
     /// signature-checked in one [`Verifier::verify_batch`] call first;
     /// processing order is unchanged.
     pub fn process_all(&mut self) {
-        if self.inbox.is_empty() {
-            return;
-        }
-        let batch_len = self.inbox.len();
-        self.stats.batches += 1;
-        self.stats.max_batch = self.stats.max_batch.max(batch_len);
+        if !self.inbox.is_empty() {
+            let batch_len = self.inbox.len();
+            self.stats.batches += 1;
+            self.stats.max_batch = self.stats.max_batch.max(batch_len);
 
-        let verdicts: Option<Vec<bool>> = match &self.verification {
-            IngressVerification::Batched(verifier) => {
-                Some(self.verify_queued_batch(Arc::clone(verifier)))
-            }
-            _ => None,
-        };
-        for idx in 0..batch_len {
-            let (from, msg) = self.inbox.pop_front().expect("counted above");
-            if let Some(verdicts) = &verdicts {
-                if !verdicts[idx] {
-                    self.reject(from);
-                    continue;
+            let verdicts: Option<Vec<bool>> = match &self.verification {
+                IngressVerification::Batched(verifier) => {
+                    Some(self.verify_queued_batch(Arc::clone(verifier)))
                 }
+                _ => None,
+            };
+            for idx in 0..batch_len {
+                let (from, msg) = self.inbox.pop_front().expect("counted above");
+                if let Some(verdicts) = &verdicts {
+                    if !verdicts[idx] {
+                        self.reject(from);
+                        continue;
+                    }
+                }
+                self.process_one(from, msg);
             }
-            self.process_one(from, msg);
         }
+        self.flush_server(false);
     }
 
     /// Builds and checks the signature batch for every queued message.
@@ -412,14 +497,30 @@ impl ServerEngine {
 /// transports) or drains ([`Incoming::Idle`], deterministic transports).
 ///
 /// Each round greedily gathers every message already available before
-/// processing, so batched ingress verification sees real batches under
-/// load while an idle connection still gets per-message latency.
+/// processing, so batched ingress verification and group-commit fsyncs
+/// see real batches under load while an idle connection still gets
+/// per-message latency. While the server holds replies back for
+/// durability ([`crate::Server::flush_deadline`]), the loop waits with
+/// [`ServerTransport::recv_deadline`] instead of blocking indefinitely,
+/// and forces a final flush when the transport closes — an acknowledged
+/// reply is never stranded behind a parked `recv`.
+///
+/// Outputs are drained **per client as frame batches**
+/// ([`ServerEngine::poll_output_batch`] →
+/// [`ServerTransport::send_batch`]), so a coalescing transport issues
+/// one write per client per round.
 pub fn serve<T: ServerTransport>(engine: &mut ServerEngine, transport: &mut T) {
     loop {
-        // Block (or observe Idle) for the first message of the round.
+        // Block (or observe Idle) for the first message of the round —
+        // bounded by the flush deadline while replies are held back.
         let mut closed = false;
-        match transport.recv() {
+        let first = match engine.flush_deadline() {
+            Some(deadline) => transport.recv_deadline(deadline),
+            None => transport.recv(),
+        };
+        match first {
             Incoming::Msg(from, msg) => engine.enqueue(from, msg),
+            Incoming::TimedOut => {} // flush is due; fall through
             Incoming::Idle | Incoming::Closed => closed = true,
         }
         if !closed {
@@ -427,7 +528,7 @@ pub fn serve<T: ServerTransport>(engine: &mut ServerEngine, transport: &mut T) {
             loop {
                 match transport.try_recv() {
                     Incoming::Msg(from, msg) => engine.enqueue(from, msg),
-                    Incoming::Idle => break,
+                    Incoming::Idle | Incoming::TimedOut => break,
                     Incoming::Closed => {
                         closed = true;
                         break;
@@ -436,8 +537,12 @@ pub fn serve<T: ServerTransport>(engine: &mut ServerEngine, transport: &mut T) {
             }
         }
         engine.process_all();
-        while let Some((to, msg)) = engine.poll_output() {
-            transport.send(to, msg);
+        if closed {
+            // Last chance to release held replies before the loop ends.
+            engine.flush_server(true);
+        }
+        while let Some((to, batch)) = engine.poll_output_batch() {
+            transport.send_batch(to, batch);
         }
         if closed {
             return;
@@ -647,6 +752,112 @@ mod tests {
         engine.enqueue(ClientId::new(7), UstorMsg::Submit(submit));
         engine.process_all();
         assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn poll_output_batch_groups_per_client_preserving_fifo() {
+        // One round whose inbox interleaves two clients — client 0 with
+        // a pipelined burst of three reads, client 1 with one. The
+        // engine answers in arrival order (outbox: 0,1,0,0), and the
+        // batch drain must group client 0's three replies into ONE
+        // batch without reordering them, then client 1's single reply.
+        let (mut engine, mut clients) = setup(2, |_| IngressVerification::Off);
+        let r0 = clients[0].begin_read(ClientId::new(1)).unwrap();
+        let r1 = clients[1].begin_read(ClientId::new(0)).unwrap();
+        // The protocol client is sequential; the engine is not — a
+        // pipelined client (or a resend) legitimately queues several
+        // submits in one round, which is exactly what egress batching
+        // is for. Duplicate the read submit to model that.
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r0.clone()));
+        engine.enqueue(ClientId::new(1), UstorMsg::Submit(r1));
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r0.clone()));
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r0));
+        engine.process_all();
+
+        let (to, batch) = engine.poll_output_batch().unwrap();
+        assert_eq!(to, ClientId::new(0));
+        assert_eq!(batch.len(), 3, "client 0's replies coalesce");
+        assert!(batch.iter().all(|m| matches!(m, UstorMsg::Reply(_))));
+        let (to, batch) = engine.poll_output_batch().unwrap();
+        assert_eq!(to, ClientId::new(1));
+        assert_eq!(batch.len(), 1);
+        assert!(engine.poll_output_batch().is_none());
+
+        let stats = engine.stats();
+        assert_eq!(stats.frames_out, 4);
+        assert_eq!(stats.flushes, 2, "4 frames left in 2 hand-offs");
+        assert_eq!(stats.max_egress_batch, 3);
+    }
+
+    /// A test double standing in for a group-committing store: replies
+    /// are withheld until `flush`, with a deadline while anything is
+    /// held — exercising exactly the engine/serve plumbing the real
+    /// `faust-store` backend relies on (which lives downstream and
+    /// cannot be imported here).
+    struct HoldingServer {
+        inner: UstorServer,
+        held: Vec<(ClientId, faust_types::ReplyMsg)>,
+    }
+
+    impl Server for HoldingServer {
+        fn on_submit(
+            &mut self,
+            client: ClientId,
+            msg: faust_types::SubmitMsg,
+        ) -> Vec<(ClientId, faust_types::ReplyMsg)> {
+            let replies = self.inner.on_submit(client, msg);
+            self.held.extend(replies);
+            Vec::new()
+        }
+
+        fn on_commit(
+            &mut self,
+            client: ClientId,
+            msg: faust_types::CommitMsg,
+        ) -> Vec<(ClientId, faust_types::ReplyMsg)> {
+            self.inner.on_commit(client, msg)
+        }
+
+        fn flush(&mut self, force: bool) -> Vec<(ClientId, faust_types::ReplyMsg)> {
+            // Policy never satisfied on its own: only a *forced* flush
+            // (transport closing) releases — the strictest test of the
+            // serve loop's no-stranded-replies guarantee.
+            if force {
+                std::mem::take(&mut self.held)
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn flush_deadline(&self) -> Option<std::time::Instant> {
+            (!self.held.is_empty()).then(std::time::Instant::now)
+        }
+    }
+
+    #[test]
+    fn serve_flushes_held_replies_before_closing() {
+        let keys = KeySet::generate(1, b"engine-tests");
+        let mut client = UstorClient::new(
+            ClientId::new(0),
+            1,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+        );
+        let holding = HoldingServer {
+            inner: UstorServer::new(1),
+            held: Vec::new(),
+        };
+        let mut engine = ServerEngine::new(1, Box::new(holding));
+        let mut transport = faust_net::QueueTransport::new();
+        let submit = client.begin_write(Value::from("held")).unwrap();
+        transport.push_incoming(ClientId::new(0), UstorMsg::Submit(submit));
+        serve(&mut engine, &mut transport);
+        // The withheld reply must have been force-flushed out before the
+        // serve loop returned — no reply is stranded.
+        let outputs: Vec<_> = transport.drain_outgoing().collect();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].0, ClientId::new(0));
+        assert!(matches!(outputs[0].1, UstorMsg::Reply(_)));
     }
 
     #[test]

@@ -264,6 +264,20 @@ impl Server for CrashRestartServer {
         self.after_message();
         replies
     }
+
+    // Durability flushes pass straight through to the inner server (a
+    // group-committing backend holds replies until its batched fsync);
+    // while the server is down there is nothing to flush — crash-silence.
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        match &mut self.inner {
+            Some(server) => server.flush(force),
+            None => Vec::new(),
+        }
+    }
+
+    fn flush_deadline(&self) -> Option<std::time::Instant> {
+        self.inner.as_ref().and_then(|s| s.flush_deadline())
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,37 @@ pub trait Server {
     /// Handles `⟨COMMIT, …⟩` from `client`; may release further replies
     /// (a correct server never does).
     fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)>;
+
+    /// Offers the server a durability flush point, returning any replies
+    /// it was holding back until their records became durable.
+    ///
+    /// A purely in-memory server releases every reply from
+    /// [`Server::on_submit`] directly and has nothing to flush — the
+    /// default returns no replies. A group-committing persistent server
+    /// (`faust-store`'s `Durability::Group`) appends records *without*
+    /// fsyncing, withholds the corresponding replies, and releases them
+    /// here after one batched fsync. `force` ignores the server's
+    /// batching policy (size/age thresholds) and makes everything held
+    /// durable now — runtimes force a flush when a transport closes so
+    /// no reply is stranded.
+    ///
+    /// The engine calls this at the end of every processing round, so
+    /// "one round" is the natural group-commit batch under load.
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        let _ = force;
+        Vec::new()
+    }
+
+    /// When the server must next be offered a [`Server::flush`] even if
+    /// no further traffic arrives — `Some(deadline)` while replies or
+    /// unsynced records are being held back, `None` otherwise.
+    ///
+    /// Serve loops use this to bound how long a held reply can wait: a
+    /// blocking transport switches from `recv` to `recv_deadline` while
+    /// a deadline is pending.
+    fn flush_deadline(&self) -> Option<std::time::Instant> {
+        None
+    }
 }
 
 /// `MEM[i]`: the timestamp, value, and DATA-signature most recently

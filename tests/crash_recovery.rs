@@ -130,6 +130,91 @@ fn server_killed_and_recovered_mid_run_is_invisible_to_clients() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Group commit with production-ish knobs scaled for a CI loopback run:
+/// small batches, 2 ms max added latency.
+fn group_store_config() -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Group {
+            max_records: 8,
+            max_wait: Duration::from_millis(2),
+        },
+        snapshot_every: 0,
+    }
+}
+
+#[test]
+fn group_commit_server_killed_and_recovered_mid_run_is_invisible_to_clients() {
+    // The Always-durability kill-and-restart guarantee must survive the
+    // group-commit optimization unchanged: replies are only released
+    // after their batch's fsync, so the killed incarnation's log holds
+    // every acknowledged operation and recovery is invisible.
+    let n = 3;
+    let dir = testutil::scratch_dir("e2e-group-honest");
+    let backend = PersistentBackend::new(&dir, group_store_config());
+    let session = FaustSession::new(n, &config(), b"group-crash-e2e");
+
+    let (report1, session) = run_phase(session, &backend, phase1_workloads());
+    assert!(report1.failures.is_empty(), "{:?}", report1.failures);
+    assert_eq!(report1.completions(c(0)), 2);
+    assert_eq!(report1.completions(c(1)), 1);
+    assert_eq!(report1.completions(c(2)), 1);
+
+    let (report2, _session) = run_phase(session, &backend, phase2_workloads());
+    assert!(
+        report2.failures.is_empty(),
+        "honest group-commit recovery must be invisible over TCP: {:?}",
+        report2.failures
+    );
+    assert_eq!(report2.completions(c(0)), 2);
+    assert_eq!(report2.completions(c(1)), 1);
+    assert_eq!(report2.completions(c(2)), 1);
+    let cross_read = report2.notifications[1]
+        .iter()
+        .find_map(|(_, note)| match note {
+            faust::core::Notification::Completed(done) => done.read_value.clone(),
+            _ => None,
+        })
+        .expect("C1's read completed");
+    assert_eq!(
+        cross_read,
+        Some(Value::from("a2")),
+        "read after restart must see the last pre-crash value"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_truncated_log_is_still_detected_as_violation() {
+    // Group commit must not weaken rollback detection: acknowledged
+    // records removed from the log while the server is down are flagged
+    // by clients exactly as under per-record fsync.
+    let n = 3;
+    let dir = testutil::scratch_dir("e2e-group-truncated");
+    let backend = PersistentBackend::new(&dir, group_store_config());
+    let session = FaustSession::new(n, &config(), b"group-rollback-e2e");
+
+    let (report1, session) = run_phase(session, &backend, phase1_workloads());
+    assert!(report1.failures.is_empty(), "{:?}", report1.failures);
+
+    let kept = truncate_tail_records(&dir, 6).expect("tamper with the log");
+    assert!(kept > 0, "a rollback, not a wipe");
+
+    let (report2, _session) = run_phase(session, &backend, phase2_workloads());
+    assert!(
+        !report2.failures.is_empty(),
+        "clients must detect the rolled-back schedule under group commit"
+    );
+    assert!(
+        report2.failures.iter().any(|(_, reason)| matches!(
+            reason,
+            FailReason::Ustor(_) | FailReason::IncomparableVersions { .. }
+        )),
+        "expected a protocol-violation reason, got {:?}",
+        report2.failures
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn server_recovered_from_truncated_log_is_detected_as_violation() {
     let n = 3;
