@@ -338,6 +338,7 @@ pub fn detection_latency_sweep(probe_periods: &[u64], seeds: u64, n: usize) -> V
                             probe_period,
                             dummy_reads: true,
                             commit_mode: faust_ustor::CommitMode::Immediate,
+                            pipeline: 1,
                         },
                         tick_period: 25,
                     },
@@ -408,6 +409,7 @@ pub fn stability_latency_sweep(configs: &[(u64, u64)], seeds: u64, n: usize) -> 
                             probe_period,
                             dummy_reads: true,
                             commit_mode: faust_ustor::CommitMode::Immediate,
+                            pipeline: 1,
                         },
                         tick_period,
                     },
@@ -570,6 +572,83 @@ pub fn tcp_pipelined_run(
         .collect();
     for worker in workers {
         assert_eq!(worker.join().expect("client thread"), pipeline);
+    }
+    let elapsed = start.elapsed();
+    let stats = engine_thread.join().expect("engine thread");
+    std::fs::remove_dir_all(&dir).ok();
+    (elapsed, stats)
+}
+
+/// The [`tcp_pipelined_run`] load shape driven through the *public*
+/// client API instead of pre-signed frames: `clients` live
+/// [`faust_core::FaustHandle`] sessions over loopback TCP, each
+/// submitting `ops` writes into a pipeline window of `depth` and waiting
+/// for the last ticket. Piggybacked commits keep the wire profile at one
+/// inbound frame and one logged record per op — the same as the raw
+/// path — so the delta between the two is exactly the cost of the full
+/// fail-aware client (signing, reply verification, version folding,
+/// stability tracking).
+pub fn tcp_handle_run(
+    clients: usize,
+    ops: u64,
+    depth: usize,
+    value_len: usize,
+    durability: faust_store::Durability,
+) -> (std::time::Duration, faust_ustor::EngineStats) {
+    use faust_core::handle::{FaustHandle, HandleConfig};
+    use faust_core::FaustConfig;
+    use faust_store::{testutil, PersistentBackend, StoreConfig};
+    use std::time::Duration;
+
+    let dir = testutil::scratch_dir("bench-handle-tcp");
+    let backend = PersistentBackend::new(
+        &dir,
+        StoreConfig {
+            durability,
+            snapshot_every: 0,
+        },
+    );
+    let transport =
+        faust_net::TcpServerTransport::bind("127.0.0.1:0", clients).expect("bind loopback");
+    let addr = transport.local_addr();
+    let server = faust_ustor::ServerBackend::build(&backend, clients).expect("fresh store");
+    let engine_thread = faust_core::runtime::spawn_engine(clients, server, transport);
+
+    let config = HandleConfig {
+        faust: FaustConfig {
+            // No offline medium, no idle machinery: pure op throughput.
+            probe_period: u64::MAX / 2,
+            dummy_reads: false,
+            commit_mode: faust_ustor::CommitMode::Piggyback,
+            pipeline: depth.max(1),
+        },
+        tick_interval: Duration::from_millis(2),
+        scheme: faust_crypto::SigScheme::Hmac,
+    };
+    let start = std::time::Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let id = c(i as u32);
+            std::thread::spawn(move || {
+                let mut handle =
+                    FaustHandle::connect_tcp(addr, id, clients, b"bench-handle-tcp", &config)
+                        .expect("connect");
+                let mut last = None;
+                for k in 0..ops {
+                    let mut bytes = vec![0xB6u8; value_len.max(8)];
+                    bytes[..8].copy_from_slice(&k.to_be_bytes());
+                    last = Some(handle.write(Value::new(bytes)));
+                }
+                handle
+                    .wait(last.expect("ops >= 1"), Duration::from_secs(120))
+                    .expect("pipelined run completes");
+                assert!(handle.failure().is_none());
+                handle.disconnect();
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
     }
     let elapsed = start.elapsed();
     let stats = engine_thread.join().expect("engine thread");

@@ -1,0 +1,438 @@
+//! The `faust` command: run a fail-aware untrusted storage deployment
+//! across real processes and hosts.
+//!
+//! * `faust serve` — bind a TCP endpoint, build the server engine over a
+//!   persistent (or in-memory) backend, and serve until every expected
+//!   client has come and gone.
+//! * `faust connect` — a live [`FaustHandle`] session: submit writes and
+//!   reads (pipelined), print the typed event stream, exit non-zero on a
+//!   detected violation.
+//! * `faust bench` — pipelined handle throughput against a served
+//!   endpoint (or a self-hosted loopback server).
+//!
+//! This closes the ROADMAP "wide-area experiments" item: the transport
+//! only needs an address, so the same binary drives cross-host runs.
+//! The offline client-to-client medium of the paper has no cross-host
+//! transport here (see `docs/client-api.md`); stability spreads through
+//! reads, exactly as the handle's dummy-read machinery provides.
+
+use faust_core::handle::{Event, FaustHandle, HandleConfig};
+use faust_core::FaustConfig;
+use faust_crypto::sig::SigScheme;
+use faust_net::TcpServerTransport;
+use faust_store::{Durability, PersistentBackend, StoreConfig};
+use faust_types::{ClientId, Value};
+use faust_ustor::{serve, MemoryBackend, ServerBackend, ServerEngine};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("connect") => cmd_connect(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("faust: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+faust — fail-aware untrusted storage (FAUST) over TCP
+
+USAGE:
+  faust serve   [--addr A] [--clients N] [--dir PATH] [--durability D] [--snapshot-every K]
+  faust connect --addr A [--id I] [--clients N] [--key-seed S] [--scheme hmac|ed25519]
+                [--pipeline D] [--write VALUE]... [--read J]... [--linger-ms MS] [--dummy-reads]
+  faust bench   [--addr A] [--clients N] [--ops K] [--pipeline D] [--value-len B]
+                [--durability D] [--key-seed S]
+
+Durability D: always (fsync per record), group (batched fsync, the default), never.
+`connect` ops run in command-line order and pipeline up to the configured depth.
+All clients of one deployment must share --clients, --key-seed, --scheme, and --pipeline.
+
+Each `connect` run is a FRESH protocol session: FAUST clients are stateful, so an id
+that already performed operations against a (persistent) store cannot be reused by a
+later `connect` — the amnesiac session flags the honest server's memory of its own
+past as a violation. Reuse an id only within one session, or wipe --dir. (Client-side
+state persistence is a ROADMAP follow-on.)
+
+EXAMPLE (two shells):
+  faust serve --addr 127.0.0.1:4600 --clients 2 --dir /tmp/faust --durability group
+  faust connect --addr 127.0.0.1:4600 --id 0 --clients 2 --write hello
+  faust connect --addr 127.0.0.1:4600 --id 1 --clients 2 --read 0
+";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value `{value}` for {flag}"))
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    match serve_impl(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("faust serve: {e}");
+            2
+        }
+    }
+}
+
+fn parse_durability(s: &str) -> Result<Durability, String> {
+    match s {
+        "always" => Ok(Durability::Always),
+        "never" => Ok(Durability::Never),
+        "group" => Ok(Durability::group()),
+        other => Err(format!(
+            "invalid durability `{other}` (expected always, group, or never)"
+        )),
+    }
+}
+
+fn serve_impl(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut clients = 2usize;
+    let mut dir: Option<String> = None;
+    let mut durability = Durability::group();
+    let mut snapshot_every = 1024u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = val()?.to_string(),
+            "--clients" => clients = parse_value(flag, val()?)?,
+            "--dir" => dir = Some(val()?.to_string()),
+            "--durability" => durability = parse_durability(val()?)?,
+            "--snapshot-every" => snapshot_every = parse_value(flag, val()?)?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+
+    let mut transport = TcpServerTransport::bind(addr.as_str(), clients)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let backend: Box<dyn ServerBackend + Send> = match &dir {
+        Some(dir) => Box::new(PersistentBackend::new(
+            dir,
+            StoreConfig {
+                durability,
+                snapshot_every,
+            },
+        )),
+        None => Box::new(MemoryBackend),
+    };
+    let mut engine = ServerEngine::from_backend(clients, backend.as_ref())
+        .map_err(|e| format!("build server state: {e}"))?;
+    println!(
+        "faust-serve: listening on {} ({} clients, durability={:?}, state={})",
+        transport.local_addr(),
+        clients,
+        durability,
+        dir.as_deref().unwrap_or("in-memory"),
+    );
+    // The smoke scripts parse the line above; make sure it is out.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    serve(&mut engine, &mut transport);
+    let stats = engine.stats();
+    println!(
+        "faust-serve: all {} clients served and departed; shutting down \
+         ({} submits, {} commits, {} rejected, {} frames out in {} writes)",
+        clients, stats.submits, stats.commits, stats.rejected, stats.frames_out, stats.flushes,
+    );
+    Ok(())
+}
+
+/// One scripted `connect` step.
+enum CliOp {
+    Write(Value),
+    Read(ClientId),
+}
+
+fn cmd_connect(args: &[String]) -> i32 {
+    match connect_impl(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("faust connect: {e}");
+            2
+        }
+    }
+}
+
+fn parse_scheme(s: &str) -> Result<SigScheme, String> {
+    match s {
+        "hmac" => Ok(SigScheme::Hmac),
+        "ed25519" => Ok(SigScheme::Ed25519),
+        other => Err(format!(
+            "invalid scheme `{other}` (expected hmac or ed25519)"
+        )),
+    }
+}
+
+/// Returns the process exit code: 0 = every operation completed, 1 =
+/// an operation never completed (timeout / lost transport), 2 = a
+/// protocol violation was detected.
+fn connect_impl(args: &[String]) -> Result<i32, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut id = ClientId::new(0);
+    let mut clients = 2usize;
+    let mut key_seed = "faust-cli".to_string();
+    let mut scheme = SigScheme::Hmac;
+    let mut pipeline = 4usize;
+    let mut linger_ms = 0u64;
+    let mut dummy_reads = false;
+    let mut ops: Vec<CliOp> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(parse_value(flag, val()?)?),
+            "--id" => id = parse_value(flag, val()?)?,
+            "--clients" => clients = parse_value(flag, val()?)?,
+            "--key-seed" => key_seed = val()?.to_string(),
+            "--scheme" => scheme = parse_scheme(val()?)?,
+            "--pipeline" => pipeline = parse_value(flag, val()?)?,
+            "--linger-ms" => linger_ms = parse_value(flag, val()?)?,
+            "--dummy-reads" => dummy_reads = true,
+            "--write" => ops.push(CliOp::Write(Value::from(val()?))),
+            "--read" => ops.push(CliOp::Read(parse_value(flag, val()?)?)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    if id.index() >= clients {
+        return Err(format!(
+            "--id {} out of range for --clients {clients}",
+            id.index()
+        ));
+    }
+
+    let config = HandleConfig {
+        faust: FaustConfig {
+            // No offline medium across hosts: probing is pointless, so
+            // effectively disable it. Stability spreads through reads.
+            probe_period: u64::MAX / 2,
+            dummy_reads,
+            pipeline: pipeline.max(1),
+            ..FaustConfig::default()
+        },
+        tick_interval: Duration::from_millis(5),
+        scheme,
+    };
+    let mut handle = FaustHandle::connect_tcp(addr, id, clients, key_seed.as_bytes(), &config)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    println!(
+        "faust-connect: {id} connected to {addr} (pipeline {})",
+        pipeline.max(1)
+    );
+
+    let tickets: Vec<_> = ops
+        .into_iter()
+        .map(|op| match op {
+            CliOp::Write(value) => handle.write(value),
+            CliOp::Read(register) => handle.read(register),
+        })
+        .collect();
+
+    let mut violated = false;
+    let mut incomplete = false;
+    let print_events = |events: Vec<(u64, Event)>, violated: &mut bool| {
+        for (t, event) in events {
+            match event {
+                Event::Completed { ticket, completion } => {
+                    let what = match &completion.read_value {
+                        Some(Some(v)) => format!("read X{} -> {v}", completion.target.index()),
+                        Some(None) => format!("read X{} -> ⊥", completion.target.index()),
+                        None => format!("wrote X{}", completion.target.index()),
+                    };
+                    println!(
+                        "t={t:>6}  {ticket} completed (timestamp {}): {what}",
+                        completion.timestamp
+                    );
+                }
+                Event::Stable { cut } => println!("t={t:>6}  stable{cut}"),
+                Event::Violation { reason } => {
+                    println!("t={t:>6}  VIOLATION: {reason}");
+                    *violated = true;
+                }
+                Event::Disconnected => println!("t={t:>6}  disconnected"),
+            }
+        }
+    };
+
+    for &ticket in &tickets {
+        match handle.wait(ticket, Duration::from_secs(30)) {
+            Ok(_) => {}
+            Err(e) => {
+                // The event stream below carries the diagnosis. A lost
+                // or timed-out operation is a failure exit too — a
+                // script must never mistake an unacknowledged write for
+                // success.
+                eprintln!("faust-connect: {ticket}: {e}");
+                incomplete = true;
+                violated |= matches!(e, faust_core::WaitError::Violation(_));
+                break;
+            }
+        }
+        print_events(handle.poll(), &mut violated);
+    }
+    if linger_ms > 0 {
+        let events = handle.run_for(Duration::from_millis(linger_ms));
+        print_events(events, &mut violated);
+    }
+    print_events(handle.poll(), &mut violated);
+    handle.disconnect();
+    println!(
+        "faust-connect: {id} done (final cut {})",
+        handle.stability_cut()
+    );
+    Ok(if violated {
+        2
+    } else if incomplete {
+        1
+    } else {
+        0
+    })
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    match bench_impl(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("faust bench: {e}");
+            2
+        }
+    }
+}
+
+fn bench_impl(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut clients = 2usize;
+    let mut ops = 64u64;
+    let mut pipeline = 8usize;
+    let mut value_len = 64usize;
+    let mut durability = Durability::group();
+    let mut key_seed = "faust-cli".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(parse_value(flag, val()?)?),
+            "--clients" => clients = parse_value(flag, val()?)?,
+            "--ops" => ops = parse_value(flag, val()?)?,
+            "--pipeline" => pipeline = parse_value(flag, val()?)?,
+            "--value-len" => value_len = parse_value(flag, val()?)?,
+            "--durability" => durability = parse_durability(val()?)?,
+            "--key-seed" => key_seed = val()?.to_string(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if clients == 0 || ops == 0 {
+        return Err("--clients and --ops must be at least 1".into());
+    }
+
+    // Self-host a loopback server unless an external one was named.
+    let mut self_hosted = None;
+    let addr = match addr {
+        Some(addr) => addr,
+        None => {
+            let dir = std::env::temp_dir().join(format!("faust-cli-bench-{}", std::process::id()));
+            let mut transport = TcpServerTransport::bind("127.0.0.1:0", clients)
+                .map_err(|e| format!("bind loopback: {e}"))?;
+            let addr = transport.local_addr();
+            let backend = PersistentBackend::new(
+                &dir,
+                StoreConfig {
+                    durability,
+                    snapshot_every: 0,
+                },
+            );
+            let mut engine = ServerEngine::from_backend(clients, &backend)
+                .map_err(|e| format!("build server state: {e}"))?;
+            self_hosted = Some((
+                std::thread::spawn(move || {
+                    serve(&mut engine, &mut transport);
+                }),
+                dir,
+            ));
+            addr
+        }
+    };
+
+    println!(
+        "faust-bench: {clients} clients x {ops} pipelined writes ({value_len} B, depth {pipeline}) -> {addr}"
+    );
+    let config = HandleConfig {
+        faust: FaustConfig {
+            probe_period: u64::MAX / 2,
+            dummy_reads: false,
+            commit_mode: faust_ustor::CommitMode::Piggyback,
+            pipeline: pipeline.max(1),
+        },
+        tick_interval: Duration::from_millis(2),
+        scheme: SigScheme::Hmac,
+    };
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let id = ClientId::new(i as u32);
+            let seed = key_seed.clone();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut handle =
+                    FaustHandle::connect_tcp(addr, id, clients, seed.as_bytes(), &config)
+                        .map_err(|e| format!("{id}: connect: {e}"))?;
+                let mut last = None;
+                for k in 0..ops {
+                    let mut bytes = vec![0xB6u8; value_len.max(8)];
+                    bytes[..8].copy_from_slice(&k.to_be_bytes());
+                    last = Some(handle.write(Value::new(bytes)));
+                }
+                handle
+                    .wait(last.expect("ops >= 1"), Duration::from_secs(120))
+                    .map_err(|e| format!("{id}: {e}"))?;
+                handle.disconnect();
+                Ok(())
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().map_err(|_| "client thread panicked")??;
+    }
+    let elapsed = start.elapsed();
+    if let Some((server, dir)) = self_hosted {
+        let _ = server.join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let total = clients as f64 * ops as f64;
+    println!(
+        "faust-bench: {total:.0} ops in {:.3}s -> {:.0} ops/s ({:.1} us/op)",
+        elapsed.as_secs_f64(),
+        total / elapsed.as_secs_f64(),
+        elapsed.as_micros() as f64 / total,
+    );
+    Ok(())
+}

@@ -29,6 +29,14 @@ pub struct FaustConfig {
     /// COMMIT transmission strategy of the underlying USTOR client
     /// (Section 5 piggybacking optimization).
     pub commit_mode: faust_ustor::CommitMode,
+    /// Pipeline depth of the underlying USTOR client: how many user
+    /// operations may be in flight at once. 1 (the default) is the
+    /// paper's sequential client; deeper windows overlap round trips and
+    /// group-commit latency at the cost of a wider detection window (see
+    /// `faust_ustor::client` and `docs/client-api.md`). The depth is a
+    /// deployment-wide protocol parameter — configure every client
+    /// identically.
+    pub pipeline: usize,
 }
 
 impl Default for FaustConfig {
@@ -37,6 +45,7 @@ impl Default for FaustConfig {
             probe_period: 200,
             dummy_reads: true,
             commit_mode: faust_ustor::CommitMode::Immediate,
+            pipeline: 1,
         }
     }
 }
@@ -66,6 +75,9 @@ pub struct Actions {
 struct CurrentOp {
     user: bool,
 }
+
+/// User operations in flight, oldest first (completions arrive FIFO).
+type InFlight = VecDeque<CurrentOp>;
 
 /// The FAUST protocol state for one client.
 ///
@@ -102,7 +114,7 @@ pub struct FaustClient {
     /// The current stability cut `W_i`.
     w: Vec<Timestamp>,
     user_queue: VecDeque<UserOp>,
-    current: Option<CurrentOp>,
+    current: InFlight,
     /// Round-robin pointer for dummy reads.
     rr_next: u32,
     failed: Option<FailReason>,
@@ -123,6 +135,7 @@ impl FaustClient {
     ) -> Self {
         let mut ustor = UstorClient::new(id, n, keypair.clone(), registry);
         ustor.set_commit_mode(config.commit_mode);
+        ustor.set_pipeline(config.pipeline);
         FaustClient {
             ustor,
             keypair,
@@ -132,7 +145,7 @@ impl FaustClient {
             max_idx: id.index(),
             w: vec![0; n],
             user_queue: VecDeque::new(),
-            current: None,
+            current: VecDeque::new(),
             rr_next: 0,
             failed: None,
         }
@@ -163,9 +176,27 @@ impl FaustClient {
         &self.ver[self.max_idx]
     }
 
-    /// Number of queued user operations (including the one in flight).
+    /// Number of queued user operations (including those in flight).
     pub fn backlog(&self) -> usize {
-        self.user_queue.len() + usize::from(self.current.is_some())
+        self.user_queue.len() + self.current.len()
+    }
+
+    /// The underlying protocol configuration.
+    pub fn config(&self) -> &FaustConfig {
+        &self.config
+    }
+
+    /// Whether nothing at all is in flight or queued (dummy reads
+    /// included).
+    pub fn is_idle(&self) -> bool {
+        self.current.is_empty() && self.user_queue.is_empty()
+    }
+
+    /// In [`faust_ustor::CommitMode::Piggyback`]: takes the COMMIT
+    /// awaiting the next SUBMIT, if any, so an idle runtime can send it
+    /// explicitly (see [`faust_ustor::UstorClient::take_held_commit`]).
+    pub fn take_held_commit(&mut self) -> Option<faust_types::CommitMsg> {
+        self.ustor.take_held_commit()
     }
 
     /// Submits a user operation. It is queued if another operation is in
@@ -195,7 +226,9 @@ impl FaustClient {
                 if let Some(commit) = commit {
                     actions.to_server.push(UstorMsg::Commit(commit));
                 }
-                let was_user = self.current.take().map(|c| c.user).unwrap_or(false);
+                // Completions arrive FIFO: this reply answers the oldest
+                // in-flight operation.
+                let was_user = self.current.pop_front().map(|c| c.user).unwrap_or(false);
                 let own = self.id().index();
                 self.install_version(own, done.version.clone(), now, &mut actions);
                 if self.failed.is_none() {
@@ -272,7 +305,7 @@ impl FaustClient {
             }
         }
         self.maybe_start(&mut actions, now);
-        if self.current.is_none()
+        if self.current.is_empty()
             && self.user_queue.is_empty()
             && self.config.dummy_reads
             && self.num_clients() > 1
@@ -293,24 +326,29 @@ impl FaustClient {
         self.ustor.registry()
     }
 
+    /// Starts as many queued user operations as the pipeline window
+    /// allows (one, at the default depth).
     fn maybe_start(&mut self, actions: &mut Actions, _now: u64) {
-        if self.current.is_some() || self.failed.is_some() {
+        if self.failed.is_some() {
             return;
         }
-        let Some(op) = self.user_queue.pop_front() else {
-            return;
-        };
-        let submit = match op {
-            UserOp::Write(value) => self.ustor.begin_write(value),
-            UserOp::Read(register) => self.ustor.begin_read(register),
-        };
-        match submit {
-            Ok(msg) => {
-                self.current = Some(CurrentOp { user: true });
-                actions.to_server.push(UstorMsg::Submit(msg));
-            }
-            Err(_) => {
-                // Busy/halted: both are guarded above; nothing to do.
+        while !self.ustor.is_busy() {
+            let Some(op) = self.user_queue.pop_front() else {
+                return;
+            };
+            let submit = match op {
+                UserOp::Write(value) => self.ustor.begin_write(value),
+                UserOp::Read(register) => self.ustor.begin_read(register),
+            };
+            match submit {
+                Ok(msg) => {
+                    self.current.push_back(CurrentOp { user: true });
+                    actions.to_server.push(UstorMsg::Submit(msg));
+                }
+                Err(_) => {
+                    // Busy/halted: both are guarded above; nothing to do.
+                    return;
+                }
             }
         }
     }
@@ -325,7 +363,7 @@ impl FaustClient {
         }
         self.rr_next = (target + 1) % n;
         if let Ok(msg) = self.ustor.begin_read(ClientId::new(target)) {
-            self.current = Some(CurrentOp { user: false });
+            self.current.push_back(CurrentOp { user: false });
             actions.to_server.push(UstorMsg::Submit(msg));
         }
     }

@@ -9,15 +9,16 @@
 //! and per-client failure state — everything the Definition 5 experiments
 //! need.
 
-use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
+use crate::client::{FaustClient, FaustConfig, UserOp};
 use crate::events::{FailReason, Notification, StabilityCut};
+use crate::handle::{Event as SessionEvent, SessionCore, SessionOutput};
 use crate::offline::OfflineMsg;
 use faust_crypto::sig::KeySet;
 use faust_net::QueueTransport;
 use faust_sim::{Event, MessageSize, NodeId, SimConfig, Simulation};
 use faust_types::{ClientId, History, OpId, OpKind, Timestamp, UstorMsg, Value, Wire};
 use faust_ustor::{serve, Server, ServerEngine};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// One step of a scripted FAUST client workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,10 +114,13 @@ impl FaustRunResult {
 }
 
 struct Slot {
-    proto: FaustClient,
+    /// The client side is the same sans-io session core the live
+    /// [`crate::FaustHandle`] drives — here inside virtual time.
+    core: SessionCore,
     script: VecDeque<FaustWorkloadOp>,
-    /// History id of the in-flight *user* op (dummy reads not recorded).
-    current_user_op: Option<OpId>,
+    /// History ids of in-flight *user* ops by ticket (dummy reads are
+    /// not ticketed and not recorded).
+    ticket_ops: HashMap<u64, OpId>,
     notifications: Vec<(u64, Notification)>,
     crashed: bool,
     /// Script is parked on a Pause or Disconnect until its timer fires.
@@ -210,15 +214,15 @@ impl FaustDriver {
             net: QueueTransport::new(),
             slots: (0..n)
                 .map(|i| Slot {
-                    proto: FaustClient::new(
+                    core: SessionCore::new(FaustClient::new(
                         ClientId::new(i as u32),
                         n,
                         keys.keypair(i as u32).expect("generated").clone(),
                         keys.registry(),
                         config.faust,
-                    ),
+                    )),
                     script: VecDeque::new(),
-                    current_user_op: None,
+                    ticket_ops: HashMap::new(),
                     notifications: Vec::new(),
                     crashed: false,
                     waiting: false,
@@ -243,35 +247,45 @@ impl FaustDriver {
         self.slots[client.index()].script.extend(ops);
     }
 
-    /// Applies the actions a client produced: forwards messages, records
-    /// notifications, completes history records.
-    fn apply_actions(&mut self, i: usize, actions: Actions, now: u64) {
+    /// Applies a session-core output: forwards messages, then drains the
+    /// core's events into notifications and history records.
+    fn apply_output(&mut self, i: usize, out: SessionOutput, now: u64) {
         let node = NodeId(i as u32);
-        for msg in actions.to_server {
+        for msg in out.to_server {
             self.sim.send(node, self.server_node(), NetMsg::Ustor(msg));
         }
-        for (to, msg) in actions.offline {
+        for (to, msg) in out.offline {
             self.sim
                 .send_offline(node, NodeId(to.as_u32()), NetMsg::Offline(msg));
         }
-        for note in actions.notifications {
-            if let Notification::Completed(c) = &note {
-                if let Some(op_id) = self.slots[i].current_user_op.take() {
-                    match c.kind {
-                        OpKind::Write => self.history.complete_write(op_id, now, Some(c.timestamp)),
-                        OpKind::Read => self.history.complete_read(
-                            op_id,
-                            now,
-                            c.read_value.clone().flatten(),
-                            Some(c.timestamp),
-                        ),
+        for (t, event) in self.slots[i].core.take_events() {
+            let note = match event {
+                SessionEvent::Completed { ticket, completion } => {
+                    if let Some(op_id) = self.slots[i].ticket_ops.remove(&ticket.index()) {
+                        match completion.kind {
+                            OpKind::Write => {
+                                self.history
+                                    .complete_write(op_id, t, Some(completion.timestamp))
+                            }
+                            OpKind::Read => self.history.complete_read(
+                                op_id,
+                                t,
+                                completion.read_value.clone().flatten(),
+                                Some(completion.timestamp),
+                            ),
+                        }
                     }
+                    Notification::Completed(completion)
                 }
-            }
-            self.slots[i].notifications.push((now, note));
+                SessionEvent::Stable { cut } => Notification::Stable(cut),
+                SessionEvent::Violation { reason } => Notification::Failed(reason),
+                // The simulated links never fail out from under a client.
+                SessionEvent::Disconnected => continue,
+            };
+            self.slots[i].notifications.push((t, note));
         }
         // A completed user op may unblock the next script step.
-        if self.slots[i].current_user_op.is_none() {
+        if self.slots[i].core.backlog() == 0 {
             self.advance_script(i, now);
         }
     }
@@ -282,9 +296,8 @@ impl FaustDriver {
             let slot = &mut self.slots[i];
             if slot.crashed
                 || slot.waiting
-                || slot.proto.failure().is_some()
-                || slot.current_user_op.is_some()
-                || slot.proto.backlog() > 0
+                || slot.core.failure().is_some()
+                || slot.core.backlog() > 0
             {
                 return;
             }
@@ -312,9 +325,9 @@ impl FaustDriver {
                 }
                 FaustWorkloadOp::Write(value) => {
                     let op_id = self.history.begin_write(client_id, value.clone(), now);
-                    self.slots[i].current_user_op = Some(op_id);
-                    let actions = self.slots[i].proto.invoke(UserOp::Write(value), now);
-                    self.apply_actions(i, actions, now);
+                    let (ticket, out) = self.slots[i].core.submit(UserOp::Write(value), now);
+                    self.slots[i].ticket_ops.insert(ticket.index(), op_id);
+                    self.apply_output(i, out, now);
                     return;
                 }
                 FaustWorkloadOp::Read(register) => {
@@ -322,9 +335,9 @@ impl FaustDriver {
                         continue;
                     }
                     let op_id = self.history.begin_read(client_id, register, now);
-                    self.slots[i].current_user_op = Some(op_id);
-                    let actions = self.slots[i].proto.invoke(UserOp::Read(register), now);
-                    self.apply_actions(i, actions, now);
+                    let (ticket, out) = self.slots[i].core.submit(UserOp::Read(register), now);
+                    self.slots[i].ticket_ops.insert(ticket.index(), op_id);
+                    self.apply_output(i, out, now);
                     return;
                 }
             }
@@ -352,8 +365,8 @@ impl FaustDriver {
                         TICK_TAG => {
                             // Re-arm and tick the protocol.
                             self.sim.set_timer(node, self.tick_period, TICK_TAG);
-                            let actions = self.slots[i].proto.on_tick(now);
-                            self.apply_actions(i, actions, now);
+                            let out = self.slots[i].core.tick(now);
+                            self.apply_output(i, out, now);
                         }
                         RESUME_TAG => {
                             self.slots[i].waiting = false;
@@ -391,14 +404,14 @@ impl FaustDriver {
                         if self.slots[i].crashed {
                             continue;
                         }
-                        let actions = match msg {
+                        let out = match msg {
                             NetMsg::Ustor(UstorMsg::Reply(reply)) => {
-                                self.slots[i].proto.handle_reply(reply, now)
+                                self.slots[i].core.handle_reply(reply, now)
                             }
-                            NetMsg::Offline(m) => self.slots[i].proto.handle_offline(m, now),
-                            _ => Actions::default(),
+                            NetMsg::Offline(m) => self.slots[i].core.handle_offline(m, now),
+                            _ => SessionOutput::default(),
                         };
-                        self.apply_actions(i, actions, now);
+                        self.apply_output(i, out, now);
                     }
                 }
             }
@@ -409,7 +422,7 @@ impl FaustDriver {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| {
-                s.proto
+                s.core
                     .failure()
                     .cloned()
                     .map(|f| (ClientId::new(i as u32), f))

@@ -1,0 +1,876 @@
+//! The first-class fail-aware client API: live [`FaustHandle`] sessions
+//! with pipelined operations and a typed [`Event`] stream.
+//!
+//! Everything the paper promises an *application* — completion
+//! timestamps, stability cuts, and accurate violation alerts — surfaces
+//! here as ordered, typed events instead of post-hoc report fields:
+//!
+//! * [`FaustHandle::write`] / [`FaustHandle::read`] are **non-blocking**:
+//!   they return an [`OpTicket`] immediately. Up to
+//!   [`FaustConfig::pipeline`] operations travel concurrently; the rest
+//!   queue behind them.
+//! * [`FaustHandle::poll`] drives the session without blocking;
+//!   [`FaustHandle::wait`] blocks until one ticket's completion;
+//!   [`FaustHandle::run_for`] runs the event loop for a fixed duration
+//!   (probes and dummy reads run off the handle's internal protocol
+//!   clock either way, and group-commit servers that hold replies back
+//!   are simply waited out).
+//! * Fail-awareness arrives as [`Event::Stable`] and [`Event::Violation`];
+//!   transport loss as [`Event::Disconnected`].
+//!
+//! The sans-io half of the handle is [`SessionCore`]: the ticket/event
+//! bookkeeping over a [`FaustClient`], with no clock and no transport.
+//! The deterministic simulation driver ([`crate::FaustDriver`]) drives a
+//! `SessionCore` per client inside virtual time; [`FaustHandle`] wraps
+//! one around a real [`ClientTransport`] and an [`Instant`]-based clock.
+//! Both therefore run the *identical* protocol and event semantics.
+//!
+//! # Event ordering guarantees
+//!
+//! Events are delivered in the order the protocol produced them:
+//!
+//! * [`Event::Completed`] events appear in ticket order — operations are
+//!   scheduled and answered FIFO per client, pipelined or not.
+//! * An [`Event::Stable`] cut never moves backwards: each cut dominates
+//!   every cut delivered before it.
+//! * After an [`Event::Violation`] the session is halted: no further
+//!   `Completed` or `Stable` events will ever be delivered.
+//!
+//! # Lifecycle
+//!
+//! A handle owns exactly one [`ClientTransport`] connection. If the
+//! transport fails, the session state (version vectors, stability
+//! machinery, queued work) survives: [`Event::Disconnected`] is emitted
+//! once, unsent messages are retained, and [`FaustHandle::reconnect`]
+//! resumes against a new connection — e.g. a restarted server. An
+//! operation whose SUBMIT was already on the wire when the connection
+//! died can never complete (its reply died with the socket); disconnect
+//! at quiescence, as an operator draining traffic would. Clean shutdown
+//! is [`FaustHandle::disconnect`] or dropping the handle.
+
+use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
+use crate::events::{FailReason, FaustCompletion, Notification, StabilityCut};
+use crate::offline::OfflineMsg;
+use faust_crypto::sig::{KeySet, SigScheme};
+use faust_net::{ClientTransport, TransportClosed};
+use faust_types::{ClientId, ReplyMsg, UstorMsg, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Identifies one submitted user operation of a [`FaustHandle`] /
+/// [`SessionCore`]. Tickets are issued in submission order and complete
+/// in the same order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpTicket(u64);
+
+impl OpTicket {
+    /// The ticket's sequence number (0-based submission order).
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for OpTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// A typed, ordered event from a fail-aware session — the application's
+/// view of Definition 5 (see the module docs for ordering guarantees).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A user operation completed, with its fail-aware timestamp.
+    Completed {
+        /// The ticket returned when the operation was submitted.
+        ticket: OpTicket,
+        /// Timestamp, kind, and (for reads) the value.
+        completion: FaustCompletion,
+    },
+    /// `stable_i(W)`: the stability cut advanced.
+    Stable {
+        /// The new cut; dominates every previously delivered cut.
+        cut: StabilityCut,
+    },
+    /// `fail_i`: proof of server misbehaviour. The session has halted —
+    /// this is the last protocol event it will ever deliver.
+    Violation {
+        /// Why the server stands convicted.
+        reason: FailReason,
+    },
+    /// The transport to the server failed. Session state is intact;
+    /// [`FaustHandle::reconnect`] resumes it.
+    Disconnected,
+}
+
+/// Why [`FaustHandle::wait`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The timeout elapsed before the operation completed.
+    Timeout,
+    /// The transport failed (and the operation had not completed).
+    Disconnected,
+    /// The session detected a server violation and halted.
+    Violation(FailReason),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Timeout => f.write_str("timed out waiting for the operation"),
+            WaitError::Disconnected => {
+                f.write_str("transport failed before the operation completed")
+            }
+            WaitError::Violation(reason) => write!(f, "session halted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// What a [`SessionCore`] entry point asks its embedding to transmit:
+/// messages for the storage server and messages for the offline
+/// client-to-client medium. (Events are *not* here — they accumulate in
+/// the core and are drained with [`SessionCore::take_events`].)
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SessionOutput {
+    /// Messages for the storage server, in order.
+    pub to_server: Vec<UstorMsg>,
+    /// Offline messages for other clients.
+    pub offline: Vec<(ClientId, OfflineMsg)>,
+}
+
+/// The sans-io half of a fail-aware session: ticket and event bookkeeping
+/// over a [`FaustClient`], with no clock and no transport.
+///
+/// Every entry point takes the current protocol time (milliseconds) and
+/// returns the [`SessionOutput`] the embedding must transmit; events
+/// accumulate internally, stamped with that time. [`FaustHandle`] drives
+/// one against wall-clock time; [`crate::FaustDriver`] drives one per
+/// simulated client inside virtual time — same code, same semantics.
+#[derive(Debug)]
+pub struct SessionCore {
+    proto: FaustClient,
+    next_ticket: u64,
+    /// Tickets of submitted-but-uncompleted user operations, oldest
+    /// first (the protocol completes user operations FIFO).
+    pending_tickets: VecDeque<OpTicket>,
+    events: VecDeque<(u64, Event)>,
+    results: HashMap<u64, FaustCompletion>,
+}
+
+impl SessionCore {
+    /// Wraps an existing protocol client (e.g. one resumed from a
+    /// previous server incarnation).
+    pub fn new(proto: FaustClient) -> Self {
+        SessionCore {
+            proto,
+            next_ticket: 0,
+            pending_tickets: VecDeque::new(),
+            events: VecDeque::new(),
+            results: HashMap::new(),
+        }
+    }
+
+    /// This session's client id.
+    pub fn id(&self) -> ClientId {
+        self.proto.id()
+    }
+
+    /// Number of clients in the deployment.
+    pub fn num_clients(&self) -> usize {
+        self.proto.num_clients()
+    }
+
+    /// Read access to the protocol state (diagnostics and tests).
+    pub fn client(&self) -> &FaustClient {
+        &self.proto
+    }
+
+    /// Consumes the core, returning the protocol client (for resumption
+    /// against another server incarnation).
+    pub fn into_client(self) -> FaustClient {
+        self.proto
+    }
+
+    /// The violation that halted this session, if any.
+    pub fn failure(&self) -> Option<&FailReason> {
+        self.proto.failure()
+    }
+
+    /// The current stability cut `W_i`.
+    pub fn stability_cut(&self) -> StabilityCut {
+        self.proto.stability_cut()
+    }
+
+    /// Submitted-but-uncompleted user operations.
+    pub fn backlog(&self) -> usize {
+        self.pending_tickets.len()
+    }
+
+    /// Submits a user operation; it enters the pipeline window
+    /// immediately if there is room, and queues otherwise.
+    pub fn submit(&mut self, op: UserOp, now: u64) -> (OpTicket, SessionOutput) {
+        let ticket = OpTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending_tickets.push_back(ticket);
+        let actions = self.proto.invoke(op, now);
+        (ticket, self.absorb(actions, now))
+    }
+
+    /// Processes a REPLY from the server.
+    pub fn handle_reply(&mut self, reply: ReplyMsg, now: u64) -> SessionOutput {
+        let actions = self.proto.handle_reply(reply, now);
+        self.absorb(actions, now)
+    }
+
+    /// Processes an offline message from another client.
+    pub fn handle_offline(&mut self, msg: OfflineMsg, now: u64) -> SessionOutput {
+        let actions = self.proto.handle_offline(msg, now);
+        self.absorb(actions, now)
+    }
+
+    /// Periodic protocol tick: probes silent clients, issues dummy reads
+    /// when idle, starts queued work.
+    pub fn tick(&mut self, now: u64) -> SessionOutput {
+        let actions = self.proto.on_tick(now);
+        self.absorb(actions, now)
+    }
+
+    /// Records a transport failure as an [`Event::Disconnected`].
+    pub fn note_disconnected(&mut self, now: u64) {
+        self.events.push_back((now, Event::Disconnected));
+    }
+
+    /// When the session is idle in piggyback commit mode, the COMMIT of
+    /// the last operation is still waiting for a SUBMIT to ride on; this
+    /// returns it (at most once) so the embedding can send it explicitly
+    /// and the server can garbage-collect its pending list.
+    pub fn flush_commit(&mut self) -> Option<UstorMsg> {
+        if self.proto.is_idle() {
+            self.proto.take_held_commit().map(UstorMsg::Commit)
+        } else {
+            None
+        }
+    }
+
+    /// Takes the completion of `ticket` if it has arrived (each result
+    /// can be taken once; the [`Event::Completed`] stream is unaffected).
+    pub fn take_result(&mut self, ticket: OpTicket) -> Option<FaustCompletion> {
+        self.results.remove(&ticket.0)
+    }
+
+    /// Whether `ticket` has completed (without consuming the result).
+    pub fn is_complete(&self, ticket: OpTicket) -> bool {
+        self.results.contains_key(&ticket.0)
+    }
+
+    /// Drains every accumulated event, oldest first, each stamped with
+    /// the protocol time at which it occurred.
+    pub fn take_events(&mut self) -> Vec<(u64, Event)> {
+        self.events.drain(..).collect()
+    }
+
+    /// Next accumulated event, if any.
+    pub fn poll_event(&mut self) -> Option<(u64, Event)> {
+        self.events.pop_front()
+    }
+
+    /// Converts the protocol's notifications into events (in order) and
+    /// strips them off the transmission half.
+    fn absorb(&mut self, actions: Actions, now: u64) -> SessionOutput {
+        for note in actions.notifications {
+            let event = match note {
+                Notification::Completed(completion) => {
+                    let ticket = self
+                        .pending_tickets
+                        .pop_front()
+                        .expect("a completion without a submitted user op");
+                    self.results.insert(ticket.0, completion.clone());
+                    Event::Completed { ticket, completion }
+                }
+                Notification::Stable(cut) => Event::Stable { cut },
+                Notification::Failed(reason) => Event::Violation { reason },
+            };
+            self.events.push_back((now, event));
+        }
+        SessionOutput {
+            to_server: actions.to_server,
+            offline: actions.offline,
+        }
+    }
+}
+
+/// One client's endpoint on an in-process offline medium (the paper's
+/// client-to-client communication method): senders to every peer plus an
+/// inbox. Build a full mesh with [`offline_mesh`]. Deployments without a
+/// side channel (e.g. the CLI across real hosts) run without one — the
+/// probe machinery then idles and stability spreads through reads alone.
+pub struct OfflineLink {
+    peers: Vec<Sender<OfflineMsg>>,
+    inbox: Receiver<OfflineMsg>,
+}
+
+impl OfflineLink {
+    /// Sends `msg` to `to` (best-effort: a departed peer is silence, not
+    /// an error — exactly the paper's asynchronous offline medium).
+    pub fn send(&self, to: ClientId, msg: OfflineMsg) {
+        if let Some(tx) = self.peers.get(to.index()) {
+            let _ = tx.send(msg);
+        }
+    }
+
+    /// A message from a peer, if one is waiting.
+    pub fn try_recv(&self) -> Option<OfflineMsg> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// Builds the full offline mesh for `n` clients: link `i` belongs to
+/// client `i`.
+pub fn offline_mesh(n: usize) -> Vec<OfflineLink> {
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .map(|inbox| OfflineLink {
+            peers: txs.clone(),
+            inbox,
+        })
+        .collect()
+}
+
+/// Configuration of a live [`FaustHandle`].
+#[derive(Debug, Clone, Copy)]
+pub struct HandleConfig {
+    /// FAUST protocol tuning; `probe_period` is wall milliseconds here.
+    pub faust: FaustConfig,
+    /// How often the internal protocol clock ticks (probes, dummy reads,
+    /// queued-work starts).
+    pub tick_interval: Duration,
+    /// Signature scheme for keys derived from the session's key seed.
+    pub scheme: SigScheme,
+}
+
+impl Default for HandleConfig {
+    fn default() -> Self {
+        HandleConfig {
+            faust: FaustConfig::default(),
+            tick_interval: Duration::from_millis(10),
+            scheme: SigScheme::Hmac,
+        }
+    }
+}
+
+/// A live fail-aware session: one client of a FAUST deployment, bound to
+/// one [`ClientTransport`] connection. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use faust_core::handle::{Event, FaustHandle, HandleConfig};
+/// use faust_core::runtime::spawn_engine;
+/// use faust_types::{ClientId, Value};
+/// use faust_ustor::UstorServer;
+/// use std::time::Duration;
+///
+/// // A one-client deployment over the in-process channel transport.
+/// let (transport, mut conns) = faust_net::channel::pair(1);
+/// let engine = spawn_engine(1, Box::new(UstorServer::new(1)), transport);
+/// let mut handle = FaustHandle::new(
+///     ClientId::new(0),
+///     1,
+///     b"doc-example",
+///     &HandleConfig::default(),
+///     Box::new(conns.remove(0)),
+/// );
+/// let ticket = handle.write(Value::from("hello"));
+/// let done = handle.wait(ticket, Duration::from_secs(5)).unwrap();
+/// assert_eq!(done.timestamp, 1);
+/// handle.disconnect();
+/// engine.join().unwrap();
+/// ```
+pub struct FaustHandle {
+    core: SessionCore,
+    transport: Option<Box<dyn ClientTransport>>,
+    offline: Option<OfflineLink>,
+    /// Wall-clock anchor of the protocol clock.
+    epoch: Instant,
+    /// Protocol time at `epoch` (continues across reconnects and, for
+    /// resumed sessions, across handles).
+    clock_base: u64,
+    tick_interval: Duration,
+    next_tick: Instant,
+    /// Server-bound messages not yet on the wire (transport down).
+    outbox: VecDeque<UstorMsg>,
+}
+
+impl FaustHandle {
+    /// Builds a fresh session for client `id` of `n` over `transport`,
+    /// with keys derived from `key_seed` under `config.scheme` (every
+    /// client of the deployment must derive from the same seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id ≥ n` or `n` is zero.
+    pub fn new(
+        id: ClientId,
+        n: usize,
+        key_seed: &[u8],
+        config: &HandleConfig,
+        transport: Box<dyn ClientTransport>,
+    ) -> Self {
+        let keys = KeySet::generate_with(config.scheme, n, key_seed);
+        let proto = FaustClient::new(
+            id,
+            n,
+            keys.keypair(id.as_u32()).expect("generated").clone(),
+            keys.registry(),
+            config.faust,
+        );
+        Self::from_core(SessionCore::new(proto), config.tick_interval, 0, transport)
+    }
+
+    /// Connects to a `faust serve` (or any [`faust_net::TcpServerTransport`])
+    /// endpoint and builds the session over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from connecting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id ≥ n` or `n` is zero.
+    pub fn connect_tcp(
+        addr: std::net::SocketAddr,
+        id: ClientId,
+        n: usize,
+        key_seed: &[u8],
+        config: &HandleConfig,
+    ) -> std::io::Result<Self> {
+        let conn = faust_net::tcp::connect(addr, id)?;
+        Ok(Self::new(id, n, key_seed, config, Box::new(conn)))
+    }
+
+    /// Wraps an existing [`SessionCore`] (e.g. resumed from a previous
+    /// server incarnation) around a transport. `clock_base` is the
+    /// protocol time the session has already lived through — time never
+    /// rewinds for a resumed session.
+    pub fn from_core(
+        core: SessionCore,
+        tick_interval: Duration,
+        clock_base: u64,
+        transport: Box<dyn ClientTransport>,
+    ) -> Self {
+        let now = Instant::now();
+        FaustHandle {
+            core,
+            transport: Some(transport),
+            offline: None,
+            epoch: now,
+            clock_base,
+            tick_interval,
+            next_tick: now + tick_interval,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Attaches an offline client-to-client link (builder style).
+    #[must_use]
+    pub fn with_offline(mut self, link: OfflineLink) -> Self {
+        self.offline = Some(link);
+        self
+    }
+
+    /// This session's client id.
+    pub fn id(&self) -> ClientId {
+        self.core.id()
+    }
+
+    /// The session's protocol clock, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.clock_base + self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The violation that halted this session, if any.
+    pub fn failure(&self) -> Option<&FailReason> {
+        self.core.failure()
+    }
+
+    /// The current stability cut `W_i`.
+    pub fn stability_cut(&self) -> StabilityCut {
+        self.core.stability_cut()
+    }
+
+    /// Submitted-but-uncompleted user operations.
+    pub fn backlog(&self) -> usize {
+        self.core.backlog()
+    }
+
+    /// Whether the transport is currently attached and alive.
+    pub fn is_connected(&self) -> bool {
+        self.transport.is_some()
+    }
+
+    /// Submits a write of this client's register. Non-blocking: the
+    /// operation pipelines behind any in-flight ones.
+    pub fn write(&mut self, value: Value) -> OpTicket {
+        let now = self.now_ms();
+        let (ticket, out) = self.core.submit(UserOp::Write(value), now);
+        self.dispatch(out);
+        ticket
+    }
+
+    /// Submits a read of `register`. Non-blocking.
+    pub fn read(&mut self, register: ClientId) -> OpTicket {
+        let now = self.now_ms();
+        let (ticket, out) = self.core.submit(UserOp::Read(register), now);
+        self.dispatch(out);
+        ticket
+    }
+
+    /// Drives the session without blocking — delivers whatever input has
+    /// already arrived, runs any due protocol tick — and returns the
+    /// events produced since the last drain, each stamped with the
+    /// protocol time (ms) at which it occurred.
+    pub fn poll(&mut self) -> Vec<(u64, Event)> {
+        self.step(Duration::ZERO);
+        self.core.take_events()
+    }
+
+    /// Blocks until `ticket` completes, the session halts, the transport
+    /// fails, or `timeout` elapses. Events produced while waiting stay
+    /// queued for [`FaustHandle::poll`] / [`FaustHandle::run_for`]
+    /// consumers; the returned completion itself is consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Timeout`], [`WaitError::Disconnected`], or
+    /// [`WaitError::Violation`] with the detected reason.
+    pub fn wait(
+        &mut self,
+        ticket: OpTicket,
+        timeout: Duration,
+    ) -> Result<FaustCompletion, WaitError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(done) = self.core.take_result(ticket) {
+                return Ok(done);
+            }
+            if let Some(reason) = self.core.failure() {
+                return Err(WaitError::Violation(reason.clone()));
+            }
+            if self.transport.is_none() {
+                return Err(WaitError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WaitError::Timeout);
+            }
+            self.step(deadline - now);
+        }
+    }
+
+    /// Runs the event loop for `duration` (ticking, probing, delivering)
+    /// and returns every event produced.
+    pub fn run_for(&mut self, duration: Duration) -> Vec<(u64, Event)> {
+        let deadline = Instant::now() + duration;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.step(deadline - now);
+        }
+        self.core.take_events()
+    }
+
+    /// Resumes the session over a new connection after a transport
+    /// failure (or an explicit [`FaustHandle::disconnect`]): messages
+    /// that never made it onto the old wire are sent first.
+    pub fn reconnect(&mut self, transport: Box<dyn ClientTransport>) {
+        self.transport = Some(transport);
+        self.flush_outbox();
+    }
+
+    /// Detaches from the server (the connection closes; a `faust serve`
+    /// process counts this client as departed). Session state is kept —
+    /// [`FaustHandle::reconnect`] resumes it. If the session is idle in
+    /// piggyback commit mode, the final COMMIT is sent first so the
+    /// server can garbage-collect.
+    pub fn disconnect(&mut self) {
+        if let Some(commit) = self.core.flush_commit() {
+            self.outbox.push_back(commit);
+        }
+        self.flush_outbox();
+        self.transport = None;
+    }
+
+    /// Tears the session down, returning the [`SessionCore`] (protocol
+    /// state, queued events) and the protocol clock for a later
+    /// [`FaustHandle::from_core`] resumption.
+    pub fn into_core(mut self) -> (SessionCore, u64) {
+        let clock = self.now_ms();
+        self.disconnect();
+        (self.core, clock)
+    }
+
+    /// One scheduling step: deliver available input, run due ticks, wait
+    /// at most `budget` for something to happen.
+    fn step(&mut self, budget: Duration) {
+        self.drain_offline();
+        self.run_due_tick();
+        // Wait for server traffic, but never past the next tick.
+        let until_tick = self.next_tick.saturating_duration_since(Instant::now());
+        let wait = budget.min(until_tick);
+        match &self.transport {
+            Some(transport) => match transport.recv_timeout(wait) {
+                Ok(Some(msg)) => {
+                    self.deliver(msg);
+                    // Greedily drain whatever else already arrived (a
+                    // group-commit flush releases replies in bursts).
+                    while let Some(transport) = &self.transport {
+                        match transport.recv_timeout(Duration::ZERO) {
+                            Ok(Some(msg)) => self.deliver(msg),
+                            Ok(None) => break,
+                            Err(TransportClosed) => {
+                                self.mark_disconnected();
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(TransportClosed) => self.mark_disconnected(),
+            },
+            None => {
+                // Disconnected: there is nothing to wait on but time.
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+        self.drain_offline();
+        self.run_due_tick();
+    }
+
+    fn run_due_tick(&mut self) {
+        if Instant::now() < self.next_tick {
+            return;
+        }
+        let now = self.now_ms();
+        let out = self.core.tick(now);
+        self.dispatch(out);
+        self.next_tick = Instant::now() + self.tick_interval;
+    }
+
+    fn deliver(&mut self, msg: UstorMsg) {
+        let UstorMsg::Reply(reply) = msg else {
+            return; // the engine sends only replies
+        };
+        let now = self.now_ms();
+        let out = self.core.handle_reply(reply, now);
+        self.dispatch(out);
+    }
+
+    fn drain_offline(&mut self) {
+        loop {
+            let Some(link) = &self.offline else { return };
+            let Some(msg) = link.try_recv() else { return };
+            let now = self.now_ms();
+            let out = self.core.handle_offline(msg, now);
+            self.dispatch(out);
+        }
+    }
+
+    fn dispatch(&mut self, out: SessionOutput) {
+        self.outbox.extend(out.to_server);
+        self.flush_outbox();
+        if let Some(link) = &self.offline {
+            for (to, msg) in out.offline {
+                link.send(to, msg);
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self) {
+        while let Some(msg) = self.outbox.front() {
+            let Some(transport) = &self.transport else {
+                return;
+            };
+            if transport.send(msg).is_err() {
+                self.mark_disconnected();
+                return;
+            }
+            self.outbox.pop_front();
+        }
+    }
+
+    fn mark_disconnected(&mut self) {
+        if self.transport.take().is_some() {
+            let now = self.now_ms();
+            self.core.note_disconnected(now);
+        }
+    }
+}
+
+impl std::fmt::Debug for FaustHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaustHandle")
+            .field("id", &self.id())
+            .field("connected", &self.is_connected())
+            .field("backlog", &self.backlog())
+            .field("clock_ms", &self.now_ms())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::spawn_engine;
+    use faust_net::channel;
+    use faust_ustor::UstorServer;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn quiet_config(pipeline: usize) -> HandleConfig {
+        HandleConfig {
+            faust: FaustConfig {
+                probe_period: 1_000_000,
+                dummy_reads: false,
+                pipeline,
+                ..FaustConfig::default()
+            },
+            tick_interval: Duration::from_millis(2),
+            ..HandleConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_tickets_complete_in_order_with_events() {
+        let n = 1;
+        let (transport, mut conns) = channel::pair(n);
+        let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-test",
+            &quiet_config(3),
+            Box::new(conns.remove(0)),
+        );
+        let tickets: Vec<OpTicket> = (0..5).map(|k| h.write(Value::unique(0, k))).collect();
+        // Waiting on the *last* ticket waits out the whole FIFO.
+        let done = h
+            .wait(tickets[4], Duration::from_secs(5))
+            .expect("completes");
+        assert_eq!(done.timestamp, 5);
+        // The event stream saw every completion, in ticket order, plus
+        // self-stability cuts.
+        let events = h.poll();
+        let completed: Vec<u64> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::Completed { ticket, .. } => Some(ticket.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, vec![0, 1, 2, 3, 4]);
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, Event::Stable { .. })));
+        assert!(h.failure().is_none());
+        h.disconnect();
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn wait_on_an_early_ticket_returns_its_own_completion() {
+        let n = 1;
+        let (transport, mut conns) = channel::pair(n);
+        let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-early",
+            &quiet_config(2),
+            Box::new(conns.remove(0)),
+        );
+        let t0 = h.write(Value::from("first"));
+        let t1 = h.read(c(0));
+        let d0 = h.wait(t0, Duration::from_secs(5)).unwrap();
+        assert_eq!(d0.timestamp, 1);
+        let d1 = h.wait(t1, Duration::from_secs(5)).unwrap();
+        assert_eq!(d1.read_value, Some(Some(Value::from("first"))));
+        h.disconnect();
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn server_hangup_surfaces_as_disconnected_event() {
+        let n = 1;
+        let (transport, mut conns) = channel::pair(n);
+        // No engine: dropping the server half closes the transport.
+        drop(transport);
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-drop",
+            &quiet_config(1),
+            Box::new(conns.remove(0)),
+        );
+        let t0 = h.write(Value::from("lost"));
+        assert_eq!(
+            h.wait(t0, Duration::from_millis(200)),
+            Err(WaitError::Disconnected)
+        );
+        let events = h.poll();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|(_, e)| matches!(e, Event::Disconnected))
+                .count(),
+            1,
+            "exactly one Disconnected event: {events:?}"
+        );
+        // The unsent message is retained for a reconnect.
+        assert!(!h.is_connected());
+        assert_eq!(h.backlog(), 1);
+    }
+
+    #[test]
+    fn reconnect_resumes_with_retained_messages() {
+        let n = 1;
+        // First transport dies before the submit can be delivered.
+        let (transport, mut conns) = channel::pair(n);
+        drop(transport);
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-reconnect",
+            &quiet_config(1),
+            Box::new(conns.remove(0)),
+        );
+        let t0 = h.write(Value::from("retry"));
+        assert_eq!(
+            h.wait(t0, Duration::from_millis(100)),
+            Err(WaitError::Disconnected)
+        );
+        // A fresh incarnation appears; the handle resumes and the
+        // retained SUBMIT completes.
+        let (transport, mut conns) = channel::pair(n);
+        let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        h.reconnect(Box::new(conns.remove(0)));
+        let done = h.wait(t0, Duration::from_secs(5)).expect("resumed");
+        assert_eq!(done.timestamp, 1);
+        h.disconnect();
+        engine.join().unwrap();
+    }
+}

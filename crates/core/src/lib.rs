@@ -52,6 +52,7 @@
 pub mod client;
 pub mod driver;
 pub mod events;
+pub mod handle;
 pub mod offline;
 pub mod runtime;
 pub mod threaded_faust;
@@ -61,6 +62,10 @@ pub use driver::{
     random_faust_workloads, FaustDriver, FaustDriverConfig, FaustRunResult, FaustWorkloadOp,
 };
 pub use events::{FailReason, FaustCompletion, Notification, StabilityCut};
+pub use handle::{
+    offline_mesh, Event, FaustHandle, HandleConfig, OfflineLink, OpTicket, SessionCore,
+    SessionOutput, WaitError,
+};
 pub use offline::OfflineMsg;
 pub use threaded_faust::{
     run_faust_session, run_threaded_faust, run_threaded_faust_over, run_threaded_faust_tcp,

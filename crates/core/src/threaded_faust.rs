@@ -12,15 +12,14 @@
 //! unchanged under genuine concurrency, and that detection and stability
 //! behave identically there.
 
-use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
+use crate::client::{FaustClient, FaustConfig, UserOp};
 use crate::events::{FailReason, Notification};
-use crate::offline::OfflineMsg;
+use crate::handle::{offline_mesh, Event, FaustHandle, SessionCore};
 use faust_crypto::sig::{KeySet, SigScheme};
 use faust_net::{channel, tcp, ClientConn, TcpServerTransport};
-use faust_types::{ClientId, UstorMsg};
+use faust_types::ClientId;
 use faust_ustor::Server;
-use std::sync::mpsc::{channel as mpsc_channel, Receiver, Sender};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a threaded FAUST run.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +45,7 @@ impl Default for ThreadedFaustConfig {
                 probe_period: 50, // ms of wall time
                 dummy_reads: true,
                 commit_mode: faust_ustor::CommitMode::Immediate,
+                pipeline: 1,
             },
             tick_interval: Duration::from_millis(10),
             run_for: Duration::from_millis(600),
@@ -84,12 +84,6 @@ impl ThreadedFaustReport {
                 _ => None,
             })
     }
-}
-
-/// Messages a client thread can receive on its multiplexed inbox.
-enum ToClient {
-    Reply(faust_types::ReplyMsg),
-    Offline(OfflineMsg),
 }
 
 /// Runs `n` FAUST clients on threads against `server` (on its own engine
@@ -241,10 +235,13 @@ impl FaustSession {
 /// caller stood up behind `conns`/`engine_thread`, then hands the
 /// session back for the next phase.
 ///
-/// Each client first submits its phase workload, then keeps ticking
-/// (probes, dummy reads) until `config.run_for` elapses, exactly like
-/// [`run_threaded_faust`]; `config.scheme`/`config.faust` are ignored
-/// here — they were fixed when the session was created.
+/// Each client thread is a [`FaustHandle`] event loop over its
+/// connection (the public client API — the harness is a thin wrapper):
+/// the phase workload is submitted up front as pipelined tickets, then
+/// the handle keeps ticking (probes, dummy reads) until `config.run_for`
+/// elapses; `config.scheme`/`config.faust` are ignored here — they were
+/// fixed when the session was created. The in-process offline medium is
+/// an [`offline_mesh`].
 ///
 /// # Panics
 ///
@@ -261,113 +258,58 @@ pub fn run_faust_session(
     let n = session.num_clients();
     let clock_base = session.clock_ms;
 
-    // Multiplexed inbox per client: server replies (forwarded from the
-    // transport) and offline messages from peers.
     assert_eq!(workloads.len(), n, "one workload per client");
     assert_eq!(conns.len(), n, "one connection per client");
-    let mut inbox_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n);
-    let mut inbox_rxs: Vec<Option<Receiver<ToClient>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = mpsc_channel();
-        inbox_txs.push(tx);
-        inbox_rxs.push(Some(rx));
-    }
+    let links = offline_mesh(n);
 
     let mut handles = Vec::with_capacity(n);
     let clients = std::mem::take(&mut session.clients);
-    for (i, ((workload, conn), mut proto)) in
-        workloads.into_iter().zip(conns).zip(clients).enumerate()
+    for (i, (((workload, conn), proto), link)) in workloads
+        .into_iter()
+        .zip(conns)
+        .zip(clients)
+        .zip(links)
+        .enumerate()
     {
         let id = ClientId::new(i as u32);
         assert_eq!(conn.id(), id, "connections must be in client order");
-        let peers = inbox_txs.clone();
-        let rx = inbox_rxs[i].take().expect("one receiver per client");
         let cfg = config;
 
-        // Forwarder: pumps the transport's replies into the multiplexed
-        // inbox, so the client thread has a single blocking receive.
-        let (to_server, from_server) = conn.split();
-        let mux_tx = inbox_txs[i].clone();
-        let forwarder = std::thread::spawn(move || {
-            while let Ok(msg) = from_server.recv() {
-                let UstorMsg::Reply(reply) = msg else {
-                    continue; // the engine only sends replies
-                };
-                if mux_tx.send(ToClient::Reply(reply)).is_err() {
-                    return;
-                }
-            }
-        });
-
         handles.push(std::thread::spawn(move || {
-            let mut log: Vec<(u64, Notification)> = Vec::new();
-            let begun = Instant::now();
-            // The protocol clock continues across phases: time never
-            // rewinds for a resumed client.
-            let now_ms = move |begun: Instant| clock_base + begun.elapsed().as_millis() as u64;
-
-            let dispatch = |actions: Actions, log: &mut Vec<(u64, Notification)>, t: u64| {
-                for msg in actions.to_server {
-                    let _ = to_server.send(&msg);
-                }
-                for (rcpt, msg) in actions.offline {
-                    let _ = peers[rcpt.index()].send(ToClient::Offline(msg));
-                }
-                for note in actions.notifications {
-                    log.push((t, note));
-                }
-            };
-
-            // Submit the whole workload up front; FaustClient queues it.
+            let mut handle = FaustHandle::from_core(
+                SessionCore::new(proto),
+                cfg.tick_interval,
+                clock_base,
+                Box::new(conn),
+            )
+            .with_offline(link);
+            // Submit the whole workload up front; the session pipelines
+            // what fits its window and queues the rest.
             for op in workload {
-                let t = now_ms(begun);
-                let actions = proto.invoke(op, t);
-                dispatch(actions, &mut log, t);
+                match op {
+                    UserOp::Write(value) => handle.write(value),
+                    UserOp::Read(register) => handle.read(register),
+                };
             }
-
-            let deadline = begun + cfg.run_for;
-            let mut next_tick = begun + cfg.tick_interval;
-            while Instant::now() < deadline {
-                // Tick first so a steady message stream cannot starve the
-                // probe/dummy-read machinery.
-                if Instant::now() >= next_tick {
-                    let t = now_ms(begun);
-                    let actions = proto.on_tick(t);
-                    dispatch(actions, &mut log, t);
-                    next_tick += cfg.tick_interval;
-                    continue;
-                }
-                let timeout = next_tick
-                    .saturating_duration_since(Instant::now())
-                    .min(deadline.saturating_duration_since(Instant::now()));
-                match rx.recv_timeout(timeout) {
-                    Ok(ToClient::Reply(reply)) => {
-                        let t = now_ms(begun);
-                        let actions = proto.handle_reply(reply, t);
-                        dispatch(actions, &mut log, t);
-                    }
-                    Ok(ToClient::Offline(msg)) => {
-                        let t = now_ms(begun);
-                        let actions = proto.handle_offline(msg, t);
-                        dispatch(actions, &mut log, t);
-                    }
-                    Err(_) => {}
-                }
-            }
-            // `to_server` drops here: the connection closes, the engine
-            // thread winds down once all clients have gone, and the
-            // forwarder exits on the closed transport.
-            drop(to_server);
-            let _ = forwarder.join();
-            // The last timestamp this client could have observed: the
-            // loop handles messages slightly *past* the deadline (the
-            // condition is checked before handling), so the next phase's
-            // clock must start no earlier than this.
-            let end_ms = now_ms(begun);
-            (log, proto, end_ms)
+            let events = handle.run_for(cfg.run_for);
+            let (core, end_ms) = handle.into_core();
+            let log: Vec<(u64, Notification)> = events
+                .into_iter()
+                .filter_map(|(t, event)| {
+                    let note = match event {
+                        Event::Completed { completion, .. } => Notification::Completed(completion),
+                        Event::Stable { cut } => Notification::Stable(cut),
+                        Event::Violation { reason } => Notification::Failed(reason),
+                        // The engine outlives the phase; a disconnect can
+                        // only be the phase ending.
+                        Event::Disconnected => return None,
+                    };
+                    Some((t, note))
+                })
+                .collect();
+            (log, core.into_client(), end_ms)
         }));
     }
-    drop(inbox_txs);
 
     let mut notifications = Vec::with_capacity(n);
     let mut failures = Vec::new();

@@ -104,6 +104,7 @@ fn aggressive_probing_stays_accurate() {
                 probe_period: 10, // probe constantly
                 dummy_reads: true,
                 commit_mode: faust_ustor::CommitMode::Immediate,
+                pipeline: 1,
             },
             tick_period: 5,
         },

@@ -47,6 +47,70 @@ impl TcpWriter {
     }
 }
 
+/// Client side of a transport: a duplex connection to one server, however
+/// the bytes travel. The mirror of [`crate::ServerTransport`]: the same
+/// two concrete transports back both sides (in-process channels and
+/// framed TCP), and anything driving a client session — `faust-core`'s
+/// `FaustHandle`, the threaded runtimes, the CLI — programs against this
+/// trait, so it runs over either unchanged.
+///
+/// [`ClientConn`] implements it for both built-in transports; custom
+/// transports (an in-memory loopback in tests, a proxied stream) only
+/// need these three methods.
+pub trait ClientTransport: Send {
+    /// The client this connection authenticates as (transport-level
+    /// identification, not authentication — see [`crate::tcp`]).
+    fn id(&self) -> ClientId;
+
+    /// Sends one message to the server.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportClosed`] if the server is no longer reachable.
+    fn send(&self, msg: &UstorMsg) -> Result<(), TransportClosed>;
+
+    /// Waits up to `timeout` for a message from the server; `Ok(None)` on
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportClosed`] when the server has hung up and every buffered
+    /// message has been consumed.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<UstorMsg>, TransportClosed>;
+
+    /// Blocks until the next message from the server.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportClosed`] when the server has hung up and every buffered
+    /// message has been consumed.
+    fn recv(&self) -> Result<UstorMsg, TransportClosed> {
+        loop {
+            if let Some(msg) = self.recv_timeout(Duration::from_secs(3600))? {
+                return Ok(msg);
+            }
+        }
+    }
+}
+
+impl ClientTransport for ClientConn {
+    fn id(&self) -> ClientId {
+        ClientConn::id(self)
+    }
+
+    fn send(&self, msg: &UstorMsg) -> Result<(), TransportClosed> {
+        ClientConn::send(self, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<UstorMsg>, TransportClosed> {
+        ClientConn::recv_timeout(self, timeout)
+    }
+
+    fn recv(&self) -> Result<UstorMsg, TransportClosed> {
+        ClientConn::recv(self)
+    }
+}
+
 /// The peer is gone: the server hung up, or the connection failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransportClosed;

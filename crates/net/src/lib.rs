@@ -14,8 +14,10 @@
 //! * [`tcp`] — length-prefixed frames over loopback or real TCP
 //!   (`std::net`), using the stream framing of [`faust_types::frame`].
 //!
-//! Client threads hold a [`ClientConn`] regardless of which transport
-//! backs it, so runtimes are written once and run over channels or TCP
+//! The client side mirrors the server side: [`ClientTransport`] is the
+//! trait a client session drives, and [`ClientConn`] implements it for
+//! both the channel and the TCP transport — runtimes (and `faust-core`'s
+//! `FaustHandle`) are written once and run over channels or TCP
 //! unchanged.
 //!
 //! # Invariants
@@ -61,7 +63,7 @@ pub mod queue;
 pub mod tcp;
 
 pub use channel::ChannelServerTransport;
-pub use conn::{ClientConn, ConnSender, TransportClosed};
+pub use conn::{ClientConn, ClientTransport, ConnSender, TransportClosed};
 pub use queue::QueueTransport;
 pub use tcp::{TcpServerTransport, MAX_CLIENTS};
 

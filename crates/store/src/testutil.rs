@@ -44,13 +44,26 @@ pub fn clients(n: usize, seed: &[u8]) -> Vec<UstorClient> {
 /// Runs one full synchronous operation (submit → reply → commit)
 /// through any server.
 ///
+/// Flush-aware: under `Durability::Group` the server withholds the
+/// reply until its batch fsync, so when `on_submit` returns nothing a
+/// forced [`Server::flush`] is the batch boundary — a synchronous
+/// driver *is* the whole batch. (Before this, every `run_op`-style
+/// helper panicked on group-commit servers.)
+///
 /// # Panics
 ///
 /// Panics if the server misbehaves — these helpers drive *correct*
 /// servers; adversarial paths assert on errors explicitly.
 pub fn run_op(server: &mut dyn Server, client: &mut UstorClient, submit: SubmitMsg) {
     let id = client.id();
-    let (_, reply) = server.on_submit(id, submit).pop().expect("one reply");
+    let mut replies = server.on_submit(id, submit);
+    if replies.is_empty() {
+        replies = server.flush(true);
+    }
+    let (_, reply) = replies
+        .into_iter()
+        .find(|(to, _)| *to == id)
+        .expect("one reply for the submitter");
     let (commit, _) = client.handle_reply(reply).expect("correct server");
     server.on_commit(id, commit.expect("immediate mode"));
 }
@@ -58,6 +71,38 @@ pub fn run_op(server: &mut dyn Server, client: &mut UstorClient, submit: SubmitM
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faust_types::Value;
+
+    #[test]
+    fn run_op_is_flush_aware_under_group_commit() {
+        // Regression (PR-4 footgun): a synchronous `run_op` against a
+        // group-commit server used to panic — `on_submit` withholds the
+        // reply until the batch fsync. The helper now forces the flush
+        // and completes the op; the records are durable afterwards.
+        use crate::{Durability, PersistentServer, StoreConfig};
+        let dir = scratch_dir("run-op-group");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 1_000,
+                max_wait: std::time::Duration::from_secs(3600),
+            },
+            snapshot_every: 0,
+        };
+        let mut server = PersistentServer::open(&dir, 1, config.clone()).unwrap();
+        let mut cs = clients(1, b"run-op-group");
+        for round in 0..3u64 {
+            let submit = cs[0].begin_write(Value::unique(0, round)).unwrap();
+            run_op(&mut server, &mut cs[0], submit);
+        }
+        // 3 submits + 3 commits acknowledged; the commits' appends ride
+        // the next forced flush or recovery scan, the submits are all
+        // fsync-released.
+        assert_eq!(server.next_seq(), 6);
+        drop(server);
+        let recovered = PersistentServer::recover(&dir, 1, config).unwrap();
+        assert_eq!(recovered.next_seq(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn scratch_dirs_are_distinct_and_empty() {

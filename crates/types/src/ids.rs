@@ -58,6 +58,18 @@ impl From<u32> for ClientId {
     }
 }
 
+impl std::str::FromStr for ClientId {
+    type Err = std::num::ParseIntError;
+
+    /// Parses a zero-based index, with or without the display form's `C`
+    /// prefix (`"2"` and `"C2"` both parse) — how operators name clients
+    /// on the `faust` CLI.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix('C').unwrap_or(s);
+        digits.parse::<u32>().map(ClientId)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +91,12 @@ mod tests {
     #[test]
     fn ordering_follows_index() {
         assert!(ClientId::new(1) < ClientId::new(2));
+    }
+
+    #[test]
+    fn parses_with_and_without_prefix() {
+        assert_eq!("2".parse::<ClientId>().unwrap(), ClientId::new(2));
+        assert_eq!("C7".parse::<ClientId>().unwrap(), ClientId::new(7));
+        assert!("x".parse::<ClientId>().is_err());
     }
 }

@@ -12,22 +12,62 @@
 //! relevant versions, needed by the FAUST layer) correspond to the
 //! [`OpCompletion`] struct: every completion carries the committed version
 //! and, for reads, the writer's version.
+//!
+//! # Pipelining
+//!
+//! Algorithm 1 as written is sequential: one operation in flight per
+//! client. Nothing in the *wire protocol* requires that — a SUBMIT's
+//! signatures depend only on the client's own operation counter and
+//! values, never on the server's replies — so the client optionally runs
+//! with a deeper window ([`UstorClient::set_pipeline`]): up to `depth`
+//! operations may be begun before the first reply is processed, and
+//! replies are consumed strictly FIFO. The server needs no change at all
+//! (its reply already lists *every* uncommitted operation, including the
+//! submitter's own earlier ones); the client-side checks generalize:
+//!
+//! * **own pending operations** (line 43): a reply may list the client's
+//!   own not-yet-committed earlier operations; they are folded like any
+//!   other client's, with their SUBMIT-signatures verified at the exact
+//!   expected timestamps. At depth 1 an own pending operation is
+//!   impossible and remains [`Fault::OwnOperationPending`].
+//! * **own-timestamp agreement** (line 36) is checked on the *folded*
+//!   version: after accounting for every pending operation, the reply
+//!   must place this operation at exactly its submitted timestamp, and
+//!   the folded version must extend the client's current version under
+//!   `≼` — at depth 1 these are literally the two line-36 conjuncts.
+//! * **proof anchoring** (line 41): a pipelined peer's COMMITs lag its
+//!   SUBMITs, so the stored PROOF-signature may trail the digest being
+//!   vouched. Up to `depth` pending operations per client may go
+//!   unanchored; more is [`Fault::UnanchoredPendingOverflow`]. Forks
+//!   hidden in that window are caught as soon as the owner's next COMMIT
+//!   circulates — before the affected operations can become *stable* in
+//!   the FAUST layer, which only ever advances on committed versions.
+//! * **writer freshness** (line 52): the writer's committed self-entry
+//!   may trail the returned timestamp by up to the pipeline depth
+//!   instead of exactly one.
+//!
+//! The depth is a deployment-wide protocol parameter: every client must
+//! be configured with the same value (it bounds what they tolerate of
+//! *each other*). The default depth 1 reproduces Algorithm 1 bit for
+//! bit.
 
 use crate::fault::Fault;
 use faust_crypto::chain::chain_extend;
 use faust_crypto::sha256::sha256;
-use faust_crypto::sig::{Keypair, SigContext, Signer, Verifier, VerifierRegistry};
+use faust_crypto::sig::{Keypair, SigContext, Signature, Signer, Verifier, VerifierRegistry};
 use faust_crypto::Digest;
 use faust_types::op::{data_signing_bytes, proof_signing_bytes, submit_signing_bytes};
 use faust_types::{
     ClientId, CommitMsg, InvocationTuple, OpKind, ReplyMsg, SignedVersion, SubmitMsg, Timestamp,
     Value, Version,
 };
+use std::collections::{HashMap, VecDeque};
 
 /// Why a new operation could not be started.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BeginError {
-    /// An operation is already in flight; USTOR clients are sequential.
+    /// The pipeline window is full (for the default depth 1: an operation
+    /// is already in flight — USTOR clients are sequential by default).
     Busy,
     /// The client has detected a server fault and halted.
     Halted(Fault),
@@ -36,7 +76,7 @@ pub enum BeginError {
 impl std::fmt::Display for BeginError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BeginError::Busy => f.write_str("an operation is already in flight"),
+            BeginError::Busy => f.write_str("the operation pipeline window is full"),
             BeginError::Halted(fault) => write!(f, "client halted after fault: {fault}"),
         }
     }
@@ -122,13 +162,65 @@ pub struct UstorClient {
     /// `x̄_i`: hash of the most recently written value (`⊥` before the
     /// first write).
     xbar: Option<Digest>,
-    /// The client's version `(V_i, M_i)`.
+    /// The client's version `(V_i, M_i)`, as of the last processed reply.
     version: Version,
-    pending: Option<PendingOp>,
+    /// Operations begun but whose replies have not yet been processed,
+    /// oldest first. Replies are consumed strictly FIFO. Holds at most
+    /// one entry at the default pipeline depth 1.
+    inflight: VecDeque<PendingOp>,
+    /// The deployment-wide pipeline depth (see the module docs); 1 =
+    /// the paper's sequential client.
+    max_pipeline: usize,
     halted: Option<Fault>,
     commit_mode: CommitMode,
-    /// In piggyback mode: the COMMIT not yet attached to a SUBMIT.
-    held_commit: Option<CommitMsg>,
+    /// In piggyback mode: the version whose COMMIT has not yet been
+    /// attached to a SUBMIT. Held *unsigned* and signed lazily at attach
+    /// time: under pipelining a newer completion overwrites an unsent
+    /// one (its version subsumes the older for both `SVER` and pruning),
+    /// so eager signing would waste two signatures per overwritten
+    /// commit.
+    held_commit_version: Option<Version>,
+    /// Memoized *successful* SUBMIT-signature checks from pending-list
+    /// folds, keyed by the statement they pin (client, expected
+    /// timestamp) and holding the exact verified tuple. An uncommitted
+    /// operation reappears in every reply until pruned, so under
+    /// concurrency (and especially pipelining) the same signature would
+    /// otherwise be re-verified dozens of times. A hit requires the
+    /// presented tuple to match the verified one byte for byte, so this
+    /// is pure memoization — no check is weakened. Bounded (cleared at
+    /// [`VERIFY_CACHE_CAP`]).
+    verified_submits: HashMap<(ClientId, Timestamp), InvocationTuple>,
+    /// Same memoization for vouching PROOF-signatures, keyed by
+    /// (client, vouched digest).
+    verified_proofs: HashMap<(ClientId, Digest), Signature>,
+    /// Negative counterpart of `verified_proofs`: a proof that *failed*
+    /// to vouch a digest fails deterministically, and under pipelining
+    /// the same stale (honest) proof is re-presented against the same
+    /// mid-fold digest on every reply — without this table each one
+    /// would re-run the full verification just to fail again.
+    refuted_proofs: HashMap<(ClientId, Digest), Signature>,
+    /// Memoized digest-chain extensions (`chain_extend` is a pure hash):
+    /// successive replies re-fold largely the same pending suffix, so
+    /// the same links are recomputed on every reply — O(L) hashes that
+    /// one table lookup replaces.
+    chain_memo: HashMap<(Option<Digest>, u32), Digest>,
+}
+
+/// Entry cap of the signature-verification memo tables; reaching it
+/// clears the table (entries are tiny and refill in one reply).
+const VERIFY_CACHE_CAP: usize = 4096;
+
+/// Builds the COMMIT message for `version`: COMMIT-signature over the
+/// version, PROOF-signature over the signer's own digest entry
+/// (Algorithm 1 lines 18/31).
+fn sign_commit(keypair: &Keypair, id: ClientId, version: Version) -> CommitMsg {
+    let commit_sig = keypair.sign(SigContext::Commit, &version.signing_bytes());
+    let proof_sig = keypair.sign(SigContext::Proof, &proof_signing_bytes(version.m().get(id)));
+    CommitMsg {
+        version,
+        commit_sig,
+        proof_sig,
+    }
 }
 
 impl UstorClient {
@@ -147,17 +239,67 @@ impl UstorClient {
             registry,
             xbar: None,
             version: Version::initial(n),
-            pending: None,
+            inflight: VecDeque::new(),
+            max_pipeline: 1,
             halted: None,
             commit_mode: CommitMode::Immediate,
-            held_commit: None,
+            held_commit_version: None,
+            verified_submits: HashMap::new(),
+            verified_proofs: HashMap::new(),
+            refuted_proofs: HashMap::new(),
+            chain_memo: HashMap::new(),
         }
+    }
+
+    /// [`chain_extend`] through the memo table (it is a pure function of
+    /// its inputs; see `chain_memo`).
+    fn chain_extend_memo(&mut self, d: Option<Digest>, k: u32) -> Digest {
+        if let Some(cached) = self.chain_memo.get(&(d, k)) {
+            return *cached;
+        }
+        let out = chain_extend(d, k);
+        if self.chain_memo.len() >= VERIFY_CACHE_CAP {
+            self.chain_memo.clear();
+        }
+        self.chain_memo.insert((d, k), out);
+        out
     }
 
     /// Switches the commit transmission strategy (see [`CommitMode`]).
     /// Call before the first operation.
     pub fn set_commit_mode(&mut self, mode: CommitMode) {
         self.commit_mode = mode;
+    }
+
+    /// Sets the pipeline depth: how many operations may be in flight at
+    /// once (see the module docs). `depth` is clamped to at least 1; the
+    /// default 1 is the paper's sequential client. The depth is a
+    /// deployment-wide parameter — configure every client identically,
+    /// because it also bounds the commit lag tolerated of *peers*.
+    /// Call before the first operation.
+    pub fn set_pipeline(&mut self, depth: usize) {
+        self.max_pipeline = depth.max(1);
+    }
+
+    /// The configured pipeline depth.
+    pub fn pipeline(&self) -> usize {
+        self.max_pipeline
+    }
+
+    /// Number of operations currently in flight (begun, reply not yet
+    /// processed).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// In [`CommitMode::Piggyback`]: takes the COMMIT awaiting the next
+    /// SUBMIT, if any (signing it now). Runtimes send it explicitly when
+    /// the client goes idle, so the server's pending list is
+    /// garbage-collected even when no further operation follows.
+    pub fn take_held_commit(&mut self) -> Option<CommitMsg> {
+        self.held_commit_version
+            .take()
+            .map(|version| sign_commit(&self.keypair, self.id, version))
     }
 
     /// The current commit transmission strategy.
@@ -190,9 +332,11 @@ impl UstorClient {
         &self.registry
     }
 
-    /// Whether an operation is in flight.
+    /// Whether the pipeline window is full (no further operation can be
+    /// begun until a reply is processed). At the default depth 1 this is
+    /// simply "an operation is in flight".
     pub fn is_busy(&self) -> bool {
-        self.pending.is_some()
+        self.inflight.len() >= self.max_pipeline
     }
 
     /// Starts `write_i(x)`: returns the SUBMIT message for the server.
@@ -224,11 +368,13 @@ impl UstorClient {
         if let Some(fault) = &self.halted {
             return Err(BeginError::Halted(fault.clone()));
         }
-        if self.pending.is_some() {
+        if self.inflight.len() >= self.max_pipeline {
             return Err(BeginError::Busy);
         }
-        // Line 12/25: t ← V_i[i] + 1.
-        let t = self.version.v().get(self.id) + 1;
+        // Line 12/25: t ← V_i[i] + 1, counting past every in-flight
+        // operation (the version's own entry advances only as replies
+        // are processed).
+        let t = self.version.v().get(self.id) + self.inflight.len() as Timestamp + 1;
         // Line 13: a write updates x̄_i before signing.
         if let Some(v) = &value {
             self.xbar = Some(sha256(v.as_bytes()));
@@ -240,12 +386,15 @@ impl UstorClient {
         let data_sig = self
             .keypair
             .sign(SigContext::Data, &data_signing_bytes(t, self.xbar));
-        self.pending = Some(PendingOp {
+        self.inflight.push_back(PendingOp {
             kind,
             target,
             timestamp: t,
             value: value.clone(),
         });
+        // In piggyback mode, the newest unattached COMMIT rides along
+        // (signed here); the server applies it before this submit.
+        let piggyback = self.take_held_commit();
         Ok(SubmitMsg {
             timestamp: t,
             tuple: InvocationTuple {
@@ -256,9 +405,7 @@ impl UstorClient {
             },
             value,
             data_sig,
-            // In piggyback mode, the previous operation's COMMIT rides
-            // along; the server applies it before this submit.
-            piggyback: self.held_commit.take(),
+            piggyback,
         })
     }
 
@@ -280,7 +427,7 @@ impl UstorClient {
             Ok(out) => Ok(out),
             Err(fault) => {
                 self.halted = Some(fault.clone());
-                self.pending = None;
+                self.inflight.clear();
                 Err(fault)
             }
         }
@@ -293,33 +440,31 @@ impl UstorClient {
         if let Some(fault) = &self.halted {
             return Err(fault.clone());
         }
-        let op = self.pending.clone().ok_or(Fault::UnsolicitedReply)?;
+        // Replies are consumed strictly FIFO: this one answers the oldest
+        // in-flight operation.
+        let op = self
+            .inflight
+            .front()
+            .cloned()
+            .ok_or(Fault::UnsolicitedReply)?;
         self.validate_shape(&reply, &op)?;
-        self.update_version(&reply)?;
+        self.update_version(&reply, op.timestamp)?;
         let read_value = if op.kind == OpKind::Read {
             Some(self.check_data(&reply, op.target)?)
         } else {
             None
         };
-        self.pending = None;
+        self.inflight.pop_front();
 
         // Lines 18/31: COMMIT- and PROOF-signatures on the new version.
-        let commit_sig = self
-            .keypair
-            .sign(SigContext::Commit, &self.version.signing_bytes());
-        let proof_sig = self.keypair.sign(
-            SigContext::Proof,
-            &proof_signing_bytes(self.version.m().get(self.id)),
-        );
-        let commit = CommitMsg {
-            version: self.version.clone(),
-            commit_sig,
-            proof_sig,
-        };
+        // In piggyback mode the signing is deferred to attach time (see
+        // `held_commit_version`).
         let commit = match self.commit_mode {
-            CommitMode::Immediate => Some(commit),
+            CommitMode::Immediate => {
+                Some(sign_commit(&self.keypair, self.id, self.version.clone()))
+            }
             CommitMode::Piggyback => {
-                self.held_commit = Some(commit);
+                self.held_commit_version = Some(self.version.clone());
                 None
             }
         };
@@ -362,10 +507,13 @@ impl UstorClient {
         }
     }
 
-    /// Algorithm 1, `updateVersion` (lines 34–47).
-    fn update_version(&mut self, reply: &ReplyMsg) -> Result<(), Fault> {
+    /// Algorithm 1, `updateVersion` (lines 34–47), generalized to the
+    /// pipelined window (see the module docs). At `max_pipeline == 1`
+    /// every check is exactly the paper's, in the paper's order.
+    fn update_version(&mut self, reply: &ReplyMsg, op_timestamp: Timestamp) -> Result<(), Fault> {
         let c = reply.last_committer;
         let signed = &reply.commit_version;
+        let sequential = self.max_pipeline <= 1;
 
         // Line 35: the version is the initial one or carries a valid
         // COMMIT-signature by C_c.
@@ -383,64 +531,132 @@ impl UstorClient {
             }
         }
 
-        // Line 36: monotonicity and agreement on our own entry.
-        if !self.version.le(&signed.version) {
-            return Err(Fault::VersionRegression);
-        }
-        if signed.version.v().get(self.id) != self.version.v().get(self.id) {
-            return Err(Fault::OwnTimestampMismatch);
+        // Line 36: monotonicity and agreement on our own entry. With a
+        // pipeline, our own uncommitted operations legitimately put our
+        // local version *ahead* of the last committed one; the same two
+        // conjuncts are enforced on the folded version below, where they
+        // are meaningful in both modes.
+        if sequential {
+            if !self.version.le(&signed.version) {
+                return Err(Fault::VersionRegression);
+            }
+            if signed.version.v().get(self.id) != self.version.v().get(self.id) {
+                return Err(Fault::OwnTimestampMismatch);
+            }
         }
 
-        // Line 37: adopt (V^c, M^c).
-        self.version = signed.version.clone();
+        // Line 37: adopt (V^c, M^c) as the candidate to fold into.
+        let mut candidate = signed.version.clone();
         // Line 38: d ← M^c[c].
-        let mut d = self.version.m().get(c);
+        let mut d = candidate.m().get(c);
+        // Pipelined mode: pending operations whose digest could not be
+        // anchored by a PROOF-signature, per client (commits lag submits
+        // by at most the deployment's pipeline depth).
+        let mut unanchored = vec![0usize; self.n];
 
         // Lines 39–45: fold in the pending (concurrent) operations.
         for tuple in &reply.pending {
             let k = tuple.client;
             // Line 41: C_k's previous operation must have committed the
-            // digest we hold for it, vouched by its PROOF-signature.
-            if let Some(expected) = self.version.m().get(k) {
-                let proof = reply.proofs[k.index()]
-                    .as_ref()
-                    .ok_or(Fault::MissingProofSignature)?;
-                let ok = self.registry.verify(
-                    k.as_u32(),
-                    SigContext::Proof,
-                    &proof_signing_bytes(Some(expected)),
-                    proof,
-                );
-                if !ok {
-                    return Err(Fault::BadProofSignature);
+            // digest we hold for it, vouched by its PROOF-signature. A
+            // pipelined peer's commits trail its submits, so up to
+            // `max_pipeline` operations per client may go unanchored.
+            if let Some(expected) = candidate.m().get(k) {
+                let anchored = match reply.proofs[k.index()].as_ref() {
+                    Some(proof) => {
+                        if self.verified_proofs.get(&(k, expected)) == Some(proof) {
+                            true
+                        } else if self.refuted_proofs.get(&(k, expected)) == Some(proof) {
+                            false
+                        } else {
+                            let ok = self.registry.verify(
+                                k.as_u32(),
+                                SigContext::Proof,
+                                &proof_signing_bytes(Some(expected)),
+                                proof,
+                            );
+                            let memo = if ok {
+                                &mut self.verified_proofs
+                            } else {
+                                &mut self.refuted_proofs
+                            };
+                            if memo.len() >= VERIFY_CACHE_CAP {
+                                memo.clear();
+                            }
+                            memo.insert((k, expected), *proof);
+                            ok
+                        }
+                    }
+                    None => false,
+                };
+                if !anchored {
+                    if sequential {
+                        return Err(match reply.proofs[k.index()] {
+                            Some(_) => Fault::BadProofSignature,
+                            None => Fault::MissingProofSignature,
+                        });
+                    }
+                    unanchored[k.index()] += 1;
+                    if unanchored[k.index()] > self.max_pipeline {
+                        return Err(Fault::UnanchoredPendingOverflow);
+                    }
                 }
             }
             // Line 42: account for the pending operation.
-            let expected_t = self.version.v_mut().increment(k);
-            // Line 43: we never appear in our own pending list, and the
-            // SUBMIT-signature must match the expected timestamp.
-            if k == self.id {
+            let expected_t = candidate.v_mut().increment(k);
+            // Line 43: a *sequential* client never appears in its own
+            // pending list; a pipelined one does — its own earlier
+            // operations are folded like anyone else's, SUBMIT-signature
+            // checked at the exact expected timestamp (we sign one
+            // invocation per timestamp, so a replayed or reordered own
+            // tuple cannot verify).
+            if k == self.id && sequential {
                 return Err(Fault::OwnOperationPending);
             }
-            let ok = self.registry.verify(
-                k.as_u32(),
-                SigContext::Submit,
-                &submit_signing_bytes(tuple.kind, tuple.register, expected_t),
-                &tuple.sig,
-            );
+            let memoized = self
+                .verified_submits
+                .get(&(k, expected_t))
+                .is_some_and(|verified| verified == tuple);
+            let ok = memoized
+                || self.registry.verify(
+                    k.as_u32(),
+                    SigContext::Submit,
+                    &submit_signing_bytes(tuple.kind, tuple.register, expected_t),
+                    &tuple.sig,
+                );
             if !ok {
                 return Err(Fault::BadSubmitSignature);
             }
+            if !memoized {
+                if self.verified_submits.len() >= VERIFY_CACHE_CAP {
+                    self.verified_submits.clear();
+                }
+                self.verified_submits.insert((k, expected_t), tuple.clone());
+            }
             // Lines 44–45: extend the digest chain.
-            d = Some(chain_extend(d, k.as_u32()));
-            self.version.m_mut().set(k, d.expect("just set"));
+            d = Some(self.chain_extend_memo(d, k.as_u32()));
+            candidate.m_mut().set(k, d.expect("just set"));
         }
 
         // Lines 46–47: append our own operation.
-        self.version.v_mut().increment(self.id);
-        self.version
-            .m_mut()
-            .set(self.id, chain_extend(d, self.id.as_u32()));
+        let t_new = candidate.v_mut().increment(self.id);
+        let own_digest = self.chain_extend_memo(d, self.id.as_u32());
+        candidate.m_mut().set(self.id, own_digest);
+
+        // Line 36 on the folded version: the reply must place this very
+        // operation at its submitted timestamp (the server accounted for
+        // every earlier own operation exactly once), and the folded
+        // version must extend what we already know. In sequential mode
+        // both already hold (checked above, and `≼` is transitive along
+        // the fold); in pipelined mode these are the authoritative
+        // checks.
+        if t_new != op_timestamp {
+            return Err(Fault::OwnTimestampMismatch);
+        }
+        if !self.version.le(&candidate) {
+            return Err(Fault::VersionRegression);
+        }
+        self.version = candidate;
         Ok(())
     }
 
@@ -499,10 +715,12 @@ impl UstorClient {
             return Err(Fault::DataTimestampMismatch);
         }
 
-        // Line 52: the writer's own entry matches t_j, give or take the
-        // not-yet-received COMMIT.
+        // Line 52: the writer's own entry matches t_j, give or take its
+        // not-yet-received COMMITs — at most one for a sequential writer
+        // (the paper's check exactly), at most the deployment's pipeline
+        // depth otherwise.
         let vjj = writer.version.v().get(j);
-        if !(vjj == tj || (tj > 0 && vjj == tj - 1)) {
+        if !(vjj <= tj && tj - vjj <= self.max_pipeline as Timestamp) {
             return Err(Fault::WriterSelfEntryMismatch);
         }
 
@@ -597,5 +815,171 @@ mod tests {
             c.handle_reply(reply),
             Err(Fault::MalformedReply("commit version arity"))
         );
+    }
+
+    // ── pipelined mode ────────────────────────────────────────────────
+
+    use crate::server::{Server, UstorServer};
+
+    fn pipelined_setup(n: usize, depth: usize) -> (UstorServer, Vec<UstorClient>) {
+        let keys = KeySet::generate(n, b"pipeline-tests");
+        let clients = (0..n)
+            .map(|i| {
+                let mut c = UstorClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                );
+                c.set_pipeline(depth);
+                c
+            })
+            .collect();
+        (UstorServer::new(n), clients)
+    }
+
+    #[test]
+    fn pipelined_burst_completes_in_order_against_a_correct_server() {
+        let (mut s, mut cs) = pipelined_setup(1, 4);
+        let me = ClientId::new(0);
+        // Four writes begun before any reply is seen.
+        let submits: Vec<_> = (0..4)
+            .map(|k| cs[0].begin_write(Value::unique(0, k)).unwrap())
+            .collect();
+        assert_eq!(cs[0].in_flight(), 4);
+        assert!(cs[0].begin_read(me).is_err(), "window full");
+        let replies: Vec<_> = submits
+            .into_iter()
+            .map(|m| s.on_submit(me, m).pop().unwrap().1)
+            .collect();
+        // Replies processed strictly FIFO; each completes with its own
+        // timestamp and yields an ordinary COMMIT.
+        for (k, reply) in replies.into_iter().enumerate() {
+            let (commit, done) = cs[0].handle_reply(reply).expect("correct server");
+            assert_eq!(done.timestamp, k as u64 + 1);
+            s.on_commit(me, commit.unwrap());
+        }
+        assert_eq!(cs[0].in_flight(), 0);
+        assert_eq!(s.pending_len(), 0, "commits garbage-collected L");
+        // The register holds the last value.
+        let r = cs[0].begin_read(me).unwrap();
+        let reply = s.on_submit(me, r).pop().unwrap().1;
+        let (_, done) = cs[0].handle_reply(reply).unwrap();
+        assert_eq!(done.read_value, Some(Some(Value::unique(0, 3))));
+    }
+
+    #[test]
+    fn two_pipelined_clients_interleave_without_faults() {
+        let n = 2;
+        let (mut s, mut cs) = pipelined_setup(n, 3);
+        // Interleaved schedule: A1 B1 A2 B2 A3 B3, no commits until all
+        // replies are out (maximum own-pending exposure).
+        let mut replies: Vec<Vec<ReplyMsg>> = vec![Vec::new(), Vec::new()];
+        for round in 0..3u64 {
+            for i in 0..n {
+                let m = cs[i].begin_write(Value::unique(i as u32, round)).unwrap();
+                replies[i].push(s.on_submit(ClientId::new(i as u32), m).pop().unwrap().1);
+            }
+        }
+        let mut commits = Vec::new();
+        for (i, rs) in replies.into_iter().enumerate() {
+            for (k, reply) in rs.into_iter().enumerate() {
+                let (commit, done) = cs[i].handle_reply(reply).unwrap_or_else(|f| {
+                    panic!("client {i} reply {k}: unexpected fault {f}");
+                });
+                assert_eq!(done.timestamp, k as u64 + 1);
+                commits.push((ClientId::new(i as u32), commit.unwrap()));
+            }
+        }
+        for (id, commit) in commits {
+            s.on_commit(id, commit);
+        }
+        assert_eq!(s.pending_len(), 0);
+        // Both clients' final versions are comparable (no fork).
+        assert!(cs[0].version().comparable(cs[1].version()));
+    }
+
+    #[test]
+    fn pipelined_reply_replay_is_detected() {
+        let (mut s, mut cs) = pipelined_setup(1, 2);
+        let me = ClientId::new(0);
+        let m1 = cs[0].begin_write(Value::from("one")).unwrap();
+        let _m2 = cs[0].begin_write(Value::from("two")).unwrap();
+        let reply1 = s.on_submit(me, m1).pop().unwrap().1;
+        let (_, done) = cs[0].handle_reply(reply1.clone()).unwrap();
+        assert_eq!(done.timestamp, 1);
+        // Replaying reply 1 for op 2 misplaces the operation.
+        assert_eq!(cs[0].handle_reply(reply1), Err(Fault::OwnTimestampMismatch));
+    }
+
+    #[test]
+    fn reader_window_tolerates_a_pipelined_writers_commit_lag() {
+        // Writer (depth 3) has three uncommitted writes; a reader with
+        // the same deployment depth accepts the read, while a sequential
+        // reader (depth 1 — the strict paper checks) rejects the reply.
+        for (reader_depth, ok) in [(3usize, true), (1usize, false)] {
+            let (mut s, mut cs) = pipelined_setup(2, 3);
+            cs[1].set_pipeline(reader_depth);
+            for k in 0..3u64 {
+                let m = cs[0].begin_write(Value::unique(0, k)).unwrap();
+                s.on_submit(ClientId::new(0), m);
+            }
+            let r = cs[1].begin_read(ClientId::new(0)).unwrap();
+            let reply = s.on_submit(ClientId::new(1), r).pop().unwrap().1;
+            let result = cs[1].handle_reply(reply);
+            if ok {
+                let (_, done) = result.expect("within the window");
+                assert_eq!(done.read_value, Some(Some(Value::unique(0, 2))));
+            } else {
+                // The strict fold demands a proof anchor for the writer's
+                // second pending operation before even reaching line 52.
+                assert_eq!(result, Err(Fault::MissingProofSignature));
+            }
+        }
+    }
+
+    #[test]
+    fn unanchored_pending_overflow_is_detected() {
+        // A writer four deep exceeds what a depth-2 deployment tolerates:
+        // the reader cannot anchor that many proof-less operations.
+        let (mut s, mut cs) = pipelined_setup(2, 4);
+        cs[1].set_pipeline(2);
+        for k in 0..4u64 {
+            let m = cs[0].begin_write(Value::unique(0, k)).unwrap();
+            s.on_submit(ClientId::new(0), m);
+        }
+        let r = cs[1].begin_read(ClientId::new(0)).unwrap();
+        let reply = s.on_submit(ClientId::new(1), r).pop().unwrap().1;
+        assert_eq!(
+            cs[1].handle_reply(reply),
+            Err(Fault::UnanchoredPendingOverflow)
+        );
+    }
+
+    #[test]
+    fn pipelined_piggyback_commits_ride_later_submits() {
+        let (mut s, mut cs) = pipelined_setup(1, 2);
+        cs[0].set_commit_mode(CommitMode::Piggyback);
+        let me = ClientId::new(0);
+        let m1 = cs[0].begin_write(Value::from("p1")).unwrap();
+        let m2 = cs[0].begin_write(Value::from("p2")).unwrap();
+        assert!(m1.piggyback.is_none() && m2.piggyback.is_none());
+        let r1 = s.on_submit(me, m1).pop().unwrap().1;
+        let r2 = s.on_submit(me, m2).pop().unwrap().1;
+        let (c1, _) = cs[0].handle_reply(r1).unwrap();
+        assert!(c1.is_none(), "piggyback holds the commit");
+        // The next begin carries op 1's commit.
+        let m3 = cs[0].begin_write(Value::from("p3")).unwrap();
+        assert!(m3.piggyback.is_some());
+        let r3 = s.on_submit(me, m3).pop().unwrap().1;
+        let (c2, _) = cs[0].handle_reply(r2).unwrap();
+        assert!(c2.is_none());
+        let (c3, _) = cs[0].handle_reply(r3).unwrap();
+        assert!(c3.is_none());
+        // Idle now: the held commit is taken explicitly so the server's
+        // pending list is garbage-collected.
+        let held = cs[0].take_held_commit().expect("one commit held");
+        s.on_commit(me, held);
+        assert_eq!(s.pending_len(), 0);
     }
 }

@@ -41,6 +41,11 @@ pub enum Fault {
     MissingProofSignature,
     /// Line 41: the presented PROOF-signature does not verify.
     BadProofSignature,
+    /// Line 41, pipelined generalization: more pending operations of one
+    /// client lack a vouching PROOF-signature than the deployment's
+    /// pipeline depth allows — commits cannot legitimately lag submits
+    /// that far, so the server is replaying or fabricating invocations.
+    UnanchoredPendingOverflow,
     /// Line 43, first disjunct: the pending list contains an operation by
     /// this client itself — impossible, since a client is sequential.
     OwnOperationPending,
@@ -79,7 +84,9 @@ impl Fault {
         match self {
             Fault::BadCommitVersionSignature => Some(35),
             Fault::VersionRegression | Fault::OwnTimestampMismatch => Some(36),
-            Fault::MissingProofSignature | Fault::BadProofSignature => Some(41),
+            Fault::MissingProofSignature
+            | Fault::BadProofSignature
+            | Fault::UnanchoredPendingOverflow => Some(41),
             Fault::OwnOperationPending | Fault::BadSubmitSignature => Some(43),
             Fault::BadWriterCommitSignature => Some(49),
             Fault::BadDataSignature => Some(50),
@@ -105,6 +112,9 @@ impl fmt::Display for Fault {
             }
             Fault::BadProofSignature => {
                 f.write_str("invalid proof signature for a pending operation")
+            }
+            Fault::UnanchoredPendingOverflow => {
+                f.write_str("more unanchored pending operations than the pipeline depth allows")
             }
             Fault::OwnOperationPending => {
                 f.write_str("server lists the client's own operation as pending")

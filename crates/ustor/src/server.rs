@@ -282,12 +282,37 @@ impl Server for UstorServer {
 
     fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
         // Lines 118–121: if this commit advances the schedule head, prune
-        // L up to and including this client's last tuple.
+        // L up to and including the committing client's tuple that the
+        // committed version actually covers. For a sequential client that
+        // is always its last tuple (the paper's rule verbatim); a
+        // pipelined client may have *later* uncommitted tuples in L,
+        // which must survive — they are not reflected in this version,
+        // and dropping them would present a schedule with holes.
         let current = &self.sver[self.last_committer.index()];
         if msg.version.v().gt(current.version.v()) {
             self.last_committer = client;
-            if let Some(pos) = self.pending.iter().rposition(|t| t.client == client) {
-                self.pending.drain(..=pos);
+            let committed_t = msg.version.v().get(client);
+            // The client's tuples in L carry consecutive timestamps
+            // ending at MEM[client].timestamp (its last submitted op),
+            // so the covered tuple is the `committed_t - base`-th one.
+            let in_l = self.pending.iter().filter(|t| t.client == client).count() as Timestamp;
+            let base = self.mem[client.index()].timestamp.saturating_sub(in_l);
+            let covered = committed_t.saturating_sub(base);
+            if covered >= 1 {
+                let mut seen = 0;
+                let mut pos = None;
+                for (idx, tuple) in self.pending.iter().enumerate() {
+                    if tuple.client == client {
+                        seen += 1;
+                        if seen == covered {
+                            pos = Some(idx);
+                            break;
+                        }
+                    }
+                }
+                if let Some(pos) = pos {
+                    self.pending.drain(..=pos);
+                }
             }
         }
         // Lines 122–123.
@@ -434,6 +459,38 @@ mod tests {
         s.on_commit(ClientId::new(0), c0);
         s.on_commit(ClientId::new(1), c1);
         s.on_commit(ClientId::new(2), c2);
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn commit_pruning_spares_a_pipelined_clients_later_tuples() {
+        // A pipelined client has ops 1..=3 in L; its commit for op 1 must
+        // prune only op 1 — ops 2 and 3 are not covered by that version
+        // and must keep appearing in replies, or the schedule the server
+        // presents would have holes.
+        let keys = KeySet::generate(1, b"server-tests");
+        let mut c0 = UstorClient::new(
+            ClientId::new(0),
+            1,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+        );
+        c0.set_pipeline(3);
+        let mut s = UstorServer::new(1);
+        let mut replies = Vec::new();
+        for k in 0..3u64 {
+            let m = c0.begin_write(Value::unique(0, k)).unwrap();
+            replies.push(s.on_submit(ClientId::new(0), m).pop().unwrap().1);
+        }
+        assert_eq!(s.pending_len(), 3);
+        let (commit1, _) = c0.handle_reply(replies.remove(0)).unwrap();
+        s.on_commit(ClientId::new(0), commit1.unwrap());
+        assert_eq!(s.pending_len(), 2, "ops 2 and 3 must survive");
+        // The remaining replies still complete and GC the rest.
+        for reply in replies {
+            let (commit, _) = c0.handle_reply(reply).unwrap();
+            s.on_commit(ClientId::new(0), commit.unwrap());
+        }
         assert_eq!(s.pending_len(), 0);
     }
 

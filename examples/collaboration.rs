@@ -1,127 +1,145 @@
 //! The collaborative-editing scenario of Section 3 and Figure 2: Alice
-//! and Bob work from Europe while Carlos (America) is asleep.
+//! and Bob work from Europe while Carlos (America) is asleep — driven
+//! through the public [`faust::client::FaustHandle`] API.
 //!
 //! Alice completes her operation with timestamp 10 and receives the
-//! notification `stable_Alice([10, 8, 3])`: she is trivially consistent
-//! with herself up to timestamp 10, consistent with Bob up to her
-//! operation 8, and consistent with Carlos only up to her operation 3 —
-//! Carlos went offline after that. Alice cannot tell whether Carlos is
-//! merely asleep or the server is hiding his operations; when Carlos
-//! reconnects, all operations eventually become stable at all clients,
-//! because the server is in fact correct.
+//! event `stable_Alice([10, 8, 3])`: she is trivially consistent with
+//! herself up to timestamp 10, consistent with Bob up to her operation
+//! 8, and consistent with Carlos only up to her operation 3 — Carlos
+//! went to sleep after reading her morning work. Alice cannot tell
+//! whether Carlos is merely asleep or the server is hiding his
+//! operations; when Carlos reconnects and reads again, all operations
+//! become stable, because the server is in fact correct.
+//!
+//! Unlike the simulator variant this runs live (real threads, real
+//! waits): each `wait` serializes one operation, so the exact Figure 2
+//! cut is reproduced deterministically through the handle API alone.
 //!
 //! Run with: `cargo run --example collaboration`
 
-use faust::core::{FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification};
-use faust::sim::{DelayModel, SimConfig};
+use faust::client::{Event, FaustHandle, HandleConfig};
+use faust::core::runtime::spawn_engine;
+use faust::core::FaustConfig;
 use faust::types::{ClientId, Value};
 use faust::ustor::UstorServer;
+use std::time::Duration;
 
 const ALICE: ClientId = ClientId::new(0);
 const BOB: ClientId = ClientId::new(1);
 const CARLOS: ClientId = ClientId::new(2);
 
 fn main() {
-    let mut driver = FaustDriver::new(
-        3,
-        Box::new(UstorServer::new(3)),
-        FaustDriverConfig {
-            sim: SimConfig {
-                seed: 2,
-                link_delay: DelayModel::Fixed(1),
-                offline_delay: DelayModel::Fixed(20),
-            },
-            faust: FaustConfig {
-                // Probes kick in only after the scripted day is over, so
-                // the cut [10, 8, 3] is reproduced exactly.
-                probe_period: 2_000,
-                dummy_reads: false,
-                commit_mode: faust::ustor::CommitMode::Immediate,
-            },
-            tick_period: 25,
+    let n = 3;
+    let (transport, mut conns) = faust::net::channel::pair(n);
+    let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+
+    // Probes would reveal everything instantly; the day is scripted
+    // through reads alone, exactly as in Figure 2.
+    let config = HandleConfig {
+        faust: FaustConfig {
+            probe_period: u64::MAX / 2,
+            dummy_reads: false,
+            ..FaustConfig::default()
         },
-        b"figure-2",
-    );
+        tick_interval: Duration::from_millis(2),
+        ..HandleConfig::default()
+    };
+    let mk = |id: ClientId, conn| FaustHandle::new(id, n, b"figure-2", &config, Box::new(conn));
+    let mut carlos = {
+        let c = conns.remove(2);
+        mk(CARLOS, c)
+    };
+    let mut bob = {
+        let c = conns.remove(1);
+        mk(BOB, c)
+    };
+    let mut alice = {
+        let c = conns.remove(0);
+        mk(ALICE, c)
+    };
+    let wait = Duration::from_secs(5);
 
-    // Alice's working day: 10 operations, timestamps 1..=10.
-    driver.push_ops(
-        ALICE,
-        vec![
-            // t = 1, 2, 3: morning edits.
-            FaustWorkloadOp::Write(Value::from("alice rev 1")),
-            FaustWorkloadOp::Write(Value::from("alice rev 2")),
-            FaustWorkloadOp::Write(Value::from("alice rev 3")),
-            // Carlos reads rev 3 at ~t=60, then goes to sleep.
-            FaustWorkloadOp::Pause(100),
-            // t = 4: Alice sees Carlos's state (importing his version,
-            // which covers her first three operations).
-            FaustWorkloadOp::Read(CARLOS),
-            // t = 5..8: afternoon edits.
-            FaustWorkloadOp::Write(Value::from("alice rev 4")),
-            FaustWorkloadOp::Write(Value::from("alice rev 5")),
-            FaustWorkloadOp::Write(Value::from("alice rev 6")),
-            FaustWorkloadOp::Write(Value::from("alice rev 7")),
-            FaustWorkloadOp::Pause(150),
-            // t = 9: Alice sees Bob's state (covering her ops up to 8).
-            FaustWorkloadOp::Read(BOB),
-            // t = 10: one more edit -> stable_Alice([10, 8, 3]).
-            FaustWorkloadOp::Write(Value::from("alice rev 8")),
-        ],
-    );
-    driver.push_ops(
-        BOB,
-        vec![
-            // Bob catches up with Alice's work right after her t=8.
-            FaustWorkloadOp::Pause(230),
-            FaustWorkloadOp::Read(ALICE),
-        ],
-    );
-    driver.push_ops(
-        CARLOS,
-        vec![
-            // Carlos reads Alice's morning work…
-            FaustWorkloadOp::Pause(55),
-            FaustWorkloadOp::Read(ALICE),
-            // …and then sleeps through the rest of the day.
-            FaustWorkloadOp::Disconnect(8_000),
-        ],
-    );
+    // Alice's morning edits: timestamps 1..=3.
+    for rev in 1..=3u64 {
+        let t = alice.write(Value::from(format!("alice rev {rev}").as_str()));
+        alice.wait(t, wait).expect("write completes");
+    }
+    // Carlos reads rev 3 (importing Alice's version, which covers her
+    // first three operations) and goes to sleep.
+    let t = carlos.read(ALICE);
+    carlos.wait(t, wait).expect("read completes");
 
-    let result = driver.run_until(30_000);
-    assert!(result.failures.is_empty(), "server is correct");
+    // t = 4: Alice sees Carlos's state — his version vouches for her
+    // operations up to 3.
+    let t = alice.read(CARLOS);
+    alice.wait(t, wait).expect("read completes");
 
-    println!("Alice's notifications:");
+    // t = 5..8: afternoon edits.
+    for rev in 4..=7u64 {
+        let t = alice.write(Value::from(format!("alice rev {rev}").as_str()));
+        alice.wait(t, wait).expect("write completes");
+    }
+    // Bob catches up with Alice's work right after her t=8.
+    let t = bob.read(ALICE);
+    bob.wait(t, wait).expect("read completes");
+
+    // t = 9: Alice sees Bob's state (covering her ops up to 8).
+    let t = alice.read(BOB);
+    alice.wait(t, wait).expect("read completes");
+
+    // t = 10: one more edit -> stable_Alice([10, 8, 3]).
+    let t = alice.write(Value::from("alice rev 8"));
+    alice.wait(t, wait).expect("write completes");
+
+    println!("Alice's events for the working day:");
     let mut seen_fig2_cut = false;
-    for (time, note) in &result.notifications[ALICE.index()] {
-        match note {
-            Notification::Completed(c) => {
-                println!("  t={time:>5}  completed op with timestamp {}", c.timestamp);
+    for (time, event) in alice.poll() {
+        match event {
+            Event::Completed { completion, .. } => {
+                println!(
+                    "  t={time:>5}  completed op with timestamp {}",
+                    completion.timestamp
+                );
             }
-            Notification::Stable(cut) => {
+            Event::Stable { cut } => {
                 println!("  t={time:>5}  stable_Alice({cut})");
                 if cut.w == vec![10, 8, 3] {
                     seen_fig2_cut = true;
                     println!("           ^^^ the stability cut of Figure 2");
                 }
             }
-            Notification::Failed(r) => println!("  t={time:>5}  FAIL: {r}"),
+            Event::Violation { reason } => println!("  t={time:>5}  VIOLATION: {reason}"),
+            Event::Disconnected => println!("  t={time:>5}  disconnected"),
         }
     }
-
     assert!(
         seen_fig2_cut,
-        "expected the exact Figure 2 cut [10,8,3]; got {:?}",
-        result.last_cut(ALICE)
+        "expected the exact Figure 2 cut [10,8,3]; got {}",
+        alice.stability_cut()
     );
 
-    // After Carlos reconnects, the offline probe exchange spreads the
-    // maximal version, and Alice's operations become stable with respect
-    // to everyone.
-    let final_cut = result.last_cut(ALICE).expect("cuts were issued");
+    // America wakes up: Carlos reads the day's work, Bob refreshes, and
+    // Alice sees both — everything becomes stable at Alice.
+    let t = carlos.read(ALICE);
+    carlos.wait(t, wait).expect("read completes");
+    let t = bob.read(ALICE);
+    bob.wait(t, wait).expect("read completes");
+    let t = alice.read(CARLOS);
+    alice.wait(t, wait).expect("read completes");
+    let t = alice.read(BOB);
+    alice.wait(t, wait).expect("read completes");
+
+    let final_cut = alice.stability_cut();
     assert!(
         final_cut.w.iter().all(|&w| w >= 10),
         "eventual stability after Carlos returns; got {final_cut}"
     );
     println!("\nfinal cut: stable_Alice({final_cut}) — all 10 operations stable");
     println!("(Carlos reconnected; the server was correct all along.)");
+
+    for handle in [alice, bob, carlos] {
+        assert!(handle.failure().is_none(), "server is correct");
+        drop(handle);
+    }
+    engine.join().expect("engine thread");
 }

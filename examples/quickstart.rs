@@ -1,89 +1,137 @@
-//! Quickstart: three clients collaborate through an untrusted server.
+//! Quickstart: three clients collaborate through an untrusted server —
+//! driven entirely through the public client API.
 //!
-//! Spins up the full FAUST stack in deterministic simulation — clients,
-//! server, FIFO links, offline channel — runs a few reads and writes, and
-//! prints the completions and stability notifications each client
-//! observes.
+//! A live deployment in one process: the server engine serves the
+//! in-process channel transport on its own thread, and three
+//! [`faust::client::FaustHandle`] sessions write, read, and react to the
+//! typed fail-awareness event stream (completions with timestamps,
+//! stability cuts). Swap the channel transport for
+//! `FaustHandle::connect_tcp` and this same code runs against a remote
+//! `faust serve` process.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use faust::core::{FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp, Notification};
+use faust::client::{Event, FaustHandle, HandleConfig, OfflineLink, SessionCore};
+use faust::core::runtime::spawn_engine;
+use faust::core::FaustConfig;
 use faust::types::{ClientId, Value};
 use faust::ustor::UstorServer;
+use std::time::Duration;
 
 fn main() {
     let n = 3;
-    let mut driver = FaustDriver::new(
-        n,
-        Box::new(UstorServer::new(n)),
-        FaustDriverConfig {
-            faust: FaustConfig {
-                // Quiet variant for readable output: stability spreads
-                // through offline probes alone (no background dummy
-                // reads). See `collaboration.rs` for the full mechanism.
-                probe_period: 150,
-                dummy_reads: false,
-                commit_mode: faust::ustor::CommitMode::Immediate,
-            },
-            ..FaustDriverConfig::default()
+
+    // Server side: the engine over the channel transport, on its own
+    // thread — exactly what `faust serve` does behind TCP.
+    let (transport, conns) = faust::net::channel::pair(n);
+    let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+
+    // Client side: one handle per client, sharing the offline mesh (the
+    // paper's client-to-client medium) and one key seed.
+    let config = HandleConfig {
+        faust: FaustConfig {
+            // Quiet variant for readable output: stability spreads
+            // through the explicit reads and offline probes alone (no
+            // background dummy reads).
+            probe_period: 40,
+            dummy_reads: false,
+            ..FaustConfig::default()
         },
-        b"quickstart",
+        tick_interval: Duration::from_millis(5),
+        ..HandleConfig::default()
+    };
+    let mut links: Vec<OfflineLink> = faust::client::offline_mesh(n);
+    let mut handles: Vec<FaustHandle> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(i, conn)| {
+            FaustHandle::new(
+                ClientId::new(i as u32),
+                n,
+                b"quickstart",
+                &config,
+                Box::new(conn),
+            )
+            .with_offline(links.remove(0))
+        })
+        .collect();
+
+    let wait = Duration::from_secs(5);
+
+    // Client 0 publishes two document revisions — pipelined: both
+    // tickets are issued before either completes.
+    let _draft = handles[0].write(Value::from("draft: hello"));
+    let fin = handles[0].write(Value::from("final: hello, world"));
+    handles[0].wait(fin, wait).expect("writes complete");
+
+    // Clients 1 and 2 read the document.
+    let r1 = handles[1].read(ClientId::new(0));
+    let d1 = handles[1].wait(r1, wait).expect("read completes");
+    let r2 = handles[2].read(ClientId::new(0));
+    let d2 = handles[2].wait(r2, wait).expect("read completes");
+    println!(
+        "C1 read X0 -> {:?}   C2 read X0 -> {:?}\n",
+        d1.read_value.clone().flatten().expect("written"),
+        d2.read_value.clone().flatten().expect("written"),
     );
 
-    // Client 0 writes two document revisions; the others read them.
-    driver.push_ops(
-        ClientId::new(0),
-        vec![
-            FaustWorkloadOp::Write(Value::from("draft: hello")),
-            FaustWorkloadOp::Write(Value::from("final: hello, world")),
-        ],
-    );
-    driver.push_ops(
-        ClientId::new(1),
-        vec![
-            FaustWorkloadOp::Pause(40),
-            FaustWorkloadOp::Read(ClientId::new(0)),
-        ],
-    );
-    driver.push_ops(
-        ClientId::new(2),
-        vec![
-            FaustWorkloadOp::Pause(60),
-            FaustWorkloadOp::Read(ClientId::new(0)),
-        ],
-    );
-
-    let result = driver.run_until(1_500);
-
-    for i in 0..n {
-        let id = ClientId::new(i as u32);
-        println!("── client C{i} ──");
-        for (time, note) in &result.notifications[id.index()] {
-            match note {
-                Notification::Completed(c) => {
-                    let what = match &c.read_value {
-                        Some(Some(v)) => format!("read X{} -> {v}", c.target.index()),
-                        Some(None) => format!("read X{} -> ⊥", c.target.index()),
-                        None => format!("write X{}", c.target.index()),
-                    };
-                    println!("  t={time:>5}  op (timestamp {}): {what}", c.timestamp);
-                }
-                Notification::Stable(cut) => {
-                    println!("  t={time:>5}  stable{cut}");
-                }
-                Notification::Failed(reason) => {
-                    println!("  t={time:>5}  FAIL: {reason}");
-                }
-            }
+    // Let the probe machinery spread stability for a moment, pumping
+    // every handle (each probes silent peers and answers with its
+    // maximal version).
+    let mut events: Vec<Vec<(u64, Event)>> = vec![Vec::new(); n];
+    for _ in 0..30 {
+        for (i, handle) in handles.iter_mut().enumerate() {
+            events[i].extend(handle.run_for(Duration::from_millis(10)));
         }
     }
 
-    assert!(result.failures.is_empty(), "correct server: no failures");
-    println!("\nserver is correct: no failure notifications, as guaranteed.");
+    for (i, handle) in handles.iter_mut().enumerate() {
+        events[i].extend(handle.poll());
+        println!("── client C{i} ──");
+        for (t, event) in &events[i] {
+            match event {
+                Event::Completed { ticket, completion } => {
+                    let what = match &completion.read_value {
+                        Some(Some(v)) => format!("read X{} -> {v}", completion.target.index()),
+                        Some(None) => format!("read X{} -> ⊥", completion.target.index()),
+                        None => format!("write X{}", completion.target.index()),
+                    };
+                    println!(
+                        "  t={t:>5}  {ticket} (timestamp {}): {what}",
+                        completion.timestamp
+                    );
+                }
+                Event::Stable { cut } => println!("  t={t:>5}  stable{cut}"),
+                Event::Violation { reason } => println!("  t={t:>5}  VIOLATION: {reason}"),
+                Event::Disconnected => println!("  t={t:>5}  disconnected"),
+            }
+        }
+        assert!(
+            handle.failure().is_none(),
+            "correct server: no violations ever"
+        );
+    }
+
+    // C0's two revisions became stable with respect to everyone: each
+    // peer's entry in C0's cut reached timestamp 2.
+    let cut = handles[0].stability_cut();
+    assert!(
+        cut.w.iter().all(|&w| w >= 2),
+        "expected full stability, got {cut}"
+    );
+    println!("\nfinal cut at C0: stable{cut} — both revisions stable w.r.t. everyone");
+
+    // Clean shutdown: every handle disconnects, the engine drains and
+    // exits, and its counters confirm the traffic.
+    let mut cores: Vec<SessionCore> = Vec::new();
+    for handle in handles {
+        let (core, _clock) = handle.into_core();
+        cores.push(core);
+    }
+    let stats = engine.join().expect("engine thread");
     println!(
-        "traffic: {} link messages ({} bytes), {} offline messages",
-        result.metrics.link_messages_sent,
-        result.metrics.link_bytes_sent,
-        result.metrics.offline_messages_sent,
+        "server is correct: no failure notifications, as guaranteed.\n\
+         traffic: {} submits, {} commits, {} frames out in {} writes",
+        stats.submits, stats.commits, stats.frames_out, stats.flushes,
     );
 }

@@ -43,6 +43,7 @@ fn main() {
                 probe_period: 300,
                 dummy_reads: true,
                 commit_mode: faust::ustor::CommitMode::Immediate,
+                pipeline: 1,
             },
             tick_period: 25,
         },

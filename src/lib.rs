@@ -57,6 +57,11 @@
 
 #![forbid(unsafe_code)]
 
+/// The first-class fail-aware client API: live [`client::FaustHandle`]
+/// sessions with pipelined operations and a typed [`client::Event`]
+/// stream. (An alias for [`faust_core::handle`].)
+pub use faust_core::handle as client;
+
 pub use faust_baseline as baseline;
 pub use faust_consistency as consistency;
 pub use faust_core as core;

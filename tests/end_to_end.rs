@@ -38,6 +38,7 @@ fn figure_2_stability_cut() {
                 probe_period: 2_000,
                 dummy_reads: false,
                 commit_mode: faust::ustor::CommitMode::Immediate,
+                pipeline: 1,
             },
             tick_period: 25,
         },
@@ -264,6 +265,7 @@ fn forked_faust_histories_meet_the_guarantees() {
                 probe_period: 5_000,
                 dummy_reads: false,
                 commit_mode: faust::ustor::CommitMode::Immediate,
+                pipeline: 1,
             },
             ..FaustDriverConfig::default()
         },
@@ -306,6 +308,7 @@ fn faust_with_piggybacked_commits() {
                 probe_period: 200,
                 dummy_reads: true,
                 commit_mode: faust::ustor::CommitMode::Piggyback,
+                pipeline: 1,
             },
             ..FaustDriverConfig::default()
         },
@@ -350,6 +353,7 @@ fn piggybacked_faust_still_detects_forks() {
                 probe_period: 200,
                 dummy_reads: true,
                 commit_mode: faust::ustor::CommitMode::Piggyback,
+                pipeline: 1,
             },
             ..FaustDriverConfig::default()
         },
