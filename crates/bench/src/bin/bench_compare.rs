@@ -1,0 +1,144 @@
+//! CI bench-regression gate: diffs a fresh `bench_smoke` JSON report
+//! against a checked-in baseline and fails (exit 1) when any data point
+//! shared by both files lost more than the allowed fraction of its
+//! `per_second` throughput.
+//!
+//! Only the *intersection* of point names is compared, so a baseline
+//! from an older schema (fewer points) still gates the points it knows
+//! about, and brand-new points ride along ungated until the baseline is
+//! refreshed. The parser is hand-rolled for exactly the JSON
+//! `bench_smoke` emits — fixed ASCII names, flat `results` array — in
+//! keeping with the repo's no-external-dependencies rule.
+//!
+//! Usage: `bench_compare <current.json> <baseline.json> [--max-regression PCT]`
+
+use std::process::ExitCode;
+
+/// Extracts `(name, per_second)` for every entry of the `results` array.
+///
+/// Works on the shape `bench_smoke` writes: each result object holds a
+/// `"name"` string (fixed ASCII, no escapes) followed by a
+/// `"per_second"` number.
+fn parse_points(json: &str) -> Vec<(String, f64)> {
+    let mut points = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\": \"") {
+        rest = &rest[at + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        rest = &rest[end..];
+        let Some(at) = rest.find("\"per_second\": ") else {
+            break;
+        };
+        rest = &rest[at + "\"per_second\": ".len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        match rest[..end].parse::<f64>() {
+            Ok(v) => points.push((name, v)),
+            Err(_) => break,
+        }
+        rest = &rest[end..];
+    }
+    points
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    let points = parse_points(&json);
+    assert!(!points.is_empty(), "bench_compare: no points in {path}");
+    points
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regression = 30.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regression needs a percentage");
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_compare <current.json> <baseline.json> [--max-regression PCT]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [current_path, baseline_path] = &paths[..] else {
+        eprintln!("usage: bench_compare <current.json> <baseline.json> [--max-regression PCT]");
+        return ExitCode::from(2);
+    };
+
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    println!("bench_compare: {current_path} vs {baseline_path} (fail below -{max_regression:.0}%)");
+    let mut compared = 0usize;
+    let mut failed = 0usize;
+    for (name, base) in &baseline {
+        let Some((_, now)) = current.iter().find(|(n, _)| n == name) else {
+            println!("  (gone)    {name}");
+            continue;
+        };
+        compared += 1;
+        let delta = (now / base - 1.0) * 100.0;
+        let verdict = if delta < -max_regression {
+            failed += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:<9} {name:<46} {base:>14.0} -> {now:>14.0} iter/s ({delta:+.1}%)");
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  (new)     {name}");
+        }
+    }
+    assert!(compared > 0, "bench_compare: no shared points to compare");
+    if failed > 0 {
+        eprintln!(
+            "bench_compare: {failed}/{compared} point(s) regressed more than {max_regression:.0}%"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: all {compared} shared point(s) within the budget");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_points;
+
+    #[test]
+    fn parses_the_bench_smoke_shape() {
+        let json = r#"{
+  "schema": 4,
+  "results": [
+    {"name": "wire: encode REPLY (n=8, read)", "ns_per_iter": 245.8, "per_second": 4067552.9},
+    {"name": "e2e: tcp write op, sharded(4) (4x16)", "ns_per_iter": 72121.5, "per_second": 13865.0}
+  ],
+  "egress": {"frames_out": 32, "flushes": 4, "max_egress_batch": 8}
+}"#;
+        let points = parse_points(json);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, "wire: encode REPLY (n=8, read)");
+        assert!((points[0].1 - 4067552.9).abs() < 1e-6);
+        assert_eq!(points[1].0, "e2e: tcp write op, sharded(4) (4x16)");
+        assert!((points[1].1 - 13865.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_or_garbage_yields_no_points() {
+        assert!(parse_points("{}").is_empty());
+        assert!(parse_points("\"name\": \"x\" no number").is_empty());
+    }
+}

@@ -20,9 +20,9 @@ use faust_core::handle::{Event, FaustHandle, HandleConfig};
 use faust_core::FaustConfig;
 use faust_crypto::sig::SigScheme;
 use faust_net::TcpServerTransport;
-use faust_store::{Durability, PersistentBackend, StoreConfig};
+use faust_store::{Durability, PersistentBackend, ShardedBackend, StoreConfig};
 use faust_types::{ClientId, Value};
-use faust_ustor::{serve, MemoryBackend, ServerBackend, ServerEngine};
+use faust_ustor::{serve, MemoryBackend, ServerBackend, ServerEngine, ShardedServer};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -50,12 +50,17 @@ faust — fail-aware untrusted storage (FAUST) over TCP
 
 USAGE:
   faust serve   [--addr A] [--clients N] [--dir PATH] [--durability D] [--snapshot-every K]
+                [--shards S]
   faust connect --addr A [--id I] [--clients N] [--key-seed S] [--scheme hmac|ed25519]
                 [--pipeline D] [--write VALUE]... [--read J]... [--linger-ms MS] [--dummy-reads]
   faust bench   [--addr A] [--clients N] [--ops K] [--pipeline D] [--value-len B]
-                [--durability D] [--key-seed S]
+                [--durability D] [--key-seed S] [--shards S]
 
 Durability D: always (fsync per record), group (batched fsync, the default), never.
+--shards S > 1 runs S server shards, each on its own worker thread with its own
+shard-<i>/ store directory under --dir; client-visible messages are identical to an
+unsharded server, so any client can talk to any deployment. The shard count is part
+of a persistent store's layout and must match across restarts.
 `connect` ops run in command-line order and pipeline up to the configured depth.
 All clients of one deployment must share --clients, --key-seed, --scheme, and --pipeline.
 
@@ -104,6 +109,7 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
     let mut dir: Option<String> = None;
     let mut durability = Durability::group();
     let mut snapshot_every = 1024u64;
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -117,32 +123,59 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
             "--dir" => dir = Some(val()?.to_string()),
             "--durability" => durability = parse_durability(val()?)?,
             "--snapshot-every" => snapshot_every = parse_value(flag, val()?)?,
+            "--shards" => shards = parse_value(flag, val()?)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if clients == 0 {
         return Err("--clients must be at least 1".into());
     }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
 
     let mut transport = TcpServerTransport::bind(addr.as_str(), clients)
         .map_err(|e| format!("bind {addr}: {e}"))?;
-    let backend: Box<dyn ServerBackend + Send> = match &dir {
-        Some(dir) => Box::new(PersistentBackend::new(
-            dir,
-            StoreConfig {
-                durability,
-                snapshot_every,
-            },
-        )),
-        None => Box::new(MemoryBackend),
+    // --shards 1 keeps the plain single-engine stack; > 1 deploys one
+    // worker thread (and, with --dir, one store directory) per shard.
+    let mut shard_stats = None;
+    let mut engine = if shards > 1 {
+        let server = match &dir {
+            Some(dir) => ShardedBackend::new(
+                dir,
+                StoreConfig {
+                    durability,
+                    snapshot_every,
+                },
+                shards,
+                true,
+            )
+            .open(clients)
+            .map_err(|e| format!("build server state: {e}"))?,
+            None => ShardedServer::volatile(clients, shards, true),
+        };
+        shard_stats = Some(server.stats_handle());
+        ServerEngine::new(clients, Box::new(server))
+    } else {
+        let backend: Box<dyn ServerBackend + Send> = match &dir {
+            Some(dir) => Box::new(PersistentBackend::new(
+                dir,
+                StoreConfig {
+                    durability,
+                    snapshot_every,
+                },
+            )),
+            None => Box::new(MemoryBackend),
+        };
+        ServerEngine::from_backend(clients, backend.as_ref())
+            .map_err(|e| format!("build server state: {e}"))?
     };
-    let mut engine = ServerEngine::from_backend(clients, backend.as_ref())
-        .map_err(|e| format!("build server state: {e}"))?;
     println!(
-        "faust-serve: listening on {} ({} clients, durability={:?}, state={})",
+        "faust-serve: listening on {} ({} clients, durability={:?}, shards={}, state={})",
         transport.local_addr(),
         clients,
         durability,
+        shards,
         dir.as_deref().unwrap_or("in-memory"),
     );
     // The smoke scripts parse the line above; make sure it is out.
@@ -156,6 +189,15 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
          ({} submits, {} commits, {} rejected, {} frames out in {} writes)",
         clients, stats.submits, stats.commits, stats.rejected, stats.frames_out, stats.flushes,
     );
+    if let Some(handle) = shard_stats {
+        for (i, s) in handle.per_shard().iter().enumerate() {
+            println!(
+                "faust-serve: shard {i}: {} owned submits, {} owned commits, \
+                 {} replies released in {} flushes",
+                s.submits, s.commits, s.frames_out, s.flushes,
+            );
+        }
+    }
     Ok(())
 }
 
@@ -333,6 +375,7 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
     let mut value_len = 64usize;
     let mut durability = Durability::group();
     let mut key_seed = "faust-cli".to_string();
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -348,11 +391,34 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
             "--value-len" => value_len = parse_value(flag, val()?)?,
             "--durability" => durability = parse_durability(val()?)?,
             "--key-seed" => key_seed = val()?.to_string(),
+            "--shards" => shards = parse_value(flag, val()?)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if clients == 0 || ops == 0 {
         return Err("--clients and --ops must be at least 1".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    // Match the group-commit batch to the bench's sliding window. With
+    // the stock max_records (64) a small `clients x pipeline` window can
+    // never fill a batch, so EVERY round of replies waits out the full
+    // max_wait — the bench then measures the fsync timer, not the
+    // server (see docs/client-api.md, "Group commit and pipelined
+    // benchmarks").
+    if let Durability::Group {
+        max_records,
+        max_wait,
+    } = durability
+    {
+        let window = (clients * pipeline.max(1)) as u64;
+        if window < max_records {
+            durability = Durability::Group {
+                max_records: window,
+                max_wait,
+            };
+        }
     }
 
     // Self-host a loopback server unless an external one was named.
@@ -364,15 +430,20 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
             let mut transport = TcpServerTransport::bind("127.0.0.1:0", clients)
                 .map_err(|e| format!("bind loopback: {e}"))?;
             let addr = transport.local_addr();
-            let backend = PersistentBackend::new(
-                &dir,
-                StoreConfig {
-                    durability,
-                    snapshot_every: 0,
-                },
-            );
-            let mut engine = ServerEngine::from_backend(clients, &backend)
-                .map_err(|e| format!("build server state: {e}"))?;
+            let config = StoreConfig {
+                durability,
+                snapshot_every: 0,
+            };
+            let mut engine = if shards > 1 {
+                let server = ShardedBackend::new(&dir, config, shards, true)
+                    .open(clients)
+                    .map_err(|e| format!("build server state: {e}"))?;
+                ServerEngine::new(clients, Box::new(server))
+            } else {
+                let backend = PersistentBackend::new(&dir, config);
+                ServerEngine::from_backend(clients, &backend)
+                    .map_err(|e| format!("build server state: {e}"))?
+            };
             self_hosted = Some((
                 std::thread::spawn(move || {
                     serve(&mut engine, &mut transport);
@@ -384,7 +455,8 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "faust-bench: {clients} clients x {ops} pipelined writes ({value_len} B, depth {pipeline}) -> {addr}"
+        "faust-bench: {clients} clients x {ops} pipelined writes \
+         ({value_len} B, depth {pipeline}, {shards} shard(s)) -> {addr}"
     );
     let config = HandleConfig {
         faust: FaustConfig {

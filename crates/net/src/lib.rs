@@ -60,11 +60,13 @@
 pub mod channel;
 pub mod conn;
 pub mod queue;
+pub mod router;
 pub mod tcp;
 
 pub use channel::ChannelServerTransport;
 pub use conn::{ClientConn, ClientTransport, ConnSender, TransportClosed};
 pub use queue::QueueTransport;
+pub use router::{shard_of, ShardRouter};
 pub use tcp::{TcpServerTransport, MAX_CLIENTS};
 
 use faust_types::{ClientId, UstorMsg};

@@ -1,0 +1,297 @@
+//! Routing helpers for a sharded server: register→shard placement and
+//! the per-client FIFO merge of replies produced by different shards.
+//!
+//! The register space partitions by owner (`register % shards` — FAUST
+//! registers are single-writer, so the split is conflict-free), but a
+//! single client's *operations* do not: its writes land on its own
+//! register's shard while its reads follow the register it reads. Under
+//! group commit each shard releases its held replies on its own fsync
+//! schedule, so replies for one client can surface from different
+//! shards out of submission order. The transport invariant ("no
+//! reordering within one client's stream") must nevertheless hold — the
+//! fail-aware client interprets replies strictly in the order it
+//! submitted.
+//!
+//! [`ShardRouter`] restores that order. Every inbound message gets a
+//! global sequence number in arrival order (the schedule that *defines*
+//! the total order of Algorithm 2); each shard releases replies for the
+//! operations it owns in its own dispatch order; the router zips those
+//! releases against its per-shard dispatch FIFOs and holds each reply
+//! until every earlier reply of the same client has been released.
+//! Replies to *different* clients carry no ordering guarantee, exactly
+//! as with a single engine.
+
+use faust_types::{ClientId, ReplyMsg};
+use std::collections::{HashMap, VecDeque};
+
+/// The shard that owns `register`: `register % shards`.
+///
+/// Registers are single-writer, so this places each client's writes —
+/// and all state for the register — on exactly one shard.
+pub fn shard_of(register: ClientId, shards: usize) -> usize {
+    assert!(shards > 0, "a sharded deployment has at least one shard");
+    register.index() % shards
+}
+
+/// Per-client reorder state: the sequence numbers this client is owed
+/// replies for (in submission order) and the replies that have already
+/// surfaced from their shards.
+#[derive(Debug, Default)]
+struct ClientQueue {
+    expected: VecDeque<u64>,
+    arrived: HashMap<u64, ReplyMsg>,
+}
+
+/// Merges per-shard reply streams back into per-client FIFO order.
+///
+/// Protocol per inbound message:
+/// 1. [`ShardRouter::assign`] hands out the global sequence number;
+/// 2. if the message will produce a reply (a SUBMIT — commits are
+///    acknowledged implicitly), [`ShardRouter::dispatch`] records which
+///    shard owes it;
+/// 3. when a shard releases replies (its group-commit flush),
+///    [`ShardRouter::completed`] matches them against that shard's
+///    dispatch FIFO and returns every reply that is now at the head of
+///    its client's queue.
+#[derive(Debug)]
+pub struct ShardRouter {
+    next_seq: u64,
+    /// Per-shard FIFO of `(seq, client)` for owned submits whose reply
+    /// has not yet surfaced. A shard releases replies in the order it
+    /// applied the submits, which is dispatch order.
+    in_flight: Vec<VecDeque<(u64, ClientId)>>,
+    clients: Vec<ClientQueue>,
+    outstanding: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards serving `n` clients.
+    pub fn new(shards: usize, n: usize) -> Self {
+        assert!(shards > 0, "a sharded deployment has at least one shard");
+        ShardRouter {
+            next_seq: 0,
+            in_flight: (0..shards).map(|_| VecDeque::new()).collect(),
+            clients: (0..n).map(|_| ClientQueue::default()).collect(),
+            outstanding: 0,
+        }
+    }
+
+    /// Number of shards this router fans out over.
+    pub fn shards(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The next global sequence number (what [`ShardRouter::assign`]
+    /// will hand out), i.e. how many messages have been sequenced.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Replies dispatched but not yet released back to their clients.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Assigns the global sequence number for the next inbound message.
+    /// Every message is sequenced — including commits, which produce no
+    /// reply — because the sequence *is* the schedule all shard
+    /// replicas apply.
+    pub fn assign(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Resumes sequencing after recovery: the next [`ShardRouter::assign`]
+    /// returns `next_seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replies are outstanding — reseeding mid-flight would
+    /// desynchronize the dispatch FIFOs.
+    pub fn resume_at(&mut self, next_seq: u64) {
+        assert_eq!(self.outstanding, 0, "cannot reseed with replies in flight");
+        self.next_seq = next_seq;
+    }
+
+    /// Records that `shard` owes a reply to `client` for the operation
+    /// sequenced as `seq`. Must be called in `seq` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `client` is out of range.
+    pub fn dispatch(&mut self, shard: usize, seq: u64, client: ClientId) {
+        self.in_flight[shard].push_back((seq, client));
+        self.clients[client.index()].expected.push_back(seq);
+        self.outstanding += 1;
+    }
+
+    /// Feeds replies released by `shard` (in its apply order) into the
+    /// merge, returning every reply now releasable without violating
+    /// some client's FIFO order. The returned replies are in global
+    /// sequence order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` releases more replies than it owes, or a reply
+    /// addressed to a different client than the dispatch recorded —
+    /// both would mean the shard broke the single-engine contract.
+    pub fn completed(
+        &mut self,
+        shard: usize,
+        replies: Vec<(ClientId, ReplyMsg)>,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        let mut touched: Vec<ClientId> = Vec::new();
+        for (to, reply) in replies {
+            let (seq, expected_to) = self.in_flight[shard]
+                .pop_front()
+                .expect("shard released a reply it does not owe");
+            assert_eq!(
+                to, expected_to,
+                "shard {shard} replied to {to} for seq {seq}, owed to {expected_to}"
+            );
+            self.clients[to.index()].arrived.insert(seq, reply);
+            touched.push(to);
+        }
+        // Release the contiguous head of every touched client's queue,
+        // collecting (seq, client, reply) so the batch comes out in
+        // global order across clients too.
+        let mut out: Vec<(u64, ClientId, ReplyMsg)> = Vec::new();
+        for to in touched {
+            let queue = &mut self.clients[to.index()];
+            while let Some(&seq) = queue.expected.front() {
+                match queue.arrived.remove(&seq) {
+                    Some(reply) => {
+                        queue.expected.pop_front();
+                        self.outstanding -= 1;
+                        out.push((seq, to, reply));
+                    }
+                    None => break,
+                }
+            }
+        }
+        out.sort_by_key(|(seq, _, _)| *seq);
+        out.into_iter().map(|(_, to, reply)| (to, reply)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faust_types::SignedVersion;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    /// A dummy reply distinguishable by `tag` (the router never looks
+    /// inside replies, only at the address — `proofs.len()` stands in
+    /// as an inert marker).
+    fn reply(tag: usize) -> ReplyMsg {
+        ReplyMsg {
+            last_committer: c(0),
+            commit_version: SignedVersion::initial(2),
+            read: None,
+            pending: Vec::new(),
+            proofs: vec![None; tag],
+        }
+    }
+
+    fn tag(msg: &ReplyMsg) -> usize {
+        msg.proofs.len()
+    }
+
+    #[test]
+    fn shard_of_partitions_by_register() {
+        assert_eq!(shard_of(c(0), 4), 0);
+        assert_eq!(shard_of(c(5), 4), 1);
+        assert_eq!(shard_of(c(7), 4), 3);
+        // One shard: everything lands on shard 0.
+        for i in 0..8 {
+            assert_eq!(shard_of(c(i), 1), 0);
+        }
+    }
+
+    #[test]
+    fn in_order_release_passes_straight_through() {
+        let mut r = ShardRouter::new(2, 2);
+        let s0 = r.assign();
+        r.dispatch(0, s0, c(0));
+        let out = r.completed(0, vec![(c(0), reply(1))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, c(0));
+        assert_eq!(tag(&out[0].1), 1);
+        assert_eq!(r.outstanding(), 0);
+    }
+
+    #[test]
+    fn reply_is_held_until_the_clients_earlier_reply_surfaces() {
+        // Client 0's op 1 goes to shard 0, op 2 to shard 1. Shard 1
+        // flushes first: its reply must be held; both release (in
+        // order) once shard 0 flushes.
+        let mut r = ShardRouter::new(2, 1);
+        let s0 = r.assign();
+        r.dispatch(0, s0, c(0));
+        let s1 = r.assign();
+        r.dispatch(1, s1, c(0));
+
+        let early = r.completed(1, vec![(c(0), reply(2))]);
+        assert!(early.is_empty(), "later op must wait for the earlier one");
+        assert_eq!(r.outstanding(), 2);
+
+        let out = r.completed(0, vec![(c(0), reply(1))]);
+        let tags: Vec<usize> = out.iter().map(|(_, m)| tag(m)).collect();
+        assert_eq!(tags, vec![1, 2], "per-client FIFO restored");
+        assert_eq!(r.outstanding(), 0);
+    }
+
+    #[test]
+    fn clients_do_not_block_each_other() {
+        // Client 0 waits on slow shard 0; client 1's reply from shard 1
+        // releases immediately.
+        let mut r = ShardRouter::new(2, 2);
+        let s0 = r.assign();
+        r.dispatch(0, s0, c(0));
+        let s1 = r.assign();
+        r.dispatch(1, s1, c(1));
+        let out = r.completed(1, vec![(c(1), reply(7))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, c(1));
+        assert_eq!(r.outstanding(), 1);
+    }
+
+    #[test]
+    fn batched_shard_flush_releases_in_global_order() {
+        // One shard owes three replies across two clients and flushes
+        // them together (a group commit); the merge keeps global order.
+        let mut r = ShardRouter::new(1, 2);
+        for client in [c(0), c(1), c(0)] {
+            let seq = r.assign();
+            r.dispatch(0, seq, client);
+        }
+        let out = r.completed(
+            0,
+            vec![(c(0), reply(1)), (c(1), reply(2)), (c(0), reply(3))],
+        );
+        let got: Vec<(ClientId, usize)> = out.iter().map(|(to, m)| (*to, tag(m))).collect();
+        assert_eq!(got, vec![(c(0), 1), (c(1), 2), (c(0), 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not owe")]
+    fn unowed_reply_panics() {
+        let mut r = ShardRouter::new(1, 1);
+        r.completed(0, vec![(c(0), reply(1))]);
+    }
+
+    #[test]
+    fn commits_consume_sequence_numbers_without_dispatch() {
+        let mut r = ShardRouter::new(2, 1);
+        assert_eq!(r.assign(), 0); // a commit: sequenced, no reply owed
+        let s = r.assign();
+        assert_eq!(s, 1);
+        r.dispatch(1, s, c(0));
+        assert_eq!(r.outstanding(), 1);
+        assert_eq!(r.next_seq(), 2);
+    }
+}

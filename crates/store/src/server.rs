@@ -88,12 +88,12 @@ impl StoreConfig {
     /// Whether snapshots, rotations, and file creation fsync. Group
     /// commit is a *durable* policy — only the per-append fsync is
     /// amortized, never the rename barriers.
-    fn sync(&self) -> bool {
+    pub(crate) fn sync(&self) -> bool {
         !matches!(self.durability, Durability::Never)
     }
 
     /// Whether each individual append fsyncs before returning.
-    fn sync_each_append(&self) -> bool {
+    pub(crate) fn sync_each_append(&self) -> bool {
         matches!(self.durability, Durability::Always)
     }
 }
@@ -301,6 +301,7 @@ impl PersistentServer {
                 n: self.inner.num_clients(),
                 next_seq,
                 state: self.inner.export_state(),
+                global_next_seq: None,
             },
             self.config.sync(),
         )?;

@@ -1,0 +1,943 @@
+//! Sharded serving: partition the data plane across cores, replicate
+//! the version plane, keep the protocol bit-identical.
+//!
+//! The register space partitions cleanly by owner (registers are
+//! single-writer), but USTOR replies do **not**: every REPLY carries
+//! global state — the last committer's version, the full pending list
+//! `L`, and all PROOF-signatures (`UstorServer::build_reply`). A shard
+//! that saw only "its" registers could not answer correctly, and the
+//! fail-aware client checks in `SessionCore`/`UstorClient` would
+//! (rightly) flag it. So this module shards the *work*, not the
+//! protocol state:
+//!
+//! * **The version plane is replicated.** Every shard holds a full
+//!   replica of the server state and applies *every* message in one
+//!   global arrival order (assigned by [`faust_net::ShardRouter`]).
+//!   Replicas are deterministic, so all shards agree bit-for-bit.
+//! * **The data plane is partitioned.** Only the shard owning the
+//!   target register (`register % shards`, [`faust_net::shard_of`])
+//!   pays for the message: it appends the WAL record, fsyncs on its own
+//!   group-commit schedule, and builds the `O(n + |L|)` REPLY. The
+//!   other shards run the cheap absorb path
+//!   ([`UstorServer::absorb_submit`]) — state update only, no clones,
+//!   no I/O.
+//!
+//! Because a reply's bytes are fixed at apply time from replicated
+//! state, the client-visible messages are identical to a single-engine
+//! run at **any** shard count; only cross-client interleaving can
+//! differ, and the router restores per-client FIFO order. `tests/
+//! sharded.rs` asserts both properties with the fixed-seed equivalence
+//! machinery.
+//!
+//! [`ShardedServer`] implements [`Server`], so the ordinary
+//! [`ServerEngine`]/[`serve`](crate::serve) stack (sessions, ingress
+//! verification, egress batching) runs unchanged on top. Two execution
+//! modes: *inline* (shards applied synchronously on the caller's
+//! thread — deterministic, used by the simulator and equivalence
+//! tests) and *threaded* (one worker thread per shard — the serving
+//! configuration that scales with cores).
+
+use crate::engine::{EngineStats, ServerEngine};
+use crate::server::{Server, UstorServer};
+use faust_net::{shard_of, ShardRouter};
+use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the force-flush barrier waits for every shard worker to
+/// acknowledge before declaring the deployment wedged.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How soon a serve loop should wake while sharded replies are in
+/// flight (threaded mode): workers release replies asynchronously, so
+/// the loop polls on a short tick instead of parking in `recv`.
+const RELEASE_TICK: Duration = Duration::from_micros(500);
+
+/// One shard of a sharded deployment: a full replica of the protocol
+/// state plus (for persistent members) the durability machinery for the
+/// registers it owns.
+///
+/// All methods receive the message's global sequence number `seq` —
+/// persistent members record it so recovery can re-merge the shards'
+/// logs into the one global order — and `owned`, true iff this shard
+/// owns the message (submits: the target register; commits: the
+/// committing client). Non-owners must apply the state change and
+/// nothing else: no logging, no replies.
+pub trait ShardMember: Send {
+    /// Applies a globally-sequenced SUBMIT. Owners return the replies
+    /// to release (possibly empty now and held until [`ShardMember::flush`],
+    /// group-commit style); non-owners absorb and return nothing.
+    fn apply_submit(
+        &mut self,
+        seq: u64,
+        from: ClientId,
+        msg: SubmitMsg,
+        owned: bool,
+    ) -> Vec<(ClientId, ReplyMsg)>;
+
+    /// Applies a globally-sequenced COMMIT. A commit never *produces* a
+    /// reply, but an owner's commit append can fill a group-commit batch
+    /// and thereby *release* held submit replies — hence the return
+    /// value. Non-owners absorb and return nothing.
+    fn apply_commit(
+        &mut self,
+        seq: u64,
+        from: ClientId,
+        msg: CommitMsg,
+        owned: bool,
+    ) -> Vec<(ClientId, ReplyMsg)>;
+
+    /// Offers a durability flush point; returns replies whose records
+    /// are now durable. Mirrors [`Server::flush`].
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        let _ = force;
+        Vec::new()
+    }
+
+    /// When this shard must next be flushed even without new traffic.
+    /// Mirrors [`Server::flush_deadline`].
+    fn flush_deadline(&self) -> Option<Instant> {
+        None
+    }
+
+    /// `Some(description)` once this shard has wedged (a persistent
+    /// member hit an I/O error and can no longer uphold durability).
+    /// A wedged shard silences the whole deployment — see the module
+    /// docs of `faust-store`'s sharded backend for the crash semantics.
+    fn wedged(&self) -> Option<String> {
+        None
+    }
+}
+
+/// A purely in-memory shard member: a [`UstorServer`] replica with no
+/// durability. Owners answer immediately; non-owners absorb.
+#[derive(Debug)]
+pub struct VolatileShard {
+    inner: UstorServer,
+}
+
+impl VolatileShard {
+    /// A fresh volatile replica for `n` clients.
+    pub fn new(n: usize) -> Self {
+        VolatileShard {
+            inner: UstorServer::new(n),
+        }
+    }
+}
+
+impl ShardMember for VolatileShard {
+    fn apply_submit(
+        &mut self,
+        _seq: u64,
+        from: ClientId,
+        msg: SubmitMsg,
+        owned: bool,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        if owned {
+            self.inner.on_submit(from, msg)
+        } else {
+            self.inner.absorb_submit(from, msg);
+            Vec::new()
+        }
+    }
+
+    fn apply_commit(
+        &mut self,
+        _seq: u64,
+        from: ClientId,
+        msg: CommitMsg,
+        _owned: bool,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        self.inner.on_commit(from, msg)
+    }
+}
+
+/// A cloneable handle onto per-shard [`EngineStats`], shared with the
+/// shard workers; survives the engine, so a runtime can report shard
+/// stats after `serve` returns.
+#[derive(Debug, Clone)]
+pub struct ShardStatsHandle(Arc<Vec<Mutex<EngineStats>>>);
+
+impl ShardStatsHandle {
+    fn new(shards: usize) -> Self {
+        ShardStatsHandle(Arc::new(
+            (0..shards)
+                .map(|_| Mutex::new(EngineStats::default()))
+                .collect(),
+        ))
+    }
+
+    /// A snapshot of each shard's counters, indexed by shard.
+    ///
+    /// Shards fill the fields they own: `submits`/`commits` count the
+    /// messages the shard *owned* (piggybacked commits count), and
+    /// `frames_out`/`flushes`/`max_egress_batch` describe its reply
+    /// releases. Round-level fields (`batches`, `max_batch`,
+    /// `rejected`, `nonsense`) belong to the engine on top and stay 0.
+    pub fn per_shard(&self) -> Vec<EngineStats> {
+        self.0
+            .iter()
+            .map(|slot| slot.lock().expect("shard stats poisoned").clone())
+            .collect()
+    }
+
+    /// The shards' counters aggregated with [`EngineStats::merged`].
+    pub fn merged(&self) -> EngineStats {
+        EngineStats::merged(&self.per_shard())
+    }
+}
+
+fn note_owned_submit(slot: &Mutex<EngineStats>, piggybacked: bool) {
+    let mut stats = slot.lock().expect("shard stats poisoned");
+    stats.submits += 1;
+    if piggybacked {
+        stats.commits += 1;
+    }
+}
+
+fn note_owned_commit(slot: &Mutex<EngineStats>) {
+    slot.lock().expect("shard stats poisoned").commits += 1;
+}
+
+fn note_release(slot: &Mutex<EngineStats>, count: usize) {
+    let mut stats = slot.lock().expect("shard stats poisoned");
+    stats.frames_out += count as u64;
+    stats.flushes += 1;
+    stats.max_egress_batch = stats.max_egress_batch.max(count);
+}
+
+/// Commands the sharded server sends to a shard (worker thread in
+/// threaded mode; applied synchronously in inline mode).
+enum ShardCmd {
+    Submit {
+        seq: u64,
+        from: ClientId,
+        msg: Box<SubmitMsg>,
+        owned: bool,
+    },
+    Commit {
+        seq: u64,
+        from: ClientId,
+        msg: CommitMsg,
+        owned: bool,
+    },
+    Flush {
+        force: bool,
+    },
+    Shutdown,
+}
+
+/// Events a shard worker reports back.
+enum ShardEvent {
+    /// Replies released by `shard`, in its apply order.
+    Released {
+        shard: usize,
+        replies: Vec<(ClientId, ReplyMsg)>,
+    },
+    /// Acknowledges a forced [`ShardCmd::Flush`].
+    Flushed { shard: usize },
+    /// The shard hit an unrecoverable error and went silent.
+    Wedged { shard: usize, reason: String },
+}
+
+/// The threaded execution state: per-shard command channels, the shared
+/// event channel, and the worker handles.
+struct Threaded {
+    cmd_txs: Vec<Sender<ShardCmd>>,
+    event_rx: Receiver<ShardEvent>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Threaded {
+    /// Routes one drained event; returns replies now releasable.
+    fn handle(
+        event: ShardEvent,
+        router: &mut ShardRouter,
+        wedged: &mut Option<String>,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        match event {
+            ShardEvent::Released { shard, replies } => router.completed(shard, replies),
+            ShardEvent::Flushed { .. } => Vec::new(),
+            ShardEvent::Wedged { shard, reason } => {
+                wedged.get_or_insert(format!("shard {shard}: {reason}"));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Drains every event already reported, without blocking.
+    fn drain(
+        &mut self,
+        router: &mut ShardRouter,
+        wedged: &mut Option<String>,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        let mut released = Vec::new();
+        while let Ok(event) = self.event_rx.try_recv() {
+            released.extend(Self::handle(event, router, wedged));
+        }
+        released
+    }
+
+    /// Force-flushes every shard and waits for all acknowledgements —
+    /// the barrier a closing transport needs so no held reply is
+    /// stranded in a worker.
+    fn barrier_flush(
+        &mut self,
+        router: &mut ShardRouter,
+        wedged: &mut Option<String>,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        let mut released = Vec::new();
+        let mut expected = 0usize;
+        for (shard, tx) in self.cmd_txs.iter().enumerate() {
+            if tx.send(ShardCmd::Flush { force: true }).is_ok() {
+                expected += 1;
+            } else {
+                wedged.get_or_insert(format!("shard {shard}: worker terminated"));
+            }
+        }
+        let deadline = Instant::now() + BARRIER_TIMEOUT;
+        let mut acked_by = vec![false; self.cmd_txs.len()];
+        let mut acked = 0usize;
+        while acked < expected {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.event_rx.recv_timeout(timeout) {
+                Ok(event) => {
+                    if let ShardEvent::Flushed { shard } = event {
+                        if !std::mem::replace(&mut acked_by[shard], true) {
+                            acked += 1;
+                        }
+                    }
+                    released.extend(Self::handle(event, router, wedged));
+                }
+                Err(_) => {
+                    wedged.get_or_insert(format!(
+                        "flush barrier: {acked}/{expected} shards acknowledged"
+                    ));
+                    break;
+                }
+            }
+        }
+        released
+    }
+}
+
+/// Which thread applies shard work.
+enum Mode {
+    /// Shards applied synchronously on the calling thread, in shard
+    /// order — deterministic, no worker threads.
+    Inline(Vec<Box<dyn ShardMember>>),
+    /// One worker thread per shard.
+    Threaded(Threaded),
+}
+
+/// N shard replicas behind the [`Server`] trait. See the module docs.
+///
+/// On any shard wedge (I/O failure in a persistent member, a dead
+/// worker) the whole deployment goes **crash-silent**: no further
+/// message is sequenced or answered, exactly like a crashed server —
+/// the honest failure mode fail-aware clients are built for. Partial
+/// progress on the surviving shards would instead desynchronize the
+/// global order that recovery rebuilds.
+pub struct ShardedServer {
+    shards: usize,
+    router: ShardRouter,
+    mode: Mode,
+    stats: ShardStatsHandle,
+    wedged: Option<String>,
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("shards", &self.shards)
+            .field(
+                "mode",
+                &match self.mode {
+                    Mode::Inline(_) => "inline",
+                    Mode::Threaded(_) => "threaded",
+                },
+            )
+            .field("outstanding", &self.router.outstanding())
+            .field("wedged", &self.wedged)
+            .finish()
+    }
+}
+
+impl ShardedServer {
+    /// An inline (synchronous, deterministic) deployment of `members`
+    /// serving `n` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn inline(n: usize, members: Vec<Box<dyn ShardMember>>) -> Self {
+        let shards = members.len();
+        assert!(shards > 0, "a sharded deployment has at least one shard");
+        ShardedServer {
+            shards,
+            router: ShardRouter::new(shards, n),
+            mode: Mode::Inline(members),
+            stats: ShardStatsHandle::new(shards),
+            wedged: None,
+        }
+    }
+
+    /// A threaded deployment: each member moves onto its own worker
+    /// thread (named `faust-shard-<i>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or a worker thread cannot spawn.
+    pub fn threaded(n: usize, members: Vec<Box<dyn ShardMember>>) -> Self {
+        let shards = members.len();
+        assert!(shards > 0, "a sharded deployment has at least one shard");
+        let stats = ShardStatsHandle::new(shards);
+        let (event_tx, event_rx) = channel();
+        let mut cmd_txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard, member) in members.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel();
+            let event_tx = event_tx.clone();
+            let stats = stats.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("faust-shard-{shard}"))
+                    .spawn(move || run_shard_worker(shard, member, cmd_rx, event_tx, stats))
+                    .expect("spawn shard worker"),
+            );
+            cmd_txs.push(cmd_tx);
+        }
+        ShardedServer {
+            shards,
+            router: ShardRouter::new(shards, n),
+            mode: Mode::Threaded(Threaded {
+                cmd_txs,
+                event_rx,
+                workers,
+            }),
+            stats,
+            wedged: None,
+        }
+    }
+
+    /// A deployment of fresh [`VolatileShard`]s.
+    pub fn volatile(n: usize, shards: usize, threaded: bool) -> Self {
+        let members: Vec<Box<dyn ShardMember>> = (0..shards)
+            .map(|_| Box::new(VolatileShard::new(n)) as Box<dyn ShardMember>)
+            .collect();
+        if threaded {
+            ShardedServer::threaded(n, members)
+        } else {
+            ShardedServer::inline(n, members)
+        }
+    }
+
+    /// Resumes global sequencing at `next_seq` (builder style) — how a
+    /// recovered deployment continues the order its logs record.
+    #[must_use]
+    pub fn resumed_at(mut self, next_seq: u64) -> Self {
+        self.router.resume_at(next_seq);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shared per-shard stats handle (cloneable, outlives the
+    /// server).
+    pub fn stats_handle(&self) -> ShardStatsHandle {
+        self.stats.clone()
+    }
+
+    /// Why the deployment went silent, if it did.
+    pub fn wedge_reason(&self) -> Option<&str> {
+        self.wedged.as_deref()
+    }
+
+    /// Fans one sequenced command out to every shard and collects what
+    /// the owners release.
+    fn fan_out(
+        &mut self,
+        seq: u64,
+        from: ClientId,
+        owner: usize,
+        msg: FanMsg,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        let ShardedServer {
+            router,
+            mode,
+            stats,
+            wedged,
+            ..
+        } = self;
+        let mut released = Vec::new();
+        match mode {
+            Mode::Inline(members) => {
+                for (idx, member) in members.iter_mut().enumerate() {
+                    let owned = idx == owner;
+                    match &msg {
+                        FanMsg::Submit(m) => {
+                            let replies = member.apply_submit(seq, from, (**m).clone(), owned);
+                            if owned {
+                                note_owned_submit(&stats.0[idx], m.piggyback.is_some());
+                                if !replies.is_empty() {
+                                    note_release(&stats.0[idx], replies.len());
+                                    released.extend(router.completed(idx, replies));
+                                }
+                            } else {
+                                debug_assert!(replies.is_empty(), "non-owners never reply");
+                            }
+                        }
+                        FanMsg::Commit(m) => {
+                            let replies = member.apply_commit(seq, from, (**m).clone(), owned);
+                            if owned {
+                                note_owned_commit(&stats.0[idx]);
+                                if !replies.is_empty() {
+                                    // The commit's append filled a batch:
+                                    // held submit replies came out.
+                                    note_release(&stats.0[idx], replies.len());
+                                    released.extend(router.completed(idx, replies));
+                                }
+                            } else {
+                                debug_assert!(replies.is_empty(), "non-owners never reply");
+                            }
+                        }
+                    }
+                    if wedged.is_none() {
+                        if let Some(reason) = member.wedged() {
+                            *wedged = Some(format!("shard {idx}: {reason}"));
+                        }
+                    }
+                }
+            }
+            Mode::Threaded(threaded) => {
+                for (idx, tx) in threaded.cmd_txs.iter().enumerate() {
+                    let owned = idx == owner;
+                    let cmd = match &msg {
+                        FanMsg::Submit(m) => ShardCmd::Submit {
+                            seq,
+                            from,
+                            msg: m.clone(),
+                            owned,
+                        },
+                        FanMsg::Commit(m) => ShardCmd::Commit {
+                            seq,
+                            from,
+                            msg: (**m).clone(),
+                            owned,
+                        },
+                    };
+                    if tx.send(cmd).is_err() {
+                        wedged.get_or_insert(format!("shard {idx}: worker terminated"));
+                    }
+                }
+                released.extend(threaded.drain(router, wedged));
+            }
+        }
+        released
+    }
+}
+
+/// A sequenced message being fanned out (boxed so per-shard clones are
+/// explicit and the command enum stays small).
+enum FanMsg {
+    Submit(Box<SubmitMsg>),
+    Commit(Box<CommitMsg>),
+}
+
+impl Server for ShardedServer {
+    fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        if self.wedged.is_some() {
+            return Vec::new(); // crash-silent
+        }
+        let owner = shard_of(msg.tuple.register, self.shards);
+        let seq = self.router.assign();
+        self.router.dispatch(owner, seq, client);
+        self.fan_out(seq, client, owner, FanMsg::Submit(Box::new(msg)))
+    }
+
+    fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
+        if self.wedged.is_some() {
+            return Vec::new();
+        }
+        // A commit is owned by the committing client's shard (its own
+        // register's home): that shard logs it, so recovery sees every
+        // sequenced message exactly once. No reply is dispatched.
+        let owner = shard_of(client, self.shards);
+        let seq = self.router.assign();
+        self.fan_out(seq, client, owner, FanMsg::Commit(Box::new(msg)))
+    }
+
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        if self.wedged.is_some() {
+            return Vec::new();
+        }
+        let ShardedServer {
+            router,
+            mode,
+            stats,
+            wedged,
+            ..
+        } = self;
+        match mode {
+            Mode::Inline(members) => {
+                let mut released = Vec::new();
+                for (idx, member) in members.iter_mut().enumerate() {
+                    let replies = member.flush(force);
+                    if !replies.is_empty() {
+                        note_release(&stats.0[idx], replies.len());
+                        released.extend(router.completed(idx, replies));
+                    }
+                    if wedged.is_none() {
+                        if let Some(reason) = member.wedged() {
+                            *wedged = Some(format!("shard {idx}: {reason}"));
+                        }
+                    }
+                }
+                released
+            }
+            Mode::Threaded(threaded) => {
+                if force {
+                    threaded.barrier_flush(router, wedged)
+                } else {
+                    threaded.drain(router, wedged)
+                }
+            }
+        }
+    }
+
+    fn flush_deadline(&self) -> Option<Instant> {
+        if self.wedged.is_some() {
+            return None;
+        }
+        match &self.mode {
+            Mode::Inline(members) => members.iter().filter_map(|m| m.flush_deadline()).min(),
+            // Workers flush themselves on their own deadlines; the serve
+            // loop only needs to wake often enough to drain releases.
+            Mode::Threaded(_) => {
+                (self.router.outstanding() > 0).then(|| Instant::now() + RELEASE_TICK)
+            }
+        }
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        if let Mode::Threaded(threaded) = &mut self.mode {
+            for tx in &threaded.cmd_txs {
+                let _ = tx.send(ShardCmd::Shutdown);
+            }
+            threaded.cmd_txs.clear();
+            for worker in threaded.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// The event loop of one shard worker thread: apply commands in order,
+/// self-flush on the member's group-commit deadline, report releases
+/// and wedges. Returns when told to shut down or the command channel
+/// closes.
+fn run_shard_worker(
+    shard: usize,
+    mut member: Box<dyn ShardMember>,
+    cmd_rx: Receiver<ShardCmd>,
+    event_tx: Sender<ShardEvent>,
+    stats: ShardStatsHandle,
+) {
+    let slot = &stats.0[shard];
+    let mut announced_wedge = false;
+    loop {
+        let cmd = match member.flush_deadline() {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match cmd_rx.recv_timeout(timeout) {
+                    Ok(cmd) => Some(cmd),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match cmd_rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            },
+        };
+        let mut ack_flush = false;
+        let released = match cmd {
+            // Deadline reached: the member's own flush policy is due.
+            None => member.flush(false),
+            Some(ShardCmd::Submit {
+                seq,
+                from,
+                msg,
+                owned,
+            }) => {
+                let piggybacked = msg.piggyback.is_some();
+                let replies = member.apply_submit(seq, from, *msg, owned);
+                if owned {
+                    note_owned_submit(slot, piggybacked);
+                }
+                replies
+            }
+            Some(ShardCmd::Commit {
+                seq,
+                from,
+                msg,
+                owned,
+            }) => {
+                let replies = member.apply_commit(seq, from, msg, owned);
+                if owned {
+                    note_owned_commit(slot);
+                }
+                replies
+            }
+            Some(ShardCmd::Flush { force }) => {
+                ack_flush = force;
+                member.flush(force)
+            }
+            Some(ShardCmd::Shutdown) => return,
+        };
+        if !released.is_empty() {
+            note_release(slot, released.len());
+            if event_tx
+                .send(ShardEvent::Released {
+                    shard,
+                    replies: released,
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        if ack_flush && event_tx.send(ShardEvent::Flushed { shard }).is_err() {
+            return;
+        }
+        if !announced_wedge {
+            if let Some(reason) = member.wedged() {
+                announced_wedge = true;
+                let _ = event_tx.send(ShardEvent::Wedged { shard, reason });
+            }
+        }
+    }
+}
+
+/// A [`ServerEngine`] over a [`ShardedServer`], keeping the per-shard
+/// stats handle reachable after the engine is consumed by a serve loop.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    engine: ServerEngine,
+    stats: ShardStatsHandle,
+}
+
+impl ShardedEngine {
+    /// Wraps `server` in an engine for `n` clients.
+    pub fn new(n: usize, server: ShardedServer) -> Self {
+        let stats = server.stats_handle();
+        ShardedEngine {
+            engine: ServerEngine::new(n, Box::new(server)),
+            stats,
+        }
+    }
+
+    /// A volatile sharded engine (fresh in-memory replicas).
+    pub fn volatile(n: usize, shards: usize, threaded: bool) -> Self {
+        ShardedEngine::new(n, ShardedServer::volatile(n, shards, threaded))
+    }
+
+    /// The engine, borrowed — for enqueue/process/poll cycles.
+    pub fn engine_mut(&mut self) -> &mut ServerEngine {
+        &mut self.engine
+    }
+
+    /// The engine, shared — for stats and sessions.
+    pub fn engine(&self) -> &ServerEngine {
+        &self.engine
+    }
+
+    /// The per-shard stats handle (cloneable; outlives the engine).
+    pub fn shard_stats(&self) -> ShardStatsHandle {
+        self.stats.clone()
+    }
+
+    /// Unwraps into the plain [`ServerEngine`] for
+    /// [`serve`](crate::serve)-style loops; keep a
+    /// [`ShardedEngine::shard_stats`] handle first if shard counters
+    /// are wanted afterwards.
+    pub fn into_engine(self) -> ServerEngine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::UstorClient;
+    use faust_crypto::sig::KeySet;
+    use faust_types::{UstorMsg, Value, Wire};
+
+    fn clients(n: usize, domain: &[u8]) -> Vec<UstorClient> {
+        let keys = KeySet::generate(n, domain);
+        (0..n)
+            .map(|i| {
+                UstorClient::new(
+                    ClientId::new(i as u32),
+                    n,
+                    keys.keypair(i as u32).unwrap().clone(),
+                    keys.registry(),
+                )
+            })
+            .collect()
+    }
+
+    /// Drives the same scripted rounds through `server`, returning each
+    /// client's reply stream as raw bytes.
+    fn run_script(server: &mut dyn Server, cs: &mut [UstorClient], rounds: u64) -> Vec<Vec<u8>> {
+        let n = cs.len();
+        let mut streams = vec![Vec::new(); n];
+        let sink = |released: Vec<(ClientId, ReplyMsg)>,
+                    streams: &mut Vec<Vec<u8>>,
+                    cs: &mut [UstorClient],
+                    server: &mut dyn Server| {
+            for (to, reply) in released {
+                reply.encode_into(&mut streams[to.index()]);
+                let (commit, _) = cs[to.index()].handle_reply(reply).expect("correct server");
+                if let Some(commit) = commit {
+                    let more = server.on_commit(to, commit);
+                    assert!(more.is_empty());
+                }
+            }
+        };
+        for round in 0..rounds {
+            for i in 0..n {
+                let submit = if (round + i as u64).is_multiple_of(3) {
+                    cs[i]
+                        .begin_read(ClientId::new(((i + 1) % n) as u32))
+                        .unwrap()
+                } else {
+                    cs[i].begin_write(Value::unique(i as u32, round)).unwrap()
+                };
+                let released = server.on_submit(ClientId::new(i as u32), submit);
+                sink(released, &mut streams, cs, server);
+            }
+        }
+        let released = server.flush(true);
+        sink(released, &mut streams, cs, server);
+        streams
+    }
+
+    #[test]
+    fn inline_sharded_replies_are_bit_identical_to_the_single_server() {
+        let n = 5;
+        let rounds = 6;
+        let mut single = UstorServer::new(n);
+        let mut cs = clients(n, b"shard-ident");
+        let reference = run_script(&mut single, &mut cs, rounds);
+        for shards in [1, 2, 4] {
+            let mut sharded = ShardedServer::volatile(n, shards, false);
+            let mut cs = clients(n, b"shard-ident");
+            let streams = run_script(&mut sharded, &mut cs, rounds);
+            assert_eq!(
+                streams, reference,
+                "{shards} shards: client-visible bytes must match"
+            );
+            let merged = sharded.stats_handle().merged();
+            assert_eq!(merged.submits, n as u64 * rounds);
+            assert!(sharded.wedge_reason().is_none());
+        }
+    }
+
+    #[test]
+    fn threaded_sharded_engine_completes_a_pipelined_workload() {
+        // Crank a pipelined burst through a threaded 3-shard engine via
+        // the queue transport: all ops complete, stats add up, and the
+        // deterministic client accepts every reply (content equivalence
+        // is already pinned by the inline test; here the threads are
+        // real).
+        let n = 4;
+        let burst = 5u64;
+        let mut cs = clients(n, b"shard-threaded");
+        for c in &mut cs {
+            c.set_pipeline(burst as usize);
+            c.set_commit_mode(crate::client::CommitMode::Piggyback);
+        }
+        let sharded = ShardedEngine::volatile(n, 3, true);
+        let shard_stats = sharded.shard_stats();
+        let mut engine = sharded.into_engine();
+        let mut transport = faust_net::QueueTransport::new();
+        for k in 0..burst {
+            for (i, c) in cs.iter_mut().enumerate() {
+                let submit = c.begin_write(Value::unique(i as u32, k)).unwrap();
+                transport.push_incoming(ClientId::new(i as u32), UstorMsg::Submit(submit));
+            }
+        }
+        crate::serve(&mut engine, &mut transport);
+        let mut replies = vec![0u64; n];
+        for (to, msg) in transport.drain_outgoing() {
+            let UstorMsg::Reply(reply) = msg else {
+                panic!("server only sends replies");
+            };
+            replies[to.index()] += 1;
+            cs[to.index()].handle_reply(reply).expect("correct server");
+        }
+        assert_eq!(replies, vec![burst; n], "every submit answered");
+        let merged = shard_stats.merged();
+        assert_eq!(merged.submits, n as u64 * burst);
+        assert_eq!(merged.frames_out, n as u64 * burst);
+    }
+
+    #[test]
+    fn wedged_member_silences_the_deployment() {
+        /// Applies one message then wedges.
+        struct FlakyShard {
+            inner: VolatileShard,
+            applied: u32,
+        }
+        impl ShardMember for FlakyShard {
+            fn apply_submit(
+                &mut self,
+                seq: u64,
+                from: ClientId,
+                msg: SubmitMsg,
+                owned: bool,
+            ) -> Vec<(ClientId, ReplyMsg)> {
+                self.applied += 1;
+                self.inner.apply_submit(seq, from, msg, owned)
+            }
+            fn apply_commit(
+                &mut self,
+                seq: u64,
+                from: ClientId,
+                msg: CommitMsg,
+                owned: bool,
+            ) -> Vec<(ClientId, ReplyMsg)> {
+                self.inner.apply_commit(seq, from, msg, owned)
+            }
+            fn wedged(&self) -> Option<String> {
+                (self.applied >= 1).then(|| "disk on fire".to_string())
+            }
+        }
+        let n = 2;
+        let members: Vec<Box<dyn ShardMember>> = vec![
+            Box::new(FlakyShard {
+                inner: VolatileShard::new(n),
+                applied: 0,
+            }),
+            Box::new(VolatileShard::new(n)),
+        ];
+        let mut sharded = ShardedServer::inline(n, members);
+        let mut cs = clients(n, b"shard-wedge");
+        let first = cs[0].begin_write(Value::from("w1")).unwrap();
+        let released = sharded.on_submit(ClientId::new(0), first);
+        assert_eq!(released.len(), 1, "the first op still answers");
+        assert!(sharded.wedge_reason().unwrap().contains("disk on fire"));
+        // From here on: crash-silence.
+        let second = cs[1].begin_write(Value::from("w2")).unwrap();
+        assert!(sharded.on_submit(ClientId::new(1), second).is_empty());
+        assert!(sharded.flush(true).is_empty());
+        assert!(sharded.flush_deadline().is_none());
+    }
+}

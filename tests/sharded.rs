@@ -1,0 +1,320 @@
+//! Acceptance tests for the sharded serving path.
+//!
+//! * A seeded property: the same random script through a live,
+//!   *threaded* sharded deployment (N = 1, 2, 4) over the channel
+//!   transport completes the same operations with the same fail-aware
+//!   timestamps and converges to the same stability cuts as the
+//!   deterministic `FaustDriver` reference — with zero violations. The
+//!   client stack is entirely unchanged: sharding must be invisible.
+//! * Kill-and-restart end-to-end over real TCP with the per-shard
+//!   persistent backend: an honest restart (merged multi-log recovery)
+//!   is invisible through the handle, while a truncated *shard* log is
+//!   refused by strict recovery and — after explicit repair — recovers
+//!   into the rollback clients flag as a violation.
+
+use faust::client::{offline_mesh, Event, FaustHandle, HandleConfig, WaitError};
+use faust::core::runtime::spawn_engine;
+use faust::core::{
+    random_faust_workloads, FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp,
+};
+use faust::store::{
+    shard_dir, testutil, truncate_tail_records, Durability, ShardedBackend, StoreConfig,
+};
+use faust::types::{ClientId, OpKind, Timestamp, Value};
+use faust::ustor::{ServerBackend, ShardedServer, UstorServer};
+use std::time::{Duration, Instant};
+
+fn c(i: u32) -> ClientId {
+    ClientId::new(i)
+}
+
+/// (kind, target, timestamp) — the completion facts that are
+/// deterministic regardless of interleaving.
+type CompletionFacts = Vec<(OpKind, ClientId, Timestamp)>;
+
+#[test]
+fn sharded_deployments_match_the_driver_script() {
+    let n = 3;
+    let ops_per_client = 4u64;
+    for seed in 0..2u64 {
+        let workloads = random_faust_workloads(n, ops_per_client as usize, 0.5, seed);
+
+        // Reference: the deterministic single-engine simulation.
+        let mut driver = FaustDriver::new(
+            n,
+            Box::new(UstorServer::new(n)),
+            FaustDriverConfig::default(),
+            b"sharded-prop",
+        );
+        for (i, w) in workloads.clone().into_iter().enumerate() {
+            driver.push_ops(c(i as u32), w);
+        }
+        let reference = driver.run_until(60_000);
+        assert!(reference.failures.is_empty(), "seed {seed}");
+        let reference_facts: Vec<CompletionFacts> = (0..n)
+            .map(|i| {
+                reference
+                    .completions(c(i as u32))
+                    .into_iter()
+                    .map(|done| (done.kind, done.target, done.timestamp))
+                    .collect()
+            })
+            .collect();
+        let user_stable = |w: &[Timestamp]| w.iter().all(|&x| x >= ops_per_client);
+
+        // The same script through live handles against threaded sharded
+        // deployments of every width.
+        for shards in [1usize, 2, 4] {
+            let (transport, conns) = faust::net::channel::pair(n);
+            let server = ShardedServer::volatile(n, shards, true);
+            let engine = spawn_engine(n, Box::new(server), transport);
+            let config = HandleConfig {
+                faust: FaustConfig {
+                    probe_period: 50,
+                    pipeline: 3,
+                    ..FaustConfig::default()
+                },
+                tick_interval: Duration::from_millis(5),
+                ..HandleConfig::default()
+            };
+            let mut links = offline_mesh(n);
+            links.reverse();
+            let workers: Vec<_> = conns
+                .into_iter()
+                .zip(workloads.clone())
+                .enumerate()
+                .map(|(i, (conn, workload))| {
+                    let link = links.pop().expect("one link per client");
+                    std::thread::spawn(move || {
+                        let mut handle = FaustHandle::new(
+                            c(i as u32),
+                            n,
+                            b"sharded-prop",
+                            &config,
+                            Box::new(conn),
+                        )
+                        .with_offline(link);
+                        for op in workload {
+                            match op {
+                                FaustWorkloadOp::Write(value) => handle.write(value),
+                                FaustWorkloadOp::Read(register) => handle.read(register),
+                                _ => unreachable!("random workloads are reads and writes"),
+                            };
+                        }
+                        let deadline = Instant::now() + Duration::from_secs(20);
+                        let mut events = Vec::new();
+                        while Instant::now() < deadline {
+                            events.extend(handle.run_for(Duration::from_millis(20)));
+                            let cut = handle.stability_cut();
+                            if handle.backlog() == 0 && cut.w.iter().all(|&x| x >= ops_per_client) {
+                                break;
+                            }
+                        }
+                        let facts: CompletionFacts = events
+                            .iter()
+                            .filter_map(|(_, e)| match e {
+                                Event::Completed { completion, .. } => {
+                                    Some((completion.kind, completion.target, completion.timestamp))
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        let violations = events
+                            .iter()
+                            .filter(|(_, e)| matches!(e, Event::Violation { .. }))
+                            .count();
+                        let cut = handle.stability_cut();
+                        assert!(
+                            handle.failure().is_none(),
+                            "sharding must be invisible, client {i}"
+                        );
+                        (facts, cut, violations)
+                    })
+                })
+                .collect();
+            for (i, worker) in workers.into_iter().enumerate() {
+                let (facts, cut, violations) = worker.join().expect("client thread");
+                assert_eq!(
+                    facts, reference_facts[i],
+                    "seed {seed}, {shards} shards: client {i} completions \
+                     must match the driver"
+                );
+                assert!(
+                    user_stable(&cut.w),
+                    "seed {seed}, {shards} shards: client {i} converges to \
+                     full user-op stability, got {cut}"
+                );
+                assert_eq!(violations, 0, "seed {seed}, {shards} shards");
+            }
+            engine.join().expect("engine thread");
+        }
+    }
+}
+
+/// Quiet handles: the restart story is about reads/writes, not probes.
+fn restart_config() -> HandleConfig {
+    HandleConfig {
+        faust: FaustConfig {
+            probe_period: u64::MAX / 2,
+            dummy_reads: false,
+            pipeline: 2,
+            ..FaustConfig::default()
+        },
+        tick_interval: Duration::from_millis(5),
+        ..HandleConfig::default()
+    }
+}
+
+fn group_store() -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Group {
+            max_records: 8,
+            max_wait: Duration::from_millis(2),
+        },
+        snapshot_every: 0,
+    }
+}
+
+/// Stands up one server incarnation from `backend` on a fresh loopback
+/// socket; returns its address and engine thread.
+fn incarnation(
+    backend: &dyn ServerBackend,
+    n: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<faust::ustor::EngineStats>,
+) {
+    let transport = faust::net::TcpServerTransport::bind("127.0.0.1:0", n).expect("bind");
+    let addr = transport.local_addr();
+    let server = backend.build(n).expect("backend builds/recovers");
+    (addr, spawn_engine(n, server, transport))
+}
+
+#[test]
+fn honest_sharded_restart_is_invisible_through_the_handle() {
+    let n = 2;
+    let wait = Duration::from_secs(10);
+    let dir = testutil::scratch_dir("sharded-e2e-honest");
+    let backend = ShardedBackend::new(&dir, group_store(), 2, true);
+    let config = restart_config();
+
+    // Incarnation 1: two clients, registers homed on different shards.
+    let (addr, engine) = incarnation(&backend, n);
+    let mut h0 = FaustHandle::connect_tcp(addr, c(0), n, b"sharded-e2e", &config).expect("connect");
+    let mut h1 = FaustHandle::connect_tcp(addr, c(1), n, b"sharded-e2e", &config).expect("connect");
+    let a1 = h0.write(Value::from("a1"));
+    let a2 = h0.write(Value::from("a2"));
+    assert_eq!(h0.wait(a1, wait).expect("completes").timestamp, 1);
+    assert_eq!(h0.wait(a2, wait).expect("completes").timestamp, 2);
+    let b1 = h1.write(Value::from("b1"));
+    h1.wait(b1, wait).expect("completes");
+    h0.disconnect();
+    h1.disconnect();
+    engine.join().expect("engine thread");
+
+    // Incarnation 2: the merged recovery stitches both shard logs back
+    // into one history; the same handles reconnect seamlessly.
+    let (addr, engine) = incarnation(&backend, n);
+    h0.reconnect(Box::new(
+        faust::net::tcp::connect(addr, c(0)).expect("redial"),
+    ));
+    h1.reconnect(Box::new(
+        faust::net::tcp::connect(addr, c(1)).expect("redial"),
+    ));
+
+    // A cross-client, cross-SHARD read across the restart: C1 (homed on
+    // shard 1) reads C0's register (homed on shard 0).
+    let r = h1.read(c(0));
+    let done = h1.wait(r, wait).expect("cross-restart read");
+    assert_eq!(done.read_value, Some(Some(Value::from("a2"))));
+    let a3 = h0.write(Value::from("a3"));
+    assert_eq!(h0.wait(a3, wait).expect("completes").timestamp, 3);
+    for handle in [&mut h0, &mut h1] {
+        assert!(handle.failure().is_none());
+        let events = handle.poll();
+        assert!(
+            !events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::Violation { .. } | Event::Disconnected)),
+            "honest sharded restart must be invisible: {events:?}"
+        );
+    }
+    h0.disconnect();
+    h1.disconnect();
+    engine.join().expect("engine thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_shard_log_is_refused_then_flagged_after_repair() {
+    let n = 2;
+    let wait = Duration::from_secs(10);
+    let dir = testutil::scratch_dir("sharded-e2e-truncated");
+    let backend = ShardedBackend::new(&dir, group_store(), 2, true);
+    let config = restart_config();
+
+    let (addr, engine) = incarnation(&backend, n);
+    let mut h0 =
+        FaustHandle::connect_tcp(addr, c(0), n, b"sharded-rollback", &config).expect("connect");
+    let mut h1 =
+        FaustHandle::connect_tcp(addr, c(1), n, b"sharded-rollback", &config).expect("connect");
+    // Strictly sequential phase 1, so the global order is pinned:
+    // C0's ops land first (shard 0's log), C1's after (shard 1's log).
+    let a1 = h0.write(Value::from("a1"));
+    h0.wait(a1, wait).expect("completes");
+    let a2 = h0.write(Value::from("a2"));
+    h0.wait(a2, wait).expect("completes");
+    let b1 = h1.write(Value::from("b1"));
+    h1.wait(b1, wait).expect("completes");
+    h0.disconnect();
+    h1.disconnect();
+    engine.join().expect("engine thread");
+
+    // The rollback attack against ONE shard: shard 0 loses its tail,
+    // including the acknowledged submit of a2.
+    let kept = truncate_tail_records(&shard_dir(&dir, 0), 3).expect("tamper with the log");
+    assert!(kept > 0, "a rollback, not a wipe");
+
+    // Strict recovery refuses: shard 1's records now sit past a hole in
+    // the merged global order. No silent prefixes, ever.
+    let err = match backend.build(n) {
+        Ok(_) => panic!("strict recovery must refuse"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("sequence gap"),
+        "expected a global sequence gap, got: {err}"
+    );
+
+    // The operator explicitly repairs: every shard is cut back to the
+    // longest consistent prefix (dropping C1's b1 along with the hole)
+    // and recovery proceeds — into a rolled-back history.
+    let repairing = ShardedBackend {
+        repair: true,
+        ..backend.clone()
+    };
+    let (addr, engine) = incarnation(&repairing, n);
+    h0.reconnect(Box::new(
+        faust::net::tcp::connect(addr, c(0)).expect("redial"),
+    ));
+    h1.reconnect(Box::new(
+        faust::net::tcp::connect(addr, c(1)).expect("redial"),
+    ));
+    // C0's next operation hits the rolled-back schedule: the wait
+    // surfaces the violation, and the event stream carries it.
+    let a3 = h0.write(Value::from("a3"));
+    let err = h0.wait(a3, wait).expect_err("rollback must be detected");
+    assert!(matches!(err, WaitError::Violation(_)), "got {err:?}");
+    let events = h0.poll();
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, Event::Violation { .. })),
+        "expected Event::Violation, got {events:?}"
+    );
+    assert!(h0.failure().is_some());
+    h0.disconnect();
+    h1.disconnect();
+    engine.join().expect("engine thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
