@@ -6,9 +6,12 @@
 //! Only the *intersection* of point names is compared, so a baseline
 //! from an older schema (fewer points) still gates the points it knows
 //! about, and brand-new points ride along ungated until the baseline is
-//! refreshed. The parser is hand-rolled for exactly the JSON
-//! `bench_smoke` emits — fixed ASCII names, flat `results` array — in
-//! keeping with the repo's no-external-dependencies rule.
+//! refreshed. An **empty** intersection, however, is never a pass: it
+//! means the gate compared nothing at all (renamed points, wrong file,
+//! truncated report), and the only honest verdict is a loud failure.
+//! The parser is hand-rolled for exactly the JSON `bench_smoke` emits —
+//! fixed ASCII names, flat `results` array — in keeping with the repo's
+//! no-external-dependencies rule.
 //!
 //! Usage: `bench_compare <current.json> <baseline.json> [--max-regression PCT]`
 
@@ -43,12 +46,67 @@ fn parse_points(json: &str) -> Vec<(String, f64)> {
     points
 }
 
-fn load(path: &str) -> Vec<(String, f64)> {
+/// The gate's verdict over one current-vs-baseline comparison.
+#[derive(Debug, PartialEq, Eq)]
+enum Verdict {
+    /// Every shared point stayed within the regression budget.
+    Pass { shared: usize },
+    /// `regressed` of `shared` points fell below the budget.
+    Regressed { regressed: usize, shared: usize },
+    /// No point name appears in both files — nothing was actually
+    /// gated, which must fail loudly rather than pass vacuously.
+    DisjointSets,
+}
+
+/// The pure comparison: diffs `current` against `baseline` under a
+/// `max_regression` percentage budget. Returns the per-point report
+/// lines alongside the verdict, so the binary's I/O stays at the edge.
+fn compare_points(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    max_regression: f64,
+) -> (Vec<String>, Verdict) {
+    let mut lines = Vec::new();
+    let mut shared = 0usize;
+    let mut regressed = 0usize;
+    for (name, base) in baseline {
+        let Some((_, now)) = current.iter().find(|(n, _)| n == name) else {
+            lines.push(format!("  (gone)    {name}"));
+            continue;
+        };
+        shared += 1;
+        let delta = (now / base - 1.0) * 100.0;
+        let verdict = if delta < -max_regression {
+            regressed += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        lines.push(format!(
+            "  {verdict:<9} {name:<46} {base:>14.0} -> {now:>14.0} iter/s ({delta:+.1}%)"
+        ));
+    }
+    for (name, _) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            lines.push(format!("  (new)     {name}"));
+        }
+    }
+    let verdict = match (shared, regressed) {
+        (0, _) => Verdict::DisjointSets,
+        (shared, 0) => Verdict::Pass { shared },
+        (shared, regressed) => Verdict::Regressed { regressed, shared },
+    };
+    (lines, verdict)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     let json = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+        .map_err(|e| format!("bench_compare: cannot read {path}: {e}"))?;
     let points = parse_points(&json);
-    assert!(!points.is_empty(), "bench_compare: no points in {path}");
-    points
+    if points.is_empty() {
+        return Err(format!("bench_compare: no points in {path}"));
+    }
+    Ok(points)
 }
 
 fn main() -> ExitCode {
@@ -78,45 +136,50 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let current = load(current_path);
-    let baseline = load(baseline_path);
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (current, baseline) => {
+            for err in [current.err(), baseline.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
     println!("bench_compare: {current_path} vs {baseline_path} (fail below -{max_regression:.0}%)");
-    let mut compared = 0usize;
-    let mut failed = 0usize;
-    for (name, base) in &baseline {
-        let Some((_, now)) = current.iter().find(|(n, _)| n == name) else {
-            println!("  (gone)    {name}");
-            continue;
-        };
-        compared += 1;
-        let delta = (now / base - 1.0) * 100.0;
-        let verdict = if delta < -max_regression {
-            failed += 1;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!("  {verdict:<9} {name:<46} {base:>14.0} -> {now:>14.0} iter/s ({delta:+.1}%)");
+    let (lines, verdict) = compare_points(&current, &baseline, max_regression);
+    for line in &lines {
+        println!("{line}");
     }
-    for (name, _) in &current {
-        if !baseline.iter().any(|(n, _)| n == name) {
-            println!("  (new)     {name}");
+    match verdict {
+        Verdict::Pass { shared } => {
+            println!("bench_compare: all {shared} shared point(s) within the budget");
+            ExitCode::SUCCESS
+        }
+        Verdict::Regressed { regressed, shared } => {
+            eprintln!(
+                "bench_compare: {regressed}/{shared} point(s) regressed more than \
+                 {max_regression:.0}%"
+            );
+            ExitCode::FAILURE
+        }
+        Verdict::DisjointSets => {
+            eprintln!(
+                "bench_compare: {current_path} and {baseline_path} share no point names — \
+                 nothing was compared; refusing to pass vacuously \
+                 (refresh the baseline or fix the report)"
+            );
+            ExitCode::FAILURE
         }
     }
-    assert!(compared > 0, "bench_compare: no shared points to compare");
-    if failed > 0 {
-        eprintln!(
-            "bench_compare: {failed}/{compared} point(s) regressed more than {max_regression:.0}%"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("bench_compare: all {compared} shared point(s) within the budget");
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parse_points;
+    use super::{compare_points, parse_points, Verdict};
+
+    fn points(entries: &[(&str, f64)]) -> Vec<(String, f64)> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
 
     #[test]
     fn parses_the_bench_smoke_shape() {
@@ -140,5 +203,43 @@ mod tests {
     fn empty_or_garbage_yields_no_points() {
         assert!(parse_points("{}").is_empty());
         assert!(parse_points("\"name\": \"x\" no number").is_empty());
+    }
+
+    #[test]
+    fn within_budget_passes_over_the_intersection_only() {
+        let baseline = points(&[("a", 100.0), ("renamed-away", 50.0)]);
+        let current = points(&[("a", 80.0), ("brand-new", 9000.0)]);
+        let (lines, verdict) = compare_points(&current, &baseline, 30.0);
+        assert_eq!(verdict, Verdict::Pass { shared: 1 });
+        assert!(lines.iter().any(|l| l.contains("(gone)")));
+        assert!(lines.iter().any(|l| l.contains("(new)")));
+    }
+
+    #[test]
+    fn a_deep_enough_drop_regresses() {
+        let baseline = points(&[("a", 100.0), ("b", 100.0)]);
+        let current = points(&[("a", 65.0), ("b", 75.0)]);
+        let (lines, verdict) = compare_points(&current, &baseline, 30.0);
+        assert_eq!(
+            verdict,
+            Verdict::Regressed {
+                regressed: 1,
+                shared: 2
+            }
+        );
+        assert!(lines.iter().any(|l| l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn an_empty_intersection_is_a_failure_not_a_vacuous_pass() {
+        let baseline = points(&[("old-name", 100.0)]);
+        let current = points(&[("new-name", 100.0)]);
+        let (_, verdict) = compare_points(&current, &baseline, 30.0);
+        assert_eq!(verdict, Verdict::DisjointSets);
+        // Degenerate edges: one side empty entirely.
+        let (_, verdict) = compare_points(&[], &baseline, 30.0);
+        assert_eq!(verdict, Verdict::DisjointSets);
+        let (_, verdict) = compare_points(&current, &[], 30.0);
+        assert_eq!(verdict, Verdict::DisjointSets);
     }
 }

@@ -55,6 +55,7 @@ pub mod events;
 pub mod handle;
 pub mod offline;
 pub mod runtime;
+pub mod sim;
 pub mod threaded_faust;
 
 pub use client::{Actions, FaustClient, FaustConfig, UserOp};
@@ -67,6 +68,11 @@ pub use handle::{
     SessionOutput, WaitError,
 };
 pub use offline::OfflineMsg;
+pub use sim::{
+    check_determinism, check_oracles, gen_scenario, investigate, run_and_check, run_sim, CrashSpec,
+    FaultClause, FaultPlan, ServerSpec, SimDurability, SimFailure, SimRunReport, SimScenario,
+    WalTamper,
+};
 pub use threaded_faust::{
     run_faust_session, run_threaded_faust, run_threaded_faust_over, run_threaded_faust_tcp,
     FaustSession, ThreadedFaustConfig, ThreadedFaustReport,

@@ -1,0 +1,1661 @@
+//! Deterministic whole-system fault simulator: the full FAUST stack —
+//! many sans-io [`SessionCore`] clients, a [`ServerEngine`] over any
+//! [`Server`] (volatile, persistent, crash-restarting) — inside one
+//! seeded virtual-time event loop, with a fault-plan DSL and oracles.
+//!
+//! This is the scenario-diversity engine in the FoundationDB style: no
+//! threads, no sockets, no wall clock. Everything that happens — message
+//! delivery, client ticks, group-commit flush deadlines, server crashes,
+//! Byzantine reply substitution — happens at a virtual tick chosen by
+//! the seeded scheduler, so a run is a pure function of its
+//! [`SimScenario`] and any failure reproduces bit-identically from the
+//! seed. On top sit:
+//!
+//! * a **fault-plan DSL** ([`FaultClause`]): link outages, frame
+//!   reordering and duplication, crash/restart with WAL tamper hooks
+//!   (reusing [`faust_ustor::CrashRestartServer`]), replayed and
+//!   tampered replies;
+//! * **oracles** ([`check_oracles`]): no `fail` notification unless an
+//!   adversarial clause actually fired (no false positives), every
+//!   guaranteed-observable fork detected (no false negatives), plus the
+//!   `faust-consistency` checkers over the recorded history;
+//! * a **shrinking failure reporter** ([`investigate`]): on any oracle
+//!   violation the fault plan is minimized by delta debugging and the
+//!   seed + minimized plan are rendered as a ready-to-run reproduction
+//!   recipe.
+//!
+//! Group-commit flush timing — the one wall-clock dependency in the
+//! server hot path — runs on [`faust_store::SimClock`]: the harness
+//! advances the clock before every server interaction and arms a virtual
+//! timer at [`ServerEngine::flush_deadline_at`], so held replies are
+//! released at deterministic ticks.
+
+use crate::client::{FaustClient, FaustConfig, UserOp};
+use crate::driver::FaustWorkloadOp;
+use crate::events::{FailReason, Notification};
+use crate::handle::{Event as SessionEvent, SessionCore, SessionOutput};
+use crate::offline::OfflineMsg;
+use faust_crypto::sig::KeySet;
+use faust_sim::{
+    DelayModel, Event, MessageSize, NodeId, SimConfig, Simulation, TimeWindow, TimerId, Transport,
+};
+use faust_store::{Durability, PersistentBackend, PersistentServer, SimClock, StoreConfig};
+use faust_types::{ClientId, History, OpId, OpKind, ReplyMsg, UstorMsg, Value, Wire};
+use faust_ustor::{CrashRestartServer, MemoryBackend, Server, ServerBackend, ServerEngine};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Fault-plan DSL
+// ---------------------------------------------------------------------------
+
+/// What happens to the server's on-disk state while it is down (the
+/// [`CrashRestartServer`] restart hook). Only meaningful for
+/// [`ServerSpec::Persistent`]; a volatile server loses everything on
+/// crash regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTamper {
+    /// Honest restart: recover exactly what the log holds.
+    None,
+    /// Drop the last `k` log records — the paper's rollback attack (or a
+    /// disk that lied about fsync). May or may not be observable: the
+    /// cut tail can consist solely of COMMIT records whose loss the
+    /// protocol tolerates.
+    TruncateTail(usize),
+    /// Delete the WAL and snapshot entirely: the restarted server serves
+    /// a fork from the initial state. Guaranteed observable once any
+    /// operation had completed before the crash.
+    WipeState,
+}
+
+/// A scheduled server crash: the server dies after processing
+/// `after_messages` SUBMITs/COMMITs, the tamper hook runs against its
+/// store directory, and a new incarnation is recovered — all within one
+/// virtual tick (restart latency is modeled by the messages that simply
+/// keep flowing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Crash after this many protocol messages reach the server.
+    pub after_messages: usize,
+    /// State tamper applied while down.
+    pub tamper: WalTamper,
+}
+
+/// Group-commit knobs in virtual ticks (1 tick = 1 ms of the store's
+/// `max_wait`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimDurability {
+    /// Fsync every append before replying.
+    Always,
+    /// Group commit: batch appends, withhold replies until the batch
+    /// fsync, bounded by the two knobs (see [`Durability::Group`]).
+    Group {
+        /// Flush once this many records are waiting.
+        max_records: u64,
+        /// Flush once the oldest waiting record is this many ticks old.
+        max_wait_ticks: u64,
+    },
+}
+
+/// Which server the scenario runs against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerSpec {
+    /// In-memory [`faust_ustor::UstorServer`]; a crash loses all state.
+    Volatile,
+    /// [`PersistentServer`] in a scratch directory, on the virtual clock.
+    Persistent {
+        /// Durability policy.
+        durability: SimDurability,
+        /// Snapshot/rotation threshold (`0` disables auto-snapshots).
+        snapshot_every: u64,
+    },
+}
+
+/// One clause of a fault plan. Clauses target the client↔server **link**
+/// transport only; the offline channel is assumed reliable (the paper's
+/// model — it stands in for out-of-band exchange).
+///
+/// When several clauses could match one delivery, the first matching
+/// clause in plan order wins; [`gen_scenario`] keeps victims distinct so
+/// random plans never depend on that tie-break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultClause {
+    /// Benign partition: all link traffic to and from `client` inside
+    /// `window` is buffered and delivered, in order, when the window
+    /// closes. FIFO per link is preserved, so this must never cause a
+    /// failure notification.
+    Outage {
+        /// The partitioned client.
+        client: ClientId,
+        /// Activation window.
+        window: TimeWindow,
+    },
+    /// Adversarial network: swap each pair of consecutive
+    /// client→server frames from `client` inside `window` (the first is
+    /// held until the second arrives, then delivered after it).
+    Reorder {
+        /// The client whose outbound frames are swapped.
+        client: ClientId,
+        /// Activation window.
+        window: TimeWindow,
+    },
+    /// Adversarial network: every client→server frame from `client`
+    /// inside `window` is delivered twice back-to-back.
+    Duplicate {
+        /// The client whose outbound frames are duplicated.
+        client: ClientId,
+        /// Activation window.
+        window: TimeWindow,
+    },
+    /// Server crash/restart with optional state tamper — see
+    /// [`CrashSpec`].
+    CrashRestart(CrashSpec),
+    /// Byzantine server: the first genuine reply to `client` inside
+    /// `window` is replaced by a verbatim copy of an earlier reply the
+    /// same client received (nothing happens if there was none yet).
+    ReplyReplay {
+        /// The victim client.
+        client: ClientId,
+        /// Activation window.
+        window: TimeWindow,
+    },
+    /// Byzantine server: the first read reply to `client` inside
+    /// `window` carrying a real value has that value's bytes flipped
+    /// while keeping the original DATA-signature — the client's
+    /// signature check must catch this immediately.
+    TamperReadValue {
+        /// The victim client.
+        client: ClientId,
+        /// Activation window.
+        window: TimeWindow,
+    },
+}
+
+impl FaultClause {
+    /// Whether the clause can never violate the protocol's assumptions
+    /// (reliable FIFO links, honest server): such clauses must never
+    /// cause a failure notification.
+    pub fn is_benign(&self, server: &ServerSpec) -> bool {
+        match self {
+            FaultClause::Outage { .. } => true,
+            FaultClause::CrashRestart(spec) => {
+                // Only a synchronously-durable server restarts losslessly:
+                // under group commit a crash destroys its *held* replies
+                // and the affected clients stall, breaking wait-freedom.
+                spec.tamper == WalTamper::None
+                    && matches!(
+                        server,
+                        ServerSpec::Persistent {
+                            durability: SimDurability::Always,
+                            ..
+                        }
+                    )
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An ordered list of fault clauses applied to one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The clauses, applied first-match-wins per delivery.
+    pub clauses: Vec<FaultClause>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn honest() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether every clause is benign against `server` — the
+    /// no-false-positive oracle applies to the whole run regardless of
+    /// which clauses fired.
+    pub fn is_benign(&self, server: &ServerSpec) -> bool {
+        self.clauses.iter().all(|c| c.is_benign(server))
+    }
+
+    /// The crash clause, if the plan has one. At most one is supported
+    /// per plan ([`CrashRestartServer`] crashes once).
+    pub fn crash(&self) -> Option<&CrashSpec> {
+        self.clauses.iter().find_map(|c| match c {
+            FaultClause::CrashRestart(spec) => Some(spec),
+            _ => None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+/// A complete, self-contained description of one simulated run. Equal
+/// scenarios produce bit-identical [`SimRunReport`]s — that is the
+/// reproducibility contract the failure reporter leans on.
+#[derive(Debug, Clone)]
+pub struct SimScenario {
+    /// Seed for the network schedule (delays, event tie-breaks).
+    pub seed: u64,
+    /// Per-client workload scripts; the client count is the length.
+    pub workloads: Vec<Vec<FaustWorkloadOp>>,
+    /// Which server to run.
+    pub server: ServerSpec,
+    /// The fault plan.
+    pub plan: FaultPlan,
+    /// Virtual-time deadline of the run.
+    pub deadline: u64,
+    /// Client tick period (dummy reads, probe checks).
+    pub tick_period: u64,
+    /// Whether clients issue dummy reads when idle (the paper requires
+    /// them for stability and fork detection; scripted scenarios may
+    /// disable them for exact message accounting).
+    pub dummy_reads: bool,
+    /// Link delay distribution.
+    pub link_delay: DelayModel,
+    /// Offline-channel delay distribution.
+    pub offline_delay: DelayModel,
+}
+
+impl SimScenario {
+    /// Number of clients.
+    pub fn n(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Number of user operations across all scripts.
+    pub fn user_ops(&self) -> usize {
+        self.workloads
+            .iter()
+            .flatten()
+            .filter(|op| {
+                matches!(op, FaustWorkloadOp::Write(_)) || matches!(op, FaustWorkloadOp::Read(_))
+            })
+            .count()
+    }
+
+    /// Virtual-time slack the oracles require between the last scheduled
+    /// fault and the deadline, so detection has room to happen.
+    pub fn detection_slack(&self) -> u64 {
+        8 * self.tick_period + 200
+    }
+}
+
+/// What one run produced — everything the oracles and the consistency
+/// checkers need.
+#[derive(Debug)]
+pub struct SimRunReport {
+    /// User-visible history (dummy reads excluded).
+    pub history: History,
+    /// Every notification per client, with its virtual time.
+    pub notifications: Vec<Vec<(u64, Notification)>>,
+    /// Clients that emitted `fail_i`, with reasons.
+    pub failures: Vec<(ClientId, FailReason)>,
+    /// Guaranteed-observable forks that actually fired: `(time, label,
+    /// victim)` — victim is `None` for global forks (state wipe).
+    pub fork_fired: Vec<(u64, &'static str, Option<ClientId>)>,
+    /// Adversarial clauses that fired without a detection guarantee
+    /// (reorder, duplicate, replay, truncate): `(time, label)`.
+    pub dirty_fired: Vec<(u64, &'static str)>,
+    /// Virtual time the scheduled crash fired, if it did.
+    pub crash_time: Option<u64>,
+    /// Snapshot taken at crash time: whether the wire was quiescent in
+    /// both directions (no SUBMIT/COMMIT in flight that could re-teach
+    /// the restarted server, and no REPLY in flight whose receiver
+    /// would answer with a re-teaching COMMIT — including the replies
+    /// to the very message that triggered the crash) *and* some live,
+    /// connected, not-mid-op client with a completed op was positioned
+    /// to observe the post-crash state. `None` when no crash fired. Detection of a
+    /// state-wiping crash is guaranteed — and demanded by the oracle —
+    /// only when this is `Some(true)`; otherwise in-flight COMMITs
+    /// (which carry signed version vectors the server stores verbatim)
+    /// can repair the wiped state before any client observes it.
+    pub wipe_detector: Option<bool>,
+    /// Traffic statistics.
+    pub metrics: faust_sim::Metrics,
+    /// Virtual time when the run stopped.
+    pub final_time: u64,
+}
+
+impl SimRunReport {
+    /// Completed user operations of `client`, in order.
+    pub fn completions(&self, client: ClientId) -> Vec<crate::events::FaustCompletion> {
+        self.notifications[client.index()]
+            .iter()
+            .filter_map(|(_, n)| match n {
+                Notification::Completed(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The time `client` first emitted `fail_i`, if it did.
+    pub fn failure_time(&self, client: ClientId) -> Option<u64> {
+        self.notifications[client.index()]
+            .iter()
+            .find_map(|(t, n)| matches!(n, Notification::Failed(_)).then_some(*t))
+    }
+
+    /// Earliest failure time across all clients.
+    pub fn first_failure_time(&self) -> Option<u64> {
+        (0..self.notifications.len())
+            .filter_map(|i| self.failure_time(ClientId::new(i as u32)))
+            .min()
+    }
+
+    /// Number of completed operations recorded in the history.
+    pub fn completed_ops(&self) -> usize {
+        self.history.complete_ops().count()
+    }
+
+    /// The comparable core of the report, for bit-identical-rerun
+    /// checks.
+    fn fingerprint(&self) -> impl PartialEq + std::fmt::Debug + '_ {
+        (
+            &self.history,
+            &self.notifications,
+            &self.failures,
+            &self.fork_fired,
+            &self.dirty_fired,
+            self.crash_time,
+            self.wipe_detector,
+            &self.metrics,
+            self.final_time,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum NetMsg {
+    Ustor(UstorMsg),
+    Offline(OfflineMsg),
+}
+
+impl MessageSize for NetMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            NetMsg::Ustor(m) => m.encoded_len(),
+            NetMsg::Offline(m) => m.size_bytes(),
+        }
+    }
+}
+
+const TICK_TAG: u64 = 1;
+const RESUME_TAG: u64 = 2;
+const RECONNECT_TAG: u64 = 3;
+/// Server-node timer releasing group-commit batches at their virtual
+/// flush deadline.
+const FLUSH_TAG: u64 = 4;
+/// `RELEASE_TAG_BASE + clause_index`: end-of-window release for clauses
+/// that buffer traffic.
+const RELEASE_TAG_BASE: u64 = 100;
+
+struct Slot {
+    core: SessionCore,
+    script: VecDeque<FaustWorkloadOp>,
+    ticket_ops: HashMap<u64, OpId>,
+    notifications: Vec<(u64, Notification)>,
+    crashed: bool,
+    waiting: bool,
+    /// Whether the client is currently script-disconnected (its link
+    /// traffic is delayed until reconnection).
+    disconnected: bool,
+    /// SUBMITs on the wire without a reply yet — dummy reads included.
+    /// Nonzero at a group-commit crash means this client's reply may be
+    /// held by the dying server and lost (the client then stalls).
+    in_flight: u64,
+    /// Last genuine reply delivered to this client — the material a
+    /// [`FaultClause::ReplyReplay`] substitutes.
+    last_reply: Option<ReplyMsg>,
+}
+
+/// Per-clause mutable state while the run executes.
+enum ClauseState {
+    /// Outage: traffic buffered in pop order.
+    Buffer(Vec<(NodeId, NodeId, NetMsg)>),
+    /// Reorder: the held first frame of the current pair.
+    Stash(Option<(NodeId, NodeId, NetMsg)>),
+    /// One-shot clauses (replay, tamper): whether they already fired.
+    Fired(bool),
+    /// Clauses with no delivery-time state (duplicate, crash).
+    Stateless,
+}
+
+/// Scratch-directory counter so concurrent tests never collide without
+/// consulting wall time or ambient randomness (which would break
+/// reproducibility).
+static SCRATCH_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let id = SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("faust-simrun-{}-{id}", std::process::id()))
+}
+
+struct Harness {
+    n: usize,
+    sim: Simulation<NetMsg>,
+    engine: ServerEngine,
+    clock: SimClock,
+    slots: Vec<Slot>,
+    history: History,
+    tick_period: u64,
+    plan: FaultPlan,
+    clause_state: Vec<ClauseState>,
+    /// Mirror of [`CrashRestartServer`]'s message counter, so the
+    /// harness knows *when* (in virtual time) the crash fired.
+    server_messages: usize,
+    crash_after: Option<usize>,
+    crash_time: Option<u64>,
+    /// Whether the server holds replies back for group commit — a crash
+    /// can then destroy held replies and stall mid-op clients.
+    group_commit: bool,
+    dummy_reads: bool,
+    /// Server-bound SUBMIT/COMMIT frames currently on the wire (or
+    /// buffered by an outage clause). COMMITs carry signed version
+    /// vectors the server stores verbatim, so frames in flight across a
+    /// state-wiping crash can *re-teach* the restarted server its
+    /// pre-crash versions and silently heal the fork.
+    server_bound: usize,
+    /// Client-bound REPLY frames currently on the wire. A reply in
+    /// flight across a crash was produced by the *pre-crash* server;
+    /// its receiver will answer with a COMMIT carrying its full current
+    /// version vector — the other healing vector.
+    replies_in_flight: usize,
+    /// Set when the crash fires: whether some live client is positioned
+    /// to observe the post-crash state (see
+    /// [`Harness::crash_detector_present`]).
+    wipe_detector: Option<bool>,
+    fork_fired: Vec<(u64, &'static str, Option<ClientId>)>,
+    dirty_fired: Vec<(u64, &'static str)>,
+    /// The armed virtual flush timer: `(deadline_tick, timer_id)`.
+    flush_timer: Option<(u64, TimerId)>,
+}
+
+/// A backend that re-attaches the shared [`SimClock`] on every build —
+/// including the rebuild [`CrashRestartServer`] performs after a crash.
+struct VirtualPersistentBackend {
+    inner: PersistentBackend,
+    clock: SimClock,
+}
+
+impl ServerBackend for VirtualPersistentBackend {
+    fn build(&self, n: usize) -> std::io::Result<Box<dyn Server + Send>> {
+        let server = PersistentServer::open(&self.inner.dir, n, self.inner.config.clone())
+            .map_err(std::io::Error::other)?
+            .with_sim_clock(self.clock.clone());
+        Ok(Box::new(server))
+    }
+}
+
+impl Harness {
+    fn new(scenario: &SimScenario, store_dir: Option<&PathBuf>) -> Self {
+        let n = scenario.n();
+        let clock = SimClock::new();
+        let backend: Box<dyn ServerBackend + Send> = match &scenario.server {
+            ServerSpec::Volatile => Box::new(MemoryBackend),
+            ServerSpec::Persistent {
+                durability,
+                snapshot_every,
+            } => {
+                let config = StoreConfig {
+                    durability: match *durability {
+                        SimDurability::Always => Durability::Always,
+                        SimDurability::Group {
+                            max_records,
+                            max_wait_ticks,
+                        } => Durability::Group {
+                            max_records,
+                            max_wait: std::time::Duration::from_millis(max_wait_ticks),
+                        },
+                    },
+                    snapshot_every: *snapshot_every,
+                };
+                Box::new(VirtualPersistentBackend {
+                    inner: PersistentBackend::new(
+                        store_dir.expect("persistent spec allocates a dir"),
+                        config,
+                    ),
+                    clock: clock.clone(),
+                })
+            }
+        };
+        let server: Box<dyn Server + Send> = match scenario.plan.crash() {
+            Some(spec) => {
+                let mut crs = CrashRestartServer::new(n, backend, spec.after_messages)
+                    .expect("initial build");
+                if let Some(dir) = store_dir {
+                    let dir = dir.clone();
+                    match spec.tamper {
+                        WalTamper::None => {}
+                        WalTamper::TruncateTail(k) => {
+                            crs = crs.with_hook(Box::new(move || {
+                                faust_store::truncate_tail_records(&dir, k).ok();
+                            }));
+                        }
+                        WalTamper::WipeState => {
+                            crs = crs.with_hook(Box::new(move || {
+                                std::fs::remove_dir_all(&dir).ok();
+                            }));
+                        }
+                    }
+                }
+                Box::new(crs)
+            }
+            None => backend.build(n).expect("initial build"),
+        };
+
+        let keys = KeySet::generate_with(
+            faust_crypto::SigScheme::Hmac,
+            n,
+            &scenario.seed.to_be_bytes(),
+        );
+        let faust_config = FaustConfig {
+            dummy_reads: scenario.dummy_reads,
+            ..FaustConfig::default()
+        };
+        let mut sim = Simulation::new(SimConfig {
+            seed: scenario.seed,
+            link_delay: scenario.link_delay,
+            offline_delay: scenario.offline_delay,
+        });
+        for i in 0..n {
+            sim.set_timer(NodeId(i as u32), scenario.tick_period, TICK_TAG);
+        }
+        // Pre-arm end-of-window release timers so buffered traffic is
+        // handed back even if no other event lands on that tick.
+        let server_node = NodeId(n as u32);
+        let clause_state = scenario
+            .plan
+            .clauses
+            .iter()
+            .enumerate()
+            .map(|(idx, clause)| match clause {
+                FaultClause::Outage { window, .. } => {
+                    sim.set_timer(server_node, window.end, RELEASE_TAG_BASE + idx as u64);
+                    ClauseState::Buffer(Vec::new())
+                }
+                FaultClause::Reorder { window, .. } => {
+                    sim.set_timer(server_node, window.end, RELEASE_TAG_BASE + idx as u64);
+                    ClauseState::Stash(None)
+                }
+                FaultClause::ReplyReplay { .. } | FaultClause::TamperReadValue { .. } => {
+                    ClauseState::Fired(false)
+                }
+                FaultClause::Duplicate { .. } | FaultClause::CrashRestart(_) => {
+                    ClauseState::Stateless
+                }
+            })
+            .collect();
+
+        Harness {
+            n,
+            sim,
+            engine: ServerEngine::new(n, server),
+            clock,
+            slots: (0..n)
+                .map(|i| Slot {
+                    core: SessionCore::new(FaustClient::new(
+                        ClientId::new(i as u32),
+                        n,
+                        keys.keypair(i as u32).expect("generated").clone(),
+                        keys.registry(),
+                        faust_config,
+                    )),
+                    script: scenario.workloads[i].iter().cloned().collect(),
+                    ticket_ops: HashMap::new(),
+                    notifications: Vec::new(),
+                    crashed: false,
+                    waiting: false,
+                    disconnected: false,
+                    in_flight: 0,
+                    last_reply: None,
+                })
+                .collect(),
+            history: History::new(),
+            tick_period: scenario.tick_period,
+            plan: scenario.plan.clone(),
+            clause_state,
+            server_messages: 0,
+            crash_after: scenario.plan.crash().map(|s| s.after_messages),
+            crash_time: None,
+            group_commit: matches!(
+                scenario.server,
+                ServerSpec::Persistent {
+                    durability: SimDurability::Group { .. },
+                    ..
+                }
+            ),
+            dummy_reads: scenario.dummy_reads,
+            server_bound: 0,
+            replies_in_flight: 0,
+            wipe_detector: None,
+            fork_fired: Vec::new(),
+            dirty_fired: Vec::new(),
+            flush_timer: None,
+        }
+    }
+
+    fn server_node(&self) -> NodeId {
+        NodeId(self.n as u32)
+    }
+
+    /// Whether, at the moment the crash fires, some client is positioned
+    /// to *observe* the restarted server's state — one half of the
+    /// precondition for the detection-guarantee oracle on a state-wiping
+    /// crash (the other half is wire quiescence, checked at the call
+    /// site: frames in flight across the crash can re-teach the
+    /// restarted server and silently heal the fork).
+    ///
+    /// A fork is only observable through a post-crash reply reaching a
+    /// client whose own version already advanced. That client must be
+    /// live, connected, and running dummy reads; and under group commit
+    /// it must not be mid-operation — a crash destroys the dying
+    /// server's *held* replies, and a client whose reply died that way
+    /// stalls forever (the accurate-detection property forbids flagging
+    /// a merely mute server, so nothing more can be demanded of the run).
+    fn crash_detector_present(&self, now: u64) -> bool {
+        self.dummy_reads
+            && self.slots.iter().any(|s| {
+                !s.crashed
+                    && !s.disconnected
+                    && s.core.failure().is_none()
+                    && (!self.group_commit || s.in_flight == 0)
+                    && s.notifications
+                        .iter()
+                        .any(|(t, n)| matches!(n, Notification::Completed(_)) && *t < now)
+            })
+    }
+
+    /// Routes one message to its destination, *without* fault
+    /// interception (used for both normal routing after interception and
+    /// for releasing buffered traffic).
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: NetMsg, now: u64) {
+        if to == self.server_node() {
+            let NetMsg::Ustor(m) = msg else { return };
+            self.server_receive(ClientId::new(from.0), m, now);
+        } else {
+            self.client_receive(to.0 as usize, msg, now);
+        }
+    }
+
+    /// Feeds one protocol message to the engine and pumps outputs back
+    /// into virtual time. Mirrors the crash counter so the harness knows
+    /// the crash tick.
+    fn server_receive(&mut self, from: ClientId, msg: UstorMsg, now: u64) {
+        self.clock.set(now);
+        let mut crashed_now = false;
+        if matches!(msg, UstorMsg::Submit(_) | UstorMsg::Commit(_)) {
+            self.server_bound = self.server_bound.saturating_sub(1);
+            self.server_messages += 1;
+            if self.crash_after == Some(self.server_messages) {
+                crashed_now = true;
+                self.crash_time = Some(now);
+                if let Some(spec) = self.plan.crash() {
+                    match spec.tamper {
+                        WalTamper::WipeState => self.fork_fired.push((now, "crash-wipe", None)),
+                        WalTamper::TruncateTail(_) => {
+                            self.dirty_fired.push((now, "crash-truncate"))
+                        }
+                        WalTamper::None => {}
+                    }
+                }
+            }
+        }
+        self.engine.enqueue(from, msg);
+        self.engine.process_all();
+        self.drain_server_outputs(now);
+        if crashed_now {
+            // Judged *after* the trigger message's own replies went out:
+            // detection of the wipe is only guaranteed when nothing on
+            // the wire — in either direction — can re-teach the
+            // restarted server before a detector observes it.
+            self.wipe_detector = Some(
+                self.server_bound == 0
+                    && self.replies_in_flight == 0
+                    && self.crash_detector_present(now),
+            );
+        }
+    }
+
+    fn drain_server_outputs(&mut self, now: u64) {
+        let server_node = self.server_node();
+        while let Some((to, out)) = self.engine.poll_output() {
+            if matches!(out, UstorMsg::Reply(_)) {
+                self.replies_in_flight += 1;
+            }
+            self.sim
+                .send(server_node, NodeId(to.as_u32()), NetMsg::Ustor(out));
+        }
+        self.update_flush_timer(now);
+    }
+
+    /// Keeps exactly one virtual timer armed at the engine's current
+    /// flush deadline (group commit), cancelling stale ones.
+    fn update_flush_timer(&mut self, now: u64) {
+        let deadline = self.engine.flush_deadline_at();
+        match (deadline, self.flush_timer) {
+            (Some(at), Some((armed, _))) if armed == at => {}
+            (Some(at), prev) => {
+                if let Some((_, id)) = prev {
+                    self.sim.cancel_timer(id);
+                }
+                let id = self
+                    .sim
+                    .set_timer(self.server_node(), at.saturating_sub(now), FLUSH_TAG);
+                self.flush_timer = Some((at, id));
+            }
+            (None, Some((_, id))) => {
+                self.sim.cancel_timer(id);
+                self.flush_timer = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn client_receive(&mut self, i: usize, msg: NetMsg, now: u64) {
+        if matches!(msg, NetMsg::Ustor(UstorMsg::Reply(_))) {
+            self.replies_in_flight = self.replies_in_flight.saturating_sub(1);
+        }
+        if i >= self.n || self.slots[i].crashed {
+            return;
+        }
+        let out = match msg {
+            NetMsg::Ustor(UstorMsg::Reply(reply)) => {
+                self.slots[i].in_flight = self.slots[i].in_flight.saturating_sub(1);
+                self.slots[i].last_reply = Some(reply.clone());
+                self.slots[i].core.handle_reply(reply, now)
+            }
+            NetMsg::Offline(m) => self.slots[i].core.handle_offline(m, now),
+            _ => SessionOutput::default(),
+        };
+        self.apply_output(i, out, now);
+    }
+
+    fn apply_output(&mut self, i: usize, out: SessionOutput, now: u64) {
+        let node = NodeId(i as u32);
+        let server_node = self.server_node();
+        for msg in out.to_server {
+            if matches!(msg, UstorMsg::Submit(_)) {
+                self.slots[i].in_flight += 1;
+            }
+            if matches!(msg, UstorMsg::Submit(_) | UstorMsg::Commit(_)) {
+                self.server_bound += 1;
+            }
+            self.sim.send(node, server_node, NetMsg::Ustor(msg));
+        }
+        for (to, msg) in out.offline {
+            self.sim
+                .send_offline(node, NodeId(to.as_u32()), NetMsg::Offline(msg));
+        }
+        for (t, event) in self.slots[i].core.take_events() {
+            let note = match event {
+                SessionEvent::Completed { ticket, completion } => {
+                    if let Some(op_id) = self.slots[i].ticket_ops.remove(&ticket.index()) {
+                        match completion.kind {
+                            OpKind::Write => {
+                                self.history
+                                    .complete_write(op_id, t, Some(completion.timestamp))
+                            }
+                            OpKind::Read => self.history.complete_read(
+                                op_id,
+                                t,
+                                completion.read_value.clone().flatten(),
+                                Some(completion.timestamp),
+                            ),
+                        }
+                    }
+                    Notification::Completed(completion)
+                }
+                SessionEvent::Stable { cut } => Notification::Stable(cut),
+                SessionEvent::Violation { reason } => Notification::Failed(reason),
+                SessionEvent::Disconnected => continue,
+            };
+            self.slots[i].notifications.push((t, note));
+        }
+        if self.slots[i].core.backlog() == 0 {
+            self.advance_script(i, now);
+        }
+    }
+
+    fn advance_script(&mut self, i: usize, now: u64) {
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.crashed
+                || slot.waiting
+                || slot.core.failure().is_some()
+                || slot.core.backlog() > 0
+            {
+                return;
+            }
+            let Some(step) = slot.script.pop_front() else {
+                return;
+            };
+            let client_id = ClientId::new(i as u32);
+            let node = NodeId(i as u32);
+            match step {
+                FaustWorkloadOp::Crash => {
+                    slot.crashed = true;
+                    self.sim.crash(node);
+                    return;
+                }
+                FaustWorkloadOp::Pause(ticks) => {
+                    slot.waiting = true;
+                    self.sim.set_timer(node, ticks, RESUME_TAG);
+                    return;
+                }
+                FaustWorkloadOp::Disconnect(duration) => {
+                    slot.waiting = true;
+                    slot.disconnected = true;
+                    self.sim.set_connected(node, false);
+                    self.sim.set_timer(node, duration, RECONNECT_TAG);
+                    return;
+                }
+                FaustWorkloadOp::Write(value) => {
+                    let op_id = self.history.begin_write(client_id, value.clone(), now);
+                    let (ticket, out) = self.slots[i].core.submit(UserOp::Write(value), now);
+                    self.slots[i].ticket_ops.insert(ticket.index(), op_id);
+                    self.apply_output(i, out, now);
+                    return;
+                }
+                FaustWorkloadOp::Read(register) => {
+                    if register.index() >= self.n {
+                        continue;
+                    }
+                    let op_id = self.history.begin_read(client_id, register, now);
+                    let (ticket, out) = self.slots[i].core.submit(UserOp::Read(register), now);
+                    self.slots[i].ticket_ops.insert(ticket.index(), op_id);
+                    self.apply_output(i, out, now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies the fault plan to a popped link delivery. Returns the
+    /// messages to route *now*, in order — empty when the delivery was
+    /// consumed (buffered or stashed), possibly substituted or doubled.
+    fn intercept(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: NetMsg,
+        now: u64,
+    ) -> Vec<(NodeId, NodeId, NetMsg)> {
+        let server_node = self.server_node();
+        for (idx, clause) in self.plan.clauses.clone().iter().enumerate() {
+            match clause {
+                FaultClause::Outage { client, window } if window.contains(now) => {
+                    let victim = NodeId(client.as_u32());
+                    if from == victim || to == victim {
+                        if let ClauseState::Buffer(buf) = &mut self.clause_state[idx] {
+                            buf.push((from, to, msg));
+                            return Vec::new();
+                        }
+                    }
+                }
+                FaultClause::Reorder { client, window }
+                    if window.contains(now)
+                        && from == NodeId(client.as_u32())
+                        && to == server_node =>
+                {
+                    if let ClauseState::Stash(stash) = &mut self.clause_state[idx] {
+                        match stash.take() {
+                            None => {
+                                *stash = Some((from, to, msg));
+                                return Vec::new();
+                            }
+                            Some(held) => {
+                                self.dirty_fired.push((now, "reorder"));
+                                return vec![(from, to, msg), held];
+                            }
+                        }
+                    }
+                }
+                FaultClause::Duplicate { client, window }
+                    if window.contains(now)
+                        && from == NodeId(client.as_u32())
+                        && to == server_node =>
+                {
+                    self.dirty_fired.push((now, "duplicate"));
+                    if matches!(
+                        msg,
+                        NetMsg::Ustor(UstorMsg::Submit(_) | UstorMsg::Commit(_))
+                    ) {
+                        self.server_bound += 1;
+                    }
+                    return vec![(from, to, msg.clone()), (from, to, msg)];
+                }
+                FaultClause::ReplyReplay { client, window }
+                    if window.contains(now) && to == NodeId(client.as_u32()) =>
+                {
+                    if let NetMsg::Ustor(UstorMsg::Reply(_)) = &msg {
+                        let already = matches!(self.clause_state[idx], ClauseState::Fired(true));
+                        if !already {
+                            if let Some(old) = self.slots[client.index()].last_reply.clone() {
+                                self.clause_state[idx] = ClauseState::Fired(true);
+                                self.dirty_fired.push((now, "reply-replay"));
+                                return vec![(from, to, NetMsg::Ustor(UstorMsg::Reply(old)))];
+                            }
+                        }
+                    }
+                }
+                FaultClause::TamperReadValue { client, window }
+                    if window.contains(now) && to == NodeId(client.as_u32()) =>
+                {
+                    let already = matches!(self.clause_state[idx], ClauseState::Fired(true));
+                    if !already {
+                        if let NetMsg::Ustor(UstorMsg::Reply(reply)) = &msg {
+                            if let Some(read) = &reply.read {
+                                if let Some(value) = &read.mem_value {
+                                    let mut tampered = reply.clone();
+                                    let flipped: Vec<u8> =
+                                        value.as_bytes().iter().map(|b| b ^ 0xFF).collect();
+                                    tampered.read.as_mut().expect("read is Some").mem_value =
+                                        Some(Value::new(flipped));
+                                    self.clause_state[idx] = ClauseState::Fired(true);
+                                    self.fork_fired
+                                        .push((now, "tamper-read-value", Some(*client)));
+                                    return vec![(
+                                        from,
+                                        to,
+                                        NetMsg::Ustor(UstorMsg::Reply(tampered)),
+                                    )];
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        vec![(from, to, msg)]
+    }
+
+    /// End-of-window release for clause `idx`: buffered/stashed traffic
+    /// is handed to its destination in original order.
+    fn release_clause(&mut self, idx: usize, now: u64) {
+        let pending = match &mut self.clause_state[idx] {
+            ClauseState::Buffer(buf) => std::mem::take(buf),
+            ClauseState::Stash(stash) => stash.take().into_iter().collect(),
+            _ => Vec::new(),
+        };
+        for (from, to, msg) in pending {
+            self.deliver(from, to, msg, now);
+        }
+    }
+
+    fn run(mut self, deadline: u64) -> SimRunReport {
+        for i in 0..self.n {
+            self.advance_script(i, 0);
+        }
+        while let Some(ev) = self.sim.next() {
+            if ev.time > deadline {
+                break;
+            }
+            let now = ev.time;
+            match ev.event {
+                Event::Timer { node, tag, .. } => {
+                    if tag >= RELEASE_TAG_BASE {
+                        self.release_clause((tag - RELEASE_TAG_BASE) as usize, now);
+                        continue;
+                    }
+                    if tag == FLUSH_TAG {
+                        self.clock.set(now);
+                        self.flush_timer = None;
+                        self.engine.flush_server(false);
+                        self.drain_server_outputs(now);
+                        continue;
+                    }
+                    let i = node.0 as usize;
+                    if i >= self.n || self.slots[i].crashed {
+                        continue;
+                    }
+                    match tag {
+                        TICK_TAG => {
+                            self.sim.set_timer(node, self.tick_period, TICK_TAG);
+                            let out = self.slots[i].core.tick(now);
+                            self.apply_output(i, out, now);
+                        }
+                        RESUME_TAG => {
+                            self.slots[i].waiting = false;
+                            self.advance_script(i, now);
+                        }
+                        RECONNECT_TAG => {
+                            self.slots[i].waiting = false;
+                            self.slots[i].disconnected = false;
+                            self.sim.set_connected(node, true);
+                            self.advance_script(i, now);
+                        }
+                        _ => {}
+                    }
+                }
+                Event::Message {
+                    from,
+                    to,
+                    msg,
+                    transport,
+                } => {
+                    let deliveries = if transport == Transport::Link {
+                        self.intercept(from, to, msg, now)
+                    } else {
+                        vec![(from, to, msg)]
+                    };
+                    for (from, to, msg) in deliveries {
+                        self.deliver(from, to, msg, now);
+                    }
+                }
+            }
+        }
+
+        // Anything a clause still holds at the deadline stays undelivered
+        // (the run is over), but the report records what fired.
+        let failures = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.core
+                    .failure()
+                    .cloned()
+                    .map(|f| (ClientId::new(i as u32), f))
+            })
+            .collect();
+        SimRunReport {
+            history: self.history,
+            notifications: self.slots.into_iter().map(|s| s.notifications).collect(),
+            failures,
+            fork_fired: self.fork_fired,
+            dirty_fired: self.dirty_fired,
+            crash_time: self.crash_time,
+            wipe_detector: self.wipe_detector,
+            metrics: self.sim.metrics().clone(),
+            final_time: self.sim.now(),
+        }
+    }
+}
+
+/// Executes one scenario under virtual time and returns its report.
+///
+/// Persistent scenarios run in a scratch directory under the system temp
+/// dir, removed before and after the run — every invocation starts from
+/// a clean slate, which the reproducibility contract requires.
+pub fn run_sim(scenario: &SimScenario) -> SimRunReport {
+    let store_dir = match &scenario.server {
+        ServerSpec::Volatile => None,
+        ServerSpec::Persistent { .. } => Some(scratch_dir()),
+    };
+    if let Some(dir) = &store_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    let harness = Harness::new(scenario, store_dir.as_ref());
+    let report = harness.run(scenario.deadline);
+    if let Some(dir) = &store_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+/// Checks the run's oracles; `Err` carries a human-readable account of
+/// the first violation.
+///
+/// * **No false positives**: if no adversarial clause actually fired,
+///   there must be no failure notification, and no failure may precede
+///   the first adversarial event; on a structurally benign plan
+///   additionally every user op completes (wait-freedom) and the
+///   history is linearizable.
+/// * **No false negatives**: every guaranteed-observable fork that fired
+///   with room to detect (slack before the deadline, and — for crash
+///   forks — a detector client in position over a quiescent wire, see
+///   [`SimRunReport::wipe_detector`]) must produce a failure
+///   notification.
+/// * **Universal safety**: the completed history is never weak-fork-lin
+///   *violated* — the paper's guarantee holds under every adversary the
+///   DSL can express.
+pub fn check_oracles(scenario: &SimScenario, report: &SimRunReport) -> Result<(), String> {
+    let adversarial_fired = !report.fork_fired.is_empty() || !report.dirty_fired.is_empty();
+
+    // No false positives.
+    if !adversarial_fired && !report.failures.is_empty() {
+        return Err(format!(
+            "false positive: no adversarial clause fired but clients failed: {:?}",
+            report.failures
+        ));
+    }
+    if scenario.plan.is_benign(&scenario.server) {
+        let expected = scenario.user_ops();
+        let completed = report.completed_ops();
+        if completed != expected {
+            return Err(format!(
+                "wait-freedom: benign run completed {completed}/{expected} user ops"
+            ));
+        }
+        if !faust_consistency::check_wait_freedom(&report.history, &[]) {
+            return Err("wait-freedom checker rejected a benign run".into());
+        }
+        if expected <= faust_consistency::MAX_OPS {
+            let verdict = faust_consistency::check_linearizability(
+                &report.history,
+                &faust_consistency::Budget::default(),
+            );
+            if let faust_consistency::Verdict::Violated(why) = verdict {
+                return Err(format!("benign run's history is not linearizable: {why}"));
+            }
+        }
+    }
+
+    // Failures must not precede the first adversarial event of the run
+    // (a refinement of the no-false-positive oracle: before anything
+    // fired, the run is indistinguishable from an honest one).
+    let first_adversarial = report
+        .fork_fired
+        .iter()
+        .map(|&(t, _, _)| t)
+        .chain(report.dirty_fired.iter().map(|&(t, _)| t))
+        .min();
+    if let (Some(adv), Some(fail)) = (first_adversarial, report.first_failure_time()) {
+        if fail < adv {
+            return Err(format!(
+                "a client failed at t={fail}, before the first adversarial event at t={adv}"
+            ));
+        }
+    }
+
+    // No false negatives, for forks that are guaranteed observable.
+    for &(at, label, victim) in &report.fork_fired {
+        if at + scenario.detection_slack() > scenario.deadline {
+            continue; // fired too close to the deadline to demand detection
+        }
+        match victim {
+            // Value tamper: the DATA-signature check fires on the very
+            // delivery, at the victim. (The victim may legitimately have
+            // failed *before* this fork fired, through another clause or
+            // a failure relayed over the offline channel — eventual
+            // failure is all the guarantee promises.)
+            Some(v) => {
+                if report.failure_time(v).is_none() {
+                    return Err(format!(
+                        "false negative: {label} fired at t={at} against {v} but it never failed"
+                    ));
+                }
+            }
+            // Global fork (state wipe): detection is only guaranteed
+            // when a detector client was in position at crash time and
+            // no in-flight frame could re-teach the restarted server
+            // (see `SimRunReport::wipe_detector`).
+            None => {
+                if report.wipe_detector != Some(true) {
+                    continue;
+                }
+                if report.failures.is_empty() {
+                    return Err(format!(
+                        "false negative: {label} fired at t={at} with a detector in position \
+                         but no client failed by t={}",
+                        report.final_time
+                    ));
+                }
+            }
+        }
+    }
+
+    // Universal safety: completed ops are never weak-fork-lin violated.
+    if report.history.complete_ops().count() <= faust_consistency::MAX_OPS {
+        let verdict = faust_consistency::check_weak_fork_linearizability(
+            &report.history,
+            &faust_consistency::Budget::default(),
+        );
+        if let faust_consistency::Verdict::Violated(why) = verdict {
+            return Err(format!("history violates weak fork-linearizability: {why}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a scenario and checks its oracles in one step.
+///
+/// # Errors
+///
+/// The oracle violation, rendered for humans.
+pub fn run_and_check(scenario: &SimScenario) -> Result<SimRunReport, String> {
+    let report = run_sim(scenario);
+    check_oracles(scenario, &report)?;
+    Ok(report)
+}
+
+/// Runs a scenario twice and verifies the reports are bit-identical —
+/// the reproducibility oracle.
+///
+/// # Errors
+///
+/// A description of the first diverging field.
+pub fn check_determinism(scenario: &SimScenario) -> Result<(), String> {
+    let a = run_sim(scenario);
+    let b = run_sim(scenario);
+    if a.fingerprint() != b.fingerprint() {
+        return Err(format!(
+            "non-deterministic rerun: first {:?}\n=== second {:?}",
+            a.fingerprint(),
+            b.fingerprint()
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generation
+// ---------------------------------------------------------------------------
+
+/// Derives a full randomized scenario from one seed: client count,
+/// scripts, server spec, and a fault plan drawn from benign, forking,
+/// and adversarial-network families. `gen_scenario(seed)` is a pure
+/// function — the seed alone reproduces the run.
+pub fn gen_scenario(seed: u64) -> SimScenario {
+    let mut rng = faust_sim::SmallRng::seed_from_u64(seed ^ 0x5eed_fa57_0000_0001);
+    let n = rng.gen_range_inclusive(2, 4) as usize;
+    let ops_per_client = rng.gen_range_inclusive(2, 4) as usize;
+    let deadline = 6_000;
+    let workloads = crate::driver::random_faust_workloads(n, ops_per_client, 0.6, seed);
+
+    let server = match rng.gen_index(3) {
+        0 => ServerSpec::Volatile,
+        1 => ServerSpec::Persistent {
+            durability: SimDurability::Always,
+            snapshot_every: [0, 4][rng.gen_index(2)],
+        },
+        _ => ServerSpec::Persistent {
+            durability: SimDurability::Group {
+                max_records: rng.gen_range_inclusive(2, 16),
+                max_wait_ticks: rng.gen_range_inclusive(5, 40),
+            },
+            snapshot_every: 0,
+        },
+    };
+
+    // Fault windows sit in the first half of the run so detection (and
+    // outage release + completion) always has slack before the deadline.
+    let window = |rng: &mut faust_sim::SmallRng| {
+        let start = rng.gen_range_inclusive(50, 2_000);
+        let len = rng.gen_range_inclusive(100, 1_500);
+        TimeWindow::new(start, (start + len).min(deadline / 2))
+    };
+    // Victims are kept distinct across clauses so plans never depend on
+    // the first-match-wins tie-break.
+    let mut free: Vec<u32> = (0..n as u32).collect();
+    let pick_victim = |rng: &mut faust_sim::SmallRng, free: &mut Vec<u32>| {
+        let i = rng.gen_index(free.len());
+        ClientId::new(free.swap_remove(i))
+    };
+
+    let mut clauses = Vec::new();
+    match rng.gen_index(4) {
+        // Honest or benign-faults run.
+        0 => {
+            for _ in 0..rng.gen_index(3) {
+                if free.is_empty() {
+                    break;
+                }
+                let client = pick_victim(&mut rng, &mut free);
+                clauses.push(FaultClause::Outage {
+                    client,
+                    window: window(&mut rng),
+                });
+            }
+            if matches!(
+                server,
+                ServerSpec::Persistent {
+                    durability: SimDurability::Always,
+                    ..
+                }
+            ) && rng.gen_bool(0.5)
+            {
+                // Honest crash/restart: invisible under Always (nothing
+                // is ever held back or lost).
+                clauses.push(FaultClause::CrashRestart(CrashSpec {
+                    after_messages: rng.gen_range_inclusive(1, 12) as usize,
+                    tamper: WalTamper::None,
+                }));
+            }
+        }
+        // Forking adversary: state wipe on restart.
+        1 => {
+            let after_messages = rng.gen_range_inclusive(2, 14) as usize;
+            let tamper = match server {
+                ServerSpec::Volatile => WalTamper::None, // volatile restart wipes anyway
+                ServerSpec::Persistent { .. } => WalTamper::WipeState,
+            };
+            clauses.push(FaultClause::CrashRestart(CrashSpec {
+                after_messages,
+                tamper,
+            }));
+        }
+        // Rollback adversary: tail truncation (observability depends on
+        // what the tail held — universal-safety oracle only).
+        2 => {
+            let tamper = match server {
+                ServerSpec::Volatile => WalTamper::None,
+                ServerSpec::Persistent { .. } => {
+                    WalTamper::TruncateTail(rng.gen_range_inclusive(1, 6) as usize)
+                }
+            };
+            clauses.push(FaultClause::CrashRestart(CrashSpec {
+                after_messages: rng.gen_range_inclusive(4, 16) as usize,
+                tamper,
+            }));
+        }
+        // Adversarial network / Byzantine replies.
+        _ => {
+            for _ in 0..(1 + rng.gen_index(2)) {
+                if free.is_empty() {
+                    break;
+                }
+                let client = pick_victim(&mut rng, &mut free);
+                let w = window(&mut rng);
+                clauses.push(match rng.gen_index(4) {
+                    0 => FaultClause::Reorder { client, window: w },
+                    1 => FaultClause::Duplicate { client, window: w },
+                    2 => FaultClause::ReplyReplay { client, window: w },
+                    _ => FaultClause::TamperReadValue { client, window: w },
+                });
+            }
+        }
+    }
+    // A volatile server with a crash clause forks; mark it as such by
+    // construction (handled in the harness via the crash mirror).
+    let fork_on_volatile_crash = matches!(server, ServerSpec::Volatile)
+        && clauses
+            .iter()
+            .any(|c| matches!(c, FaultClause::CrashRestart(_)));
+
+    let mut scenario = SimScenario {
+        seed,
+        workloads,
+        server,
+        plan: FaultPlan { clauses },
+        deadline,
+        tick_period: 25,
+        dummy_reads: true,
+        link_delay: DelayModel::Uniform(1, rng.gen_range_inclusive(3, 12)),
+        offline_delay: DelayModel::Uniform(20, 80),
+    };
+    if fork_on_volatile_crash {
+        // Volatile + restart = guaranteed state wipe; encode it so the
+        // harness records the fork.
+        for clause in &mut scenario.plan.clauses {
+            if let FaultClause::CrashRestart(spec) = clause {
+                spec.tamper = WalTamper::WipeState;
+            }
+        }
+    }
+    scenario
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking failure reporter
+// ---------------------------------------------------------------------------
+
+/// A reproduced-and-minimized oracle violation, ready to render.
+#[derive(Debug)]
+pub struct SimFailure {
+    /// The failing scenario as originally run.
+    pub scenario: SimScenario,
+    /// The oracle's account of the violation.
+    pub error: String,
+    /// The same scenario with a 1-minimal fault plan that still fails.
+    pub minimized: SimScenario,
+    /// The oracle error of the minimized run.
+    pub minimized_error: String,
+}
+
+/// Minimizes a failing scenario's fault plan by delta debugging: clauses
+/// are removed while the run (same seed, same everything else) still
+/// violates an oracle. The result's plan is 1-minimal — dropping any
+/// remaining clause makes the failure disappear. If the failure is
+/// seed-only (no clause needed), the minimized plan is empty.
+pub fn investigate(scenario: &SimScenario, error: String) -> SimFailure {
+    let kept = faust_sim::shrink(&scenario.plan.clauses, |subset| {
+        let mut candidate = scenario.clone();
+        candidate.plan.clauses = subset.to_vec();
+        run_and_check(&candidate).is_err()
+    });
+    let mut minimized = scenario.clone();
+    minimized.plan.clauses = kept;
+    let minimized_error = run_and_check(&minimized)
+        .err()
+        .unwrap_or_else(|| error.clone());
+    SimFailure {
+        scenario: scenario.clone(),
+        error,
+        minimized,
+        minimized_error,
+    }
+}
+
+impl SimFailure {
+    /// Renders the failure as the reproduction recipe printed to the log
+    /// and uploaded as a CI artifact: seed, oracle error, minimized
+    /// plan, and the command to replay it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== faust-sim oracle violation ===");
+        let _ = writeln!(out, "seed:  {}", self.scenario.seed);
+        let _ = writeln!(out, "error: {}", self.error);
+        let _ = writeln!(
+            out,
+            "minimized fault plan ({} of {} clause(s), error: {}):",
+            self.minimized.plan.clauses.len(),
+            self.scenario.plan.clauses.len(),
+            self.minimized_error,
+        );
+        for clause in &self.minimized.plan.clauses {
+            let _ = writeln!(out, "  - {clause:?}");
+        }
+        let _ = writeln!(out, "server: {:?}", self.scenario.server);
+        let _ = writeln!(out, "workloads: {:?}", self.scenario.workloads);
+        let _ = writeln!(
+            out,
+            "reproduce: FAUST_SIM_SEED={} cargo test --release --test sim_faults \
+             reproduce_seed -- --nocapture",
+            self.scenario.seed
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn honest_scenario(seed: u64, server: ServerSpec) -> SimScenario {
+        SimScenario {
+            seed,
+            workloads: crate::driver::random_faust_workloads(3, 3, 0.6, seed),
+            server,
+            plan: FaultPlan::honest(),
+            deadline: 6_000,
+            tick_period: 25,
+            dummy_reads: true,
+            link_delay: DelayModel::Uniform(1, 8),
+            offline_delay: DelayModel::Uniform(20, 80),
+        }
+    }
+
+    #[test]
+    fn honest_volatile_run_passes_oracles() {
+        let scenario = honest_scenario(1, ServerSpec::Volatile);
+        let report = run_and_check(&scenario).expect("honest run");
+        assert_eq!(report.completed_ops(), scenario.user_ops());
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn honest_group_commit_run_releases_replies_on_virtual_deadlines() {
+        let scenario = honest_scenario(
+            2,
+            ServerSpec::Persistent {
+                durability: SimDurability::Group {
+                    max_records: 64,    // far larger than the traffic: only
+                    max_wait_ticks: 15, // the virtual deadline releases
+                },
+                snapshot_every: 0,
+            },
+        );
+        let report = run_and_check(&scenario).expect("honest group-commit run");
+        assert_eq!(report.completed_ops(), scenario.user_ops());
+    }
+
+    #[test]
+    fn outage_is_invisible_and_release_preserves_fifo() {
+        let mut scenario = honest_scenario(3, ServerSpec::Volatile);
+        scenario.plan.clauses.push(FaultClause::Outage {
+            client: c(0),
+            window: TimeWindow::new(100, 900),
+        });
+        let report = run_and_check(&scenario).expect("outage is benign");
+        assert!(report.failures.is_empty());
+        assert_eq!(report.completed_ops(), scenario.user_ops());
+    }
+
+    #[test]
+    fn honest_persistent_crash_restart_is_invisible() {
+        let mut scenario = honest_scenario(
+            4,
+            ServerSpec::Persistent {
+                durability: SimDurability::Always,
+                snapshot_every: 0,
+            },
+        );
+        scenario
+            .plan
+            .clauses
+            .push(FaultClause::CrashRestart(CrashSpec {
+                after_messages: 5,
+                tamper: WalTamper::None,
+            }));
+        let report = run_and_check(&scenario).expect("honest restart is invisible");
+        assert!(report.crash_time.is_some(), "the crash must actually fire");
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn volatile_crash_fork_is_detected() {
+        let mut scenario = honest_scenario(5, ServerSpec::Volatile);
+        scenario
+            .plan
+            .clauses
+            .push(FaultClause::CrashRestart(CrashSpec {
+                after_messages: 6,
+                tamper: WalTamper::WipeState,
+            }));
+        let report = run_sim(&scenario);
+        assert!(report.crash_time.is_some());
+        check_oracles(&scenario, &report).expect("fork detected");
+        assert!(
+            !report.failures.is_empty(),
+            "state wipe after completed ops must be flagged"
+        );
+    }
+
+    #[test]
+    fn tampered_read_value_is_detected_at_the_victim() {
+        let mut scenario = honest_scenario(6, ServerSpec::Volatile);
+        // Make sure reads happen: c1 reads c0's register after a write.
+        scenario.workloads = vec![
+            vec![
+                FaustWorkloadOp::Write(Value::from("x1")),
+                FaustWorkloadOp::Write(Value::from("x2")),
+            ],
+            vec![
+                FaustWorkloadOp::Pause(200),
+                FaustWorkloadOp::Read(c(0)),
+                FaustWorkloadOp::Read(c(0)),
+            ],
+        ];
+        scenario.plan.clauses.push(FaultClause::TamperReadValue {
+            client: c(1),
+            window: TimeWindow::new(150, 3_000),
+        });
+        let report = run_sim(&scenario);
+        check_oracles(&scenario, &report).expect("oracles");
+        assert!(
+            report
+                .fork_fired
+                .iter()
+                .any(|(_, l, _)| *l == "tamper-read-value"),
+            "the tamper must fire: {:?}",
+            report.dirty_fired
+        );
+        assert!(report.failure_time(c(1)).is_some(), "victim must fail");
+    }
+
+    #[test]
+    fn seeded_reruns_are_bit_identical() {
+        for seed in [7, 8, 9] {
+            let scenario = gen_scenario(seed);
+            check_determinism(&scenario).expect("bit-identical rerun");
+        }
+    }
+
+    #[test]
+    fn investigate_minimizes_to_the_culprit_clause() {
+        // Three clauses; only the state-wipe crash causes the failure
+        // the oracle would report if detection were broken. We force a
+        // "failure" by checking a synthetic predicate: the plan minus
+        // the crash clause passes, with it the run flags clients. Use
+        // the real pipeline: a scenario whose oracle violation is
+        // guaranteed — a fork fired too *early* relative to nothing: we
+        // simulate by asserting on a scenario that genuinely fails its
+        // oracles is hard to fabricate, so instead check the shrinker
+        // wiring: minimize "plan still produces failures".
+        let mut scenario = honest_scenario(10, ServerSpec::Volatile);
+        scenario.plan.clauses = vec![
+            FaultClause::Outage {
+                client: c(1),
+                window: TimeWindow::new(100, 400),
+            },
+            FaultClause::CrashRestart(CrashSpec {
+                after_messages: 6,
+                tamper: WalTamper::WipeState,
+            }),
+            FaultClause::Outage {
+                client: c(2),
+                window: TimeWindow::new(200, 500),
+            },
+        ];
+        let kept = faust_sim::shrink(&scenario.plan.clauses, |subset| {
+            let mut candidate = scenario.clone();
+            candidate.plan.clauses = subset.to_vec();
+            !run_sim(&candidate).failures.is_empty()
+        });
+        assert_eq!(
+            kept,
+            vec![FaultClause::CrashRestart(CrashSpec {
+                after_messages: 6,
+                tamper: WalTamper::WipeState,
+            })],
+            "only the forking clause should survive shrinking"
+        );
+    }
+
+    #[test]
+    fn failure_report_renders_seed_and_plan() {
+        let scenario = gen_scenario(11);
+        let failure = investigate(&scenario, "synthetic error".into());
+        let rendered = failure.render();
+        assert!(rendered.contains("seed:  11"));
+        assert!(rendered.contains("FAUST_SIM_SEED=11"));
+        assert!(rendered.contains("synthetic error"));
+    }
+}

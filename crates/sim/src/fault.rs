@@ -1,0 +1,164 @@
+//! Building blocks for fault-plan harnesses: activation windows over
+//! virtual time, and a delta-debugging shrinker that minimizes a failing
+//! plan to a small reproducer.
+//!
+//! The types here are protocol-agnostic; `faust-core`'s simulator defines
+//! the concrete fault clauses and feeds them through [`shrink`] when an
+//! oracle trips.
+
+/// A half-open interval `[start, end)` of virtual time during which a
+/// fault clause is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// First tick at which the clause applies.
+    pub start: u64,
+    /// First tick at which it no longer applies.
+    pub end: u64,
+}
+
+impl TimeWindow {
+    /// A window covering `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        TimeWindow { start, end }
+    }
+
+    /// Whether virtual time `t` falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether the window is empty (contains no tick).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl std::fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Minimizes a failing input by delta debugging (Zeller's `ddmin`).
+///
+/// `items` is the list to minimize (here: fault clauses) and
+/// `still_fails` re-runs the system on a candidate subset, returning
+/// `true` when the failure still reproduces. The returned subset is
+/// *1-minimal*: removing any single remaining item makes the failure
+/// disappear. Item order is preserved, which matters when items are
+/// applied sequentially.
+///
+/// `still_fails` is never called on the full input (the caller already
+/// knows it fails) and the worst-case number of probe runs is
+/// `O(n^2)` — fine for the handful-of-clauses plans the simulator
+/// generates.
+///
+/// If the failure does not depend on `items` at all (e.g. a seed-only
+/// schedule bug), the result is empty.
+pub fn shrink<T: Clone, F: FnMut(&[T]) -> bool>(items: &[T], mut still_fails: F) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() {
+        return current;
+    }
+    if still_fails(&[]) {
+        return Vec::new();
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement of current[start..end].
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break; // 1-minimal
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // A single survivor may itself be unnecessary (failure needs none of
+    // the items); the empty check above already covered that, so a
+    // 1-element result is genuinely needed.
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = TimeWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!w.is_empty());
+        assert!(TimeWindow::new(5, 5).is_empty());
+        assert_eq!(format!("{w}"), "[10, 20)");
+    }
+
+    #[test]
+    fn shrink_finds_single_culprit() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = shrink(&items, |subset| subset.contains(&11));
+        assert_eq!(out, vec![11]);
+    }
+
+    #[test]
+    fn shrink_keeps_interacting_pair() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = shrink(&items, |subset| subset.contains(&2) && subset.contains(&7));
+        assert_eq!(out, vec![2, 7], "order preserved, both kept");
+    }
+
+    #[test]
+    fn shrink_returns_empty_when_items_irrelevant() {
+        let items: Vec<u32> = (0..8).collect();
+        let out = shrink(&items, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shrink_result_is_1_minimal() {
+        // Failure requires at least 3 of the even items.
+        let items: Vec<u32> = (0..12).collect();
+        let out = shrink(&items, |subset| {
+            subset.iter().filter(|x| **x % 2 == 0).count() >= 3
+        });
+        assert_eq!(out.iter().filter(|x| **x % 2 == 0).count(), 3);
+        for skip in 0..out.len() {
+            let without: Vec<u32> = out
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, x)| *x)
+                .collect();
+            assert!(
+                without.iter().filter(|x| **x % 2 == 0).count() < 3,
+                "dropping any survivor must break the repro"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_on_empty_input_is_empty() {
+        let out = shrink(&Vec::<u32>::new(), |_| true);
+        assert!(out.is_empty());
+    }
+}

@@ -20,7 +20,52 @@ use crate::StoreError;
 use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
 use faust_ustor::{Server, ServerBackend, UstorServer};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared virtual clock for discrete-event simulations.
+///
+/// A store handed one via [`PersistentServer::with_sim_clock`] measures
+/// its group-commit batch age in **virtual ticks** (1 tick = 1 ms of
+/// `max_wait`) instead of wall-clock `Instant`s, and reports flush
+/// deadlines through [`Server::flush_deadline_at`] rather than
+/// [`Server::flush_deadline`]. The simulation harness owns the clock and
+/// advances it (`set`) before every interaction with the server, which
+/// makes flush timing — the one wall-clock dependency in the store's hot
+/// path — fully deterministic under a seed.
+///
+/// Cloning shares the underlying clock (it is an `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct SimClock(Arc<AtomicU64>);
+
+impl SimClock {
+    /// A clock starting at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances (or rewinds — the clock does not police monotonicity,
+    /// the simulation does) the clock to `now`.
+    pub fn set(&self, now: u64) {
+        self.0.store(now, Ordering::SeqCst);
+    }
+
+    /// The current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// When the oldest record of the current group-commit batch was appended
+/// — on whichever clock the server runs.
+#[derive(Debug, Clone, Copy)]
+enum BatchStart {
+    /// Wall-clock servers (the production path).
+    Wall(Instant),
+    /// Simulation-driven servers, in [`SimClock`] ticks.
+    Virtual(u64),
+}
 
 /// When appended records become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -123,7 +168,10 @@ pub struct PersistentServer {
     unsynced: u64,
     /// When the oldest unflushed record of the current batch was
     /// appended — the age the `max_wait` policy is measured against.
-    batch_started: Option<Instant>,
+    batch_started: Option<BatchStart>,
+    /// Virtual clock, when the server is simulation-driven; `None` on
+    /// the production wall-clock path.
+    sim_clock: Option<SimClock>,
 }
 
 impl PersistentServer {
@@ -151,6 +199,7 @@ impl PersistentServer {
             held: Vec::new(),
             unsynced: 0,
             batch_started: None,
+            sim_clock: None,
         })
     }
 
@@ -242,6 +291,7 @@ impl PersistentServer {
             held: Vec::new(),
             unsynced: 0,
             batch_started: None,
+            sim_clock: None,
         })
     }
 
@@ -280,6 +330,45 @@ impl PersistentServer {
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Switches the server onto a virtual clock: group-commit batch age
+    /// is measured in `clock` ticks (1 tick = 1 ms of `max_wait`) and
+    /// flush deadlines surface via [`Server::flush_deadline_at`] instead
+    /// of [`Server::flush_deadline`]. Used by the deterministic
+    /// simulator; the wall-clock path is untouched when this is never
+    /// called.
+    #[must_use]
+    pub fn with_sim_clock(mut self, clock: SimClock) -> Self {
+        self.sim_clock = Some(clock);
+        self
+    }
+
+    /// `max_wait` expressed in virtual ticks (1 tick = 1 ms), at least 1
+    /// so a held batch never becomes due at its own append tick.
+    fn max_wait_ticks(max_wait: Duration) -> u64 {
+        (max_wait.as_millis() as u64).max(1)
+    }
+
+    /// Stamps the start of a new batch on whichever clock the server
+    /// runs.
+    fn batch_start(&self) -> BatchStart {
+        match &self.sim_clock {
+            Some(clock) => BatchStart::Virtual(clock.now()),
+            None => BatchStart::Wall(Instant::now()),
+        }
+    }
+
+    /// Whether the current batch has aged past `max_wait`.
+    fn batch_expired(&self, max_wait: Duration) -> bool {
+        match self.batch_started {
+            Some(BatchStart::Wall(t)) => t.elapsed() >= max_wait,
+            Some(BatchStart::Virtual(t)) => self
+                .sim_clock
+                .as_ref()
+                .is_some_and(|c| c.now().saturating_sub(t) >= Self::max_wait_ticks(max_wait)),
+            None => false,
+        }
     }
 
     /// Writes a snapshot of the current state and rotates the log.
@@ -376,7 +465,8 @@ impl PersistentServer {
         match self.config.durability {
             Durability::Group { max_records, .. } => {
                 self.unsynced += 1;
-                self.batch_started.get_or_insert_with(Instant::now);
+                let start = self.batch_start();
+                self.batch_started.get_or_insert(start);
                 self.held.extend(replies);
                 self.maybe_snapshot();
                 if self.unsynced >= max_records.max(1) {
@@ -425,9 +515,7 @@ impl Server for PersistentServer {
         let due = force
             || self.unsynced == 0 // snapshot already made the batch durable
             || self.unsynced >= max_records.max(1)
-            || self
-                .batch_started
-                .is_some_and(|t| t.elapsed() >= max_wait);
+            || self.batch_expired(max_wait);
         if !due {
             return Vec::new();
         }
@@ -452,7 +540,24 @@ impl Server for PersistentServer {
         // `batch_started` is always `Some` while anything is held or
         // unsynced (every append sets it; wedge and flush clear all
         // three together) — `?` keeps that invariant self-enforcing.
-        Some(self.batch_started? + max_wait)
+        match self.batch_started? {
+            BatchStart::Wall(t) => Some(t + max_wait),
+            // A virtual-clock batch reports via `flush_deadline_at`.
+            BatchStart::Virtual(_) => None,
+        }
+    }
+
+    fn flush_deadline_at(&self) -> Option<u64> {
+        let Durability::Group { max_wait, .. } = self.config.durability else {
+            return None;
+        };
+        if self.wedged.is_some() || (self.held.is_empty() && self.unsynced == 0) {
+            return None;
+        }
+        match self.batch_started? {
+            BatchStart::Wall(_) => None,
+            BatchStart::Virtual(t) => Some(t + Self::max_wait_ticks(max_wait)),
+        }
     }
 }
 
@@ -657,6 +762,64 @@ mod tests {
         std::thread::sleep(deadline.saturating_duration_since(std::time::Instant::now()));
         std::thread::sleep(std::time::Duration::from_millis(2));
         // Past max_wait, an ordinary (non-forced) flush is due.
+        assert_eq!(server.flush(false).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn virtual_clock_batch_ages_in_ticks_not_wall_time() {
+        let dir = scratch_dir("srv-group-vclock");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 1000,
+                max_wait: std::time::Duration::from_millis(5),
+            },
+            snapshot_every: 0,
+        };
+        let clock = SimClock::new();
+        clock.set(100);
+        let mut server = PersistentServer::open(&dir, 1, config)
+            .unwrap()
+            .with_sim_clock(clock.clone());
+        let mut cs = clients(1);
+        let submit = cs[0].begin_write(Value::from("virtual")).unwrap();
+        assert!(server.on_submit(ClientId::new(0), submit).is_empty());
+        // Virtual batches report through flush_deadline_at, never the
+        // wall-clock method.
+        assert!(server.flush_deadline().is_none());
+        assert_eq!(server.flush_deadline_at(), Some(105));
+        // No amount of *wall* time makes the batch due — only ticks do.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(server.flush(false).is_empty());
+        clock.set(104);
+        assert!(server.flush(false).is_empty(), "one tick short");
+        clock.set(105);
+        assert_eq!(server.flush(false).len(), 1, "due exactly at deadline");
+        assert!(server.flush_deadline_at().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn virtual_clock_sub_millisecond_max_wait_rounds_up_to_one_tick() {
+        let dir = scratch_dir("srv-group-vclock-subms");
+        let config = StoreConfig {
+            durability: Durability::Group {
+                max_records: 1000,
+                max_wait: std::time::Duration::from_micros(100),
+            },
+            snapshot_every: 0,
+        };
+        let clock = SimClock::new();
+        let mut server = PersistentServer::open(&dir, 1, config)
+            .unwrap()
+            .with_sim_clock(clock.clone());
+        let mut cs = clients(1);
+        let submit = cs[0].begin_write(Value::from("v")).unwrap();
+        server.on_submit(ClientId::new(0), submit);
+        // Rounded up: never due at the append tick itself.
+        assert_eq!(server.flush_deadline_at(), Some(1));
+        assert!(server.flush(false).is_empty());
+        clock.set(1);
         assert_eq!(server.flush(false).len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -318,6 +318,12 @@ impl ServerEngine {
         self.server.flush_deadline()
     }
 
+    /// Virtual-time twin of [`ServerEngine::flush_deadline`], for servers
+    /// driven by a simulation clock — see [`Server::flush_deadline_at`].
+    pub fn flush_deadline_at(&self) -> Option<u64> {
+        self.server.flush_deadline_at()
+    }
+
     /// Processes every queued message in FIFO order, then offers the
     /// server a (non-forced) durability flush point — one processing
     /// round is the natural group-commit batch.

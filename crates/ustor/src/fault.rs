@@ -288,6 +288,10 @@ impl Server for CrashRestartServer {
     fn flush_deadline(&self) -> Option<std::time::Instant> {
         self.inner.as_ref().and_then(|s| s.flush_deadline())
     }
+
+    fn flush_deadline_at(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|s| s.flush_deadline_at())
+    }
 }
 
 #[cfg(test)]

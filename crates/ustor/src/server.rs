@@ -52,6 +52,17 @@ pub trait Server {
     fn flush_deadline(&self) -> Option<std::time::Instant> {
         None
     }
+
+    /// Virtual-time twin of [`Server::flush_deadline`]: the simulation
+    /// tick at which a held reply must next be offered a flush, for
+    /// servers driven by a discrete-event clock instead of `Instant`.
+    ///
+    /// `None` means either nothing is held or the server runs on wall
+    /// time; a server reports its deadline through *one* of the two
+    /// methods, never both.
+    fn flush_deadline_at(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// `MEM[i]`: the timestamp, value, and DATA-signature most recently

@@ -17,6 +17,8 @@ use faust::core::runtime::spawn_engine;
 use faust::core::{
     random_faust_workloads, FaustConfig, FaustDriver, FaustDriverConfig, FaustWorkloadOp,
 };
+use faust::sim::SmallRng;
+use faust::store::log::{Wal, WAL_FILE};
 use faust::store::{
     shard_dir, testutil, truncate_tail_records, Durability, ShardedBackend, StoreConfig,
 };
@@ -317,4 +319,249 @@ fn truncated_shard_log_is_refused_then_flagged_after_repair() {
     h1.disconnect();
     engine.join().expect("engine thread");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Byte-for-byte copy of a store directory tree.
+fn copy_store(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for entry in std::fs::read_dir(src).expect("readdir") {
+        let entry = entry.expect("dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_store(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy");
+        }
+    }
+}
+
+/// The seeded generalisation of the test above: **random multi-shard
+/// truncation points**. Each iteration runs a pinned round-robin write
+/// schedule against a persistent sharded deployment (one client per
+/// shard, every wait observed, so each op's global position is known
+/// exactly), then cuts a random whole-op tail off a random non-empty
+/// subset of shard logs. The oracle is computed from the truncation
+/// points alone:
+///
+/// * strict recovery must refuse with a [`StoreError::SequenceGap`]
+///   exactly when the surviving records are *not* a prefix of the
+///   global order (and must succeed — into a silently rolled-back tail
+///   — exactly when they are);
+/// * after explicit repair the history is the longest consistent
+///   prefix, so a reconnecting client must flag a violation on its
+///   next write **iff** its final version vector covers an op the
+///   prefix lost — its own rolled-back write, or one it learned of
+///   through a later reply. Every other client must stay clean:
+///   fail-aware detection is accurate, not just complete.
+///
+/// The oracle reads the global sequence numbers back from the logs
+/// themselves rather than assuming a schedule: the waits pin each
+/// *client's* record order, but a COMMIT can legitimately be overtaken
+/// by the next client's SUBMIT in the cross-shard global order.
+#[test]
+fn random_multi_shard_truncation_points_recover_into_flagged_rollbacks() {
+    let wait = Duration::from_secs(10);
+    for seed in 0..5u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5A_D0 ^ seed);
+        let shards = rng.gen_range_inclusive(2, 4) as usize;
+        let n = shards; // client i's register is homed on shard i
+        let rounds = rng.gen_range_inclusive(2, 3) as usize;
+        let dir = testutil::scratch_dir(&format!("sharded-truncation-prop-{seed}"));
+        let backend = ShardedBackend::new(&dir, group_store(), shards, true);
+        let config = restart_config();
+
+        // Phase 1: `rounds` round-robin writes per client, strictly
+        // sequential; client i's SUBMIT + COMMIT records land, in that
+        // order, in shard i's log, tagged with their cross-shard global
+        // sequence numbers.
+        let (addr, engine) = incarnation(&backend, n);
+        let mut handles: Vec<FaustHandle> = (0..n)
+            .map(|i| {
+                FaustHandle::connect_tcp(addr, c(i as u32), n, b"sharded-trunc-prop", &config)
+                    .expect("connect")
+            })
+            .collect();
+        for r in 0..rounds {
+            for (i, h) in handles.iter_mut().enumerate() {
+                let ticket = h.write(Value::from(vec![b'v', i as u8, r as u8]));
+                let done = h.wait(ticket, wait).expect("phase-1 write completes");
+                assert_eq!(done.timestamp, (r + 1) as u64, "seed {seed}");
+            }
+        }
+        for h in &mut handles {
+            h.disconnect();
+        }
+        engine.join().expect("engine thread");
+
+        // Ground truth before tampering: every record's global sequence
+        // number, per shard. Shard i holds exactly client i's records,
+        // appended in global-sequence order, alternating SUBMIT (even
+        // index) and COMMIT (odd index).
+        let logs: Vec<Vec<u64>> = (0..shards)
+            .map(|s| {
+                Wal::scan(&shard_dir(&dir, s).join(WAL_FILE))
+                    .expect("scan shard log")
+                    .records
+                    .iter()
+                    .map(|r| r.record.global_seq().expect("sharded records are routed"))
+                    .collect()
+            })
+            .collect();
+        for (s, log) in logs.iter().enumerate() {
+            assert_eq!(log.len(), 2 * rounds, "seed {seed}, shard {s}");
+        }
+
+        // The attack: cut a random even-length (= whole-op) tail off a
+        // random non-empty subset of shard logs. `cuts[i]` is the number
+        // of client i's *ops* rolled off shard i's tail.
+        let mut cuts = vec![0usize; shards];
+        for cut in cuts.iter_mut() {
+            if rng.gen_bool(0.5) {
+                *cut = rng.gen_range_inclusive(1, rounds as u64 - 1) as usize;
+            }
+        }
+        if cuts.iter().all(|&k| k == 0) {
+            cuts[rng.gen_index(shards)] = 1;
+        }
+        for (i, &k) in cuts.iter().enumerate() {
+            if k > 0 {
+                let kept =
+                    truncate_tail_records(&shard_dir(&dir, i), 2 * k).expect("tamper with the log");
+                assert!(kept > 0, "a rollback, not a wipe");
+            }
+        }
+
+        // The oracle, from the logged sequence numbers and the cut
+        // points. The recovered history (after repair, or strict if no
+        // gap) is the longest prefix below the first dropped record.
+        let first_hole = cuts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k > 0)
+            .map(|(i, &k)| logs[i][logs[i].len() - 2 * k])
+            .min()
+            .expect("at least one cut");
+        let gap_expected = logs.iter().enumerate().any(|(i, log)| {
+            log[..log.len() - 2 * cuts[i]]
+                .iter()
+                .any(|&s| s > first_hole)
+        });
+        // Client i's submitted timestamps: its SUBMIT records sit at
+        // even indices of shard i's log. Submits are what matter on
+        // both sides of the comparison: a surviving SUBMIT whose COMMIT
+        // fell past the hole is replayed as a *pending* operation and
+        // folded into every reply's candidate version, exactly like a
+        // committed one.
+        let submits = |i: usize| logs[i].iter().copied().step_by(2);
+        // Client i's timestamp as the recovered server presents it:
+        let effective: Vec<usize> = (0..n)
+            .map(|i| submits(i).filter(|&s| s < first_hole).count())
+            .collect();
+        // Client j's final version vector: its own entry is its last
+        // timestamp (`rounds`); entry i is whatever the server had
+        // accepted from i when it generated the reply to j's last
+        // SUBMIT.
+        let knows = |j: usize, i: usize| {
+            if i == j {
+                rounds
+            } else {
+                let last_submit = logs[j][2 * (rounds - 1)];
+                submits(i).filter(|&s| s < last_submit).count()
+            }
+        };
+        let must_flag: Vec<bool> = (0..n)
+            .map(|j| (0..n).any(|i| effective[i] < knows(j, i)))
+            .collect();
+        let first_victim = logs
+            .iter()
+            .position(|log| log.contains(&first_hole))
+            .expect("the hole came from some shard");
+        assert!(
+            must_flag[first_victim],
+            "seed {seed}: the first victim always flags"
+        );
+
+        // Freeze the tampered logs: each client gets its verdict
+        // against a pristine copy, so one client's post-repair SUBMIT
+        // (logged, replayed as pending, folded into candidates) cannot
+        // mask the regression the next client would otherwise see.
+        let copies: Vec<std::path::PathBuf> = (0..n)
+            .map(|j| {
+                let copy = dir.with_file_name(format!(
+                    "{}-client{j}",
+                    dir.file_name().unwrap().to_string_lossy()
+                ));
+                copy_store(&dir, &copy);
+                copy
+            })
+            .collect();
+
+        // Strict recovery refuses iff the survivors are not a global
+        // prefix; repair (a no-op on a clean prefix) then proceeds.
+        match backend.build(n) {
+            Ok(_) => assert!(
+                !gap_expected,
+                "seed {seed}, cuts {cuts:?}: strict recovery accepted a holed order"
+            ),
+            Err(err) => {
+                assert!(
+                    gap_expected,
+                    "seed {seed}, cuts {cuts:?}: spurious refusal: {err}"
+                );
+                assert!(
+                    err.to_string().contains("sequence gap"),
+                    "seed {seed}: expected a global sequence gap, got: {err}"
+                );
+            }
+        }
+        // Phase 2: each client reconnects to its own repaired
+        // incarnation and writes once. Exactly the predicted clients
+        // flag the rollback; the rest stay clean.
+        for (j, h) in handles.iter_mut().enumerate() {
+            let repairing = ShardedBackend {
+                dir: copies[j].clone(),
+                repair: true,
+                ..backend.clone()
+            };
+            let (addr, engine) = incarnation(&repairing, n);
+            // The transport serves exactly n client slots; fill the
+            // others with idle connections so the engine can retire.
+            let fillers: Vec<_> = (0..n)
+                .filter(|&m| m != j)
+                .map(|m| faust::net::tcp::connect(addr, c(m as u32)).expect("filler"))
+                .collect();
+            h.reconnect(Box::new(
+                faust::net::tcp::connect(addr, c(j as u32)).expect("redial"),
+            ));
+            let ticket = h.write(Value::from(vec![b'p', j as u8]));
+            if must_flag[j] {
+                let err = h.wait(ticket, wait).expect_err("rollback must be detected");
+                assert!(
+                    matches!(err, WaitError::Violation(_)),
+                    "seed {seed}, client {j}: got {err:?}"
+                );
+                assert!(
+                    h.poll()
+                        .iter()
+                        .any(|(_, e)| matches!(e, Event::Violation { .. })),
+                    "seed {seed}, client {j}: expected Event::Violation"
+                );
+                assert!(h.failure().is_some(), "seed {seed}, client {j}");
+            } else {
+                let done = h.wait(ticket, wait).unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}, client {j}, cuts {cuts:?}: detection must be \
+                         accurate, but the untouched client saw {e:?}"
+                    )
+                });
+                assert_eq!(done.timestamp, effective[j] as u64 + 1, "seed {seed}");
+                assert!(h.failure().is_none(), "seed {seed}, client {j}");
+            }
+            h.disconnect();
+            drop(fillers);
+            engine.join().expect("engine thread");
+            std::fs::remove_dir_all(&copies[j]).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
