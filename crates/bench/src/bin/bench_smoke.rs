@@ -64,7 +64,14 @@ fn egress_stats() -> EngineStats {
     engine.stats().clone()
 }
 
-fn collect(quick: TimingConfig) -> Vec<Point> {
+/// The reactor smoke metadata, or `()` where the reactor transport does
+/// not exist (non-unix).
+#[cfg(unix)]
+type ReactorReport = ReactorSmoke;
+#[cfg(not(unix))]
+type ReactorReport = ();
+
+fn collect(quick: TimingConfig) -> (Vec<Point>, ReactorReport) {
     let mut points: Vec<Point> = Vec::new();
     let mut add = |name: &'static str, m: Measurement| {
         println!(
@@ -389,13 +396,105 @@ fn collect(quick: TimingConfig) -> Vec<Point> {
         );
     }
 
-    points
+    // Many-connection scale: 512 concurrent sequential clients, each
+    // completing 2 full write ops, served by ONE reactor event-loop
+    // thread (a thread-per-connection transport would need 512 readers).
+    // A single timed pass; the reactor's own counters plus the process
+    // peak RSS ride along in the JSON so the trend shows both throughput
+    // and the memory bound at this connection count.
+    #[cfg(unix)]
+    let reactor = {
+        const CONNS: usize = 512;
+        const ROUNDS: u64 = 2;
+        let (elapsed, estats, rstats) = faust_bench::tcp_reactor_run(CONNS, ROUNDS, 64, group);
+        assert_eq!(
+            estats.submits,
+            CONNS as u64 * ROUNDS,
+            "every op reached the engine exactly once"
+        );
+        assert_eq!(rstats.accepted, CONNS as u64, "no connection was shed");
+        let total_ops = CONNS as u64 * ROUNDS;
+        let ns_per_op = elapsed.as_nanos() as f64 / total_ops as f64;
+        println!(
+            "{:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+            "e2e: reactor tcp write op (512 conns)",
+            ns_per_op,
+            1e9 / ns_per_op
+        );
+        points.push(Point {
+            name: "e2e: reactor tcp write op (512 conns)",
+            ns_per_iter: ns_per_op,
+            per_second: 1e9 / ns_per_op,
+        });
+        ReactorSmoke {
+            conns: CONNS,
+            ops: total_ops,
+            peak_rss_kb: peak_rss_kb(),
+            stats: rstats,
+        }
+    };
+    #[cfg(not(unix))]
+    let reactor = ();
+
+    (points, reactor)
+}
+
+/// The reactor smoke point's metadata: connection scale, process peak
+/// RSS, and the reactor's own counters.
+#[cfg(unix)]
+struct ReactorSmoke {
+    conns: usize,
+    ops: u64,
+    peak_rss_kb: u64,
+    stats: faust_net::ReactorStats,
+}
+
+/// Process peak resident set (`VmHWM`) in KiB, from `/proc/self/status`;
+/// 0 where the proc filesystem is unavailable.
+#[cfg(unix)]
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The `"reactor"` JSON object: scale, peak RSS, and reactor counters.
+#[cfg(unix)]
+fn reactor_json(r: &ReactorReport) -> String {
+    format!(
+        "{{\"conns\": {}, \"ops\": {}, \"peak_rss_kb\": {}, \
+         \"accepted\": {}, \"peak_conns\": {}, \"peak_buffered_bytes\": {}, \
+         \"msgs_in\": {}, \"frames_out\": {}, \"socket_writes\": {}, \
+         \"read_pauses\": {}, \"global_pauses\": {}}}",
+        r.conns,
+        r.ops,
+        r.peak_rss_kb,
+        r.stats.accepted,
+        r.stats.peak_conns,
+        r.stats.peak_buffered_bytes,
+        r.stats.msgs_in,
+        r.stats.frames_out,
+        r.stats.socket_writes,
+        r.stats.read_pauses,
+        r.stats.global_pauses,
+    )
+}
+
+#[cfg(not(unix))]
+fn reactor_json(_r: &ReactorReport) -> String {
+    "null".to_string()
 }
 
 /// Hand-rolled JSON (names are fixed ASCII literals, so no escaping is
 /// needed beyond what the format string provides).
-fn to_json(points: &[Point], egress: &EngineStats) -> String {
-    let mut out = String::from("{\n  \"schema\": 4,\n  \"mode\": \"quick\",\n  \"results\": [\n");
+fn to_json(points: &[Point], egress: &EngineStats, reactor: &ReactorReport) -> String {
+    let mut out = String::from("{\n  \"schema\": 5,\n  \"mode\": \"quick\",\n  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {:.1}}}{}\n",
@@ -407,9 +506,10 @@ fn to_json(points: &[Point], egress: &EngineStats) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"egress\": {{\"frames_out\": {}, \"flushes\": {}, \"max_egress_batch\": {}}}\n",
+        "  \"egress\": {{\"frames_out\": {}, \"flushes\": {}, \"max_egress_batch\": {}}},\n",
         egress.frames_out, egress.flushes, egress.max_egress_batch
     ));
+    out.push_str(&format!("  \"reactor\": {}\n", reactor_json(reactor)));
     out.push_str("}\n");
     out
 }
@@ -430,7 +530,7 @@ fn main() {
 
     println!("FAUST bench smoke (quick mode)");
     println!("==============================");
-    let points = collect(TimingConfig::quick());
+    let (points, reactor) = collect(TimingConfig::quick());
     let egress = egress_stats();
     println!(
         "{:<44} {:>4} frames in {} flushes (max batch {})",
@@ -439,7 +539,7 @@ fn main() {
         egress.flushes,
         egress.max_egress_batch
     );
-    let json = to_json(&points, &egress);
+    let json = to_json(&points, &egress, &reactor);
     match json_path {
         Some(path) => {
             let mut file = std::fs::File::create(&path).expect("create json output");

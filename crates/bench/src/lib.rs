@@ -721,6 +721,107 @@ pub fn tcp_sharded_run(
     (elapsed, stats)
 }
 
+/// The many-connection reactor run: `conns` sequential protocol clients
+/// multiplexed over blocking loopback sockets from ONE driver thread,
+/// against a server whose transport is the single-threaded
+/// [`faust_net::ReactorTransport`] — connections ≫ threads on *both*
+/// sides, so the measurement scales to counts where thread-per-connection
+/// would need hundreds of stacks. Each client performs `ops` full write
+/// operations (submit → reply → commit, commits pruning the pending
+/// list, exactly the paper's sequential client). Returns the loaded-phase
+/// wall time, the engine's stats, and the reactor's counters.
+#[cfg(unix)]
+pub fn tcp_reactor_run(
+    conns: usize,
+    ops: u64,
+    value_len: usize,
+    durability: faust_store::Durability,
+) -> (
+    std::time::Duration,
+    faust_ustor::EngineStats,
+    faust_net::ReactorStats,
+) {
+    use faust_store::{testutil, PersistentBackend, StoreConfig};
+    use faust_types::frame::{read_frame, write_frame};
+    use faust_types::UstorMsg;
+    use faust_ustor::{serve, ServerEngine};
+
+    let dir = testutil::scratch_dir("bench-e2e-reactor");
+    let backend = PersistentBackend::new(
+        &dir,
+        StoreConfig {
+            durability,
+            snapshot_every: 0,
+        },
+    );
+    let mut transport =
+        faust_net::ReactorTransport::bind("127.0.0.1:0", conns).expect("bind loopback");
+    let addr = transport.local_addr();
+    let server = faust_ustor::ServerBackend::build(&backend, conns).expect("fresh store");
+    // `spawn_engine` only hands back engine stats; run the loop by hand
+    // so the reactor's counters survive the serve.
+    let engine_thread = std::thread::spawn(move || {
+        let mut engine = ServerEngine::new(conns, server);
+        serve(&mut engine, &mut transport);
+        (engine.stats().clone(), transport.stats().clone())
+    });
+
+    let keys = KeySet::generate(conns, b"bench-e2e-reactor");
+    let mut sessions: Vec<UstorClient> = (0..conns)
+        .map(|i| {
+            UstorClient::new(
+                c(i as u32),
+                conns,
+                keys.keypair(i as u32).expect("generated").clone(),
+                keys.registry(),
+            )
+        })
+        .collect();
+    let mut socks: Vec<std::net::TcpStream> = (0..conns)
+        .map(|i| {
+            let mut s = std::net::TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).ok();
+            write_frame(&mut s, &c(i as u32)).expect("hello");
+            s
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    for k in 0..ops {
+        // Breadth-first: all submits out, then all replies in — at any
+        // moment every connection has (at most) one op in flight, which
+        // is the wire shape of `conns` concurrent sequential clients.
+        for i in 0..conns {
+            let mut bytes = vec![0xB6u8; value_len.max(8)];
+            bytes[..8].copy_from_slice(&k.to_be_bytes());
+            let submit = sessions[i]
+                .begin_write(Value::new(bytes))
+                .expect("sequential client is idle between ops");
+            write_frame(&mut socks[i], &UstorMsg::Submit(submit)).expect("submit");
+        }
+        for i in 0..conns {
+            let reply = match read_frame::<_, UstorMsg>(&mut socks[i])
+                .expect("reply stream")
+                .expect("server stays up")
+            {
+                UstorMsg::Reply(r) => r,
+                _ => panic!("server sends only replies"),
+            };
+            let (commit, _) = sessions[i].handle_reply(reply).expect("correct server");
+            write_frame(
+                &mut socks[i],
+                &UstorMsg::Commit(commit.expect("immediate mode")),
+            )
+            .expect("commit");
+        }
+    }
+    let elapsed = start.elapsed();
+    drop(socks);
+    let (engine_stats, reactor_stats) = engine_thread.join().expect("engine thread");
+    std::fs::remove_dir_all(&dir).ok();
+    (elapsed, engine_stats, reactor_stats)
+}
+
 /// Runs a full operation (submit → reply → commit) through client and
 /// server state machines, for the protocol-throughput benches (E10).
 pub fn run_one_write(

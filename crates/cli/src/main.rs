@@ -19,6 +19,8 @@
 use faust_core::handle::{Event, FaustHandle, HandleConfig};
 use faust_core::FaustConfig;
 use faust_crypto::sig::SigScheme;
+#[cfg(unix)]
+use faust_net::ReactorTransport;
 use faust_net::TcpServerTransport;
 use faust_store::{Durability, PersistentBackend, ShardedBackend, StoreConfig};
 use faust_types::{ClientId, Value};
@@ -50,13 +52,17 @@ faust — fail-aware untrusted storage (FAUST) over TCP
 
 USAGE:
   faust serve   [--addr A] [--clients N] [--dir PATH] [--durability D] [--snapshot-every K]
-                [--shards S]
+                [--shards S] [--reactor] [--max-conns C]
   faust connect --addr A [--id I] [--clients N] [--key-seed S] [--scheme hmac|ed25519]
                 [--pipeline D] [--write VALUE]... [--read J]... [--linger-ms MS] [--dummy-reads]
   faust bench   [--addr A] [--clients N] [--ops K] [--pipeline D] [--value-len B]
-                [--durability D] [--key-seed S] [--shards S]
+                [--durability D] [--key-seed S] [--shards S] [--reactor]
 
 Durability D: always (fsync per record), group (batched fsync, the default), never.
+--reactor serves all connections from ONE readiness-driven event loop with admission
+control (bounded per-client ingress queues, connection/memory caps with shed-on-accept,
+slow-consumer excision — see docs/networking.md) instead of a thread per connection;
+--max-conns caps simultaneously open reactor connections (default 1024).
 --shards S > 1 runs S server shards, each on its own worker thread with its own
 shard-<i>/ store directory under --dir; client-visible messages are identical to an
 unsharded server, so any client can talk to any deployment. The shard count is part
@@ -110,6 +116,8 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
     let mut durability = Durability::group();
     let mut snapshot_every = 1024u64;
     let mut shards = 1usize;
+    let mut reactor = false;
+    let mut max_conns: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -124,6 +132,8 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
             "--durability" => durability = parse_durability(val()?)?,
             "--snapshot-every" => snapshot_every = parse_value(flag, val()?)?,
             "--shards" => shards = parse_value(flag, val()?)?,
+            "--reactor" => reactor = true,
+            "--max-conns" => max_conns = Some(parse_value(flag, val()?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -133,9 +143,11 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    if max_conns.is_some() && !reactor {
+        return Err("--max-conns requires --reactor".into());
+    }
 
-    let mut transport = TcpServerTransport::bind(addr.as_str(), clients)
-        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let mut transport = bind_transport(&addr, clients, reactor, max_conns)?;
     // --shards 1 keeps the plain single-engine stack; > 1 deploys one
     // worker thread (and, with --dir, one store directory) per shard.
     let mut shard_stats = None;
@@ -171,18 +183,23 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("build server state: {e}"))?
     };
     println!(
-        "faust-serve: listening on {} ({} clients, durability={:?}, shards={}, state={})",
+        "faust-serve: listening on {} ({} clients, durability={:?}, shards={}, transport={}, state={})",
         transport.local_addr(),
         clients,
         durability,
         shards,
+        if reactor { "reactor" } else { "threaded" },
         dir.as_deref().unwrap_or("in-memory"),
     );
     // The smoke scripts parse the line above; make sure it is out.
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    serve(&mut engine, &mut transport);
+    match &mut transport {
+        CliTransport::Tcp(t) => serve(&mut engine, t),
+        #[cfg(unix)]
+        CliTransport::Reactor(t) => serve(&mut engine, t.as_mut()),
+    }
     let stats = engine.stats();
     println!(
         "faust-serve: all {} clients served and departed; shutting down \
@@ -198,7 +215,89 @@ fn serve_impl(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    #[cfg(unix)]
+    if let CliTransport::Reactor(t) = &transport {
+        print_reactor_stats("faust-serve", t.stats());
+    }
     Ok(())
+}
+
+/// What a self-hosted serve thread reports back: the reactor's counters,
+/// or nothing for the threaded transport (and on non-unix targets).
+#[cfg(unix)]
+type ReactorStatsOpt = Option<faust_net::ReactorStats>;
+#[cfg(not(unix))]
+type ReactorStatsOpt = Option<()>;
+
+/// The serve-side transport choice; boxed because the reactor is a much
+/// larger struct than the threaded transport's handle.
+enum CliTransport {
+    Tcp(TcpServerTransport),
+    #[cfg(unix)]
+    Reactor(Box<ReactorTransport>),
+}
+
+impl CliTransport {
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            CliTransport::Tcp(t) => t.local_addr(),
+            #[cfg(unix)]
+            CliTransport::Reactor(t) => t.local_addr(),
+        }
+    }
+}
+
+fn bind_transport(
+    addr: &str,
+    clients: usize,
+    reactor: bool,
+    max_conns: Option<usize>,
+) -> Result<CliTransport, String> {
+    if !reactor {
+        return Ok(CliTransport::Tcp(
+            TcpServerTransport::bind(addr, clients).map_err(|e| format!("bind {addr}: {e}"))?,
+        ));
+    }
+    #[cfg(unix)]
+    {
+        let mut cfg = faust_net::ReactorConfig::default();
+        if let Some(cap) = max_conns {
+            if cap == 0 {
+                return Err("--max-conns must be at least 1".into());
+            }
+            cfg.max_conns = cap;
+        }
+        Ok(CliTransport::Reactor(Box::new(
+            ReactorTransport::bind_with(addr, clients, cfg)
+                .map_err(|e| format!("bind {addr}: {e}"))?,
+        )))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = max_conns;
+        Err("--reactor is only available on unix".into())
+    }
+}
+
+#[cfg(unix)]
+fn print_reactor_stats(prefix: &str, s: &faust_net::ReactorStats) {
+    println!(
+        "{prefix}: reactor: {} accepted, {} shed, {} msgs in ({} B), {} frames out \
+         ({} B in {} writes), peak {} conns, peak buffered {} B, {} read pauses, \
+         {} global pauses, {} polls",
+        s.accepted,
+        s.shed(),
+        s.msgs_in,
+        s.bytes_in,
+        s.frames_out,
+        s.bytes_out,
+        s.socket_writes,
+        s.peak_conns,
+        s.peak_buffered_bytes,
+        s.read_pauses,
+        s.global_pauses,
+        s.polls,
+    );
 }
 
 /// One scripted `connect` step.
@@ -376,6 +475,7 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
     let mut durability = Durability::group();
     let mut key_seed = "faust-cli".to_string();
     let mut shards = 1usize;
+    let mut reactor = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -392,8 +492,12 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
             "--durability" => durability = parse_durability(val()?)?,
             "--key-seed" => key_seed = val()?.to_string(),
             "--shards" => shards = parse_value(flag, val()?)?,
+            "--reactor" => reactor = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if reactor && addr.is_some() {
+        return Err("--reactor self-hosts the server; it conflicts with --addr".into());
     }
     if clients == 0 || ops == 0 {
         return Err("--clients and --ops must be at least 1".into());
@@ -427,7 +531,7 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
         Some(addr) => addr,
         None => {
             let dir = std::env::temp_dir().join(format!("faust-cli-bench-{}", std::process::id()));
-            let mut transport = TcpServerTransport::bind("127.0.0.1:0", clients)
+            let mut transport = bind_transport("127.0.0.1:0", clients, reactor, None)
                 .map_err(|e| format!("bind loopback: {e}"))?;
             let addr = transport.local_addr();
             let config = StoreConfig {
@@ -444,9 +548,21 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
                 ServerEngine::from_backend(clients, &backend)
                     .map_err(|e| format!("build server state: {e}"))?
             };
+            // The serve thread hands the reactor's counters back for the
+            // end-of-run report (the threaded transport has none).
             self_hosted = Some((
-                std::thread::spawn(move || {
-                    serve(&mut engine, &mut transport);
+                std::thread::spawn(move || -> ReactorStatsOpt {
+                    match &mut transport {
+                        CliTransport::Tcp(t) => {
+                            serve(&mut engine, t);
+                            None
+                        }
+                        #[cfg(unix)]
+                        CliTransport::Reactor(t) => {
+                            serve(&mut engine, t.as_mut());
+                            Some(t.stats().clone())
+                        }
+                    }
                 }),
                 dir,
             ));
@@ -495,8 +611,9 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
         worker.join().map_err(|_| "client thread panicked")??;
     }
     let elapsed = start.elapsed();
+    let mut reactor_stats = None;
     if let Some((server, dir)) = self_hosted {
-        let _ = server.join();
+        reactor_stats = server.join().map_err(|_| "server thread panicked")?;
         let _ = std::fs::remove_dir_all(dir);
     }
     let total = clients as f64 * ops as f64;
@@ -506,5 +623,11 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
         total / elapsed.as_secs_f64(),
         elapsed.as_micros() as f64 / total,
     );
+    #[cfg(unix)]
+    if let Some(stats) = reactor_stats {
+        print_reactor_stats("faust-bench", &stats);
+    }
+    #[cfg(not(unix))]
+    let _ = reactor_stats;
     Ok(())
 }

@@ -13,6 +13,11 @@
 //!   thread-per-client runtimes on one machine.
 //! * [`tcp`] — length-prefixed frames over loopback or real TCP
 //!   (`std::net`), using the stream framing of [`faust_types::frame`].
+//!   One reader thread per connection.
+//! * [`reactor`] (unix) — the same wire protocol on a single
+//!   readiness-driven event loop with explicit admission control
+//!   (bounded ingress queues, connection/memory caps with shed-on-accept,
+//!   slow-consumer excision): connections ≫ threads.
 //!
 //! The client side mirrors the server side: [`ClientTransport`] is the
 //! trait a client session drives, and [`ClientConn`] implements it for
@@ -54,18 +59,24 @@
 //! assert_eq!(t.drain_outgoing().count(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's raw epoll/poll syscall shim
+// (`reactor::sys`) is the crate's one audited `allow(unsafe_code)` scope.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod conn;
 pub mod queue;
+#[cfg(unix)]
+pub mod reactor;
 pub mod router;
 pub mod tcp;
 
 pub use channel::ChannelServerTransport;
 pub use conn::{ClientConn, ClientTransport, ConnSender, TransportClosed};
 pub use queue::QueueTransport;
+#[cfg(unix)]
+pub use reactor::{DisconnectReason, ReactorConfig, ReactorStats, ReactorTransport};
 pub use router::{shard_of, ShardRouter};
 pub use tcp::{TcpServerTransport, MAX_CLIENTS};
 

@@ -1,0 +1,425 @@
+//! Readiness polling over raw OS syscalls — the only unsafe code in the
+//! repository.
+//!
+//! The reactor needs exactly one primitive the standard library does not
+//! expose: "block until any of these sockets is readable/writable". On
+//! Linux that is epoll (O(ready) per wakeup); on other Unix systems the
+//! portable fallback is `poll(2)` (O(registered) per wakeup — fine at the
+//! connection counts this transport caps itself to). Both are wrapped
+//! behind the same tiny [`Poller`] API so the reactor proper contains no
+//! platform code and no unsafe.
+//!
+//! The shim is deliberately minimal and auditable:
+//!
+//! * the only unsafe operations are the four FFI calls (`epoll_create1`,
+//!   `epoll_ctl`, `epoll_wait`, `close` — resp. `poll`), each with
+//!   arguments built from plain owned values on the lines right above;
+//! * no pointer outlives its call; the event buffer is a local `Vec`
+//!   whose length is set from the syscall's return value only after a
+//!   successful return;
+//! * file descriptors are *borrowed* from `std` types (`TcpListener`,
+//!   `TcpStream`) that keep owning and closing them — the poller never
+//!   closes a registered fd, only its own epoll fd.
+
+#![allow(unsafe_code)]
+
+use std::os::raw::c_int;
+use std::time::Duration;
+
+/// A registered fd became ready. `token` is whatever the caller passed at
+/// registration (the reactor uses slab slots).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyEvent {
+    /// Caller-chosen registration token.
+    pub token: usize,
+    /// Readable (or peer hung up — a subsequent `read` returns 0/error).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup condition reported by the OS. Always also treated as
+    /// readable by the reactor so the close is observed via `read`.
+    pub hangup: bool,
+}
+
+/// Converts an optional timeout to the millisecond argument both epoll
+/// and poll take: `None` → block forever (-1), rounding *up* so a 100 µs
+/// timeout does not spin at 0 ms.
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            if t.is_zero() {
+                0
+            } else {
+                ms.clamp(1, c_int::MAX as u128) as c_int
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{timeout_ms, ReadyEvent};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // Values from the Linux UAPI headers; stable ABI.
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`. Packed on x86 (the kernel ABI there has no
+    /// padding between `events` and `data`); naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Readiness poller backed by epoll.
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        /// Creates an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: no pointers; returns an owned fd or -1.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(
+            &self,
+            op: c_int,
+            fd: RawFd,
+            token: usize,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: (if read { EPOLLIN | EPOLLRDHUP } else { 0 })
+                    | (if write { EPOLLOUT } else { 0 }),
+                data: token as u64,
+            };
+            // SAFETY: `ev` is a live local for the duration of the call;
+            // the kernel copies it and keeps no reference.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` with the given interest; `token` comes
+        /// back in every [`ReadyEvent`](super::ReadyEvent) for it.
+        pub fn register(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, read, write)
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, read, write)
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// One wait: fills `out` with ready events (cleared first).
+        /// A signal interruption is reported as zero events, not an error.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<ReadyEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            out.clear();
+            // SAFETY: `buf` is owned, lives across the call, and its
+            // capacity bounds `maxevents`; the kernel writes at most
+            // `maxevents` entries and the return value tells how many.
+            let got = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if got < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..got as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let token = ev.data as usize;
+                out.push(ReadyEvent {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is the fd `epoll_create1` handed us and is
+            // closed exactly once, here.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{timeout_ms, ReadyEvent};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// Portable `poll(2)` fallback: keeps a registration table and
+    /// rebuilds the pollfd array per wait. O(registered) per wakeup —
+    /// acceptable at the reactor's capped connection counts.
+    pub struct Poller {
+        registered: HashMap<RawFd, (usize, bool, bool)>,
+    }
+
+    impl Poller {
+        /// Creates an empty registration table.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: HashMap::new(),
+            })
+        }
+
+        /// Starts watching `fd` with the given interest; `token` comes
+        /// back in every [`ReadyEvent`](super::ReadyEvent) for it.
+        pub fn register(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.registered.insert(fd, (token, read, write));
+            Ok(())
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.registered.insert(fd, (token, read, write));
+            Ok(())
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.registered.remove(&fd);
+            Ok(())
+        }
+
+        /// One wait: fills `out` with ready events (cleared first).
+        /// A signal interruption is reported as zero events, not an error.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<ReadyEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|(&fd, &(_, read, write))| PollFd {
+                    fd,
+                    events: (if read { POLLIN } else { 0 }) | (if write { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            if fds.is_empty() {
+                // Nothing registered: honour the timeout by sleeping.
+                if let Some(t) = timeout {
+                    std::thread::sleep(t);
+                }
+                return Ok(());
+            }
+            // SAFETY: `fds` is an owned, live Vec for the duration of the
+            // call; `nfds` equals its length.
+            let got = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms(timeout)) };
+            if got < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let Some(&(token, _, _)) = self.registered.get(&pfd.fd) else {
+                    continue;
+                };
+                out.push(ReadyEvent {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, true, false)
+            .unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+    }
+
+    #[test]
+    fn write_interest_fires_and_can_be_cleared() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 1, true, true)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Clearing write interest leaves only read events; data from the
+        // peer then reports readable.
+        poller
+            .modify(server_side.as_raw_fd(), 1, true, false)
+            .unwrap();
+        client.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        assert!(events.iter().all(|e| !e.writable));
+        poller.deregister(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_returns_immediately() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 0, true, false)
+            .unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert!(events.is_empty());
+    }
+}

@@ -22,17 +22,17 @@
 //!   │     Byzantine adversary                                    │
 //!   └──────────────────────────▲─────────────────────────────────┘
 //!                              │ ServerTransport (faust-net)
-//!          ┌───────────────────┼──────────────────────┐
-//!          │                   │                      │
-//!   QueueTransport      channel transport       TCP transport
-//!   (deterministic      (std::sync::mpsc,       (std::net, length-
-//!   sim adapter; the    thread-per-client       prefixed frames via
-//!   discrete-event      runtimes)               faust-types::frame,
-//!   simulator stays                             incremental decoder)
-//!   bit-reproducible)
+//!          ┌──────────────┬────┴──────────────┬──────────────────┐
+//!          │              │                   │                  │
+//!   QueueTransport   channel transport   TCP transport    ReactorTransport
+//!   (deterministic   (std::sync::mpsc,   (std::net,       (unix: one event
+//!   sim adapter; the  thread-per-client  length-prefixed  loop, many conns,
+//!   discrete-event    runtimes)          frames, one      admission control —
+//!   simulator stays                      reader thread    docs/networking.md)
+//!   bit-reproducible)                    per client)
 //! ```
 //!
-//! One engine code path serves all three: the simulation drivers
+//! One engine code path serves all four: the simulation drivers
 //! ([`ustor::Driver`],
 //! [`core::FaustDriver`]) pump it through the
 //! queue transport inside virtual time, while the threaded runtimes
@@ -51,9 +51,10 @@
 //! snapshots, `docs/persistence.md`), under which a restarted server
 //! resumes mid-protocol invisibly to clients — and a rolled-back log is
 //! detected by them as a violation.
-//! Future scaling work (sharded engines, async transports) lands behind
-//! `ServerTransport`/`ServerEngine` without touching protocol code —
-//! see ROADMAP.md.
+//! The sharded serving path and the single-threaded many-connection
+//! reactor both landed exactly this way — behind
+//! `ServerTransport`/`ServerEngine`, without touching protocol code;
+//! further scaling work follows the same seam (see ROADMAP.md).
 
 #![forbid(unsafe_code)]
 
