@@ -38,9 +38,13 @@
 //! * **Suspect-peer isolation.** A stalled HELLO is reaped after
 //!   [`ReactorConfig::hello_timeout`]; a malformed frame, an oversized
 //!   header, or an I/O error excises exactly that connection with a
-//!   typed [`DisconnectReason`]. No single peer can wedge the loop: every
-//!   read is non-blocking and budgeted, every write is non-blocking, and
-//!   all verdicts are per-connection.
+//!   typed [`DisconnectReason`]. A connection that has not completed
+//!   HELLO may buffer at most [`MAX_HELLO_INGRESS`] undecoded bytes —
+//!   a HELLO frame is a dozen bytes, so a pre-registration peer cannot
+//!   park a near-[`MAX_FRAME_LEN`](faust_types::frame::MAX_FRAME_LEN)
+//!   frame outside the per-client accounting. No single peer can wedge
+//!   the loop: every read is non-blocking and budgeted, every write is
+//!   non-blocking, and all verdicts are per-connection.
 //!
 //! Memory accounting is explicit: `buffered_bytes` tracks every byte the
 //! reactor holds for peers (undecoded ingress + decoded-but-undelivered
@@ -246,6 +250,21 @@ const READ_BUDGET: usize = 64 * 1024;
 /// Bounded log of recent disconnects (id if registered, typed reason).
 const RECENT_DISCONNECTS: usize = 32;
 
+/// Most undecoded bytes a connection may hold before its HELLO frame
+/// registers it. A HELLO is a framed [`ClientId`] — a dozen bytes — so a
+/// buffer past this bound means the peer's first frame header claims a
+/// payload that cannot be a HELLO, and the connection is excised with
+/// [`DisconnectReason::BadHello`] instead of being allowed to buffer up
+/// to a full frame (16 MiB) per connection outside the per-client queue
+/// accounting.
+pub const MAX_HELLO_INGRESS: usize = 64;
+
+/// How long the listener backs off after an accept failure other than
+/// `WouldBlock` (EMFILE/ENFILE under fd exhaustion): read interest is
+/// dropped for this long so the still-pending backlog entry does not
+/// re-fire the level-triggered listener event in a hot loop.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
 struct Conn {
     stream: TcpStream,
     /// `Some` once the HELLO frame has registered the peer.
@@ -273,7 +292,7 @@ impl Conn {
     }
 
     fn wants_read(&self) -> bool {
-        self.id.is_none() || (!self.paused_queue && !self.paused_global)
+        !self.paused_queue && !self.paused_global
     }
 }
 
@@ -321,6 +340,9 @@ pub struct ReactorTransport {
     buffered_bytes: usize,
     /// Connections currently paused by the global budget.
     global_paused: usize,
+    /// Listener read interest is parked until this instant after an
+    /// accept failure (fd exhaustion) — see [`ACCEPT_BACKOFF`].
+    accept_backoff_until: Option<Instant>,
     cfg: ReactorConfig,
     stats: ReactorStats,
     recent: VecDeque<(Option<ClientId>, DisconnectReason)>,
@@ -383,6 +405,7 @@ impl ReactorTransport {
             pending_hellos: 0,
             buffered_bytes: 0,
             global_paused: 0,
+            accept_backoff_until: None,
             cfg,
             stats: ReactorStats::default(),
             recent: VecDeque::new(),
@@ -486,7 +509,17 @@ impl ReactorTransport {
                 Ok((stream, _peer)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return,
+                Err(_) => {
+                    // EMFILE/ENFILE and friends: the backlog entry stays
+                    // pending and the listener stays level-triggered
+                    // readable, so retrying immediately would busy-spin.
+                    // Park listener interest and retry after a backoff.
+                    let _ =
+                        self.poller
+                            .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, false, false);
+                    self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    return;
+                }
             };
             if self.open_conns >= self.cfg.max_conns {
                 // Shed: closing immediately tells the peer (EOF before
@@ -540,29 +573,34 @@ impl ReactorTransport {
     /// Handles a readable (or hangup) event on a connection: budgeted
     /// non-blocking reads, incremental decode, HELLO registration, and
     /// backpressure bookkeeping.
-    fn handle_readable(&mut self, slot: usize) {
+    fn handle_readable(&mut self, slot: usize, hangup: bool) {
         {
             let Some(conn) = self.slots[slot].conn.as_ref() else {
                 return;
             };
-            // Paused connections keep their data in the kernel buffer;
-            // only ERR/HUP forces an event through, and those resolve
-            // once the queue drains and reading resumes.
+            // Paused connections keep their data in the kernel buffer,
+            // but ERR/HUP is reported regardless of the interest mask:
+            // returning without consuming it would make the next poll
+            // re-fire the same event in a hot loop, so a hung-up paused
+            // connection is excised here (its already-queued messages
+            // stay deliverable via the generation check).
             if !conn.wants_read() {
+                if hangup {
+                    self.disconnect(slot, DisconnectReason::PeerClosed);
+                }
                 return;
             }
         }
-        // A registered connection arriving here while the budget is
-        // blown gets globally paused instead of read.
+        // Any connection arriving here while the budget is blown gets
+        // globally paused instead of read — pre-HELLO ones included
+        // (the HELLO timeout reaps them if the pressure outlasts them).
         if self.buffered_bytes >= self.cfg.max_buffered_bytes {
             let conn = self.slots[slot].conn.as_mut().expect("checked above");
-            if conn.id.is_some() && !conn.paused_global {
-                conn.paused_global = true;
-                self.global_paused += 1;
-                self.stats.global_pauses += 1;
-                self.update_interest(slot);
-                return;
-            }
+            conn.paused_global = true;
+            self.global_paused += 1;
+            self.stats.global_pauses += 1;
+            self.update_interest(slot);
+            return;
         }
 
         // Read phase: up to READ_BUDGET bytes, then yield to the loop.
@@ -625,6 +663,15 @@ impl ReactorTransport {
                     self.pending_hellos -= 1;
                 }
                 Ok(None) => {
+                    // A HELLO frame is tiny; an incomplete one with this
+                    // much buffered means the first header claims a
+                    // payload no HELLO could have — excise it now rather
+                    // than buffering toward the 16 MiB frame cap on a
+                    // connection the per-client accounting cannot see.
+                    if conn.decoder.pending_bytes() > MAX_HELLO_INGRESS {
+                        self.disconnect(slot, DisconnectReason::BadHello);
+                        return;
+                    }
                     if eof {
                         self.disconnect(slot, DisconnectReason::PeerClosed);
                     }
@@ -843,8 +890,21 @@ impl ReactorTransport {
     /// next HELLO deadline), then service every ready fd.
     fn pump(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         let now = Instant::now();
+        if let Some(resume) = self.accept_backoff_until {
+            if now >= resume {
+                // Backoff elapsed: re-arm the listener; the still-pending
+                // backlog makes it readable again on the next wait.
+                self.accept_backoff_until = None;
+                let _ = self
+                    .poller
+                    .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, true, false);
+            }
+        }
         let mut wait = timeout;
-        if let Some(deadline) = self.next_hello_deadline() {
+        for deadline in [self.next_hello_deadline(), self.accept_backoff_until]
+            .into_iter()
+            .flatten()
+        {
             let until = deadline.saturating_duration_since(now);
             wait = Some(match wait {
                 Some(t) => t.min(until),
@@ -856,9 +916,19 @@ impl ReactorTransport {
         self.stats.polls += 1;
         let outcome = match res {
             Ok(()) => {
+                // Accepts first: a slot excised by a connection event
+                // below must not be reused by an accept in this same
+                // batch, or a still-queued event for the old fd (same
+                // token) would be delivered to the new occupant. Slots
+                // freed here are only handed out on the next pump, when
+                // no stale events can remain.
                 for ev in &events {
                     if ev.token == LISTENER_TOKEN {
                         self.accept_ready();
+                    }
+                }
+                for ev in &events {
+                    if ev.token == LISTENER_TOKEN {
                         continue;
                     }
                     let slot = ev.token - 1;
@@ -866,7 +936,7 @@ impl ReactorTransport {
                         continue; // excised earlier in this same batch
                     }
                     if ev.readable || ev.hangup {
-                        self.handle_readable(slot);
+                        self.handle_readable(slot, ev.hangup);
                     }
                     if ev.writable {
                         self.flush_egress(slot);
@@ -877,6 +947,12 @@ impl ReactorTransport {
             Err(e) => Err(e),
         };
         self.events = events;
+        // Writable-event egress drain may have freed budget even though
+        // nothing was enqueued or popped this turn — without this,
+        // globally paused connections would never resume (and `recv`
+        // would block forever) after a pressure episode whose bytes were
+        // all pending egress.
+        self.maybe_release_global();
         self.reap_hello_timeouts();
         outcome
     }
@@ -946,7 +1022,7 @@ mod tests {
     use super::*;
     use crate::tcp::connect;
     use faust_crypto::Signature;
-    use faust_types::frame::write_frame;
+    use faust_types::frame::{write_frame, MAX_FRAME_LEN};
     use faust_types::{CommitMsg, Version};
 
     fn msg(n: usize) -> UstorMsg {
@@ -1149,6 +1225,140 @@ mod tests {
         assert!(good.recv().is_ok());
         drop(good);
         assert!(matches!(server.recv(), Incoming::Closed));
+    }
+
+    #[test]
+    fn oversized_pre_hello_claim_is_rejected_without_buffering() {
+        let mut server = ReactorTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let mut evil = std::net::TcpStream::connect(addr).unwrap();
+        // A frame header claiming the maximum frame length, then a slab
+        // of payload: without the pre-HELLO ingress cap the reactor
+        // would buffer toward 16 MiB per connection waiting for the
+        // HELLO decode, outside all per-client accounting.
+        evil.write_all(&MAX_FRAME_LEN.to_be_bytes()).unwrap();
+        evil.write_all(&[0u8; 1024]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().bad_hellos == 0 {
+            assert!(Instant::now() < deadline, "oversized HELLO never rejected");
+            let _ = server.recv_deadline(Instant::now() + Duration::from_millis(20));
+        }
+        assert_eq!(server.buffered_bytes(), 0);
+        // Nowhere near the 16 MiB the header claimed.
+        assert!(server.stats().peak_buffered_bytes < 64 * 1024);
+    }
+
+    #[test]
+    fn hangup_while_paused_is_excised_not_spun_on() {
+        let cfg = ReactorConfig {
+            ingress_queue_msgs: 1,
+            ..ReactorConfig::default()
+        };
+        let mut server = ReactorTransport::bind_with("127.0.0.1:0", 1, cfg).unwrap();
+        let addr = server.local_addr();
+        // Raw stream, no reader thread: the reply sent below stays unread
+        // in this socket's kernel buffer.
+        let mut c0 = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut c0, &ClientId::new(0)).unwrap();
+        for _ in 0..3 {
+            write_frame(&mut c0, &msg(1)).unwrap();
+        }
+        // Pump without popping until backpressure clears read interest.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().read_pauses == 0 {
+            assert!(Instant::now() < deadline, "backpressure never engaged");
+            server.pump(Some(Duration::from_millis(10))).unwrap();
+        }
+        // Leave unread data in the client's kernel buffer so its close
+        // turns into an RST — the OS then reports ERR/HUP even though
+        // the paused connection's interest mask is empty.
+        server.send(ClientId::new(0), msg(1));
+        drop(c0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().departed == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "paused connection never excised on hangup"
+            );
+            server.pump(Some(Duration::from_millis(10))).unwrap();
+        }
+        // Its already-queued messages still deliver, then the transport
+        // closes instead of waiting on the dead connection forever.
+        let mut delivered = 0;
+        loop {
+            match server.recv() {
+                Incoming::Msg(from, _) => {
+                    assert_eq!(from, ClientId::new(0));
+                    delivered += 1;
+                }
+                Incoming::Closed => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(delivered >= 1);
+    }
+
+    #[test]
+    fn egress_drain_releases_globally_paused_connections() {
+        let cfg = ReactorConfig {
+            max_buffered_bytes: 64 * 1024,
+            max_egress_bytes: 256 << 20,
+            ..ReactorConfig::default()
+        };
+        let mut server = ReactorTransport::bind_with("127.0.0.1:0", 2, cfg).unwrap();
+        let addr = server.local_addr();
+        let c0 = connect(addr, ClientId::new(0)).unwrap();
+        let c1 = connect(addr, ClientId::new(1)).unwrap();
+        c0.send(&msg(2)).unwrap();
+        c1.send(&msg(2)).unwrap();
+        for _ in 0..2 {
+            assert!(matches!(server.recv(), Incoming::Msg(..)));
+        }
+        // c0 stops reading: once the kernel buffers fill, frames pile up
+        // as pending egress until the global budget is blown.
+        let mut sent = 0usize;
+        while server.buffered_bytes() < 64 * 1024 {
+            let batch: Vec<UstorMsg> = (0..256).map(|_| msg(2)).collect();
+            sent += batch.len();
+            server.send_batch(ClientId::new(0), batch);
+            assert!(sent < 2_000_000, "kernel buffers never filled");
+        }
+        // c1's next message arrives while the budget is blown: its
+        // readable event parks it as globally paused instead of reading.
+        c1.send(&msg(2)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().global_pauses == 0 {
+            assert!(Instant::now() < deadline, "global pause never engaged");
+            let _ = server.recv_deadline(Instant::now() + Duration::from_millis(20));
+        }
+        // Drain c0 from another thread. All budget now frees via
+        // writable-event egress flushes inside `pump` — nothing is
+        // enqueued or popped — so only pump's own release check can
+        // resume c1 and let its message (and this recv) complete.
+        let drainer = std::thread::spawn(move || {
+            for _ in 0..sent {
+                c0.recv().unwrap();
+            }
+            c0
+        });
+        let got = server.recv_deadline(Instant::now() + Duration::from_secs(30));
+        let Incoming::Msg(from, _) = got else {
+            panic!("globally paused connection was never resumed: {got:?}");
+        };
+        assert_eq!(from, ClientId::new(1));
+        // Finish flushing so the drainer's remaining reads are all
+        // satisfiable from kernel buffers, then wind down.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.buffered_bytes() > 0 {
+            assert!(Instant::now() < deadline, "egress never fully drained");
+            let _ = server.recv_deadline(Instant::now() + Duration::from_millis(20));
+        }
+        let c0 = drainer.join().unwrap();
+        drop(c0);
+        drop(c1);
+        assert!(matches!(server.recv(), Incoming::Closed));
+        assert_eq!(server.buffered_bytes(), 0);
+        assert!(server.stats().slow_consumers == 0);
     }
 
     #[test]
