@@ -55,6 +55,7 @@ USAGE:
                 [--shards S] [--reactor] [--max-conns C]
   faust connect --addr A [--id I] [--clients N] [--key-seed S] [--scheme hmac|ed25519]
                 [--pipeline D] [--write VALUE]... [--read J]... [--linger-ms MS] [--dummy-reads]
+                [--session FILE]
   faust bench   [--addr A] [--clients N] [--ops K] [--pipeline D] [--value-len B]
                 [--durability D] [--key-seed S] [--shards S] [--reactor]
 
@@ -70,11 +71,13 @@ of a persistent store's layout and must match across restarts.
 `connect` ops run in command-line order and pipeline up to the configured depth.
 All clients of one deployment must share --clients, --key-seed, --scheme, and --pipeline.
 
-Each `connect` run is a FRESH protocol session: FAUST clients are stateful, so an id
-that already performed operations against a (persistent) store cannot be reused by a
-later `connect` — the amnesiac session flags the honest server's memory of its own
-past as a violation. Reuse an id only within one session, or wipe --dir. (Client-side
-state persistence is a ROADMAP follow-on.)
+FAUST clients are stateful: an id that already performed operations against a
+(persistent) store cannot be reused by an amnesiac later `connect` — the fresh session
+flags the honest server's memory of its own past as a violation. --session FILE makes
+the session itself durable: state is loaded from FILE when it exists (resuming the
+session, replaying any unacknowledged SUBMITs, and probing the server so a rolled-back
+file is flagged as a StaleClientState violation) and saved back on clean exit. Without
+--session, reuse an id only within one run, or wipe --dir.
 
 EXAMPLE (two shells):
   faust serve --addr 127.0.0.1:4600 --clients 2 --dir /tmp/faust --durability group
@@ -338,6 +341,7 @@ fn connect_impl(args: &[String]) -> Result<i32, String> {
     let mut pipeline = 4usize;
     let mut linger_ms = 0u64;
     let mut dummy_reads = false;
+    let mut session: Option<std::path::PathBuf> = None;
     let mut ops: Vec<CliOp> = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -355,6 +359,7 @@ fn connect_impl(args: &[String]) -> Result<i32, String> {
             "--pipeline" => pipeline = parse_value(flag, val()?)?,
             "--linger-ms" => linger_ms = parse_value(flag, val()?)?,
             "--dummy-reads" => dummy_reads = true,
+            "--session" => session = Some(std::path::PathBuf::from(val()?)),
             "--write" => ops.push(CliOp::Write(Value::from(val()?))),
             "--read" => ops.push(CliOp::Read(parse_value(flag, val()?)?)),
             other => return Err(format!("unknown flag `{other}`")),
@@ -380,12 +385,46 @@ fn connect_impl(args: &[String]) -> Result<i32, String> {
         tick_interval: Duration::from_millis(5),
         scheme,
     };
-    let mut handle = FaustHandle::connect_tcp(addr, id, clients, key_seed.as_bytes(), &config)
-        .map_err(|e| format!("connect {addr}: {e}"))?;
-    println!(
-        "faust-connect: {id} connected to {addr} (pipeline {})",
-        pipeline.max(1)
-    );
+    let saved = match &session {
+        Some(path) => faust_core::load_session(path)
+            .map_err(|e| format!("load session {}: {e}", path.display()))?,
+        None => None,
+    };
+    let mut handle = match saved {
+        Some(state) => {
+            if state.proto.ustor.id != id || state.proto.ustor.n as usize != clients {
+                return Err(format!(
+                    "session file is for client {} of {}, but --id {} --clients {clients} given",
+                    state.proto.ustor.id.index(),
+                    state.proto.ustor.n,
+                    id.index(),
+                ));
+            }
+            let unacked = state
+                .resend_window
+                .iter()
+                .filter(|m| matches!(m, faust_types::UstorMsg::Submit(_)))
+                .count();
+            let conn =
+                faust_net::tcp::connect(addr, id).map_err(|e| format!("connect {addr}: {e}"))?;
+            let handle =
+                FaustHandle::resume_from_state(state, key_seed.as_bytes(), &config, Box::new(conn));
+            println!(
+                "faust-connect: {id} resumed session from {} ({unacked} unacked SUBMITs resent)",
+                session.as_ref().expect("saved implies --session").display(),
+            );
+            handle
+        }
+        None => {
+            let handle = FaustHandle::connect_tcp(addr, id, clients, key_seed.as_bytes(), &config)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            println!(
+                "faust-connect: {id} connected to {addr} (pipeline {})",
+                pipeline.max(1)
+            );
+            handle
+        }
+    };
 
     let tickets: Vec<_> = ops
         .into_iter()
@@ -416,7 +455,11 @@ fn connect_impl(args: &[String]) -> Result<i32, String> {
                     println!("t={t:>6}  VIOLATION: {reason}");
                     *violated = true;
                 }
-                Event::Disconnected => println!("t={t:>6}  disconnected"),
+                Event::Disconnected { reason } => println!("t={t:>6}  disconnected ({reason})"),
+                Event::Reconnecting { attempt, backoff } => {
+                    println!("t={t:>6}  reconnecting (attempt {attempt}, backoff {backoff:?})");
+                }
+                Event::Resumed => println!("t={t:>6}  resumed"),
             }
         }
     };
@@ -447,6 +490,23 @@ fn connect_impl(args: &[String]) -> Result<i32, String> {
         "faust-connect: {id} done (final cut {})",
         handle.stability_cut()
     );
+    if let Some(path) = &session {
+        let (core, clock) = handle.into_core();
+        match faust_core::checkpoint_session(path, &core, clock) {
+            Ok(true) => println!("faust-connect: session saved to {}", path.display()),
+            Ok(false) => {
+                // Halted on a violation: a failed session must not be
+                // resumed, and a pre-failure file left behind would
+                // itself be stale — remove it.
+                let _ = std::fs::remove_file(path);
+                println!("faust-connect: session halted; {} removed", path.display());
+            }
+            Err(e) => {
+                eprintln!("faust-connect: save session {}: {e}", path.display());
+                incomplete = true;
+            }
+        }
+    }
     Ok(if violated {
         2
     } else if incomplete {

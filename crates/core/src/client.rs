@@ -11,8 +11,8 @@
 use crate::events::{FailReason, FaustCompletion, Notification, StabilityCut};
 use crate::offline::OfflineMsg;
 use faust_crypto::sig::{Keypair, VerifierRegistry};
-use faust_types::{ClientId, ReplyMsg, Timestamp, UstorMsg, Value, Version};
-use faust_ustor::UstorClient;
+use faust_types::{ClientId, ReplyMsg, Timestamp, UstorMsg, Value, Version, Wire, WireError};
+use faust_ustor::{Fault, UstorClient, UstorClientState};
 use std::collections::VecDeque;
 
 /// Tuning parameters of the FAUST layer.
@@ -57,6 +57,110 @@ pub enum UserOp {
     Write(Value),
     /// Read a register.
     Read(ClientId),
+}
+
+impl Wire for UserOp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            UserOp::Write(value) => {
+                0u8.encode_into(out);
+                value.encode_into(out);
+            }
+            UserOp::Read(register) => {
+                1u8.encode_into(out);
+                register.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(buf)? {
+            0 => Ok(UserOp::Write(Value::decode_from(buf)?)),
+            1 => Ok(UserOp::Read(ClientId::decode_from(buf)?)),
+            tag => Err(WireError::BadTag(tag)),
+        }
+    }
+}
+
+/// Serializable snapshot of a [`FaustClient`]'s resumable state (keys
+/// excluded — the caller re-supplies the keypair and registry on
+/// restore). Produced by [`FaustClient::export_state`], consumed by
+/// [`FaustClient::from_state`].
+///
+/// A halted client's failure is *not* part of the state: a failed
+/// session has nothing to resume, and callers refuse to export one at
+/// the [`crate::SessionCore`] layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaustClientState {
+    /// The wrapped USTOR protocol state (carries `id`, `n`, the version,
+    /// in-flight operations, pipeline depth, and commit mode).
+    pub ustor: UstorClientState,
+    /// [`FaustConfig::probe_period`].
+    pub probe_period: u64,
+    /// [`FaustConfig::dummy_reads`].
+    pub dummy_reads: bool,
+    /// `VER_i[j]`: maximal version received per client.
+    pub ver: Vec<Version>,
+    /// Virtual time of the last update (or probe) per entry.
+    pub ver_time: Vec<u64>,
+    /// Index of the maximal version in `ver`.
+    pub max_idx: u32,
+    /// The stability cut `W_i`.
+    pub w: Vec<Timestamp>,
+    /// User operations queued but not yet begun, oldest first.
+    pub user_queue: Vec<UserOp>,
+    /// One flag per in-flight operation, oldest first: 1 = user
+    /// operation (completion notifies the application), 0 = dummy read.
+    pub current_user: Vec<u8>,
+    /// Round-robin pointer for dummy reads.
+    pub rr_next: u32,
+}
+
+impl Wire for FaustClientState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.ustor.encode_into(out);
+        self.probe_period.encode_into(out);
+        u8::from(self.dummy_reads).encode_into(out);
+        self.ver.encode_into(out);
+        self.ver_time.encode_into(out);
+        self.max_idx.encode_into(out);
+        self.w.encode_into(out);
+        self.user_queue.encode_into(out);
+        self.current_user.encode_into(out);
+        self.rr_next.encode_into(out);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let ustor = UstorClientState::decode_from(buf)?;
+        let probe_period = u64::decode_from(buf)?;
+        let dummy_reads = match u8::decode_from(buf)? {
+            0 => false,
+            1 => true,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        let ver = Vec::<Version>::decode_from(buf)?;
+        let ver_time = Vec::<u64>::decode_from(buf)?;
+        let max_idx = u32::decode_from(buf)?;
+        let w = Vec::<Timestamp>::decode_from(buf)?;
+        let user_queue = Vec::<UserOp>::decode_from(buf)?;
+        let current_user = Vec::<u8>::decode_from(buf)?;
+        if let Some(&tag) = current_user.iter().find(|&&flag| flag > 1) {
+            return Err(WireError::BadTag(tag));
+        }
+        let rr_next = u32::decode_from(buf)?;
+        Ok(FaustClientState {
+            ustor,
+            probe_period,
+            dummy_reads,
+            ver,
+            ver_time,
+            max_idx,
+            w,
+            user_queue,
+            current_user,
+            rr_next,
+        })
+    }
 }
 
 /// Everything the caller must do after an event: forward messages and
@@ -118,6 +222,15 @@ pub struct FaustClient {
     /// Round-robin pointer for dummy reads.
     rr_next: u32,
     failed: Option<FailReason>,
+    /// Set when this client was rebuilt from a persisted snapshot and
+    /// has not yet validated a reply against the live server. While set,
+    /// any USTOR fault is reported as [`Fault::StaleClientState`]: a
+    /// rolled-back snapshot replays timestamps the server has already
+    /// answered, and the resulting mismatch (cached-reply divergence or
+    /// an own-timestamp mismatch, Algorithm 1 line 36) is evidence of
+    /// stale *local* state, not of server misbehavior. Cleared by the
+    /// first successfully verified reply.
+    stale_guard: bool,
 }
 
 impl FaustClient {
@@ -148,7 +261,94 @@ impl FaustClient {
             current: VecDeque::new(),
             rr_next: 0,
             failed: None,
+            stale_guard: false,
         }
+    }
+
+    /// Snapshots the resumable state (keys excluded; see
+    /// [`FaustClientState`]).
+    pub fn export_state(&self) -> FaustClientState {
+        FaustClientState {
+            ustor: self.ustor.export_state(),
+            probe_period: self.config.probe_period,
+            dummy_reads: self.config.dummy_reads,
+            ver: self.ver.clone(),
+            ver_time: self.ver_time.clone(),
+            max_idx: self.max_idx as u32,
+            w: self.w.clone(),
+            user_queue: self.user_queue.iter().cloned().collect(),
+            current_user: self.current.iter().map(|c| u8::from(c.user)).collect(),
+            rr_next: self.rr_next,
+        }
+    }
+
+    /// Rebuilds a client from a state snapshot plus its (externally
+    /// kept) key material. The restored client starts with the stale
+    /// guard armed: until its first reply verifies against the live
+    /// server, any USTOR fault is reported as
+    /// [`Fault::StaleClientState`] (see the field docs). Callers should
+    /// follow up with [`FaustClient::probe_resume`] so staleness
+    /// surfaces promptly even when nothing was in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not match the snapshot's `id` or
+    /// `id ≥ n` (same contract as [`FaustClient::new`]).
+    pub fn from_state(
+        keypair: Keypair,
+        registry: VerifierRegistry,
+        state: FaustClientState,
+    ) -> Self {
+        let config = FaustConfig {
+            probe_period: state.probe_period,
+            dummy_reads: state.dummy_reads,
+            commit_mode: if state.ustor.piggyback {
+                faust_ustor::CommitMode::Piggyback
+            } else {
+                faust_ustor::CommitMode::Immediate
+            },
+            pipeline: (state.ustor.max_pipeline as usize).max(1),
+        };
+        let n = state.ustor.n as usize;
+        let ustor = UstorClient::from_state(keypair.clone(), registry, state.ustor);
+        FaustClient {
+            ustor,
+            keypair,
+            config,
+            ver: state.ver,
+            ver_time: state.ver_time,
+            max_idx: (state.max_idx as usize).min(n.saturating_sub(1)),
+            w: state.w,
+            user_queue: state.user_queue.into(),
+            current: state
+                .current_user
+                .into_iter()
+                .map(|flag| CurrentOp { user: flag != 0 })
+                .collect(),
+            rr_next: state.rr_next,
+            failed: None,
+            stale_guard: true,
+        }
+    }
+
+    /// Issues a non-user read of the client's own register, if nothing
+    /// is in flight. Runtimes call this once after
+    /// [`FaustClient::from_state`]: the probe round-trips the restored
+    /// version against the live server, so a rolled-back snapshot is
+    /// flagged as [`Fault::StaleClientState`] at connect time instead of
+    /// lying dormant until the next user operation. When resumed
+    /// operations are already in flight the probe is skipped — their
+    /// resent SUBMITs perform the same validation.
+    pub fn probe_resume(&mut self, _now: u64) -> Actions {
+        let mut actions = Actions::default();
+        if self.failed.is_some() || self.ustor.in_flight() > 0 {
+            return actions;
+        }
+        if let Ok(msg) = self.ustor.begin_read(self.id()) {
+            self.current.push_back(CurrentOp { user: false });
+            actions.to_server.push(UstorMsg::Submit(msg));
+        }
+        actions
     }
 
     /// This client's id.
@@ -220,9 +420,19 @@ impl FaustClient {
         }
         match self.ustor.handle_reply(reply) {
             Err(fault) => {
+                // A rebuilt-from-snapshot client that fails its first
+                // reply check most likely restored rolled-back state
+                // (the server has moved past the snapshot's timestamps);
+                // blame the snapshot, not the server.
+                let fault = if self.stale_guard {
+                    Fault::StaleClientState
+                } else {
+                    fault
+                };
                 self.fail(FailReason::Ustor(fault), &mut actions);
             }
             Ok((commit, done)) => {
+                self.stale_guard = false;
                 if let Some(commit) = commit {
                     actions.to_server.push(UstorMsg::Commit(commit));
                 }

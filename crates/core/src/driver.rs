@@ -280,7 +280,9 @@ impl FaustDriver {
                 SessionEvent::Stable { cut } => Notification::Stable(cut),
                 SessionEvent::Violation { reason } => Notification::Failed(reason),
                 // The simulated links never fail out from under a client.
-                SessionEvent::Disconnected => continue,
+                SessionEvent::Disconnected { .. }
+                | SessionEvent::Reconnecting { .. }
+                | SessionEvent::Resumed => continue,
             };
             self.slots[i].notifications.push((t, note));
         }

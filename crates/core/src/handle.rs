@@ -38,22 +38,32 @@
 //!
 //! # Lifecycle
 //!
-//! A handle owns exactly one [`ClientTransport`] connection. If the
-//! transport fails, the session state (version vectors, stability
+//! A handle owns exactly one [`ClientTransport`] connection at a time.
+//! If the transport fails, the session state (version vectors, stability
 //! machinery, queued work) survives: [`Event::Disconnected`] is emitted
-//! once, unsent messages are retained, and [`FaustHandle::reconnect`]
-//! resumes against a new connection — e.g. a restarted server. An
-//! operation whose SUBMIT was already on the wire when the connection
-//! died can never complete (its reply died with the socket); disconnect
-//! at quiescence, as an operator draining traffic would. Clean shutdown
-//! is [`FaustHandle::disconnect`] or dropping the handle.
+//! once with a typed [`DisconnectCause`], and the session retains every
+//! signed-but-unacknowledged SUBMIT — plus the latest COMMIT, whose
+//! PROOF-signature other clients need to anchor this client's next
+//! pending operation — in its **resend window**. On
+//! [`FaustHandle::reconnect`] — manual, or automatic through a
+//! [`faust_net::ClientDialer`] installed with
+//! [`FaustHandle::with_auto_reconnect`] — the window is replayed first,
+//! byte-identically; the server treats a SUBMIT whose timestamp it has
+//! already processed as a duplicate and re-issues the original REPLY, so
+//! every operation completes exactly once even when the ack was lost
+//! with the socket. Auto-reconnect redials under a [`ReconnectPolicy`]
+//! (capped exponential backoff with seeded jitter), emitting
+//! [`Event::Reconnecting`] per scheduled attempt and [`Event::Resumed`]
+//! when a dial succeeds. Clean shutdown is [`FaustHandle::disconnect`]
+//! or dropping the handle.
 
-use crate::client::{Actions, FaustClient, FaustConfig, UserOp};
+use crate::client::{Actions, FaustClient, FaustClientState, FaustConfig, UserOp};
 use crate::events::{FailReason, FaustCompletion, Notification, StabilityCut};
 use crate::offline::OfflineMsg;
-use faust_crypto::sig::{KeySet, SigScheme};
-use faust_net::{ClientTransport, TransportClosed};
-use faust_types::{ClientId, ReplyMsg, UstorMsg, Value};
+use faust_crypto::sig::{KeySet, Keypair, SigScheme, VerifierRegistry};
+use faust_net::{ClientDialer, ClientTransport, TransportClosed};
+use faust_sim::SmallRng;
+use faust_types::{ClientId, ReplyMsg, UstorMsg, Value, Wire, WireError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
@@ -100,8 +110,132 @@ pub enum Event {
         reason: FailReason,
     },
     /// The transport to the server failed. Session state is intact;
-    /// [`FaustHandle::reconnect`] resumes it.
-    Disconnected,
+    /// [`FaustHandle::reconnect`] (or auto-reconnect) resumes it.
+    Disconnected {
+        /// What the loss looked like from this side of the wire.
+        reason: DisconnectCause,
+    },
+    /// Auto-reconnect scheduled its next dial attempt.
+    Reconnecting {
+        /// 1-based attempt number since the last confirmed resume.
+        attempt: u32,
+        /// How long the session waits before this attempt dials.
+        backoff: Duration,
+    },
+    /// Auto-reconnect (re-)established a connection; the resend window
+    /// has been queued for replay.
+    Resumed,
+}
+
+/// The client-side classification of a transport loss.
+///
+/// The wire cannot carry the server's typed
+/// [`faust_net::reactor::DisconnectReason`](crate::handle) to a peer it
+/// just hung up on, so the handle classifies by shape: a connection that
+/// dies **before any message arrives on it** looks exactly like the
+/// reactor's shed-on-accept (admission control accepts, then closes) and
+/// is reported as [`DisconnectCause::Overloaded`]; a connection that had
+/// been exchanging traffic is [`DisconnectCause::TransportLoss`]. The
+/// [`ReconnectPolicy`] backs off harder on `Overloaded` — hammering an
+/// overloaded server with immediate redials is how clients turn load
+/// into collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectCause {
+    /// The connection died after carrying traffic: a crash, restart, or
+    /// network fault.
+    TransportLoss,
+    /// The connection was closed before any message arrived — the
+    /// shed-on-accept shape of a server refusing new load.
+    Overloaded,
+}
+
+impl std::fmt::Display for DisconnectCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DisconnectCause::TransportLoss => f.write_str("transport loss"),
+            DisconnectCause::Overloaded => f.write_str("shed by an overloaded server"),
+        }
+    }
+}
+
+/// Backoff schedule of an auto-reconnecting [`FaustHandle`]: capped
+/// exponential with seeded jitter, a per-attempt connect timeout, and an
+/// attempt budget.
+///
+/// The delay before attempt `k` (1-based) is drawn uniformly from
+/// `[base/2, base]` where `base = initial_backoff · 2^(k-1)` (plus
+/// [`ReconnectPolicy::overload_penalty`] extra doublings when the last
+/// disconnect was [`DisconnectCause::Overloaded`]), capped at
+/// [`ReconnectPolicy::max_backoff`]. Jitter comes from a [`SmallRng`]
+/// seeded with `jitter_seed ^ client id`, so a fleet of clients sharing
+/// a config still spreads its redials instead of stampeding in sync —
+/// deterministically per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Backoff before the first retry (pre-jitter).
+    pub initial_backoff: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub max_backoff: Duration,
+    /// Attempts allowed since the last confirmed resume; once exhausted
+    /// the handle stays disconnected (manual [`FaustHandle::reconnect`]
+    /// still works and re-arms the budget).
+    pub max_attempts: u32,
+    /// Hard bound on each dial attempt ([`ClientDialer::dial`]).
+    pub connect_timeout: Duration,
+    /// Seed for the jitter stream (mixed with the client id).
+    pub jitter_seed: u64,
+    /// Extra backoff doublings applied when the previous disconnect was
+    /// [`DisconnectCause::Overloaded`].
+    pub overload_penalty: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            max_attempts: u32::MAX,
+            connect_timeout: Duration::from_secs(2),
+            jitter_seed: 0,
+            overload_penalty: 2,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The jittered delay before `attempt` (1-based), given how the last
+    /// connection ended.
+    fn backoff(&self, attempt: u32, cause: DisconnectCause, rng: &mut SmallRng) -> Duration {
+        let doublings = (attempt - 1).saturating_add(match cause {
+            DisconnectCause::Overloaded => self.overload_penalty,
+            DisconnectCause::TransportLoss => 0,
+        });
+        let base_ms = (self.initial_backoff.as_millis() as u64)
+            .max(1)
+            .checked_shl(doublings.min(32))
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff.as_millis() as u64)
+            .max(1);
+        Duration::from_millis(rng.gen_range_inclusive(base_ms / 2, base_ms))
+    }
+}
+
+/// Resilience counters of a [`FaustHandle`] — what the session's
+/// transport lifecycle actually did (exported by the chaos e2e as its CI
+/// artifact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Transport losses observed ([`Event::Disconnected`] emissions).
+    pub disconnects: u64,
+    /// Losses classified as [`DisconnectCause::Overloaded`].
+    pub overload_sheds: u64,
+    /// Dial attempts made by auto-reconnect.
+    pub dial_attempts: u64,
+    /// Successful redials (auto or manual [`FaustHandle::reconnect`]).
+    pub resumes: u64,
+    /// SUBMITs replayed from the resend window that had already been on
+    /// a previous wire (exactly-once resends, not first sends).
+    pub resent_submits: u64,
 }
 
 /// Why [`FaustHandle::wait`] gave up.
@@ -141,6 +275,56 @@ pub struct SessionOutput {
     pub offline: Vec<(ClientId, OfflineMsg)>,
 }
 
+/// Serializable snapshot of a [`SessionCore`]'s resumable state (keys
+/// excluded — the caller re-supplies the keypair and registry on
+/// restore). Produced by [`SessionCore::export_state`], consumed by
+/// [`SessionCore::from_state`]; `faust-store`'s session-file container
+/// persists its wire encoding with a checksum.
+///
+/// Undelivered events and untaken results are deliberately *not* part of
+/// the state: they are addressed to the embedding that was running when
+/// they fired, and a process that saves its session has already drained
+/// what it cared about. Tickets, the resend window, and every protocol
+/// invariant survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// The protocol client's resumable state.
+    pub proto: FaustClientState,
+    /// The session's protocol clock (milliseconds) at export time. A
+    /// resuming embedding continues its clock from here, so probe
+    /// periods and event stamps stay monotone across the restart.
+    pub clock: u64,
+    /// The next [`OpTicket`] sequence number to issue.
+    pub next_ticket: u64,
+    /// Tickets of submitted-but-uncompleted user operations, oldest
+    /// first.
+    pub pending_tickets: Vec<u64>,
+    /// The resend window: signed-but-unacknowledged SUBMITs plus the
+    /// latest COMMIT, in wire order, byte-identical to what went on the
+    /// wire.
+    pub resend_window: Vec<UstorMsg>,
+}
+
+impl Wire for SessionState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.proto.encode_into(out);
+        self.clock.encode_into(out);
+        self.next_ticket.encode_into(out);
+        self.pending_tickets.encode_into(out);
+        self.resend_window.encode_into(out);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SessionState {
+            proto: FaustClientState::decode_from(buf)?,
+            clock: u64::decode_from(buf)?,
+            next_ticket: u64::decode_from(buf)?,
+            pending_tickets: Vec::<u64>::decode_from(buf)?,
+            resend_window: Vec::<UstorMsg>::decode_from(buf)?,
+        })
+    }
+}
+
 /// The sans-io half of a fail-aware session: ticket and event bookkeeping
 /// over a [`FaustClient`], with no clock and no transport.
 ///
@@ -156,6 +340,25 @@ pub struct SessionCore {
     /// Tickets of submitted-but-uncompleted user operations, oldest
     /// first (the protocol completes user operations FIFO).
     pending_tickets: VecDeque<OpTicket>,
+    /// The **resend window**: every signed SUBMIT (user ops and dummy
+    /// reads alike) whose REPLY has not yet been processed, plus the
+    /// latest COMMIT, in wire order, byte-identical to what went on the
+    /// wire. Replies consume the window FIFO (a reply proves FIFO
+    /// delivery of everything sent before the SUBMIT it answers); on a
+    /// reconnect the embedding replays it so a frame lost with the
+    /// socket cannot strand an operation. Bounded by the pipeline depth
+    /// plus one COMMIT.
+    ///
+    /// The COMMIT **must** be retained: it carries the PROOF-signature
+    /// anchoring this client's last completed digest, which peers need
+    /// to validate its next pending SUBMIT (Algorithm 1, line 41). A
+    /// COMMIT lost with a dead connection and never replayed makes an
+    /// honest server look Byzantine to every sequential peer
+    /// (`BadProofSignature`). Only the newest COMMIT is kept — a newer
+    /// one (standalone or piggybacked on a later SUBMIT) subsumes it,
+    /// and replaying a subsumed COMMIT after the server stored a newer
+    /// one would regress the server's record of this client's version.
+    resend_window: VecDeque<UstorMsg>,
     events: VecDeque<(u64, Event)>,
     results: HashMap<u64, FaustCompletion>,
 }
@@ -168,9 +371,69 @@ impl SessionCore {
             proto,
             next_ticket: 0,
             pending_tickets: VecDeque::new(),
+            resend_window: VecDeque::new(),
             events: VecDeque::new(),
             results: HashMap::new(),
         }
+    }
+
+    /// Snapshots the resumable state (keys excluded; see
+    /// [`SessionState`]). `now` is the current protocol time — it is
+    /// stored so the resuming embedding can continue its clock
+    /// monotonically. Returns `None` when the session has halted on a
+    /// violation: a failed session must not be resumed (its halt is the
+    /// fail-aware guarantee), so there is nothing to persist.
+    pub fn export_state(&self, now: u64) -> Option<SessionState> {
+        if self.proto.failure().is_some() {
+            return None;
+        }
+        Some(SessionState {
+            proto: self.proto.export_state(),
+            clock: now,
+            next_ticket: self.next_ticket,
+            pending_tickets: self.pending_tickets.iter().map(|t| t.0).collect(),
+            resend_window: self.resend_window.iter().cloned().collect(),
+        })
+    }
+
+    /// Rebuilds a session from a state snapshot plus its (externally
+    /// kept) key material, returning the core and the protocol clock at
+    /// which it was exported (resume your clock from there). The
+    /// restored protocol client has its stale guard armed — see
+    /// [`FaustClient::from_state`] — and the resend window is replayed
+    /// by the embedding exactly as after a reconnect. Call
+    /// [`SessionCore::probe_resume`] once connected so a rolled-back
+    /// snapshot is detected promptly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not match the snapshot's client id.
+    pub fn from_state(
+        keypair: Keypair,
+        registry: VerifierRegistry,
+        state: SessionState,
+    ) -> (Self, u64) {
+        let proto = FaustClient::from_state(keypair, registry, state.proto);
+        let core = SessionCore {
+            proto,
+            next_ticket: state.next_ticket,
+            pending_tickets: state.pending_tickets.into_iter().map(OpTicket).collect(),
+            resend_window: state.resend_window.into(),
+            events: VecDeque::new(),
+            results: HashMap::new(),
+        };
+        (core, state.clock)
+    }
+
+    /// Issues a non-user read of the session's own register, if nothing
+    /// is in flight (see [`FaustClient::probe_resume`]): after restoring
+    /// from a snapshot, this round-trips the restored version against
+    /// the live server so a rolled-back state file surfaces as
+    /// [`Event::Violation`] with `Fault::StaleClientState` at connect
+    /// time.
+    pub fn probe_resume(&mut self, now: u64) -> SessionOutput {
+        let actions = self.proto.probe_resume(now);
+        self.absorb(actions, now)
     }
 
     /// This session's client id.
@@ -222,6 +485,20 @@ impl SessionCore {
     /// Processes a REPLY from the server.
     pub fn handle_reply(&mut self, reply: ReplyMsg, now: u64) -> SessionOutput {
         let actions = self.proto.handle_reply(reply, now);
+        if self.proto.failure().is_none() {
+            // The reply answered the oldest in-flight SUBMIT: its resend
+            // obligation is discharged, and FIFO delivery means every
+            // window entry sent before it (a retained COMMIT included)
+            // reached the server too. (Pop before absorb, which may
+            // append freshly started SUBMITs to the window.)
+            while let Some(front) = self.resend_window.pop_front() {
+                if matches!(front, UstorMsg::Submit(_)) {
+                    break;
+                }
+            }
+        } else {
+            self.resend_window.clear(); // halted: nothing will be resent
+        }
         self.absorb(actions, now)
     }
 
@@ -239,17 +516,37 @@ impl SessionCore {
     }
 
     /// Records a transport failure as an [`Event::Disconnected`].
-    pub fn note_disconnected(&mut self, now: u64) {
-        self.events.push_back((now, Event::Disconnected));
+    pub fn note_disconnected(&mut self, reason: DisconnectCause, now: u64) {
+        self.events.push_back((now, Event::Disconnected { reason }));
+    }
+
+    /// Signed-but-unacknowledged SUBMITs plus the latest retained
+    /// COMMIT, in wire order — byte-identical clones of what went (or
+    /// was about to go) on the wire. This is what a reconnect must
+    /// replay before anything else.
+    pub fn resend_messages(&self) -> Vec<UstorMsg> {
+        self.resend_window.iter().cloned().collect()
+    }
+
+    /// Number of SUBMITs currently awaiting a reply (at most the
+    /// pipeline depth; a retained COMMIT is not counted).
+    pub fn unacked_submits(&self) -> usize {
+        self.resend_window
+            .iter()
+            .filter(|m| matches!(m, UstorMsg::Submit(_)))
+            .count()
     }
 
     /// When the session is idle in piggyback commit mode, the COMMIT of
     /// the last operation is still waiting for a SUBMIT to ride on; this
     /// returns it (at most once) so the embedding can send it explicitly
-    /// and the server can garbage-collect its pending list.
+    /// and the server can garbage-collect its pending list. The COMMIT
+    /// also enters the resend window, replacing any older one.
     pub fn flush_commit(&mut self) -> Option<UstorMsg> {
         if self.proto.is_idle() {
-            self.proto.take_held_commit().map(UstorMsg::Commit)
+            let msg = self.proto.take_held_commit().map(UstorMsg::Commit)?;
+            self.retain_for_resend(&msg);
+            Some(msg)
         } else {
             None
         }
@@ -295,9 +592,40 @@ impl SessionCore {
             };
             self.events.push_back((now, event));
         }
+        // Every server-bound SUBMIT and COMMIT enters the resend window
+        // here — the one funnel all entry points share — so the window
+        // is complete regardless of which embedding (handle, driver,
+        // simulator) drives the core.
+        for msg in &actions.to_server {
+            self.retain_for_resend(msg);
+        }
         SessionOutput {
             to_server: actions.to_server,
             offline: actions.offline,
+        }
+    }
+
+    /// Appends one outgoing message to the resend window, keeping the
+    /// window's COMMIT invariant: at most one COMMIT is retained, and a
+    /// newer commitment — standalone, or piggybacked on a SUBMIT —
+    /// evicts the older one (replaying a subsumed COMMIT after the
+    /// server stored a newer one would regress its record of this
+    /// client's version).
+    fn retain_for_resend(&mut self, msg: &UstorMsg) {
+        match msg {
+            UstorMsg::Submit(submit) => {
+                if submit.piggyback.is_some() {
+                    self.resend_window
+                        .retain(|w| !matches!(w, UstorMsg::Commit(_)));
+                }
+                self.resend_window.push_back(msg.clone());
+            }
+            UstorMsg::Commit(_) => {
+                self.resend_window
+                    .retain(|w| !matches!(w, UstorMsg::Commit(_)));
+                self.resend_window.push_back(msg.clone());
+            }
+            UstorMsg::Reply(_) => {}
         }
     }
 }
@@ -408,6 +736,26 @@ pub struct FaustHandle {
     next_tick: Instant,
     /// Server-bound messages not yet on the wire (transport down).
     outbox: VecDeque<UstorMsg>,
+    /// Auto-reconnect: the connection factory, if armed.
+    dialer: Option<Box<dyn ClientDialer>>,
+    policy: ReconnectPolicy,
+    /// Jitter stream (seeded `jitter_seed ^ client id`).
+    rng: SmallRng,
+    /// Dial attempts since the last *confirmed* resume (one that carried
+    /// at least one server message).
+    attempt: u32,
+    /// When the next auto-reconnect dial is due; `None` when idle,
+    /// exhausted, or connected.
+    next_attempt_at: Option<Instant>,
+    /// How the last connection ended (drives the backoff penalty).
+    last_cause: DisconnectCause,
+    /// Whether the current connection has delivered any server message —
+    /// the classification bit behind [`DisconnectCause::Overloaded`].
+    got_msg_since_attach: bool,
+    /// A resume happened but no message has confirmed it yet; the
+    /// attempt counter keeps climbing until one does.
+    resumed_unconfirmed: bool,
+    stats: HandleStats,
 }
 
 impl FaustHandle {
@@ -460,7 +808,10 @@ impl FaustHandle {
     /// Wraps an existing [`SessionCore`] (e.g. resumed from a previous
     /// server incarnation) around a transport. `clock_base` is the
     /// protocol time the session has already lived through — time never
-    /// rewinds for a resumed session.
+    /// rewinds for a resumed session. The core's resend window — any
+    /// signed SUBMIT whose reply was never processed — is replayed over
+    /// the new transport immediately, byte-identically, exactly as after
+    /// a reconnect (empty for a fresh core, so this is free there).
     pub fn from_core(
         core: SessionCore,
         tick_interval: Duration,
@@ -468,16 +819,72 @@ impl FaustHandle {
         transport: Box<dyn ClientTransport>,
     ) -> Self {
         let now = Instant::now();
-        FaustHandle {
+        let mut handle = FaustHandle {
             core,
-            transport: Some(transport),
+            transport: None,
             offline: None,
             epoch: now,
             clock_base,
             tick_interval,
             next_tick: now + tick_interval,
             outbox: VecDeque::new(),
-        }
+            dialer: None,
+            policy: ReconnectPolicy::default(),
+            rng: SmallRng::seed_from_u64(0),
+            attempt: 0,
+            next_attempt_at: None,
+            last_cause: DisconnectCause::TransportLoss,
+            got_msg_since_attach: false,
+            resumed_unconfirmed: false,
+            stats: HandleStats::default(),
+        };
+        handle.attach(transport);
+        handle.flush_outbox();
+        handle
+    }
+
+    /// Rebuilds a session from a persisted [`SessionState`] (see
+    /// [`crate::persist`]) over `transport`, deriving keys from
+    /// `key_seed` exactly as [`FaustHandle::new`] does. The protocol
+    /// clock continues from the snapshot's, the resend window is
+    /// replayed first, and — when nothing was in flight — a resume
+    /// probe ([`SessionCore::probe_resume`]) round-trips the restored
+    /// version against the server, so a rolled-back state file surfaces
+    /// as [`Event::Violation`] with `Fault::StaleClientState` right
+    /// away. `config.faust` is ignored: the protocol configuration
+    /// travels inside the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived keypair does not match the snapshot's
+    /// client id (wrong `key_seed` or `config.scheme`).
+    pub fn resume_from_state(
+        state: SessionState,
+        key_seed: &[u8],
+        config: &HandleConfig,
+        transport: Box<dyn ClientTransport>,
+    ) -> Self {
+        let n = state.proto.ustor.n as usize;
+        let id = state.proto.ustor.id;
+        let keys = KeySet::generate_with(config.scheme, n, key_seed);
+        let (core, clock) = SessionCore::from_state(
+            keys.keypair(id.as_u32()).expect("id < n").clone(),
+            keys.registry(),
+            state,
+        );
+        let mut handle = Self::from_core(core, config.tick_interval, clock, transport);
+        let now = handle.now_ms();
+        let out = handle.core.probe_resume(now);
+        handle.dispatch(out);
+        handle
+    }
+
+    /// Exports the session's resumable state for persistence (see
+    /// [`crate::persist::save_session`]); `None` when the session has
+    /// halted on a violation. The snapshot is stamped with the current
+    /// protocol clock.
+    pub fn export_state(&self) -> Option<SessionState> {
+        self.core.export_state(self.now_ms())
     }
 
     /// Attaches an offline client-to-client link (builder style).
@@ -485,6 +892,26 @@ impl FaustHandle {
     pub fn with_offline(mut self, link: OfflineLink) -> Self {
         self.offline = Some(link);
         self
+    }
+
+    /// Arms auto-reconnect (builder style): on transport loss the handle
+    /// redials through `dialer` under `policy`, replaying the resend
+    /// window on every resume. See the module docs' *Lifecycle* section.
+    #[must_use]
+    pub fn with_auto_reconnect(
+        mut self,
+        dialer: Box<dyn ClientDialer>,
+        policy: ReconnectPolicy,
+    ) -> Self {
+        self.rng = SmallRng::seed_from_u64(policy.jitter_seed ^ u64::from(self.id().as_u32()));
+        self.dialer = Some(dialer);
+        self.policy = policy;
+        self
+    }
+
+    /// Resilience counters: disconnects, sheds, dials, resumes, resends.
+    pub fn stats(&self) -> HandleStats {
+        self.stats
     }
 
     /// This session's client id.
@@ -565,7 +992,10 @@ impl FaustHandle {
             if let Some(reason) = self.core.failure() {
                 return Err(WaitError::Violation(reason.clone()));
             }
-            if self.transport.is_none() {
+            if self.transport.is_none() && self.next_attempt_at.is_none() {
+                // Disconnected with no reconnect pending (none armed, or
+                // the attempt budget ran out). With an attempt pending we
+                // keep stepping: the dial may yet resume the session.
                 return Err(WaitError::Disconnected);
             }
             let now = Instant::now();
@@ -591,11 +1021,37 @@ impl FaustHandle {
     }
 
     /// Resumes the session over a new connection after a transport
-    /// failure (or an explicit [`FaustHandle::disconnect`]): messages
-    /// that never made it onto the old wire are sent first.
+    /// failure (or an explicit [`FaustHandle::disconnect`]): the resend
+    /// window — every signed SUBMIT whose reply was never processed
+    /// (including ones that died on the old wire) plus the latest
+    /// COMMIT — is replayed byte-identically in wire order. Also
+    /// re-arms the auto-reconnect attempt budget.
     pub fn reconnect(&mut self, transport: Box<dyn ClientTransport>) {
-        self.transport = Some(transport);
+        self.attempt = 0;
+        self.stats.resumes += 1;
+        self.resumed_unconfirmed = true;
+        self.attach(transport);
         self.flush_outbox();
+    }
+
+    /// Installs `transport` and rebuilds the outbox for a resume: the
+    /// whole resend window, oldest first, in wire order. Everything the
+    /// old outbox still held — unsent SUBMITs and the latest COMMIT —
+    /// is already in the window, so replacing the outbox never loses a
+    /// message and never duplicates one.
+    fn attach(&mut self, transport: Box<dyn ClientTransport>) {
+        let submits = |msgs: &[UstorMsg]| {
+            msgs.iter()
+                .filter(|m| matches!(m, UstorMsg::Submit(_)))
+                .count() as u64
+        };
+        let unsent_submits = submits(self.outbox.make_contiguous());
+        let window = self.core.resend_messages();
+        self.stats.resent_submits += submits(&window).saturating_sub(unsent_submits);
+        self.outbox = window.into();
+        self.transport = Some(transport);
+        self.got_msg_since_attach = false;
+        self.next_attempt_at = None;
     }
 
     /// Detaches from the server (the connection closes; a `faust serve`
@@ -604,6 +1060,8 @@ impl FaustHandle {
     /// piggyback commit mode, the final COMMIT is sent first so the
     /// server can garbage-collect.
     pub fn disconnect(&mut self) {
+        self.attempt = 0;
+        self.next_attempt_at = None;
         if let Some(commit) = self.core.flush_commit() {
             self.outbox.push_back(commit);
         }
@@ -648,12 +1106,24 @@ impl FaustHandle {
                 Ok(None) => {}
                 Err(TransportClosed) => self.mark_disconnected(),
             },
-            None => {
-                // Disconnected: there is nothing to wait on but time.
-                if !wait.is_zero() {
-                    std::thread::sleep(wait);
+            None => match self.next_attempt_at {
+                // Disconnected with a dial due: attempt it now.
+                Some(at) if Instant::now() >= at => self.try_dial(),
+                // Dial scheduled but not due: sleep up to it.
+                Some(at) => {
+                    let until_dial = at.saturating_duration_since(Instant::now());
+                    let wait = wait.min(until_dial);
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
                 }
-            }
+                // Disconnected for good: nothing to wait on but time.
+                None => {
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+            },
         }
         self.drain_offline();
         self.run_due_tick();
@@ -670,6 +1140,13 @@ impl FaustHandle {
     }
 
     fn deliver(&mut self, msg: UstorMsg) {
+        self.got_msg_since_attach = true;
+        if self.resumed_unconfirmed {
+            // The resumed connection is actually talking to us: the
+            // attempt budget resets for the next outage.
+            self.resumed_unconfirmed = false;
+            self.attempt = 0;
+        }
         let UstorMsg::Reply(reply) = msg else {
             return; // the engine sends only replies
         };
@@ -712,9 +1189,71 @@ impl FaustHandle {
     }
 
     fn mark_disconnected(&mut self) {
-        if self.transport.take().is_some() {
-            let now = self.now_ms();
-            self.core.note_disconnected(now);
+        if self.transport.take().is_none() {
+            return;
+        }
+        // Classify by shape: a connection that died before carrying any
+        // server message looks like the reactor's shed-on-accept.
+        let cause = if self.got_msg_since_attach {
+            DisconnectCause::TransportLoss
+        } else {
+            DisconnectCause::Overloaded
+        };
+        self.last_cause = cause;
+        self.stats.disconnects += 1;
+        if cause == DisconnectCause::Overloaded {
+            self.stats.overload_sheds += 1;
+        }
+        let now = self.now_ms();
+        self.core.note_disconnected(cause, now);
+        self.schedule_attempt();
+    }
+
+    /// Schedules the next auto-reconnect dial under the backoff policy
+    /// (no-op when auto-reconnect is unarmed, the session has halted, or
+    /// the attempt budget is exhausted).
+    fn schedule_attempt(&mut self) {
+        if self.dialer.is_none() || self.core.failure().is_some() {
+            return;
+        }
+        self.attempt += 1;
+        if self.attempt > self.policy.max_attempts {
+            self.next_attempt_at = None;
+            return;
+        }
+        let backoff = self
+            .policy
+            .backoff(self.attempt, self.last_cause, &mut self.rng);
+        self.next_attempt_at = Some(Instant::now() + backoff);
+        let now = self.now_ms();
+        self.core.events.push_back((
+            now,
+            Event::Reconnecting {
+                attempt: self.attempt,
+                backoff,
+            },
+        ));
+    }
+
+    /// One auto-reconnect dial attempt; on success the session resumes
+    /// (resend window queued and flushed), on failure the next attempt is
+    /// scheduled.
+    fn try_dial(&mut self) {
+        self.next_attempt_at = None;
+        let Some(dialer) = self.dialer.as_mut() else {
+            return;
+        };
+        self.stats.dial_attempts += 1;
+        match dialer.dial(self.policy.connect_timeout) {
+            Ok(transport) => {
+                self.stats.resumes += 1;
+                self.resumed_unconfirmed = true;
+                self.attach(transport);
+                let now = self.now_ms();
+                self.core.events.push_back((now, Event::Resumed));
+                self.flush_outbox();
+            }
+            Err(_) => self.schedule_attempt(),
         }
     }
 }
@@ -835,7 +1374,7 @@ mod tests {
         assert_eq!(
             events
                 .iter()
-                .filter(|(_, e)| matches!(e, Event::Disconnected))
+                .filter(|(_, e)| matches!(e, Event::Disconnected { .. }))
                 .count(),
             1,
             "exactly one Disconnected event: {events:?}"
@@ -872,5 +1411,226 @@ mod tests {
         assert_eq!(done.timestamp, 1);
         h.disconnect();
         engine.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_doubles_caps_jitters_and_penalises_overload() {
+        let policy = ReconnectPolicy {
+            jitter_seed: 7,
+            ..ReconnectPolicy::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Attempt k draws from [base/2, base], base = 50·2^(k-1) ≤ 5000.
+        for k in 1..=12u32 {
+            let base = (50u64 << (k - 1)).min(5_000);
+            let d = policy
+                .backoff(k, DisconnectCause::TransportLoss, &mut rng)
+                .as_millis() as u64;
+            assert!(
+                d >= base / 2 && d <= base,
+                "attempt {k}: {d}ms outside [{}, {base}]",
+                base / 2
+            );
+        }
+        // An overload shed costs `overload_penalty` extra doublings:
+        // attempt 1 behaves like attempt 1 + 2 (base 200ms, not 50ms).
+        let d = policy
+            .backoff(1, DisconnectCause::Overloaded, &mut rng)
+            .as_millis() as u64;
+        assert!((100..=200).contains(&d), "overload attempt 1: {d}ms");
+    }
+
+    /// The regression for sent-but-unacked in-flight ops: the SUBMIT made
+    /// it onto the wire, the server (incarnation) died before any reply,
+    /// and auto-reconnect must replay it — not strand it — on the next
+    /// incarnation.
+    #[test]
+    fn auto_reconnect_resends_inflight_submit_after_server_loss() {
+        let n = 1;
+        // First incarnation buffers the SUBMIT and dies without replying.
+        let (transport, mut conns) = channel::pair(n);
+        let (dialer, dial_tx) = faust_net::ChannelDialer::new();
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            connect_timeout: Duration::from_millis(10),
+            ..ReconnectPolicy::default()
+        };
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-autoreconnect",
+            &quiet_config(1),
+            Box::new(conns.remove(0)),
+        )
+        .with_auto_reconnect(Box::new(dialer), policy);
+        let t0 = h.write(Value::from("inflight"));
+        assert_eq!(h.core.unacked_submits(), 1, "the SUBMIT is in flight");
+        drop(transport);
+        // Second incarnation is real; the dialer hands it out on the
+        // first due attempt.
+        let (transport, mut conns) = channel::pair(n);
+        let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        dial_tx.send(conns.remove(0)).unwrap();
+
+        let done = h.wait(t0, Duration::from_secs(5)).expect("resent");
+        assert_eq!(done.timestamp, 1);
+        let events = h.poll();
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::Disconnected { .. })),
+            "missing Disconnected: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::Reconnecting { .. })),
+            "missing Reconnecting: {events:?}"
+        );
+        assert!(
+            events.iter().any(|(_, e)| matches!(e, Event::Resumed)),
+            "missing Resumed: {events:?}"
+        );
+        let stats = h.stats();
+        assert_eq!(stats.disconnects, 1);
+        assert_eq!(
+            stats.resent_submits, 1,
+            "the sent-but-unacked op was replayed"
+        );
+        assert!(stats.dial_attempts >= 1 && stats.resumes >= 1);
+        h.disconnect();
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn auto_reconnect_gives_up_after_max_attempts() {
+        let n = 1;
+        let (transport, mut conns) = channel::pair(n);
+        let (dialer, _dial_tx) = faust_net::ChannelDialer::new();
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            max_attempts: 3,
+            connect_timeout: Duration::from_millis(5),
+            ..ReconnectPolicy::default()
+        };
+        let mut h = FaustHandle::new(
+            c(0),
+            n,
+            b"handle-giveup",
+            &quiet_config(1),
+            Box::new(conns.remove(0)),
+        )
+        .with_auto_reconnect(Box::new(dialer), policy);
+        let t0 = h.write(Value::from("doomed"));
+        drop(transport);
+        // Every dial attempt fails (nothing pushed into the dialer);
+        // after the budget runs out, wait reports Disconnected.
+        assert_eq!(
+            h.wait(t0, Duration::from_secs(5)),
+            Err(WaitError::Disconnected)
+        );
+        assert_eq!(h.stats().dial_attempts, 3);
+        let events = h.poll();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|(_, e)| matches!(e, Event::Reconnecting { .. }))
+                .count(),
+            3
+        );
+        // A manual reconnect still works and re-arms the budget.
+        let (transport, mut conns) = channel::pair(n);
+        let engine = spawn_engine(n, Box::new(UstorServer::new(n)), transport);
+        h.reconnect(Box::new(conns.remove(0)));
+        let done = h.wait(t0, Duration::from_secs(5)).expect("manual resume");
+        assert_eq!(done.timestamp, 1);
+        h.disconnect();
+        engine.join().unwrap();
+    }
+
+    /// Feeds `msgs` to the server and pumps every reply back into the
+    /// core until quiescent (same shape as the persist-module tests).
+    fn pump(server: &mut UstorServer, core: &mut SessionCore, msgs: Vec<UstorMsg>, now: u64) {
+        use faust_ustor::Server;
+        let mut queue = msgs;
+        while !queue.is_empty() {
+            let msg = queue.remove(0);
+            let replies = match msg {
+                UstorMsg::Submit(m) => server.on_submit(core.id(), m),
+                UstorMsg::Commit(m) => server.on_commit(core.id(), m),
+                UstorMsg::Reply(_) => Vec::new(),
+            };
+            for (_, reply) in replies {
+                queue.extend(core.handle_reply(reply, now).to_server);
+            }
+        }
+    }
+
+    #[test]
+    fn resend_window_retains_the_latest_commit_and_only_the_latest() {
+        // A COMMIT lost with a dead connection is not harmless: until
+        // the client's next commitment reaches the server, peers cannot
+        // anchor its next pending SUBMIT (Algorithm 1 line 41) and
+        // would convict an honest server of BadProofSignature. The
+        // window therefore keeps the newest COMMIT — and only the
+        // newest, since replaying a subsumed one would regress the
+        // server's record of this client's version.
+        let keys = KeySet::generate(2, b"resend-commit");
+        let mut server = UstorServer::new(2);
+        let mut core = SessionCore::new(FaustClient::new(
+            c(0),
+            2,
+            keys.keypair(0).unwrap().clone(),
+            keys.registry(),
+            FaustConfig {
+                dummy_reads: false,
+                ..FaustConfig::default()
+            },
+        ));
+
+        // Op 1 completes: its SUBMIT is popped, its COMMIT retained.
+        let (_, out) = core.submit(UserOp::Write(Value::from("one")), 1);
+        assert!(matches!(core.resend_messages()[..], [UstorMsg::Submit(_)]));
+        pump(&mut server, &mut core, out.to_server, 1);
+        let window = core.resend_messages();
+        assert!(
+            matches!(window[..], [UstorMsg::Commit(_)]),
+            "completed op leaves exactly its COMMIT behind: {window:?}"
+        );
+        assert_eq!(core.unacked_submits(), 0);
+        let first_commit = window[0].encode();
+
+        // Op 2 goes in flight: the window replays COMMIT-then-SUBMIT in
+        // wire order.
+        let (_, out) = core.submit(UserOp::Write(Value::from("two")), 2);
+        let window = core.resend_messages();
+        assert!(
+            matches!(window[..], [UstorMsg::Commit(_), UstorMsg::Submit(_)]),
+            "retained COMMIT precedes the new SUBMIT: {window:?}"
+        );
+        assert_eq!(core.unacked_submits(), 1);
+
+        // Op 2's reply pops through SUBMIT 2 *and* the older COMMIT
+        // (FIFO delivery proved it arrived), and the newer COMMIT
+        // replaces it.
+        pump(&mut server, &mut core, out.to_server, 2);
+        let window = core.resend_messages();
+        assert!(
+            matches!(window[..], [UstorMsg::Commit(_)]),
+            "only the newest COMMIT is retained: {window:?}"
+        );
+        assert_ne!(window[0].encode(), first_commit, "it is the newer one");
+
+        // Simulated reconnect: replaying the window is harmless (the
+        // server stores commitments idempotently) and the next op still
+        // completes exactly once.
+        let replay = core.resend_messages();
+        pump(&mut server, &mut core, replay, 3);
+        let (t3, out) = core.submit(UserOp::Read(c(0)), 4);
+        pump(&mut server, &mut core, out.to_server, 4);
+        assert!(core.is_complete(t3));
+        assert!(core.failure().is_none());
     }
 }

@@ -54,20 +54,22 @@ pub mod driver;
 pub mod events;
 pub mod handle;
 pub mod offline;
+pub mod persist;
 pub mod runtime;
 pub mod sim;
 pub mod threaded_faust;
 
-pub use client::{Actions, FaustClient, FaustConfig, UserOp};
+pub use client::{Actions, FaustClient, FaustClientState, FaustConfig, UserOp};
 pub use driver::{
     random_faust_workloads, FaustDriver, FaustDriverConfig, FaustRunResult, FaustWorkloadOp,
 };
 pub use events::{FailReason, FaustCompletion, Notification, StabilityCut};
 pub use handle::{
-    offline_mesh, Event, FaustHandle, HandleConfig, OfflineLink, OpTicket, SessionCore,
-    SessionOutput, WaitError,
+    offline_mesh, DisconnectCause, Event, FaustHandle, HandleConfig, HandleStats, OfflineLink,
+    OpTicket, ReconnectPolicy, SessionCore, SessionOutput, SessionState, WaitError,
 };
 pub use offline::OfflineMsg;
+pub use persist::{checkpoint_session, load_session, save_session};
 pub use sim::{
     check_determinism, check_oracles, gen_scenario, investigate, run_and_check, run_sim, CrashSpec,
     FaultClause, FaultPlan, ServerSpec, SimDurability, SimFailure, SimRunReport, SimScenario,

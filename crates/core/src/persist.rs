@@ -1,0 +1,269 @@
+//! Persistent client sessions: saving a [`SessionState`] to — and
+//! restoring it from — a checksummed single-file container
+//! (`faust-store`'s `"FAUSTSES"` format).
+//!
+//! The file holds the session's *resumable* state only: protocol
+//! version vectors, the resend window (signed-but-unacknowledged
+//! SUBMITs plus the latest COMMIT), queued work, and ticket
+//! bookkeeping. Keys are never
+//! written; the caller re-supplies the keypair and registry when
+//! restoring (see [`SessionCore::from_state`]).
+//!
+//! # Staleness
+//!
+//! The container's checksum catches a *corrupt* file, not an *old* one.
+//! A session file restored after the client ran further operations is
+//! internally consistent but rolled back — resuming from it would
+//! re-issue timestamps the server has already answered. Only the
+//! protocol can tell: the restored client is created with its stale
+//! guard armed, so the first mismatch against the live server surfaces
+//! as an [`crate::Event::Violation`] with
+//! [`faust_ustor::Fault::StaleClientState`] rather than being
+//! misattributed to server misbehavior. Embeddings should call
+//! [`SessionCore::probe_resume`] right after connecting so a stale file
+//! is flagged immediately, not on the next user operation.
+
+use crate::handle::{SessionCore, SessionState};
+use faust_store::session::{read_session_file, write_session_file};
+use faust_store::StoreError;
+use faust_types::Wire;
+use std::path::Path;
+
+/// Saves `state` to the session file at `path` (atomic write: temp file,
+/// fsync, rename). Overwrites any previous session file at that path.
+///
+/// # Errors
+///
+/// Propagates file-system errors; a failed save never disturbs an
+/// existing session file.
+pub fn save_session(path: &Path, state: &SessionState) -> Result<(), StoreError> {
+    write_session_file(path, &state.encode(), true)
+}
+
+/// Loads and fully validates the session file at `path`; `Ok(None)` if
+/// no file exists.
+///
+/// # Errors
+///
+/// Structured [`StoreError`]s for a bad magic, unknown version,
+/// truncated or corrupt payload, or checksum mismatch. A file that
+/// validates but holds rolled-back state loads *successfully* — that
+/// staleness is detected by the protocol after resuming (see the module
+/// docs).
+pub fn load_session(path: &Path) -> Result<Option<SessionState>, StoreError> {
+    let Some(payload) = read_session_file(path)? else {
+        return Ok(None);
+    };
+    SessionState::decode(&payload)
+        .map(Some)
+        .map_err(StoreError::SessionCorrupt)
+}
+
+/// Convenience for embeddings: exports `core`'s state at protocol time
+/// `now` and saves it to `path`. Returns `false` (writing nothing) when
+/// the session has halted on a violation — a failed session must not be
+/// resumed, and a pre-failure file left in place would itself be stale.
+///
+/// # Errors
+///
+/// Propagates [`save_session`] errors.
+pub fn checkpoint_session(path: &Path, core: &SessionCore, now: u64) -> Result<bool, StoreError> {
+    match core.export_state(now) {
+        Some(state) => {
+            save_session(path, &state)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{FaustClient, FaustConfig, UserOp};
+    use crate::events::FailReason;
+    use crate::handle::Event;
+    use faust_crypto::sig::KeySet;
+    use faust_store::testutil::scratch_dir;
+    use faust_types::{ClientId, UstorMsg, Value};
+    use faust_ustor::{Fault, Server, UstorServer};
+
+    fn keys(n: usize) -> KeySet {
+        KeySet::generate(n, b"persist-tests")
+    }
+
+    fn fresh_core(keys: &KeySet, i: u32, n: usize) -> SessionCore {
+        SessionCore::new(FaustClient::new(
+            ClientId::new(i),
+            n,
+            keys.keypair(i).unwrap().clone(),
+            keys.registry(),
+            FaustConfig {
+                dummy_reads: false,
+                ..FaustConfig::default()
+            },
+        ))
+    }
+
+    /// Feeds `msgs` to the server and pumps every reply back into the
+    /// core until quiescent.
+    fn pump(server: &mut UstorServer, core: &mut SessionCore, msgs: Vec<UstorMsg>, now: u64) {
+        let mut queue = msgs;
+        while let Some(msg) = queue.first().cloned() {
+            queue.remove(0);
+            let replies = match msg {
+                UstorMsg::Submit(m) => server.on_submit(core.id(), m),
+                UstorMsg::Commit(m) => server.on_commit(core.id(), m),
+                UstorMsg::Reply(_) => Vec::new(),
+            };
+            for (_, reply) in replies {
+                queue.extend(core.handle_reply(reply, now).to_server);
+            }
+        }
+    }
+
+    #[test]
+    fn session_roundtrips_through_disk_and_completes_inflight_ops() {
+        let dir = scratch_dir("persist-roundtrip");
+        let path = dir.join("c0.session");
+        let keys = keys(2);
+        let mut server = UstorServer::new(2);
+        let mut core = fresh_core(&keys, 0, 2);
+
+        // One completed op, then one in flight (unacked) at save time.
+        let (_, out) = core.submit(UserOp::Write(Value::from("first")), 1);
+        pump(&mut server, &mut core, out.to_server, 1);
+        let (t2, out) = core.submit(UserOp::Write(Value::from("second")), 2);
+        assert_eq!(out.to_server.len(), 1, "second SUBMIT signed and sent");
+        assert_eq!(core.unacked_submits(), 1);
+
+        assert!(checkpoint_session(&path, &core, 2).unwrap());
+        drop(core); // "process exit": the reply was never delivered
+
+        // Restore in a fresh process and replay the resend window, as a
+        // reconnect would.
+        let state = load_session(&path).unwrap().expect("file exists");
+        let (mut core, clock) =
+            SessionCore::from_state(keys.keypair(0).unwrap().clone(), keys.registry(), state);
+        assert_eq!(clock, 2, "resume the protocol clock where we left off");
+        assert_eq!(core.unacked_submits(), 1, "resend window survived");
+        let resend = core.resend_messages();
+        pump(&mut server, &mut core, resend, 3);
+
+        // The in-flight op completed under its original ticket; the
+        // server served the replay from its duplicate cache or live path
+        // — either way exactly once.
+        let events = core.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::Completed { ticket, .. } if *ticket == t2)),
+            "restored ticket completes: {events:?}"
+        );
+        assert!(core.failure().is_none());
+
+        // The next op uses the next timestamp — no gap, no reuse.
+        let (_, out) = core.submit(UserOp::Write(Value::from("third")), 4);
+        pump(&mut server, &mut core, out.to_server, 4);
+        assert!(core.failure().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rolled_back_session_file_flags_stale_client_state() {
+        let dir = scratch_dir("persist-stale");
+        let path = dir.join("c0.session");
+        let keys = keys(2);
+        let mut server = UstorServer::new(2);
+        let mut core = fresh_core(&keys, 0, 2);
+
+        // Save while idle at timestamp 1...
+        let (_, out) = core.submit(UserOp::Write(Value::from("old")), 1);
+        pump(&mut server, &mut core, out.to_server, 1);
+        assert!(checkpoint_session(&path, &core, 1).unwrap());
+
+        // ...then keep working: the server moves past the saved state.
+        for t in 2..5 {
+            let (_, out) = core.submit(UserOp::Write(Value::from("newer")), t);
+            pump(&mut server, &mut core, out.to_server, t);
+        }
+        assert!(core.failure().is_none());
+        drop(core);
+
+        // Restore the rolled-back file; the resume probe re-issues an
+        // already-used timestamp and the mismatch is blamed on the
+        // snapshot, not the server.
+        let state = load_session(&path).unwrap().expect("file exists");
+        let (mut core, clock) =
+            SessionCore::from_state(keys.keypair(0).unwrap().clone(), keys.registry(), state);
+        let out = core.probe_resume(clock + 1);
+        assert_eq!(out.to_server.len(), 1, "probe read issued");
+        pump(&mut server, &mut core, out.to_server, clock + 1);
+        assert!(
+            matches!(
+                core.failure(),
+                Some(FailReason::Ustor(Fault::StaleClientState))
+            ),
+            "expected StaleClientState, got {:?}",
+            core.failure()
+        );
+        let events = core.take_events();
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                Event::Violation {
+                    reason: FailReason::Ustor(Fault::StaleClientState)
+                }
+            )),
+            "violation event delivered: {events:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn up_to_date_session_file_passes_the_resume_probe() {
+        let dir = scratch_dir("persist-fresh");
+        let path = dir.join("c0.session");
+        let keys = keys(2);
+        let mut server = UstorServer::new(2);
+        let mut core = fresh_core(&keys, 0, 2);
+
+        let (_, out) = core.submit(UserOp::Write(Value::from("v")), 1);
+        pump(&mut server, &mut core, out.to_server, 1);
+        assert!(checkpoint_session(&path, &core, 1).unwrap());
+        drop(core);
+
+        let state = load_session(&path).unwrap().expect("file exists");
+        let (mut core, clock) =
+            SessionCore::from_state(keys.keypair(0).unwrap().clone(), keys.registry(), state);
+        let out = core.probe_resume(clock + 1);
+        pump(&mut server, &mut core, out.to_server, clock + 1);
+        assert!(core.failure().is_none(), "current state resumes cleanly");
+
+        // And the session is fully live again.
+        let (t, out) = core.submit(UserOp::Read(ClientId::new(0)), clock + 2);
+        pump(&mut server, &mut core, out.to_server, clock + 2);
+        assert!(core.is_complete(t));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halted_session_refuses_to_export() {
+        let keys = keys(2);
+        let mut core = fresh_core(&keys, 0, 2);
+        // Forge a failure report to halt the session.
+        let report = crate::offline::OfflineMsg::failure(keys.keypair(1).unwrap());
+        let _ = core.handle_offline(report, 1);
+        assert!(core.failure().is_some());
+        assert!(
+            core.export_state(1).is_none(),
+            "failed sessions do not persist"
+        );
+
+        let dir = scratch_dir("persist-halted");
+        let path = dir.join("c0.session");
+        assert!(!checkpoint_session(&path, &core, 1).unwrap());
+        assert!(!path.exists(), "nothing written for a halted session");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,9 +11,11 @@
 //! [`SimScenario`] and any failure reproduces bit-identically from the
 //! seed. On top sit:
 //!
-//! * a **fault-plan DSL** ([`FaultClause`]): link outages, frame
-//!   reordering and duplication, crash/restart with WAL tamper hooks
-//!   (reusing [`faust_ustor::CrashRestartServer`]), replayed and
+//! * a **fault-plan DSL** ([`FaultClause`]): link outages, connection
+//!   kills and dropped replies (recovered exactly-once through the
+//!   client's resend window and the server's duplicate-reply cache),
+//!   frame reordering and duplication, crash/restart with WAL tamper
+//!   hooks (reusing [`faust_ustor::CrashRestartServer`]), replayed and
 //!   tampered replies;
 //! * **oracles** ([`check_oracles`]): no `fail` notification unless an
 //!   adversarial clause actually fired (no false positives), every
@@ -170,6 +172,35 @@ pub enum FaultClause {
         /// Activation window.
         window: TimeWindow,
     },
+    /// Benign connection kill: at `at` the victim's link connection is
+    /// severed and immediately re-established. Every frame still in
+    /// flight on the old connection — in either direction, including
+    /// held group-commit replies the server force-flushes into the
+    /// dying socket — is lost; the client then replays its resend
+    /// window of signed-but-unacknowledged SUBMITs on the new
+    /// connection. Resends the server already processed are answered
+    /// byte-identically from its duplicate-reply cache, so a kill must
+    /// never fail a client or lose or double an operation.
+    KillConn {
+        /// The client whose connection dies.
+        client: ClientId,
+        /// Virtual time of the kill.
+        at: u64,
+    },
+    /// Benign-but-lossy network: every REPLY frame to `client`
+    /// delivered inside `window` is dropped — the acknowledgements are
+    /// lost while the client's SUBMITs keep reaching (and advancing)
+    /// the server. When the window closes the connection is torn down
+    /// and rebuilt as in [`FaultClause::KillConn`]; every replayed
+    /// SUBMIT is then a duplicate the server must answer from its
+    /// reply cache — the exactly-once resend path under maximum
+    /// duplication pressure.
+    DropReplies {
+        /// The client whose replies are eaten.
+        client: ClientId,
+        /// Activation window; the reconnect runs at `window.end`.
+        window: TimeWindow,
+    },
 }
 
 impl FaultClause {
@@ -179,6 +210,10 @@ impl FaultClause {
     pub fn is_benign(&self, server: &ServerSpec) -> bool {
         match self {
             FaultClause::Outage { .. } => true,
+            // A kill (or drop-then-reconnect) loses only frames the
+            // client's resend window recovers; the server's duplicate
+            // cache keeps the replay exactly-once.
+            FaultClause::KillConn { .. } | FaultClause::DropReplies { .. } => true,
             FaultClause::CrashRestart(spec) => {
                 // Only a synchronously-durable server restarts losslessly:
                 // under group commit a crash destroys its *held* replies
@@ -372,14 +407,19 @@ impl SimRunReport {
 
 #[derive(Debug, Clone)]
 enum NetMsg {
-    Ustor(UstorMsg),
+    /// A link frame, stamped with the sending side's view of the
+    /// client↔server connection epoch. [`FaultClause::KillConn`]-style
+    /// clauses bump the victim's epoch; a frame whose stamp is stale at
+    /// delivery was in flight on a connection that no longer exists and
+    /// is dropped, exactly as a dead TCP socket loses its buffers.
+    Ustor(UstorMsg, u64),
     Offline(OfflineMsg),
 }
 
 impl MessageSize for NetMsg {
     fn size_bytes(&self) -> usize {
         match self {
-            NetMsg::Ustor(m) => m.encoded_len(),
+            NetMsg::Ustor(m, _) => m.encoded_len(),
             NetMsg::Offline(m) => m.size_bytes(),
         }
     }
@@ -412,6 +452,11 @@ struct Slot {
     /// Last genuine reply delivered to this client — the material a
     /// [`FaultClause::ReplyReplay`] substitutes.
     last_reply: Option<ReplyMsg>,
+    /// The client's current link-connection epoch. Frames are stamped
+    /// with the epoch at send time; [`FaultClause::KillConn`] and the
+    /// end-of-window reconnect of [`FaultClause::DropReplies`] bump it,
+    /// killing every frame still in flight on the old connection.
+    link_epoch: u64,
 }
 
 /// Per-clause mutable state while the run executes.
@@ -586,6 +631,14 @@ impl Harness {
                 FaultClause::ReplyReplay { .. } | FaultClause::TamperReadValue { .. } => {
                     ClauseState::Fired(false)
                 }
+                FaultClause::KillConn { at, .. } => {
+                    sim.set_timer(server_node, *at, RELEASE_TAG_BASE + idx as u64);
+                    ClauseState::Stateless
+                }
+                FaultClause::DropReplies { window, .. } => {
+                    sim.set_timer(server_node, window.end, RELEASE_TAG_BASE + idx as u64);
+                    ClauseState::Stateless
+                }
                 FaultClause::Duplicate { .. } | FaultClause::CrashRestart(_) => {
                     ClauseState::Stateless
                 }
@@ -614,6 +667,7 @@ impl Harness {
                     disconnected: false,
                     in_flight: 0,
                     last_reply: None,
+                    link_epoch: 0,
                 })
                 .collect(),
             history: History::new(),
@@ -674,9 +728,31 @@ impl Harness {
     /// Routes one message to its destination, *without* fault
     /// interception (used for both normal routing after interception and
     /// for releasing buffered traffic).
+    ///
+    /// This is also where stale-epoch frames die: a frame stamped with
+    /// an older connection epoch than its client endpoint's current one
+    /// was in flight on a connection a [`FaultClause::KillConn`]-style
+    /// clause has since severed, and never arrives.
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: NetMsg, now: u64) {
-        if to == self.server_node() {
-            let NetMsg::Ustor(m) = msg else { return };
+        let server_node = self.server_node();
+        if let NetMsg::Ustor(m, epoch) = &msg {
+            let client_end = if to == server_node { from } else { to };
+            let i = client_end.0 as usize;
+            if i < self.n && *epoch < self.slots[i].link_epoch {
+                match m {
+                    UstorMsg::Submit(_) | UstorMsg::Commit(_) if to == server_node => {
+                        self.server_bound = self.server_bound.saturating_sub(1);
+                    }
+                    UstorMsg::Reply(_) if to != server_node => {
+                        self.replies_in_flight = self.replies_in_flight.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+        }
+        if to == server_node {
+            let NetMsg::Ustor(m, _) = msg else { return };
             self.server_receive(ClientId::new(from.0), m, now);
         } else {
             self.client_receive(to.0 as usize, msg, now);
@@ -728,8 +804,9 @@ impl Harness {
             if matches!(out, UstorMsg::Reply(_)) {
                 self.replies_in_flight += 1;
             }
+            let epoch = self.slots.get(to.index()).map_or(0, |s| s.link_epoch);
             self.sim
-                .send(server_node, NodeId(to.as_u32()), NetMsg::Ustor(out));
+                .send(server_node, NodeId(to.as_u32()), NetMsg::Ustor(out, epoch));
         }
         self.update_flush_timer(now);
     }
@@ -758,14 +835,14 @@ impl Harness {
     }
 
     fn client_receive(&mut self, i: usize, msg: NetMsg, now: u64) {
-        if matches!(msg, NetMsg::Ustor(UstorMsg::Reply(_))) {
+        if matches!(msg, NetMsg::Ustor(UstorMsg::Reply(_), _)) {
             self.replies_in_flight = self.replies_in_flight.saturating_sub(1);
         }
         if i >= self.n || self.slots[i].crashed {
             return;
         }
         let out = match msg {
-            NetMsg::Ustor(UstorMsg::Reply(reply)) => {
+            NetMsg::Ustor(UstorMsg::Reply(reply), _) => {
                 self.slots[i].in_flight = self.slots[i].in_flight.saturating_sub(1);
                 self.slots[i].last_reply = Some(reply.clone());
                 self.slots[i].core.handle_reply(reply, now)
@@ -786,7 +863,8 @@ impl Harness {
             if matches!(msg, UstorMsg::Submit(_) | UstorMsg::Commit(_)) {
                 self.server_bound += 1;
             }
-            self.sim.send(node, server_node, NetMsg::Ustor(msg));
+            let epoch = self.slots[i].link_epoch;
+            self.sim.send(node, server_node, NetMsg::Ustor(msg, epoch));
         }
         for (to, msg) in out.offline {
             self.sim
@@ -813,7 +891,9 @@ impl Harness {
                 }
                 SessionEvent::Stable { cut } => Notification::Stable(cut),
                 SessionEvent::Violation { reason } => Notification::Failed(reason),
-                SessionEvent::Disconnected => continue,
+                SessionEvent::Disconnected { .. }
+                | SessionEvent::Reconnecting { .. }
+                | SessionEvent::Resumed => continue,
             };
             self.slots[i].notifications.push((t, note));
         }
@@ -924,22 +1004,38 @@ impl Harness {
                     self.dirty_fired.push((now, "duplicate"));
                     if matches!(
                         msg,
-                        NetMsg::Ustor(UstorMsg::Submit(_) | UstorMsg::Commit(_))
+                        NetMsg::Ustor(UstorMsg::Submit(_) | UstorMsg::Commit(_), _)
                     ) {
                         self.server_bound += 1;
                     }
                     return vec![(from, to, msg.clone()), (from, to, msg)];
                 }
+                FaultClause::DropReplies { client, window }
+                    if window.contains(now)
+                        && to == NodeId(client.as_u32())
+                        && matches!(msg, NetMsg::Ustor(UstorMsg::Reply(_), _)) =>
+                {
+                    // The acknowledgement is eaten; its SUBMIT stays in
+                    // the client's resend window and is replayed at the
+                    // end-of-window reconnect.
+                    self.replies_in_flight = self.replies_in_flight.saturating_sub(1);
+                    return Vec::new();
+                }
                 FaultClause::ReplyReplay { client, window }
                     if window.contains(now) && to == NodeId(client.as_u32()) =>
                 {
-                    if let NetMsg::Ustor(UstorMsg::Reply(_)) = &msg {
+                    if let NetMsg::Ustor(UstorMsg::Reply(_), epoch) = &msg {
                         let already = matches!(self.clause_state[idx], ClauseState::Fired(true));
                         if !already {
                             if let Some(old) = self.slots[client.index()].last_reply.clone() {
+                                let epoch = *epoch;
                                 self.clause_state[idx] = ClauseState::Fired(true);
                                 self.dirty_fired.push((now, "reply-replay"));
-                                return vec![(from, to, NetMsg::Ustor(UstorMsg::Reply(old)))];
+                                return vec![(
+                                    from,
+                                    to,
+                                    NetMsg::Ustor(UstorMsg::Reply(old), epoch),
+                                )];
                             }
                         }
                     }
@@ -949,9 +1045,10 @@ impl Harness {
                 {
                     let already = matches!(self.clause_state[idx], ClauseState::Fired(true));
                     if !already {
-                        if let NetMsg::Ustor(UstorMsg::Reply(reply)) = &msg {
+                        if let NetMsg::Ustor(UstorMsg::Reply(reply), epoch) = &msg {
                             if let Some(read) = &reply.read {
                                 if let Some(value) = &read.mem_value {
+                                    let epoch = *epoch;
                                     let mut tampered = reply.clone();
                                     let flipped: Vec<u8> =
                                         value.as_bytes().iter().map(|b| b ^ 0xFF).collect();
@@ -963,7 +1060,7 @@ impl Harness {
                                     return vec![(
                                         from,
                                         to,
-                                        NetMsg::Ustor(UstorMsg::Reply(tampered)),
+                                        NetMsg::Ustor(UstorMsg::Reply(tampered), epoch),
                                     )];
                                 }
                             }
@@ -977,8 +1074,17 @@ impl Harness {
     }
 
     /// End-of-window release for clause `idx`: buffered/stashed traffic
-    /// is handed to its destination in original order.
+    /// is handed to its destination in original order; for connection
+    /// kills this is the kill-and-reconnect itself.
     fn release_clause(&mut self, idx: usize, now: u64) {
+        match &self.plan.clauses[idx] {
+            FaultClause::KillConn { client, .. } | FaultClause::DropReplies { client, .. } => {
+                let victim = client.index();
+                self.kill_and_replay(victim, now);
+                return;
+            }
+            _ => {}
+        }
         let pending = match &mut self.clause_state[idx] {
             ClauseState::Buffer(buf) => std::mem::take(buf),
             ClauseState::Stash(stash) => stash.take().into_iter().collect(),
@@ -986,6 +1092,42 @@ impl Harness {
         };
         for (from, to, msg) in pending {
             self.deliver(from, to, msg, now);
+        }
+    }
+
+    /// Severs and rebuilds client `i`'s link connection. Mirrors what a
+    /// real transport death does, in order:
+    ///
+    /// 1. the server force-flushes, so group-commit replies held for the
+    ///    dying connection are released into it (and lost with it —
+    ///    they are now in the duplicate-reply cache, which is what makes
+    ///    step 3 exactly-once);
+    /// 2. the victim's link epoch is bumped, so every frame still in
+    ///    flight — in either direction — dies on arrival;
+    /// 3. the client replays its resend window of unacknowledged
+    ///    SUBMITs on the new connection, exactly as
+    ///    [`crate::FaustHandle`]'s auto-reconnect does.
+    fn kill_and_replay(&mut self, i: usize, now: u64) {
+        if i >= self.n || self.slots[i].crashed || self.slots[i].core.failure().is_some() {
+            return;
+        }
+        self.clock.set(now);
+        self.engine.flush_server(true);
+        // Drained before the epoch bump: the victim's flushed replies
+        // carry the old epoch and die; other clients' merely arrive a
+        // little early.
+        self.drain_server_outputs(now);
+        self.slots[i].link_epoch += 1;
+        let epoch = self.slots[i].link_epoch;
+        let node = NodeId(i as u32);
+        let server_node = self.server_node();
+        for msg in self.slots[i].core.resend_messages() {
+            // The ops were counted in `in_flight` at first send and are
+            // still unanswered — only the wire accounting is new.
+            if matches!(msg, UstorMsg::Submit(_) | UstorMsg::Commit(_)) {
+                self.server_bound += 1;
+            }
+            self.sim.send(node, server_node, NetMsg::Ustor(msg, epoch));
         }
     }
 
@@ -1296,16 +1438,29 @@ pub fn gen_scenario(seed: u64) -> SimScenario {
 
     let mut clauses = Vec::new();
     match rng.gen_index(4) {
-        // Honest or benign-faults run.
+        // Honest or benign-faults run: partitions that delay, kills
+        // that lose frames (recovered by the client's resend window),
+        // and reply drops that force the server's duplicate cache to
+        // answer the whole replay. All must stay invisible.
         0 => {
             for _ in 0..rng.gen_index(3) {
                 if free.is_empty() {
                     break;
                 }
                 let client = pick_victim(&mut rng, &mut free);
-                clauses.push(FaultClause::Outage {
-                    client,
-                    window: window(&mut rng),
+                clauses.push(match rng.gen_index(3) {
+                    0 => FaultClause::Outage {
+                        client,
+                        window: window(&mut rng),
+                    },
+                    1 => FaultClause::KillConn {
+                        client,
+                        at: rng.gen_range_inclusive(50, deadline / 2),
+                    },
+                    _ => FaultClause::DropReplies {
+                        client,
+                        window: window(&mut rng),
+                    },
                 });
             }
             if matches!(
@@ -1526,6 +1681,81 @@ mod tests {
         let report = run_and_check(&scenario).expect("outage is benign");
         assert!(report.failures.is_empty());
         assert_eq!(report.completed_ops(), scenario.user_ops());
+    }
+
+    #[test]
+    fn kill_conn_is_invisible_thanks_to_the_resend_window() {
+        for seed in [12, 13, 14] {
+            let mut scenario = honest_scenario(seed, ServerSpec::Volatile);
+            // Kill while traffic is in full swing: frames die in both
+            // directions and the resend window must recover every op.
+            scenario.plan.clauses.push(FaultClause::KillConn {
+                client: c(0),
+                at: 120,
+            });
+            scenario.plan.clauses.push(FaultClause::KillConn {
+                client: c(1),
+                at: 300,
+            });
+            let report = run_and_check(&scenario).expect("connection kills are benign");
+            assert!(report.failures.is_empty());
+            assert_eq!(report.completed_ops(), scenario.user_ops());
+        }
+    }
+
+    #[test]
+    fn kill_conn_under_group_commit_recovers_held_replies_from_the_duplicate_cache() {
+        // The nasty interleaving: a reply held back for group commit is
+        // force-flushed into the dying connection and lost; the replay
+        // must be answered from the duplicate cache, exactly once.
+        let mut scenario = honest_scenario(
+            15,
+            ServerSpec::Persistent {
+                durability: SimDurability::Group {
+                    max_records: 64,
+                    max_wait_ticks: 20,
+                },
+                snapshot_every: 0,
+            },
+        );
+        scenario.plan.clauses.push(FaultClause::KillConn {
+            client: c(0),
+            at: 140,
+        });
+        let report = run_and_check(&scenario).expect("kill under group commit is benign");
+        assert!(report.failures.is_empty());
+        assert_eq!(report.completed_ops(), scenario.user_ops());
+    }
+
+    #[test]
+    fn dropped_replies_are_recovered_by_the_end_of_window_resend() {
+        for seed in [16, 17] {
+            let mut scenario = honest_scenario(seed, ServerSpec::Volatile);
+            // A long ack-blackout: SUBMITs keep advancing the server
+            // while every reply is eaten, so the reconnect's replay is
+            // answered entirely from the duplicate cache.
+            scenario.plan.clauses.push(FaultClause::DropReplies {
+                client: c(0),
+                window: TimeWindow::new(100, 1_200),
+            });
+            let report = run_and_check(&scenario).expect("dropped replies are recovered");
+            assert!(report.failures.is_empty());
+            assert_eq!(report.completed_ops(), scenario.user_ops());
+        }
+    }
+
+    #[test]
+    fn kill_conn_scenarios_rerun_bit_identically() {
+        let mut scenario = honest_scenario(18, ServerSpec::Volatile);
+        scenario.plan.clauses.push(FaultClause::KillConn {
+            client: c(2),
+            at: 200,
+        });
+        scenario.plan.clauses.push(FaultClause::DropReplies {
+            client: c(0),
+            window: TimeWindow::new(150, 700),
+        });
+        check_determinism(&scenario).expect("bit-identical rerun");
     }
 
     #[test]

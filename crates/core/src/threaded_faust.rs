@@ -302,7 +302,9 @@ pub fn run_faust_session(
                         Event::Violation { reason } => Notification::Failed(reason),
                         // The engine outlives the phase; a disconnect can
                         // only be the phase ending.
-                        Event::Disconnected => return None,
+                        Event::Disconnected { .. }
+                        | Event::Reconnecting { .. }
+                        | Event::Resumed => return None,
                     };
                     Some((t, note))
                 })

@@ -65,7 +65,9 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chaos;
 pub mod conn;
+pub mod dial;
 pub mod queue;
 #[cfg(unix)]
 pub mod reactor;
@@ -73,12 +75,14 @@ pub mod router;
 pub mod tcp;
 
 pub use channel::ChannelServerTransport;
+pub use chaos::{KillSwitch, KillableTransport};
 pub use conn::{ClientConn, ClientTransport, ConnSender, TransportClosed};
+pub use dial::{ChannelDialer, ClientDialer, TcpDialer};
 pub use queue::QueueTransport;
 #[cfg(unix)]
 pub use reactor::{DisconnectReason, ReactorConfig, ReactorStats, ReactorTransport};
 pub use router::{shard_of, ShardRouter};
-pub use tcp::{TcpServerTransport, MAX_CLIENTS};
+pub use tcp::{TcpServerTransport, TcpSever, MAX_CLIENTS};
 
 use faust_types::{ClientId, UstorMsg};
 use std::time::Instant;

@@ -56,8 +56,12 @@ enum TcpEvent {
 /// clients to connect over the transport's lifetime and reports
 /// [`Incoming::Closed`] once all of them have connected and subsequently
 /// disconnected. One connection per client: a second HELLO for an
-/// already-seen id is rejected (session resumption is a transport
-/// follow-on — see ROADMAP).
+/// already-seen id is rejected. Session resumption is deliberately a
+/// *session*-layer feature, not a transport one — a reconnecting client
+/// resumes against a fresh server incarnation (the client replays its
+/// resend window; the engine answers duplicates from its reply cache —
+/// see docs/client-api.md), so within one transport incarnation an id
+/// reuse is always an impostor or a bug and is refused.
 pub struct TcpServerTransport {
     events: Receiver<TcpEvent>,
     writers: Arc<Vec<WriterSlot>>,
@@ -105,6 +109,41 @@ impl TcpServerTransport {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// A handle that can abruptly sever every established connection
+    /// from another thread — see [`TcpSever`].
+    pub fn sever_handle(&self) -> TcpSever {
+        TcpSever {
+            writers: Arc::clone(&self.writers),
+        }
+    }
+}
+
+/// Severs a [`TcpServerTransport`]'s connections from outside the serve
+/// loop: every established socket is `shutdown(Both)` and its writer
+/// slot cleared, so clients observe EOF immediately and the per-
+/// connection reader threads unblock and exit. Merely *dropping* the
+/// transport does neither — the reader threads hold their own clones of
+/// each stream, which keep the file descriptors open.
+///
+/// This is the socket-level half of an abrupt server kill (chaos
+/// testing); pair it with [`crate::chaos::KillableTransport`], which
+/// makes the serve loop itself stand down.
+pub struct TcpSever {
+    writers: Arc<Vec<WriterSlot>>,
+}
+
+impl TcpSever {
+    /// Shuts down every established connection, both directions.
+    /// Idempotent; connections accepted after the call are unaffected
+    /// (there are none in practice — a severed incarnation is dead).
+    pub fn sever_all(&self) {
+        for slot in self.writers.iter() {
+            if let Some(stream) = slot.lock().expect("writer slot poisoned").take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
     }
 }
 
@@ -295,7 +334,27 @@ impl ServerTransport for TcpServerTransport {
 ///
 /// Propagates socket errors from connecting or the handshake write.
 pub fn connect(addr: SocketAddr, id: ClientId) -> std::io::Result<ClientConn> {
-    let mut stream = TcpStream::connect(addr)?;
+    finish_connect(TcpStream::connect(addr)?, id)
+}
+
+/// Like [`connect`], but gives up on the TCP handshake after `timeout` —
+/// the per-attempt bound an auto-reconnecting client's backoff schedule
+/// needs (a plain `connect` against a black-holed address can block for
+/// minutes).
+///
+/// # Errors
+///
+/// Propagates socket errors from connecting or the handshake write,
+/// including [`std::io::ErrorKind::TimedOut`].
+pub fn connect_timeout(
+    addr: SocketAddr,
+    id: ClientId,
+    timeout: Duration,
+) -> std::io::Result<ClientConn> {
+    finish_connect(TcpStream::connect_timeout(&addr, timeout)?, id)
+}
+
+fn finish_connect(mut stream: TcpStream, id: ClientId) -> std::io::Result<ClientConn> {
     stream.set_nodelay(true)?;
     write_frame(&mut stream, &id)?;
     let read_half = stream.try_clone()?;

@@ -72,6 +72,17 @@ impl LogRecord {
         }
     }
 
+    /// The timestamp of the logged SUBMIT, if this record holds one —
+    /// what recovery tags the rebuilt reply with so a restarted engine
+    /// can answer a resent SUBMIT from its duplicate cache.
+    pub fn submit_timestamp(&self) -> Option<Timestamp> {
+        match self {
+            LogRecord::Submit { msg, .. } => Some(msg.timestamp),
+            LogRecord::Commit { .. } => None,
+            LogRecord::Routed { inner, .. } => inner.submit_timestamp(),
+        }
+    }
+
     /// The global sequence number, for [`LogRecord::Routed`] records.
     pub fn global_seq(&self) -> Option<u64> {
         match self {

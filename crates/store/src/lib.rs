@@ -54,6 +54,7 @@
 pub mod codec;
 pub mod log;
 pub mod server;
+pub mod session;
 pub mod sharded;
 pub mod snapshot;
 pub mod testutil;
@@ -104,6 +105,10 @@ pub enum StoreError {
     SnapshotChecksum,
     /// The snapshot payload failed to decode.
     SnapshotCorrupt(WireError),
+    /// The session-file payload hash does not match its header digest.
+    SessionChecksum,
+    /// The session-file payload failed to decode.
+    SessionCorrupt(WireError),
     /// The log ended in the middle of a record — a torn tail. Record
     /// `seq` was being read when the bytes ran out.
     TornRecord {
@@ -218,6 +223,8 @@ impl fmt::Display for StoreError {
             }
             StoreError::SnapshotChecksum => f.write_str("snapshot: payload checksum mismatch"),
             StoreError::SnapshotCorrupt(e) => write!(f, "snapshot: undecodable payload: {e}"),
+            StoreError::SessionChecksum => f.write_str("session: payload checksum mismatch"),
+            StoreError::SessionCorrupt(e) => write!(f, "session: undecodable payload: {e}"),
             StoreError::TornRecord { seq, missing } => {
                 write!(f, "log: record {seq} torn ({missing} bytes missing)")
             }

@@ -17,12 +17,69 @@ use crate::codec::LogRecord;
 use crate::log::Wal;
 use crate::snapshot::{read_snapshot, write_snapshot, Snapshot};
 use crate::StoreError;
-use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
-use faust_ustor::{Server, ServerBackend, UstorServer};
+use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg, Timestamp};
+use faust_ustor::{Server, ServerBackend, SessionResume, UstorServer};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many rebuilt replies recovery retains per client for the
+/// engine's duplicate-replay cache. Must cover the deepest SUBMIT
+/// pipeline a client can have in flight; matches the engine's own
+/// per-session cache depth.
+pub(crate) const RESUME_REPLIES_CAP: usize = 32;
+
+/// Replays one log record against `server` while capturing the replies
+/// it regenerates into per-client `rings` (bounded, oldest evicted),
+/// each tagged with the SUBMIT timestamp it answers. The server is
+/// deterministic, so the rebuilt reply is byte-identical to the one the
+/// pre-crash server sent — exactly what a restarted engine must re-issue
+/// when the client resends that SUBMIT.
+pub(crate) fn replay_capturing(
+    record: LogRecord,
+    server: &mut dyn Server,
+    rings: &mut [VecDeque<(Timestamp, ReplyMsg)>],
+) {
+    let from = record.from();
+    let ts = record.submit_timestamp();
+    for (to, reply) in record.apply(server) {
+        let Some(ts) = ts else { break };
+        if to == from {
+            let ring = &mut rings[to.index()];
+            if ring.len() == RESUME_REPLIES_CAP {
+                ring.pop_front();
+            }
+            ring.push_back((ts, reply));
+        }
+    }
+}
+
+/// Assembles the per-client [`SessionResume`] records a recovered server
+/// hands the engine: the last submitted timestamp and last-written-value
+/// hash come from `MEM` (covering even snapshot-absorbed history), the
+/// replayable replies from the post-snapshot log window in `rings`.
+pub(crate) fn session_resume(
+    server: &UstorServer,
+    rings: Vec<VecDeque<(Timestamp, ReplyMsg)>>,
+) -> Vec<SessionResume> {
+    rings
+        .into_iter()
+        .enumerate()
+        .map(|(i, ring)| {
+            let entry = server.mem(ClientId::new(i as u32));
+            SessionResume {
+                last_timestamp: entry.timestamp,
+                last_value_hash: entry
+                    .value
+                    .as_ref()
+                    .map(|v| faust_crypto::sha256(v.as_bytes())),
+                replies: ring.into_iter().collect(),
+            }
+        })
+        .collect()
+}
 
 /// A shared virtual clock for discrete-event simulations.
 ///
@@ -172,6 +229,10 @@ pub struct PersistentServer {
     /// Virtual clock, when the server is simulation-driven; `None` on
     /// the production wall-clock path.
     sim_clock: Option<SimClock>,
+    /// Per-client session state rebuilt by [`PersistentServer::recover`],
+    /// handed to the engine once via [`Server::resume_sessions`]. Empty
+    /// for a fresh store.
+    resume: Vec<SessionResume>,
 }
 
 impl PersistentServer {
@@ -200,6 +261,7 @@ impl PersistentServer {
             unsynced: 0,
             batch_started: None,
             sim_clock: None,
+            resume: Vec::new(),
         })
     }
 
@@ -274,14 +336,19 @@ impl PersistentServer {
             }
             None => (UstorServer::new(n), 0),
         };
+        let mut rings = vec![VecDeque::new(); n];
         for scanned in contents.records {
             // Records below `applied_seq` were verified by the scan but
             // are already reflected in the snapshot.
             if scanned.seq >= applied_seq {
-                scanned.record.replay(&mut inner);
+                // Replay rebuilds state *and* recaptures the replies of
+                // the post-snapshot window — the duplicate cache a
+                // resumed engine answers resent SUBMITs from.
+                replay_capturing(scanned.record, &mut inner, &mut rings);
                 applied_seq = scanned.seq + 1;
             }
         }
+        let resume = session_resume(&inner, rings);
         Ok(PersistentServer {
             dir: dir.to_path_buf(),
             config,
@@ -292,6 +359,7 @@ impl PersistentServer {
             unsynced: 0,
             batch_started: None,
             sim_clock: None,
+            resume,
         })
     }
 
@@ -486,6 +554,10 @@ impl PersistentServer {
 impl Server for PersistentServer {
     fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
         self.log_then_apply(LogRecord::Submit { from: client, msg })
+    }
+
+    fn resume_sessions(&mut self) -> Vec<SessionResume> {
+        std::mem::take(&mut self.resume)
     }
 
     fn on_commit(&mut self, client: ClientId, msg: CommitMsg) -> Vec<(ClientId, ReplyMsg)> {
@@ -847,6 +919,43 @@ mod tests {
         // ...and the next non-forced flush releases without any policy
         // wait (the records are already durable).
         assert_eq!(server.flush(false).len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_duplicate_reply_cache() {
+        use faust_types::Wire;
+        let dir = scratch_dir("srv-resume");
+        let mut server = PersistentServer::open(&dir, 2, no_sync()).unwrap();
+        let mut cs = clients(2);
+        let submit = cs[0].begin_write(Value::from("durable")).unwrap();
+        run_op(&mut server, &mut cs[0], submit);
+        // A read whose ack is lost with the connection: logged and
+        // applied, but the client never saw the reply.
+        let read = cs[0].begin_read(ClientId::new(0)).unwrap();
+        let (_, original) = server.on_submit(ClientId::new(0), read).pop().unwrap();
+        drop(server); // crash
+
+        let mut server = PersistentServer::recover(&dir, 2, no_sync()).unwrap();
+        let resume = server.resume_sessions();
+        assert_eq!(resume.len(), 2);
+        assert_eq!(resume[0].last_timestamp, 2, "write then read");
+        assert_eq!(
+            resume[0].last_value_hash,
+            Some(faust_crypto::sha256(Value::from("durable").as_bytes()))
+        );
+        // The rebuilt ts=2 reply is byte-identical to the lost one — a
+        // resent SUBMIT gets the exact ack the pre-crash server sent.
+        let cached = resume[0]
+            .replies
+            .iter()
+            .find(|(ts, _)| *ts == 2)
+            .map(|(_, r)| r.encode());
+        assert_eq!(cached, Some(original.encode()));
+        assert_eq!(resume[1].last_timestamp, 0);
+        assert!(resume[1].replies.is_empty());
+        // The resume state is surrendered once, to one engine.
+        assert!(server.resume_sessions().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

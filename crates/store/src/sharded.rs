@@ -50,11 +50,12 @@
 
 use crate::codec::LogRecord;
 use crate::log::{truncate_tail_records, Wal, WAL_FILE};
-use crate::server::{Durability, StoreConfig};
+use crate::server::{replay_capturing, session_resume, Durability, StoreConfig};
 use crate::snapshot::{read_snapshot, write_snapshot, Snapshot};
 use crate::StoreError;
 use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
-use faust_ustor::{Server, ServerBackend, ShardMember, ShardedServer, UstorServer};
+use faust_ustor::{Server, ServerBackend, SessionResume, ShardMember, ShardedServer, UstorServer};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -392,6 +393,9 @@ struct RecoveredShards {
     state: UstorServer,
     global_next: u64,
     shards: Vec<ScannedShard>,
+    /// Per-client session state rebuilt from the merged replay, for the
+    /// engine's duplicate cache (see [`Server::resume_sessions`]).
+    resume: Vec<SessionResume>,
 }
 
 /// Merges the shards' durable remains back into one state — the global
@@ -428,6 +432,7 @@ fn recover_shards(dir: &Path, shards: usize, n: usize) -> Result<RecoveredShards
         .collect();
     merged.sort_by_key(|(global, _)| *global);
     let mut expected = base;
+    let mut rings = vec![VecDeque::new(); n];
     for (global, record) in merged {
         if *global < expected {
             return Err(StoreError::DuplicateRecord {
@@ -441,13 +446,17 @@ fn recover_shards(dir: &Path, shards: usize, n: usize) -> Result<RecoveredShards
                 found: *global,
             });
         }
-        record.clone().replay(&mut state);
+        // Replay in global order, recapturing the replies of the
+        // post-snapshot window for the engine's duplicate cache.
+        replay_capturing(record.clone(), &mut state, &mut rings);
         expected += 1;
     }
+    let resume = session_resume(&state, rings);
     Ok(RecoveredShards {
         state,
         global_next: expected,
         shards: scanned,
+        resume,
     })
 }
 
@@ -557,7 +566,10 @@ impl ShardedBackend {
                 )) as Box<dyn ShardMember>
             })
             .collect();
-        Ok(self.deploy(n, members).resumed_at(recovered.global_next))
+        Ok(self
+            .deploy(n, members)
+            .resumed_at(recovered.global_next)
+            .with_resume(recovered.resume))
     }
 
     fn initialize(&self, n: usize) -> Result<ShardedServer, StoreError> {
@@ -781,6 +793,37 @@ mod tests {
         cs[0]
             .handle_reply(released.into_iter().next().unwrap().1)
             .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_recovery_answers_a_resent_submit_byte_identically() {
+        use faust_types::{UstorMsg, Wire};
+        let dir = scratch_dir("sharded-resume");
+        let n = 2;
+        let backend = backend(&dir, 2);
+        let mut server = backend.open(n).unwrap();
+        let mut cs = clients(n, b"sharded-resume");
+        let submit = cs[0].begin_write(Value::from("v")).unwrap();
+        run_op(&mut server, &mut cs[0], submit);
+        // The ack of this read is lost with the connection.
+        let read = cs[0].begin_read(ClientId::new(1)).unwrap();
+        let (_, original) = server
+            .on_submit(ClientId::new(0), read.clone())
+            .pop()
+            .unwrap();
+        drop(server); // crash
+
+        // A restarted deployment, behind a full engine, recognises the
+        // resent SUBMIT as a duplicate and re-issues the same bytes.
+        let recovered = backend.build(n).unwrap();
+        let mut engine = faust_ustor::ServerEngine::new(n, recovered);
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(read));
+        engine.process_all();
+        let (to, replayed) = engine.poll_output().expect("replayed reply");
+        assert_eq!(to, ClientId::new(0));
+        assert_eq!(replayed.encode(), UstorMsg::Reply(original).encode());
+        assert_eq!(engine.stats().duplicates, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

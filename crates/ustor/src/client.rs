@@ -59,7 +59,7 @@ use faust_crypto::Digest;
 use faust_types::op::{data_signing_bytes, proof_signing_bytes, submit_signing_bytes};
 use faust_types::{
     ClientId, CommitMsg, InvocationTuple, OpKind, ReplyMsg, SignedVersion, SubmitMsg, Timestamp,
-    Value, Version,
+    Value, Version, Wire, WireError,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -92,6 +92,105 @@ struct PendingOp {
     timestamp: Timestamp,
     /// Value being written (writes only), echoed into the completion.
     value: Option<Value>,
+}
+
+/// Serializable snapshot of one in-flight operation (see
+/// [`UstorClientState`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOpState {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The register accessed.
+    pub target: ClientId,
+    /// The operation's timestamp `t`.
+    pub timestamp: Timestamp,
+    /// Value being written (writes only).
+    pub value: Option<Value>,
+}
+
+impl Wire for PendingOpState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.target.encode_into(out);
+        self.timestamp.encode_into(out);
+        self.value.encode_into(out);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PendingOpState {
+            kind: OpKind::decode_from(buf)?,
+            target: ClientId::decode_from(buf)?,
+            timestamp: Timestamp::decode_from(buf)?,
+            value: Option::<Value>::decode_from(buf)?,
+        })
+    }
+}
+
+/// The resumable protocol state of a [`UstorClient`], detached from its
+/// key material: everything Algorithm 1 needs to continue a session
+/// across a process restart. Produced by [`UstorClient::export_state`],
+/// consumed by [`UstorClient::from_state`]. Keys never appear here — the
+/// caller re-supplies the keypair and registry on restore.
+///
+/// The signature-verification memo tables are deliberately *not* part of
+/// the state (they are pure caches and refill in one reply), and neither
+/// is a halted fault — a halted client has no session worth resuming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UstorClientState {
+    /// The client's identity.
+    pub id: ClientId,
+    /// The deployment size `n`.
+    pub n: u32,
+    /// `x̄_i`: hash of the most recently written value.
+    pub xbar: Option<Digest>,
+    /// The client's version `(V_i, M_i)`.
+    pub version: Version,
+    /// Operations begun but not yet answered, oldest first.
+    pub inflight: Vec<PendingOpState>,
+    /// The pipeline depth.
+    pub max_pipeline: u32,
+    /// `true` = [`CommitMode::Piggyback`].
+    pub piggyback: bool,
+    /// In piggyback mode: the version whose COMMIT is still unsent.
+    pub held_commit_version: Option<Version>,
+}
+
+impl Wire for UstorClientState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.n.encode_into(out);
+        self.xbar.encode_into(out);
+        self.version.encode_into(out);
+        self.inflight.encode_into(out);
+        self.max_pipeline.encode_into(out);
+        u8::from(self.piggyback).encode_into(out);
+        self.held_commit_version.encode_into(out);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let id = ClientId::decode_from(buf)?;
+        let n = u32::decode_from(buf)?;
+        let xbar = Option::<Digest>::decode_from(buf)?;
+        let version = Version::decode_from(buf)?;
+        let inflight = Vec::<PendingOpState>::decode_from(buf)?;
+        let max_pipeline = u32::decode_from(buf)?;
+        let piggyback = match u8::decode_from(buf)? {
+            0 => false,
+            1 => true,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        let held_commit_version = Option::<Version>::decode_from(buf)?;
+        Ok(UstorClientState {
+            id,
+            n,
+            xbar,
+            version,
+            inflight,
+            max_pipeline,
+            piggyback,
+            held_commit_version,
+        })
+    }
 }
 
 /// Result of a completed operation, in the "extended" form of the paper
@@ -244,6 +343,84 @@ impl UstorClient {
             halted: None,
             commit_mode: CommitMode::Immediate,
             held_commit_version: None,
+            verified_submits: HashMap::new(),
+            verified_proofs: HashMap::new(),
+            refuted_proofs: HashMap::new(),
+            chain_memo: HashMap::new(),
+        }
+    }
+
+    /// Snapshots the resumable protocol state (keys excluded; see
+    /// [`UstorClientState`]). Callers persist this across restarts and
+    /// rebuild with [`UstorClient::from_state`].
+    pub fn export_state(&self) -> UstorClientState {
+        UstorClientState {
+            id: self.id,
+            n: self.n as u32,
+            xbar: self.xbar,
+            version: self.version.clone(),
+            inflight: self
+                .inflight
+                .iter()
+                .map(|op| PendingOpState {
+                    kind: op.kind,
+                    target: op.target,
+                    timestamp: op.timestamp,
+                    value: op.value.clone(),
+                })
+                .collect(),
+            max_pipeline: self.max_pipeline as u32,
+            piggyback: self.commit_mode == CommitMode::Piggyback,
+            held_commit_version: self.held_commit_version.clone(),
+        }
+    }
+
+    /// Rebuilds a client from a state snapshot plus its (externally kept)
+    /// key material. The memo caches start empty and a restored client is
+    /// never halted — staleness of the snapshot itself is the caller's
+    /// concern (the FAUST layer detects it against the server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keypair does not belong to the snapshot's `id` or
+    /// `id ≥ n` (same contract as [`UstorClient::new`]).
+    pub fn from_state(
+        keypair: Keypair,
+        registry: VerifierRegistry,
+        state: UstorClientState,
+    ) -> Self {
+        assert_eq!(
+            keypair.signer_index(),
+            state.id.as_u32(),
+            "keypair must match id"
+        );
+        let n = state.n as usize;
+        assert!(state.id.index() < n, "client id out of range");
+        UstorClient {
+            id: state.id,
+            n,
+            keypair,
+            registry,
+            xbar: state.xbar,
+            version: state.version,
+            inflight: state
+                .inflight
+                .into_iter()
+                .map(|op| PendingOp {
+                    kind: op.kind,
+                    target: op.target,
+                    timestamp: op.timestamp,
+                    value: op.value,
+                })
+                .collect(),
+            max_pipeline: (state.max_pipeline as usize).max(1),
+            halted: None,
+            commit_mode: if state.piggyback {
+                CommitMode::Piggyback
+            } else {
+                CommitMode::Immediate
+            },
+            held_commit_version: state.held_commit_version,
             verified_submits: HashMap::new(),
             verified_proofs: HashMap::new(),
             refuted_proofs: HashMap::new(),

@@ -56,9 +56,14 @@ use faust_crypto::sig::{SigContext, Verifier, VerifyItem};
 use faust_crypto::Digest;
 use faust_net::{Incoming, ServerTransport};
 use faust_types::op::{data_signing_bytes, submit_signing_bytes};
-use faust_types::{ClientId, OpKind, SubmitMsg, Timestamp, UstorMsg};
+use faust_types::{ClientId, OpKind, ReplyMsg, SubmitMsg, Timestamp, UstorMsg};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Per-session cap on cached `(timestamp, reply)` pairs kept for
+/// duplicate-SUBMIT replay. Must exceed any client's pipeline depth so a
+/// whole resend window after a reconnect hits the cache exactly.
+const REPLY_CACHE_CAP: usize = 32;
 
 /// A shared, thread-safe signature verifier for ingress checks.
 pub type SharedVerifier = Arc<dyn Verifier + Send + Sync>;
@@ -102,6 +107,20 @@ pub struct Session {
     /// Hash of the client's most recently written value (`x̄` as the
     /// server can reconstruct it); `None` before the first write.
     pub last_value_hash: Option<Digest>,
+    /// Resent SUBMITs recognised as duplicates (answered from the reply
+    /// cache, never re-run through the protocol server).
+    pub duplicates: u64,
+    /// Timestamps of accepted SUBMITs whose replies have not yet been
+    /// released, oldest first. A correct server answers SUBMITs FIFO per
+    /// client, which is what lets the engine tag each released reply
+    /// with the timestamp it answered.
+    awaiting_reply: VecDeque<Timestamp>,
+    /// Released replies, oldest first, tagged with the SUBMIT timestamp
+    /// each answered — the duplicate-replay cache (bounded by
+    /// [`REPLY_CACHE_CAP`]). A cached reply was already released once,
+    /// so re-issuing it bypasses group-commit holds safely: its record
+    /// is durable.
+    replies: VecDeque<(Timestamp, ReplyMsg)>,
 }
 
 /// Aggregate engine counters.
@@ -111,6 +130,9 @@ pub struct EngineStats {
     pub submits: u64,
     /// COMMITs forwarded to the protocol server.
     pub commits: u64,
+    /// Resent SUBMITs answered from the reply cache instead of being
+    /// re-run (exactly-once ingress).
+    pub duplicates: u64,
     /// Messages dropped by ingress verification.
     pub rejected: u64,
     /// Client messages of a kind only the server sends (ignored).
@@ -139,6 +161,7 @@ impl EngineStats {
     pub fn merge(&mut self, other: &EngineStats) {
         self.submits += other.submits;
         self.commits += other.commits;
+        self.duplicates += other.duplicates;
         self.rejected += other.rejected;
         self.nonsense += other.nonsense;
         self.batches += other.batches;
@@ -186,12 +209,27 @@ impl std::fmt::Debug for ServerEngine {
 
 impl ServerEngine {
     /// Creates an engine for `n` clients around `server`, with ingress
-    /// verification off.
-    pub fn new(n: usize, server: Box<dyn Server + Send>) -> Self {
+    /// verification off. Sessions are seeded from
+    /// [`Server::resume_sessions`], so a recovered persistent server
+    /// still recognises resent SUBMITs as duplicates and verifies reads
+    /// against the right value hash.
+    pub fn new(n: usize, mut server: Box<dyn Server + Send>) -> Self {
+        let mut sessions = vec![Session::default(); n];
+        for (session, resume) in sessions.iter_mut().zip(server.resume_sessions()) {
+            session.last_timestamp = resume.last_timestamp;
+            session.last_value_hash = resume.last_value_hash;
+            session.replies = resume
+                .replies
+                .into_iter()
+                .rev()
+                .take(REPLY_CACHE_CAP)
+                .rev()
+                .collect();
+        }
         ServerEngine {
             n,
             server,
-            sessions: vec![Session::default(); n],
+            sessions,
             inbox: VecDeque::new(),
             outbox: VecDeque::new(),
             staged: VecDeque::new(),
@@ -308,8 +346,25 @@ impl ServerEngine {
     /// stranded).
     pub fn flush_server(&mut self, force: bool) {
         for (to, reply) in self.server.flush(force) {
-            self.outbox.push_back((to, UstorMsg::Reply(reply)));
+            self.release_reply(to, reply);
         }
+    }
+
+    /// The one funnel every released reply passes through: tags it with
+    /// the SUBMIT timestamp it answers (per-client FIFO), caches it for
+    /// duplicate replay, and queues it for the transport. Replies with
+    /// no awaiting SUBMIT (a Byzantine server broadcasting) are passed
+    /// through uncached.
+    fn release_reply(&mut self, to: ClientId, reply: ReplyMsg) {
+        if let Some(session) = self.sessions.get_mut(to.index()) {
+            if let Some(ts) = session.awaiting_reply.pop_front() {
+                if session.replies.len() >= REPLY_CACHE_CAP {
+                    session.replies.pop_front();
+                }
+                session.replies.push_back((ts, reply.clone()));
+            }
+        }
+        self.outbox.push_back((to, UstorMsg::Reply(reply)));
     }
 
     /// When the server must next be flushed even without new traffic
@@ -414,9 +469,17 @@ impl ServerEngine {
             .collect();
 
         // Phase 2: reads, against the shadow hash advanced only by
-        // accepted writes.
+        // accepted *fresh* writes. Resent duplicates (timestamp at or
+        // below the session's shadow timestamp) are skipped entirely:
+        // they will be answered from the reply cache without touching
+        // server state, their DATA signatures cover a value hash the
+        // session has since moved past, and letting them advance the
+        // shadow would poison the checks of fresh traffic queued behind
+        // them. Their SUBMIT signatures were still phase-1 checked.
         let mut shadow_hash: Vec<Option<Digest>> =
             self.sessions.iter().map(|s| s.last_value_hash).collect();
+        let mut shadow_ts: Vec<Timestamp> =
+            self.sessions.iter().map(|s| s.last_timestamp).collect();
         let mut read_items: Vec<VerifyItem> = Vec::new();
         let mut read_slots: Vec<usize> = Vec::new();
         for (idx, (from, msg)) in self.inbox.iter().enumerate() {
@@ -426,15 +489,20 @@ impl ServerEngine {
             if !verdicts[idx] {
                 continue;
             }
+            let i = from.index();
+            if shadow_ts[i] > 0 && submit.timestamp <= shadow_ts[i] {
+                continue; // duplicate: cache-answered, state untouched
+            }
+            shadow_ts[i] = submit.timestamp;
             match submit.tuple.kind {
                 OpKind::Write => {
-                    shadow_hash[from.index()] = submit.value.as_ref().map(|v| sha256(v.as_bytes()));
+                    shadow_hash[i] = submit.value.as_ref().map(|v| sha256(v.as_bytes()));
                 }
                 OpKind::Read => {
                     read_items.push(VerifyItem {
                         signer: from.as_u32(),
                         context: SigContext::Data,
-                        message: data_signing_bytes(submit.timestamp, shadow_hash[from.index()]),
+                        message: data_signing_bytes(submit.timestamp, shadow_hash[i]),
                         sig: submit.data_sig,
                     });
                     read_slots.push(idx);
@@ -465,9 +533,19 @@ impl ServerEngine {
         if !submit_ok {
             return false;
         }
+        let session = &self.sessions[from.index()];
+        let duplicate = session.last_timestamp > 0 && submit.timestamp <= session.last_timestamp;
         let xbar = match submit.tuple.kind {
+            // A write's DATA signature covers its *own* value hash, so it
+            // stays checkable even on a resend — which is what catches a
+            // replayed SUBMIT whose value was swapped.
             OpKind::Write => submit.value.as_ref().map(|v| sha256(v.as_bytes())),
-            OpKind::Read => self.sessions[from.index()].last_value_hash,
+            // A resent read's DATA signature covers the value hash as of
+            // its original submission, which the session has since moved
+            // past; it is answered from the reply cache without touching
+            // state, so the SUBMIT signature alone gates it.
+            OpKind::Read if duplicate => return true,
+            OpKind::Read => session.last_value_hash,
         };
         verifier.verify(
             from.as_u32(),
@@ -494,9 +572,40 @@ impl ServerEngine {
                         return;
                     }
                 }
+                // Idempotent ingress: a SUBMIT whose timestamp the
+                // session has already accepted is a resend (the client's
+                // reply was lost with its connection). Re-running it
+                // through the protocol server would double-apply the
+                // piggybacked COMMIT and append a second tuple to `L`;
+                // instead, re-issue the original reply byte-identically
+                // from the cache. A cached reply was already released
+                // once — under group commit that means its record is
+                // durable — so immediate release is safe. With no exact
+                // cache hit (a client resuming from state far older than
+                // the cache) the *newest* cached reply is sent as
+                // frontier evidence: its content cannot validate against
+                // the stale op, which surfaces as `StaleClientState` at
+                // the client instead of a silent hang.
+                if let Some(session) = self.sessions.get_mut(from.index()) {
+                    if session.last_timestamp > 0 && submit.timestamp <= session.last_timestamp {
+                        session.duplicates += 1;
+                        self.stats.duplicates += 1;
+                        let cached = session
+                            .replies
+                            .iter()
+                            .find(|(ts, _)| *ts == submit.timestamp)
+                            .or_else(|| session.replies.back())
+                            .map(|(_, reply)| reply.clone());
+                        if let Some(reply) = cached {
+                            self.outbox.push_back((from, UstorMsg::Reply(reply)));
+                        }
+                        return;
+                    }
+                }
                 if let Some(session) = self.sessions.get_mut(from.index()) {
                     session.submits += 1;
                     session.last_timestamp = submit.timestamp;
+                    session.awaiting_reply.push_back(submit.timestamp);
                     if submit.tuple.kind == OpKind::Write {
                         session.last_value_hash =
                             submit.value.as_ref().map(|v| sha256(v.as_bytes()));
@@ -507,7 +616,7 @@ impl ServerEngine {
                 }
                 self.stats.submits += 1;
                 for (rcpt, reply) in self.server.on_submit(from, submit) {
-                    self.outbox.push_back((rcpt, UstorMsg::Reply(reply)));
+                    self.release_reply(rcpt, reply);
                 }
             }
             UstorMsg::Commit(commit) => {
@@ -516,7 +625,7 @@ impl ServerEngine {
                 }
                 self.stats.commits += 1;
                 for (rcpt, reply) in self.server.on_commit(from, commit) {
-                    self.outbox.push_back((rcpt, UstorMsg::Reply(reply)));
+                    self.release_reply(rcpt, reply);
                 }
             }
             // Clients never legitimately send REPLY; ignore quietly.
@@ -899,6 +1008,7 @@ mod tests {
         let a = EngineStats {
             submits: 10,
             commits: 8,
+            duplicates: 2,
             rejected: 1,
             nonsense: 0,
             batches: 4,
@@ -910,6 +1020,7 @@ mod tests {
         let b = EngineStats {
             submits: 7,
             commits: 5,
+            duplicates: 1,
             rejected: 0,
             nonsense: 2,
             batches: 3,
@@ -922,6 +1033,7 @@ mod tests {
         merged.merge(&b);
         assert_eq!(merged.submits, 17);
         assert_eq!(merged.commits, 13);
+        assert_eq!(merged.duplicates, 3);
         assert_eq!(merged.rejected, 1);
         assert_eq!(merged.nonsense, 2);
         assert_eq!(merged.batches, 7);
@@ -934,6 +1046,93 @@ mod tests {
         assert_eq!(EngineStats::merged([&b, &a]), merged);
         assert_eq!(EngineStats::merged([&a]), a);
         assert_eq!(EngineStats::merged([]), EngineStats::default());
+    }
+
+    #[test]
+    fn duplicate_submit_replays_the_original_reply_byte_identically() {
+        use faust_types::Wire;
+        let (mut engine, mut clients) = setup(2, |_| IngressVerification::Off);
+        let w = clients[0].begin_write(Value::from("v1")).unwrap();
+        run_op(&mut engine, &mut clients[0], w);
+        // An in-flight read whose ack is "lost with the socket".
+        let r = clients[0].begin_read(ClientId::new(0)).unwrap();
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r.clone()));
+        engine.process_all();
+        let (_, original) = engine.poll_output().expect("original reply");
+        // The client reconnects and replays the identical SUBMIT bytes.
+        engine.enqueue(ClientId::new(0), UstorMsg::Submit(r));
+        engine.process_all();
+        let (to, replayed) = engine.poll_output().expect("replayed reply");
+        assert_eq!(to, ClientId::new(0));
+        assert_eq!(replayed.encode(), original.encode(), "byte-identical");
+        assert!(engine.poll_output().is_none());
+        assert_eq!(engine.stats().duplicates, 1);
+        assert_eq!(engine.session(ClientId::new(0)).duplicates, 1);
+        // The duplicate never reached the protocol server: only the two
+        // genuine submits were forwarded.
+        assert_eq!(engine.stats().submits, 2);
+    }
+
+    #[test]
+    fn resent_window_passes_ingress_verification_in_both_modes() {
+        // A pipelined window [read, write] resent in full after a lost
+        // connection: the read's DATA signature covers the value hash
+        // *before* the write, so naive re-verification would reject it.
+        // Duplicates are gated on their SUBMIT signature alone, answered
+        // from the cache, and must not poison the shadow hash that fresh
+        // traffic queued behind them is verified against.
+        for batched in [false, true] {
+            let (mut engine, mut clients) = setup(2, |keys| {
+                if batched {
+                    IngressVerification::Batched(registry(keys))
+                } else {
+                    IngressVerification::PerMessage(registry(keys))
+                }
+            });
+            clients[0].set_pipeline(3);
+            let w1 = clients[0].begin_write(Value::from("old")).unwrap();
+            run_op(&mut engine, &mut clients[0], w1);
+            let r2 = clients[0].begin_read(ClientId::new(0)).unwrap();
+            let w3 = clients[0].begin_write(Value::from("new")).unwrap();
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(r2.clone()));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(w3.clone()));
+            engine.process_all();
+            assert_eq!(engine.stats().rejected, 0, "batched={batched}");
+            let (_, UstorMsg::Reply(reply_r2)) = engine.poll_output().unwrap() else {
+                panic!("expected r2's reply");
+            };
+            let (_, UstorMsg::Reply(reply_w3)) = engine.poll_output().unwrap() else {
+                panic!("expected w3's reply");
+            };
+            // Both acks are lost; the whole window is replayed, with a
+            // fresh read queued behind it in the same batch.
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(r2));
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(w3));
+            engine.process_all();
+            assert_eq!(engine.stats().rejected, 0, "batched={batched}");
+            assert_eq!(engine.stats().duplicates, 2, "batched={batched}");
+            let (_, UstorMsg::Reply(rr2)) = engine.poll_output().unwrap() else {
+                panic!("expected r2's replay");
+            };
+            let (_, UstorMsg::Reply(rw3)) = engine.poll_output().unwrap() else {
+                panic!("expected w3's replay");
+            };
+            assert_eq!(rr2, reply_r2, "batched={batched}");
+            assert_eq!(rw3, reply_w3, "batched={batched}");
+            // The fail-aware client accepts the replayed replies without
+            // a false violation, and a fresh read still verifies.
+            clients[0].handle_reply(rr2).expect("no false violation");
+            clients[0].handle_reply(rw3).expect("no false violation");
+            let r4 = clients[0].begin_read(ClientId::new(0)).unwrap();
+            engine.enqueue(ClientId::new(0), UstorMsg::Submit(r4));
+            engine.process_all();
+            assert_eq!(engine.stats().rejected, 0, "batched={batched}");
+            let (_, UstorMsg::Reply(reply_r4)) = engine.poll_output().unwrap() else {
+                panic!("expected r4's reply");
+            };
+            let (_, done) = clients[0].handle_reply(reply_r4).unwrap();
+            assert_eq!(done.read_value, Some(Some(Value::from("new"))));
+        }
     }
 
     #[test]

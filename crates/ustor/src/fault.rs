@@ -15,7 +15,7 @@
 //! rollback clients must detect; with a persistent backend an honest
 //! restart is invisible.
 
-use crate::server::{Server, ServerBackend};
+use crate::server::{Server, ServerBackend, SessionResume};
 use faust_types::{ClientId, CommitMsg, ReplyMsg, SubmitMsg};
 use std::fmt;
 
@@ -76,6 +76,13 @@ pub enum Fault {
     /// A REPLY arrived while no operation was in flight. FIFO channels
     /// from a correct server cannot produce this.
     UnsolicitedReply,
+    /// A session resumed from a persisted state file failed its first
+    /// post-resume verification — the state file is a *rollback* of the
+    /// session the server remembers (stale snapshot, restored backup).
+    /// Unlike the other variants this convicts the resumed *client
+    /// state*, not the server; it is raised by the resume guard in
+    /// `faust-core`, never by live protocol checks.
+    StaleClientState,
 }
 
 impl Fault {
@@ -92,7 +99,7 @@ impl Fault {
             Fault::BadDataSignature => Some(50),
             Fault::WriterVersionAhead | Fault::DataTimestampMismatch => Some(51),
             Fault::WriterSelfEntryMismatch => Some(52),
-            Fault::MalformedReply(_) | Fault::UnsolicitedReply => None,
+            Fault::MalformedReply(_) | Fault::UnsolicitedReply | Fault::StaleClientState => None,
         }
     }
 }
@@ -137,6 +144,9 @@ impl fmt::Display for Fault {
             }
             Fault::MalformedReply(why) => write!(f, "malformed reply: {why}"),
             Fault::UnsolicitedReply => f.write_str("reply received with no operation in flight"),
+            Fault::StaleClientState => {
+                f.write_str("resumed client state is stale (rolled-back session file)")
+            }
         }
     }
 }
@@ -257,6 +267,16 @@ impl CrashRestartServer {
 }
 
 impl Server for CrashRestartServer {
+    // The engine collects resumable sessions once, at construction —
+    // forward whatever the initial build recovered. (Mid-run restarts
+    // don't need this: the engine's own sessions survive them.)
+    fn resume_sessions(&mut self) -> Vec<SessionResume> {
+        match &mut self.inner {
+            Some(server) => server.resume_sessions(),
+            None => Vec::new(),
+        }
+    }
+
     fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
         let replies = match &mut self.inner {
             Some(server) => server.on_submit(client, msg),
@@ -309,6 +329,7 @@ mod tests {
         assert_eq!(Fault::DataTimestampMismatch.algorithm_line(), Some(51));
         assert_eq!(Fault::WriterSelfEntryMismatch.algorithm_line(), Some(52));
         assert_eq!(Fault::MalformedReply("x").algorithm_line(), None);
+        assert_eq!(Fault::StaleClientState.algorithm_line(), None);
     }
 
     #[test]
@@ -318,6 +339,7 @@ mod tests {
             Fault::VersionRegression,
             Fault::UnsolicitedReply,
             Fault::MalformedReply("arity"),
+            Fault::StaleClientState,
         ] {
             assert!(!fault.to_string().is_empty());
         }

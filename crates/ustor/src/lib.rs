@@ -57,9 +57,13 @@ pub mod fault;
 pub mod server;
 pub mod shard;
 
-pub use client::{BeginError, CommitMode, OpCompletion, UstorClient};
+pub use client::{
+    BeginError, CommitMode, OpCompletion, PendingOpState, UstorClient, UstorClientState,
+};
 pub use driver::{random_workloads, Driver, RunResult, WorkloadOp};
 pub use engine::{serve, EngineStats, IngressVerification, ServerEngine, Session, SharedVerifier};
 pub use fault::{CrashRestartServer, Fault, RestartHook};
-pub use server::{MemEntry, MemoryBackend, Server, ServerBackend, ServerState, UstorServer};
+pub use server::{
+    MemEntry, MemoryBackend, Server, ServerBackend, ServerState, SessionResume, UstorServer,
+};
 pub use shard::{ShardMember, ShardStatsHandle, ShardedEngine, ShardedServer, VolatileShard};

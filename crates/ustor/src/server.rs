@@ -63,6 +63,34 @@ pub trait Server {
     fn flush_deadline_at(&self) -> Option<u64> {
         None
     }
+
+    /// Per-client session state recovered from durable storage, indexed
+    /// by client — what the engine needs to seed its sessions so that a
+    /// *restarted* server still recognises resent SUBMITs as duplicates
+    /// (and keeps verifying reads against the right value hash).
+    ///
+    /// A volatile server recovers nothing — the default returns an empty
+    /// vector, which the engine treats as all-fresh sessions. The engine
+    /// calls this once, at construction.
+    fn resume_sessions(&mut self) -> Vec<SessionResume> {
+        Vec::new()
+    }
+}
+
+/// One client's recovered session state — see
+/// [`Server::resume_sessions`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionResume {
+    /// Timestamp of the client's last durably applied SUBMIT (0 if none).
+    pub last_timestamp: Timestamp,
+    /// Hash of the client's last written value, if any.
+    pub last_value_hash: Option<faust_crypto::Digest>,
+    /// Replies re-derived during recovery, oldest first, each tagged with
+    /// the timestamp of the SUBMIT it answered — the duplicate-replay
+    /// cache. Recovery can only rebuild replies for records replayed from
+    /// the log (post-snapshot), which covers every reply a client could
+    /// still be waiting on.
+    pub replies: Vec<(Timestamp, ReplyMsg)>,
 }
 
 /// `MEM[i]`: the timestamp, value, and DATA-signature most recently

@@ -345,6 +345,9 @@ pub struct ShardedServer {
     mode: Mode,
     stats: ShardStatsHandle,
     wedged: Option<String>,
+    /// Recovered per-client session state, surrendered to the engine
+    /// once via [`Server::resume_sessions`]. Empty for fresh deployments.
+    resume: Vec<crate::server::SessionResume>,
 }
 
 impl std::fmt::Debug for ShardedServer {
@@ -380,6 +383,7 @@ impl ShardedServer {
             mode: Mode::Inline(members),
             stats: ShardStatsHandle::new(shards),
             wedged: None,
+            resume: Vec::new(),
         }
     }
 
@@ -418,6 +422,7 @@ impl ShardedServer {
             }),
             stats,
             wedged: None,
+            resume: Vec::new(),
         }
     }
 
@@ -438,6 +443,14 @@ impl ShardedServer {
     #[must_use]
     pub fn resumed_at(mut self, next_seq: u64) -> Self {
         self.router.resume_at(next_seq);
+        self
+    }
+
+    /// Installs the recovered per-client session state the engine will
+    /// collect through [`Server::resume_sessions`] (builder style).
+    #[must_use]
+    pub fn with_resume(mut self, resume: Vec<crate::server::SessionResume>) -> Self {
+        self.resume = resume;
         self
     }
 
@@ -549,6 +562,10 @@ enum FanMsg {
 }
 
 impl Server for ShardedServer {
+    fn resume_sessions(&mut self) -> Vec<crate::server::SessionResume> {
+        std::mem::take(&mut self.resume)
+    }
+
     fn on_submit(&mut self, client: ClientId, msg: SubmitMsg) -> Vec<(ClientId, ReplyMsg)> {
         if self.wedged.is_some() {
             return Vec::new(); // crash-silent

@@ -109,7 +109,11 @@ fn main() {
                 }
             }
             Event::Violation { reason } => println!("  t={time:>5}  VIOLATION: {reason}"),
-            Event::Disconnected => println!("  t={time:>5}  disconnected"),
+            Event::Disconnected { reason } => println!("  t={time:>5}  disconnected ({reason})"),
+            Event::Reconnecting { attempt, .. } => {
+                println!("  t={time:>5}  reconnecting (attempt {attempt})");
+            }
+            Event::Resumed => println!("  t={time:>5}  resumed"),
         }
     }
     assert!(

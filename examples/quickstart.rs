@@ -103,7 +103,11 @@ fn main() {
                 }
                 Event::Stable { cut } => println!("  t={t:>5}  stable{cut}"),
                 Event::Violation { reason } => println!("  t={t:>5}  VIOLATION: {reason}"),
-                Event::Disconnected => println!("  t={t:>5}  disconnected"),
+                Event::Disconnected { reason } => println!("  t={t:>5}  disconnected ({reason})"),
+                Event::Reconnecting { attempt, .. } => {
+                    println!("  t={t:>5}  reconnecting (attempt {attempt})");
+                }
+                Event::Resumed => println!("  t={t:>5}  resumed"),
             }
         }
         assert!(

@@ -238,7 +238,7 @@ fn honest_kill_and_restart_is_invisible_through_the_handle() {
         assert!(
             !events
                 .iter()
-                .any(|(_, e)| matches!(e, Event::Violation { .. } | Event::Disconnected)),
+                .any(|(_, e)| matches!(e, Event::Violation { .. } | Event::Disconnected { .. })),
             "honest restart must be invisible: {events:?}"
         );
     }
