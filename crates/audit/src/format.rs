@@ -1,0 +1,726 @@
+//! The `FAUSTHIS` on-disk session-history container.
+//!
+//! A session history is everything an auditor needs to re-derive the
+//! server's behaviour offline: the base state the log starts from, the
+//! accepted protocol messages in schedule order (the WAL records), the
+//! final commit chain the exporter claims, and optionally the client-side
+//! view of the run. The container is *self-authenticating at the
+//! integrity level* — every byte is covered by a checksum, so accidental
+//! corruption is reported with the exact failing offset — while
+//! *authenticity* rests on the protocol signatures carried inside the
+//! records (see `docs/audit.md` for the threat model: the container
+//! itself is untrusted input).
+//!
+//! ## Layout
+//!
+//! ```text
+//! "FAUSTHIS" | version: u32
+//! manifest_len: u32 | sha256(manifest) | manifest
+//! [base-state section]      (present iff manifest says so)
+//! [records section]
+//! [client-history section]  (present iff manifest says so)
+//! ```
+//!
+//! The manifest describes each section by length and SHA-256 digest and
+//! carries the claimed final commit chain. The records section reuses the
+//! WAL's per-record framing (`len | sha256(payload) | payload`, payload =
+//! `seq ‖ LogRecord`) so a flipped bit in one record is pinned to that
+//! record's offset rather than to the section as a whole.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use faust_crypto::{sha256, Digest, SigScheme, Signature};
+use faust_store::LogRecord;
+use faust_types::{History, SignedVersion, Wire, WireError};
+use faust_ustor::ServerState;
+
+/// Magic bytes opening every history file.
+pub const HISTORY_MAGIC: &[u8; 8] = b"FAUSTHIS";
+/// Current container version.
+pub const HISTORY_VERSION: u32 = 1;
+/// Upper bound on a single framed record, matching the WAL's bound.
+const MAX_RECORD_LEN: u32 = 1 << 26;
+/// Upper bound on the manifest frame.
+const MAX_MANIFEST_LEN: u32 = 1 << 26;
+/// Bytes of framing around each record payload: `len: u32` + digest.
+const RECORD_OVERHEAD: usize = 4 + 32;
+
+/// Which section of the container an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// The Wire-encoded [`ServerState`] the log starts from.
+    BaseState,
+    /// The framed [`LogRecord`] stream.
+    Records,
+    /// The Wire-encoded client-side [`History`].
+    ClientHistory,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::BaseState => write!(f, "base-state"),
+            Section::Records => write!(f, "records"),
+            Section::ClientHistory => write!(f, "client-history"),
+        }
+    }
+}
+
+/// Typed rejection of a malformed history file. Every variant that can
+/// point at bytes carries the absolute file offset where parsing failed,
+/// so `faust audit` can report exactly which region is damaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryFileError {
+    /// The file is shorter than the fixed preamble.
+    TruncatedPreamble {
+        /// Actual file length.
+        len: usize,
+    },
+    /// The first eight bytes are not `FAUSTHIS`.
+    BadMagic,
+    /// The container version is newer than this reader.
+    UnsupportedVersion {
+        /// Version found in the preamble.
+        version: u32,
+    },
+    /// The file ends inside the manifest frame.
+    ManifestTruncated {
+        /// Offset at which more bytes were expected.
+        offset: usize,
+    },
+    /// The manifest frame declares an implausibly large length.
+    ImplausibleManifestLength {
+        /// Declared length.
+        len: u32,
+    },
+    /// The manifest bytes do not match their recorded digest.
+    ManifestChecksum {
+        /// Offset of the manifest bytes.
+        offset: usize,
+    },
+    /// The manifest bytes do not decode as a manifest.
+    ManifestCorrupt {
+        /// Underlying decode error.
+        error: WireError,
+    },
+    /// A cross-field size constraint inside the manifest is violated
+    /// (e.g. the claimed chain does not have one entry per client).
+    DimensionMismatch {
+        /// Which constraint failed.
+        what: &'static str,
+        /// Expected count.
+        expected: u64,
+        /// Count found.
+        found: u64,
+    },
+    /// The file ends before a section the manifest describes.
+    SectionTruncated {
+        /// The truncated section.
+        section: Section,
+        /// Offset at which more bytes were expected.
+        offset: usize,
+    },
+    /// A section's bytes do not match the digest in the manifest.
+    SectionChecksum {
+        /// The damaged section.
+        section: Section,
+        /// Absolute offset of the section's first byte.
+        offset: usize,
+    },
+    /// The records section ends inside a record frame.
+    RecordTorn {
+        /// Index of the torn record within the section.
+        index: u64,
+        /// Absolute offset of the record's frame.
+        offset: usize,
+    },
+    /// A record frame declares an implausibly large length.
+    ImplausibleRecordLength {
+        /// Index of the record within the section.
+        index: u64,
+        /// Absolute offset of the record's frame.
+        offset: usize,
+        /// Declared payload length.
+        len: u32,
+    },
+    /// A record payload does not match its per-record checksum.
+    RecordChecksum {
+        /// Index of the damaged record within the section.
+        index: u64,
+        /// Absolute offset of the record's frame.
+        offset: usize,
+    },
+    /// A record payload does not decode as `seq ‖ LogRecord`.
+    RecordCorrupt {
+        /// Index of the undecodable record within the section.
+        index: u64,
+        /// Absolute offset of the record's frame.
+        offset: usize,
+        /// Underlying decode error.
+        error: WireError,
+    },
+    /// Record sequence numbers are not consecutive from `base_seq`.
+    RecordSequence {
+        /// Index of the out-of-order record within the section.
+        index: u64,
+        /// Absolute offset of the record's frame.
+        offset: usize,
+        /// Sequence number expected at this position.
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+    /// The records section holds a different number of records than the
+    /// manifest declares.
+    RecordCountMismatch {
+        /// Count declared by the manifest.
+        expected: u64,
+        /// Records actually present.
+        found: u64,
+    },
+    /// The base-state section does not decode as a [`ServerState`].
+    StateCorrupt {
+        /// Underlying decode error.
+        error: WireError,
+    },
+    /// The client-history section does not decode as a [`History`].
+    HistoryCorrupt {
+        /// Underlying decode error.
+        error: WireError,
+    },
+    /// The manifest names an unknown signature scheme.
+    BadScheme {
+        /// The unrecognised scheme tag.
+        tag: u8,
+    },
+    /// Bytes remain after the last declared section.
+    TrailingBytes {
+        /// Offset of the first unexpected byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for HistoryFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryFileError::TruncatedPreamble { len } => {
+                write!(f, "file too short for the FAUSTHIS preamble ({len} bytes)")
+            }
+            HistoryFileError::BadMagic => write!(f, "not a FAUSTHIS file (bad magic)"),
+            HistoryFileError::UnsupportedVersion { version } => {
+                write!(f, "unsupported container version {version}")
+            }
+            HistoryFileError::ManifestTruncated { offset } => {
+                write!(f, "file ends inside the manifest (offset {offset})")
+            }
+            HistoryFileError::ImplausibleManifestLength { len } => {
+                write!(f, "implausible manifest length {len}")
+            }
+            HistoryFileError::ManifestChecksum { offset } => {
+                write!(
+                    f,
+                    "manifest checksum mismatch (manifest at offset {offset})"
+                )
+            }
+            HistoryFileError::ManifestCorrupt { error } => {
+                write!(f, "manifest does not decode: {error:?}")
+            }
+            HistoryFileError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected {expected}, found {found}"),
+            HistoryFileError::SectionTruncated { section, offset } => {
+                write!(
+                    f,
+                    "file ends inside the {section} section (offset {offset})"
+                )
+            }
+            HistoryFileError::SectionChecksum { section, offset } => write!(
+                f,
+                "{section} section checksum mismatch (section at offset {offset})"
+            ),
+            HistoryFileError::RecordTorn { index, offset } => {
+                write!(f, "record {index} torn at offset {offset}")
+            }
+            HistoryFileError::ImplausibleRecordLength { index, offset, len } => write!(
+                f,
+                "record {index} at offset {offset} declares implausible length {len}"
+            ),
+            HistoryFileError::RecordChecksum { index, offset } => {
+                write!(f, "record {index} checksum mismatch at offset {offset}")
+            }
+            HistoryFileError::RecordCorrupt {
+                index,
+                offset,
+                error,
+            } => write!(
+                f,
+                "record {index} at offset {offset} does not decode: {error:?}"
+            ),
+            HistoryFileError::RecordSequence {
+                index,
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "record {index} at offset {offset} has sequence {found}, expected {expected}"
+            ),
+            HistoryFileError::RecordCountMismatch { expected, found } => write!(
+                f,
+                "manifest declares {expected} records but the section holds {found}"
+            ),
+            HistoryFileError::StateCorrupt { error } => {
+                write!(f, "base state does not decode: {error:?}")
+            }
+            HistoryFileError::HistoryCorrupt { error } => {
+                write!(f, "client history does not decode: {error:?}")
+            }
+            HistoryFileError::BadScheme { tag } => {
+                write!(f, "unknown signature scheme tag {tag}")
+            }
+            HistoryFileError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after the last section (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryFileError {}
+
+/// Length + digest of one section, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SectionDesc {
+    len: u32,
+    digest: Digest,
+}
+
+impl Wire for SectionDesc {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.len.encode_into(out);
+        self.digest.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SectionDesc {
+            len: u32::decode_from(input)?,
+            digest: Digest::decode_from(input)?,
+        })
+    }
+}
+
+/// The checksummed manifest binding the sections together.
+struct Manifest {
+    n: u32,
+    scheme: u8,
+    base_seq: u64,
+    record_count: u64,
+    base_state: Option<SectionDesc>,
+    records: SectionDesc,
+    client_history: Option<SectionDesc>,
+    claimed_chain: Vec<SignedVersion>,
+    claimed_proofs: Vec<Option<Signature>>,
+}
+
+impl Wire for Manifest {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.n.encode_into(out);
+        self.scheme.encode_into(out);
+        self.base_seq.encode_into(out);
+        self.record_count.encode_into(out);
+        self.base_state.encode_into(out);
+        self.records.encode_into(out);
+        self.client_history.encode_into(out);
+        self.claimed_chain.encode_into(out);
+        self.claimed_proofs.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Manifest {
+            n: u32::decode_from(input)?,
+            scheme: u8::decode_from(input)?,
+            base_seq: u64::decode_from(input)?,
+            record_count: u64::decode_from(input)?,
+            base_state: Option::<SectionDesc>::decode_from(input)?,
+            records: SectionDesc::decode_from(input)?,
+            client_history: Option::<SectionDesc>::decode_from(input)?,
+            claimed_chain: Vec::<SignedVersion>::decode_from(input)?,
+            claimed_proofs: Vec::<Option<Signature>>::decode_from(input)?,
+        })
+    }
+}
+
+fn scheme_tag(scheme: SigScheme) -> u8 {
+    match scheme {
+        SigScheme::Hmac => 0,
+        SigScheme::Ed25519 => 1,
+    }
+}
+
+fn scheme_from_tag(tag: u8) -> Option<SigScheme> {
+    match tag {
+        0 => Some(SigScheme::Hmac),
+        1 => Some(SigScheme::Ed25519),
+        _ => None,
+    }
+}
+
+/// A parsed session history: one server session's worth of evidence,
+/// ready for [`crate::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionHistory {
+    /// Number of clients the session is for.
+    pub n: usize,
+    /// Signature scheme the session's keys use.
+    pub scheme: SigScheme,
+    /// Sequence number of the first record; records before it are folded
+    /// into [`SessionHistory::base_state`].
+    pub base_seq: u64,
+    /// Server state the records apply on top of (`None` = fresh server).
+    pub base_state: Option<ServerState>,
+    /// The accepted protocol messages in schedule order, with their
+    /// global sequence numbers (consecutive from `base_seq`).
+    pub records: Vec<(u64, LogRecord)>,
+    /// The client-side view of the run, if the exporter had one.
+    pub client_history: Option<History>,
+    /// The exporter's claim of the final `SVER` vector; the auditor
+    /// replays the records and rejects the file if they disagree.
+    pub claimed_chain: Vec<SignedVersion>,
+    /// The exporter's claim of the final PROOF-signature vector.
+    pub claimed_proofs: Vec<Option<Signature>>,
+}
+
+impl SessionHistory {
+    /// Serializes the history into the `FAUSTHIS` container format.
+    pub fn encode(&self) -> Vec<u8> {
+        let base_bytes = self.base_state.as_ref().map(|state| {
+            let mut out = Vec::new();
+            faust_store::codec::encode_state(state, &mut out);
+            out
+        });
+        let mut records_bytes = Vec::new();
+        for (seq, record) in &self.records {
+            let mut payload = Vec::with_capacity(8 + record.encoded_len());
+            seq.encode_into(&mut payload);
+            record.encode_into(&mut payload);
+            (payload.len() as u32).encode_into(&mut records_bytes);
+            sha256(&payload).encode_into(&mut records_bytes);
+            records_bytes.extend_from_slice(&payload);
+        }
+        let history_bytes = self.client_history.as_ref().map(|history| history.encode());
+
+        let describe = |bytes: &Vec<u8>| SectionDesc {
+            len: bytes.len() as u32,
+            digest: sha256(bytes),
+        };
+        let manifest = Manifest {
+            n: self.n as u32,
+            scheme: scheme_tag(self.scheme),
+            base_seq: self.base_seq,
+            record_count: self.records.len() as u64,
+            base_state: base_bytes.as_ref().map(describe),
+            records: describe(&records_bytes),
+            client_history: history_bytes.as_ref().map(describe),
+            claimed_chain: self.claimed_chain.clone(),
+            claimed_proofs: self.claimed_proofs.clone(),
+        };
+        let manifest_bytes = manifest.encode();
+
+        let mut out = Vec::new();
+        out.extend_from_slice(HISTORY_MAGIC);
+        HISTORY_VERSION.encode_into(&mut out);
+        (manifest_bytes.len() as u32).encode_into(&mut out);
+        sha256(&manifest_bytes).encode_into(&mut out);
+        out.extend_from_slice(&manifest_bytes);
+        if let Some(bytes) = &base_bytes {
+            out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(&records_bytes);
+        if let Some(bytes) = &history_bytes {
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Parses a `FAUSTHIS` container, rejecting any malformed input with
+    /// a typed error pointing at the failing offset. Never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, HistoryFileError> {
+        // Preamble.
+        if bytes.len() < 12 {
+            return Err(HistoryFileError::TruncatedPreamble { len: bytes.len() });
+        }
+        if &bytes[..8] != HISTORY_MAGIC {
+            return Err(HistoryFileError::BadMagic);
+        }
+        let version = u32::from_be_bytes(bytes[8..12].try_into().expect("fixed length"));
+        if version != HISTORY_VERSION {
+            return Err(HistoryFileError::UnsupportedVersion { version });
+        }
+
+        // Manifest frame.
+        let mut pos = 12usize;
+        if bytes.len() < pos + 36 {
+            return Err(HistoryFileError::ManifestTruncated {
+                offset: bytes.len(),
+            });
+        }
+        let manifest_len =
+            u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("fixed length"));
+        if manifest_len > MAX_MANIFEST_LEN {
+            return Err(HistoryFileError::ImplausibleManifestLength { len: manifest_len });
+        }
+        let manifest_digest = &bytes[pos + 4..pos + 36];
+        pos += 36;
+        let manifest_end = pos
+            .checked_add(manifest_len as usize)
+            .filter(|&end| end <= bytes.len())
+            .ok_or(HistoryFileError::ManifestTruncated {
+                offset: bytes.len(),
+            })?;
+        let manifest_bytes = &bytes[pos..manifest_end];
+        if sha256(manifest_bytes).as_bytes() != manifest_digest {
+            return Err(HistoryFileError::ManifestChecksum { offset: pos });
+        }
+        let manifest = {
+            let mut input = manifest_bytes;
+            let manifest = Manifest::decode_from(&mut input)
+                .map_err(|error| HistoryFileError::ManifestCorrupt { error })?;
+            if !input.is_empty() {
+                return Err(HistoryFileError::ManifestCorrupt {
+                    error: WireError::TrailingBytes(0),
+                });
+            }
+            manifest
+        };
+        pos = manifest_end;
+
+        let scheme = scheme_from_tag(manifest.scheme).ok_or(HistoryFileError::BadScheme {
+            tag: manifest.scheme,
+        })?;
+        let n = manifest.n as u64;
+        if manifest.claimed_chain.len() as u64 != n {
+            return Err(HistoryFileError::DimensionMismatch {
+                what: "claimed chain entries per client",
+                expected: n,
+                found: manifest.claimed_chain.len() as u64,
+            });
+        }
+        if manifest.claimed_proofs.len() as u64 != n {
+            return Err(HistoryFileError::DimensionMismatch {
+                what: "claimed proof entries per client",
+                expected: n,
+                found: manifest.claimed_proofs.len() as u64,
+            });
+        }
+
+        // Sections: slice out by declared length, verify digests.
+        let mut take_section =
+            |desc: &SectionDesc, section: Section| -> Result<(usize, &[u8]), HistoryFileError> {
+                let start = pos;
+                let end = start
+                    .checked_add(desc.len as usize)
+                    .filter(|&end| end <= bytes.len())
+                    .ok_or(HistoryFileError::SectionTruncated {
+                        section,
+                        offset: bytes.len(),
+                    })?;
+                pos = end;
+                Ok((start, &bytes[start..end]))
+            };
+        let base_slice = match &manifest.base_state {
+            Some(desc) => Some((desc, take_section(desc, Section::BaseState)?)),
+            None => None,
+        };
+        let records_slice = (
+            &manifest.records,
+            take_section(&manifest.records, Section::Records)?,
+        );
+        let history_slice = match &manifest.client_history {
+            Some(desc) => Some((desc, take_section(desc, Section::ClientHistory)?)),
+            None => None,
+        };
+        if pos != bytes.len() {
+            return Err(HistoryFileError::TrailingBytes { offset: pos });
+        }
+
+        // Base state.
+        let base_state = match base_slice {
+            Some((desc, (offset, slice))) => {
+                if sha256(slice) != desc.digest {
+                    return Err(HistoryFileError::SectionChecksum {
+                        section: Section::BaseState,
+                        offset,
+                    });
+                }
+                let mut input = slice;
+                let state = faust_store::codec::decode_state(&mut input)
+                    .map_err(|error| HistoryFileError::StateCorrupt { error })?;
+                if !input.is_empty() {
+                    return Err(HistoryFileError::StateCorrupt {
+                        error: WireError::TrailingBytes(0),
+                    });
+                }
+                if state.mem.len() as u64 != n {
+                    return Err(HistoryFileError::DimensionMismatch {
+                        what: "base state registers per client",
+                        expected: n,
+                        found: state.mem.len() as u64,
+                    });
+                }
+                Some(state)
+            }
+            None => None,
+        };
+
+        // Records: per-record framing first, so damage pins to one
+        // record; the section digest is checked afterwards as a belt
+        // against framing-consistent corruption.
+        let (records_offset, records_bytes) = records_slice.1;
+        let mut records = Vec::new();
+        let mut rec_pos = 0usize;
+        let mut index = 0u64;
+        while rec_pos < records_bytes.len() {
+            let offset = records_offset + rec_pos;
+            if records_bytes.len() - rec_pos < RECORD_OVERHEAD {
+                return Err(HistoryFileError::RecordTorn { index, offset });
+            }
+            let len = u32::from_be_bytes(
+                records_bytes[rec_pos..rec_pos + 4]
+                    .try_into()
+                    .expect("fixed length"),
+            );
+            if len > MAX_RECORD_LEN {
+                return Err(HistoryFileError::ImplausibleRecordLength { index, offset, len });
+            }
+            let payload_start = rec_pos + RECORD_OVERHEAD;
+            let payload_end = payload_start
+                .checked_add(len as usize)
+                .filter(|&end| end <= records_bytes.len())
+                .ok_or(HistoryFileError::RecordTorn { index, offset })?;
+            let digest = &records_bytes[rec_pos + 4..rec_pos + 36];
+            let payload = &records_bytes[payload_start..payload_end];
+            if sha256(payload).as_bytes() != digest {
+                return Err(HistoryFileError::RecordChecksum { index, offset });
+            }
+            let mut input = payload;
+            let seq =
+                u64::decode_from(&mut input).map_err(|error| HistoryFileError::RecordCorrupt {
+                    index,
+                    offset,
+                    error,
+                })?;
+            let record = LogRecord::decode_from(&mut input).map_err(|error| {
+                HistoryFileError::RecordCorrupt {
+                    index,
+                    offset,
+                    error,
+                }
+            })?;
+            if !input.is_empty() {
+                return Err(HistoryFileError::RecordCorrupt {
+                    index,
+                    offset,
+                    error: WireError::TrailingBytes(0),
+                });
+            }
+            let expected = manifest.base_seq + index;
+            if seq != expected {
+                return Err(HistoryFileError::RecordSequence {
+                    index,
+                    offset,
+                    expected,
+                    found: seq,
+                });
+            }
+            records.push((seq, record));
+            rec_pos = payload_end;
+            index += 1;
+        }
+        if index != manifest.record_count {
+            return Err(HistoryFileError::RecordCountMismatch {
+                expected: manifest.record_count,
+                found: index,
+            });
+        }
+        if sha256(records_bytes) != manifest.records.digest {
+            return Err(HistoryFileError::SectionChecksum {
+                section: Section::Records,
+                offset: records_offset,
+            });
+        }
+
+        // Client history.
+        let client_history = match history_slice {
+            Some((desc, (offset, slice))) => {
+                if sha256(slice) != desc.digest {
+                    return Err(HistoryFileError::SectionChecksum {
+                        section: Section::ClientHistory,
+                        offset,
+                    });
+                }
+                let mut input = slice;
+                let history = History::decode_from(&mut input)
+                    .map_err(|error| HistoryFileError::HistoryCorrupt { error })?;
+                if !input.is_empty() {
+                    return Err(HistoryFileError::HistoryCorrupt {
+                        error: WireError::TrailingBytes(0),
+                    });
+                }
+                Some(history)
+            }
+            None => None,
+        };
+
+        Ok(SessionHistory {
+            n: manifest.n as usize,
+            scheme,
+            base_seq: manifest.base_seq,
+            base_state,
+            records,
+            client_history,
+            claimed_chain: manifest.claimed_chain,
+            claimed_proofs: manifest.claimed_proofs,
+        })
+    }
+
+    /// Writes the encoded container to `path` atomically (temp file in
+    /// the same directory, then rename).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Reads and parses a container from `path`.
+    pub fn read_from(path: &Path) -> Result<Self, HistoryReadError> {
+        let bytes = fs::read(path).map_err(HistoryReadError::Io)?;
+        SessionHistory::decode(&bytes).map_err(HistoryReadError::Format)
+    }
+}
+
+/// Error reading a history file from disk.
+#[derive(Debug)]
+pub enum HistoryReadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The bytes are not a valid container.
+    Format(HistoryFileError),
+}
+
+impl fmt::Display for HistoryReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryReadError::Io(err) => write!(f, "cannot read history file: {err}"),
+            HistoryReadError::Format(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryReadError {}

@@ -1,0 +1,139 @@
+//! JSON rendering of audit reports, for `faust audit --json` and the CI
+//! certification artifact. Hand-rolled like the bench tooling — the
+//! output is a small, flat document and the repo takes no dependencies.
+
+use faust_types::{SignedVersion, Version};
+
+use crate::replay::{AuditReport, AuditVerdict, Divergence};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn version_json(version: &Version) -> String {
+    let v: Vec<String> = version
+        .v()
+        .as_slice()
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    format!("[{}]", v.join(","))
+}
+
+fn signed_version_json(sv: &SignedVersion) -> String {
+    let sig = match &sv.sig {
+        Some(sig) => {
+            let hex: String = sig.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+            format!("\"{hex}\"")
+        }
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"version\":{},\"commit_sig\":{}}}",
+        version_json(&sv.version),
+        sig
+    )
+}
+
+fn divergence_json(divergence: &Divergence) -> String {
+    match divergence {
+        Divergence::ForkedCommits { evidence } => format!(
+            "{{\"kind\":\"forked_commits\",\"conflicting_pair\":[{},{}],\"signed_evidence\":[{},{}]}}",
+            version_json(&evidence.0.version),
+            version_json(&evidence.1.version),
+            signed_version_json(&evidence.0),
+            signed_version_json(&evidence.1),
+        ),
+        Divergence::CommitRollback { client, from, to } => format!(
+            "{{\"kind\":\"commit_rollback\",\"client\":{},\"from\":{},\"to\":{}}}",
+            client.index(),
+            version_json(from),
+            version_json(to),
+        ),
+        Divergence::BadSignature { client, what } => format!(
+            "{{\"kind\":\"bad_signature\",\"client\":{},\"signature\":\"{what}\"}}",
+            client.index(),
+        ),
+        Divergence::ScheduleGap {
+            client,
+            expected,
+            found,
+        } => format!(
+            "{{\"kind\":\"schedule_gap\",\"client\":{},\"expected\":{expected},\"found\":{found}}}",
+            client.index(),
+        ),
+        Divergence::UnjustifiedCommit {
+            committer,
+            victim,
+            claimed,
+            submitted,
+        } => format!(
+            "{{\"kind\":\"unjustified_commit\",\"committer\":{},\"victim\":{},\"claimed\":{claimed},\"submitted\":{submitted}}}",
+            committer.index(),
+            victim.index(),
+        ),
+        Divergence::ChainMismatch { client } => format!(
+            "{{\"kind\":\"chain_mismatch\",\"client\":{}}}",
+            client.index()
+        ),
+        Divergence::OmittedOperation { client, timestamp } => format!(
+            "{{\"kind\":\"omitted_operation\",\"client\":{},\"timestamp\":{timestamp}}}",
+            client.index(),
+        ),
+        Divergence::MisreportedOperation {
+            client,
+            timestamp,
+            detail,
+        } => format!(
+            "{{\"kind\":\"misreported_operation\",\"client\":{},\"timestamp\":{timestamp},\"detail\":\"{}\"}}",
+            client.index(),
+            escape(detail),
+        ),
+        Divergence::MalformedRecord { detail } => format!(
+            "{{\"kind\":\"malformed_record\",\"detail\":\"{}\"}}",
+            escape(detail)
+        ),
+        Divergence::HistoryNotLinearizable { witness, reason } => format!(
+            "{{\"kind\":\"history_not_linearizable\",\"witness\":[{},{}],\"reason\":\"{}\"}}",
+            witness.0 .0,
+            witness.1 .0,
+            escape(reason),
+        ),
+    }
+}
+
+/// Renders an audit report as a single JSON document.
+pub fn report_to_json(report: &AuditReport) -> String {
+    let verdict = match &report.verdict {
+        AuditVerdict::Certified {
+            fork_linearizable,
+            ops,
+            clients,
+        } => format!(
+            "{{\"status\":\"certified\",\"fork_linearizable\":{fork_linearizable},\"ops\":{ops},\"clients\":{clients}}}"
+        ),
+        AuditVerdict::Diverged {
+            first_bad_version,
+            divergence,
+        } => format!(
+            "{{\"status\":\"diverged\",\"first_bad_version\":{first_bad_version},\"divergence\":{}}}",
+            divergence_json(divergence)
+        ),
+    };
+    format!(
+        "{{\"schema\":1,\"verdict\":{verdict},\"records_replayed\":{},\"signatures_checked\":{},\"commits_checked\":{}}}",
+        report.records_replayed, report.signatures_checked, report.commits_checked,
+    )
+}

@@ -1,5 +1,6 @@
 //! CI bench smoke: a quick-mode pass over one representative metric per
-//! subsystem (wire codec, crypto, protocol engine, persistence), emitted
+//! subsystem (wire codec, crypto, protocol engine, persistence, offline
+//! audit), emitted
 //! as JSON so the CI `bench-smoke` job can archive a perf trajectory
 //! point per commit.
 //!
@@ -9,10 +10,12 @@
 //!
 //! Usage: `cargo run -p faust-bench --bin bench_smoke --release -- [--json PATH]`
 
+use faust_audit::SessionHistory;
 use faust_bench::pipelined_writes;
 use faust_bench::timing::{bench_quiet_with, Measurement, TimingConfig};
 use faust_crypto::sha256::sha256;
 use faust_crypto::sig::{KeySet, SigContext, Signer};
+use faust_crypto::SigScheme;
 use faust_store::codec::LogRecord;
 use faust_store::log::Wal;
 use faust_store::testutil::{self, run_op};
@@ -265,6 +268,63 @@ fn collect(quick: TimingConfig) -> (Vec<Point>, ReactorReport) {
         per_second: 1e9 / best,
     });
 
+    // Offline audit: decode + replay + certify a 1000-record honest
+    // session from its encoded FAUSTHIS container. Like recovery, not
+    // an iteration bench — one timed full pass, best of 3, reported
+    // per *record* so the point is a replay-throughput trend.
+    const AUDIT_RECORDS: usize = 1_000;
+    let mut audit_cs = clients(2);
+    let mut audit_server = UstorServer::new(2);
+    let mut records = Vec::with_capacity(AUDIT_RECORDS);
+    for round in 0..(AUDIT_RECORDS as u64 / 2) {
+        let i = (round % 2) as usize;
+        let id = ClientId::new(i as u32);
+        let submit = audit_cs[i]
+            .begin_write(Value::unique(i as u32, round))
+            .unwrap();
+        records.push((
+            records.len() as u64,
+            LogRecord::Submit {
+                from: id,
+                msg: submit.clone(),
+            },
+        ));
+        let (_, reply) = audit_server.on_submit(id, submit).pop().expect("reply");
+        let (commit, _) = audit_cs[i].handle_reply(reply).expect("correct server");
+        let commit = commit.expect("immediate mode");
+        records.push((
+            records.len() as u64,
+            LogRecord::Commit {
+                from: id,
+                msg: commit.clone(),
+            },
+        ));
+        audit_server.on_commit(id, commit);
+    }
+    let encoded = faust_audit::export_records(2, SigScheme::Hmac, None, records, None).encode();
+    let audit_registry = KeySet::generate(2, b"bench-smoke").registry();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let session = SessionHistory::decode(&encoded).expect("container decodes");
+        let report = faust_audit::audit(&session, &audit_registry).expect("audit runs");
+        assert!(report.verdict.is_certified(), "honest session certifies");
+        assert_eq!(report.records_replayed, AUDIT_RECORDS as u64);
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    let ns_per_record = best / AUDIT_RECORDS as f64;
+    println!(
+        "{:<44} {:>12.1} ns/iter {:>14.0} iter/s",
+        "audit: replay+certify per record (1000)",
+        ns_per_record,
+        1e9 / ns_per_record
+    );
+    points.push(Point {
+        name: "audit: replay+certify per record (1000)",
+        ns_per_iter: ns_per_record,
+        per_second: 1e9 / ns_per_record,
+    });
+
     // End-to-end TCP: one small pipelined run (2 clients × 32 writes)
     // against a group-commit store over loopback — not an iteration
     // bench, a single timed pass (sockets + threads are too heavy to
@@ -494,7 +554,7 @@ fn reactor_json(_r: &ReactorReport) -> String {
 /// Hand-rolled JSON (names are fixed ASCII literals, so no escaping is
 /// needed beyond what the format string provides).
 fn to_json(points: &[Point], egress: &EngineStats, reactor: &ReactorReport) -> String {
-    let mut out = String::from("{\n  \"schema\": 5,\n  \"mode\": \"quick\",\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 6,\n  \"mode\": \"quick\",\n  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {:.1}}}{}\n",

@@ -34,6 +34,8 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("connect") => cmd_connect(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("export-history") => cmd_export_history(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             0
@@ -58,6 +60,8 @@ USAGE:
                 [--session FILE]
   faust bench   [--addr A] [--clients N] [--ops K] [--pipeline D] [--value-len B]
                 [--durability D] [--key-seed S] [--shards S] [--reactor]
+  faust audit   PATH [--key-seed S] [--scheme hmac|ed25519] [--json]
+  faust export-history DIR OUT [--scheme hmac|ed25519]
 
 Durability D: always (fsync per record), group (batched fsync, the default), never.
 --reactor serves all connections from ONE readiness-driven event loop with admission
@@ -70,6 +74,14 @@ unsharded server, so any client can talk to any deployment. The shard count is p
 of a persistent store's layout and must match across restarts.
 `connect` ops run in command-line order and pipeline up to the configured depth.
 All clients of one deployment must share --clients, --key-seed, --scheme, and --pipeline.
+
+`audit` replays a FAUSTHIS session history offline with nothing but the clients'
+verification keys (regenerated from --key-seed, the same seed the session's clients
+used) and either CERTIFIES the session as fork-linearizable or pinpoints the first
+divergent version with typed evidence. PATH is a .fausthis file or a server store
+directory (--dir of a stopped `faust serve`), which is exported on the fly. Exit
+codes: 0 certified, 2 diverged, 1 unreadable/error. `export-history` writes a
+store directory's session history to OUT as a FAUSTHIS file. See docs/audit.md.
 
 FAUST clients are stateful: an id that already performed operations against a
 (persistent) store cannot be reused by an amnesiac later `connect` — the fresh session
@@ -689,5 +701,155 @@ fn bench_impl(args: &[String]) -> Result<(), String> {
     }
     #[cfg(not(unix))]
     let _ = reactor_stats;
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> i32 {
+    match audit_impl(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("faust audit: {e}");
+            1
+        }
+    }
+}
+
+/// Loads a session history from a `.fausthis` file or exports one from a
+/// store directory on the fly.
+fn load_session_history(
+    path: &std::path::Path,
+    scheme: SigScheme,
+) -> Result<faust_audit::SessionHistory, String> {
+    if path.is_dir() {
+        return faust_audit::export_store_dir(path, scheme, None)
+            .map_err(|e| format!("export {}: {e}", path.display()));
+    }
+    faust_audit::SessionHistory::read_from(path).map_err(|e| match e {
+        faust_audit::HistoryReadError::Io(err) => format!("read {}: {err}", path.display()),
+        faust_audit::HistoryReadError::Format(err) => {
+            format!("{} is not a valid session history: {err}", path.display())
+        }
+    })
+}
+
+/// Returns the process exit code: 0 = certified, 2 = diverged (the
+/// divergence is printed), 1 = the history could not be read or audited.
+fn audit_impl(args: &[String]) -> Result<i32, String> {
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut key_seed = "faust-cli".to_string();
+    let mut scheme: Option<SigScheme> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--key-seed" => key_seed = val()?.to_string(),
+            "--scheme" => scheme = Some(parse_scheme(val()?)?),
+            "--json" => json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ if path.is_none() => path = Some(std::path::PathBuf::from(arg)),
+            _ => return Err(format!("unexpected argument `{arg}`")),
+        }
+    }
+    let path = path.ok_or("a history file or store directory is required")?;
+    // A file carries its scheme; --scheme only needs to pick one when
+    // exporting a bare store directory (and may double as a sanity
+    // check against a file — the auditor rejects a mismatch).
+    let session = load_session_history(&path, scheme.unwrap_or(SigScheme::Hmac))?;
+    let registry =
+        faust_crypto::sig::KeySet::generate_with(session.scheme, session.n, key_seed.as_bytes())
+            .registry();
+    let report = faust_audit::audit(&session, &registry).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", faust_audit::report_to_json(&report));
+    } else {
+        println!(
+            "faust-audit: {}: {} records, {} signatures, {} commits checked",
+            path.display(),
+            report.records_replayed,
+            report.signatures_checked,
+            report.commits_checked,
+        );
+    }
+    match &report.verdict {
+        faust_audit::AuditVerdict::Certified {
+            fork_linearizable,
+            ops,
+            clients,
+        } => {
+            if !json {
+                println!(
+                    "faust-audit: CERTIFIED — {ops} operations by {clients} clients, \
+                     fork-linearizable: {fork_linearizable}"
+                );
+            }
+            Ok(0)
+        }
+        faust_audit::AuditVerdict::Diverged {
+            first_bad_version,
+            divergence,
+        } => {
+            if !json {
+                println!("faust-audit: DIVERGED at version {first_bad_version}: {divergence}");
+                if let Some((a, b)) = report.verdict.signed_evidence() {
+                    println!(
+                        "faust-audit: signed evidence: {:?} / {:?} (both COMMIT-signed, \
+                         mutually incomparable)",
+                        a.version.v(),
+                        b.version.v(),
+                    );
+                }
+            }
+            Ok(2)
+        }
+    }
+}
+
+fn cmd_export_history(args: &[String]) -> i32 {
+    match export_history_impl(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("faust export-history: {e}");
+            1
+        }
+    }
+}
+
+fn export_history_impl(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut scheme = SigScheme::Hmac;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let v = it
+                    .next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{arg} needs a value"))?;
+                scheme = parse_scheme(v)?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
+    let [dir, out] = positional.as_slice() else {
+        return Err("usage: faust export-history DIR OUT [--scheme hmac|ed25519]".into());
+    };
+    let dir = std::path::Path::new(dir);
+    let session = faust_audit::export_store_dir(dir, scheme, None)
+        .map_err(|e| format!("export {}: {e}", dir.display()))?;
+    session
+        .write_to(std::path::Path::new(out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "faust-export-history: {} records ({} clients, base sequence {}) -> {out}",
+        session.records.len(),
+        session.n,
+        session.base_seq,
+    );
     Ok(())
 }

@@ -25,6 +25,12 @@
 //! at 64 operations) and return [`Verdict::Unknown`] rather than a wrong
 //! answer when the budget runs out.
 //!
+//! For whole session histories — far beyond the search budget — the
+//! offline auditor uses [`certify_linearizable`] ([`audit`] module):
+//! dbcop-style constraint saturation that decides linearizability in
+//! near-linear time when written values are unique, falling back to the
+//! budgeted search only on the small residue it cannot settle.
+//!
 //! # Example
 //!
 //! ```
@@ -42,11 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod checkers;
 pub mod order;
 pub mod spec;
 pub mod views;
 
+pub use audit::{certify_linearizable, CertifyOutcome};
 pub use checkers::{
     check_causal_consistency, check_fork_linearizability, check_fork_sequential_consistency,
     check_fork_star_linearizability, check_linearizability, check_wait_freedom,

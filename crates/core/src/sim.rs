@@ -41,12 +41,15 @@ use faust_crypto::sig::KeySet;
 use faust_sim::{
     DelayModel, Event, MessageSize, NodeId, SimConfig, Simulation, TimeWindow, TimerId, Transport,
 };
-use faust_store::{Durability, PersistentBackend, PersistentServer, SimClock, StoreConfig};
+use faust_store::{
+    Durability, LogRecord, PersistentBackend, PersistentServer, SimClock, StoreConfig,
+};
 use faust_types::{ClientId, History, OpId, OpKind, ReplyMsg, UstorMsg, Value, Wire};
 use faust_ustor::{CrashRestartServer, MemoryBackend, Server, ServerBackend, ServerEngine};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Fault-plan DSL
@@ -351,6 +354,13 @@ pub struct SimRunReport {
     pub metrics: faust_sim::Metrics,
     /// Virtual time when the run stopped.
     pub final_time: u64,
+    /// The run's encoded `FAUSTHIS` session history — the server-side
+    /// record stream (a recording tap for volatile servers, the real
+    /// snapshot + WAL for persistent ones) plus the client-observed
+    /// history, ready for the offline auditor. `None` only if the store
+    /// directory could not be exported (e.g. a `WipeState` tamper
+    /// deleted it).
+    pub exported_history: Option<Vec<u8>>,
 }
 
 impl SimRunReport {
@@ -397,7 +407,101 @@ impl SimRunReport {
             self.wipe_detector,
             &self.metrics,
             self.final_time,
+            &self.exported_history,
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The recording tap
+// ---------------------------------------------------------------------------
+
+/// The record stream shared between the harness and the recording tap.
+type SharedRecording = Arc<Mutex<Vec<(u64, LogRecord)>>>;
+
+/// A [`Server`] decorator that mirrors every accepted SUBMIT and COMMIT
+/// into a shared record stream — exactly what a WAL would hold. It sits
+/// *below* the [`ServerEngine`], so duplicate SUBMITs answered from the
+/// reply cache never reach it, matching `faust-store` semantics.
+struct RecordingServer {
+    inner: Box<dyn Server + Send>,
+    log: SharedRecording,
+}
+
+impl Server for RecordingServer {
+    fn on_submit(
+        &mut self,
+        client: ClientId,
+        msg: faust_types::SubmitMsg,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        {
+            let mut log = self.log.lock().expect("recording lock");
+            let seq = log.len() as u64;
+            log.push((
+                seq,
+                LogRecord::Submit {
+                    from: client,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+        self.inner.on_submit(client, msg)
+    }
+
+    fn on_commit(
+        &mut self,
+        client: ClientId,
+        msg: faust_types::CommitMsg,
+    ) -> Vec<(ClientId, ReplyMsg)> {
+        {
+            let mut log = self.log.lock().expect("recording lock");
+            let seq = log.len() as u64;
+            log.push((
+                seq,
+                LogRecord::Commit {
+                    from: client,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+        self.inner.on_commit(client, msg)
+    }
+
+    fn flush(&mut self, force: bool) -> Vec<(ClientId, ReplyMsg)> {
+        self.inner.flush(force)
+    }
+
+    fn flush_deadline(&self) -> Option<std::time::Instant> {
+        self.inner.flush_deadline()
+    }
+
+    fn flush_deadline_at(&self) -> Option<u64> {
+        self.inner.flush_deadline_at()
+    }
+
+    fn resume_sessions(&mut self) -> Vec<faust_ustor::SessionResume> {
+        self.inner.resume_sessions()
+    }
+}
+
+/// A [`ServerBackend`] decorator that taps every built server with a
+/// [`RecordingServer`]. Each build *clears* the shared stream: a
+/// volatile restart wipes the server, so the recording covers only the
+/// final incarnation — records that honestly apply to the fresh state,
+/// which is precisely what an auditor of the post-crash session sees.
+struct RecordingBackend {
+    inner: Box<dyn ServerBackend + Send>,
+    log: SharedRecording,
+}
+
+impl ServerBackend for RecordingBackend {
+    fn build(&self, n: usize) -> std::io::Result<Box<dyn Server + Send>> {
+        self.log.lock().expect("recording lock").clear();
+        let inner = self.inner.build(n)?;
+        Ok(Box::new(RecordingServer {
+            inner,
+            log: self.log.clone(),
+        }))
     }
 }
 
@@ -519,6 +623,9 @@ struct Harness {
     dirty_fired: Vec<(u64, &'static str)>,
     /// The armed virtual flush timer: `(deadline_tick, timer_id)`.
     flush_timer: Option<(u64, TimerId)>,
+    /// The recording tap's shared record stream (volatile servers only;
+    /// persistent servers export their real WAL instead).
+    recording: Option<SharedRecording>,
 }
 
 /// A backend that re-attaches the shared [`SimClock`] on every build —
@@ -541,8 +648,16 @@ impl Harness {
     fn new(scenario: &SimScenario, store_dir: Option<&PathBuf>) -> Self {
         let n = scenario.n();
         let clock = SimClock::new();
+        let mut recording = None;
         let backend: Box<dyn ServerBackend + Send> = match &scenario.server {
-            ServerSpec::Volatile => Box::new(MemoryBackend),
+            ServerSpec::Volatile => {
+                let log: SharedRecording = Arc::new(Mutex::new(Vec::new()));
+                recording = Some(log.clone());
+                Box::new(RecordingBackend {
+                    inner: Box::new(MemoryBackend),
+                    log,
+                })
+            }
             ServerSpec::Persistent {
                 durability,
                 snapshot_every,
@@ -691,6 +806,7 @@ impl Harness {
             fork_fired: Vec::new(),
             dirty_fired: Vec::new(),
             flush_timer: None,
+            recording,
         }
     }
 
@@ -1207,6 +1323,20 @@ impl Harness {
                     .map(|f| (ClientId::new(i as u32), f))
             })
             .collect();
+        // Volatile servers export straight from the recording tap; the
+        // persistent path is filled in by `run_sim`, which still owns
+        // the store directory at this point.
+        let exported_history = self.recording.as_ref().map(|log| {
+            let records = log.lock().expect("recording lock").clone();
+            faust_audit::export_records(
+                self.n,
+                faust_crypto::SigScheme::Hmac,
+                None,
+                records,
+                Some(self.history.clone()),
+            )
+            .encode()
+        });
         SimRunReport {
             history: self.history,
             notifications: self.slots.into_iter().map(|s| s.notifications).collect(),
@@ -1217,6 +1347,7 @@ impl Harness {
             wipe_detector: self.wipe_detector,
             metrics: self.sim.metrics().clone(),
             final_time: self.sim.now(),
+            exported_history,
         }
     }
 }
@@ -1235,8 +1366,17 @@ pub fn run_sim(scenario: &SimScenario) -> SimRunReport {
         std::fs::remove_dir_all(dir).ok();
     }
     let harness = Harness::new(scenario, store_dir.as_ref());
-    let report = harness.run(scenario.deadline);
+    let mut report = harness.run(scenario.deadline);
     if let Some(dir) = &store_dir {
+        // The harness (and with it every file handle) is gone; export
+        // the real snapshot + WAL before wiping the scratch directory.
+        report.exported_history = faust_audit::export_store_dir(
+            dir,
+            faust_crypto::SigScheme::Hmac,
+            Some(report.history.clone()),
+        )
+        .ok()
+        .map(|session| session.encode());
         std::fs::remove_dir_all(dir).ok();
     }
     report
@@ -1356,6 +1496,76 @@ pub fn check_oracles(scenario: &SimScenario, report: &SimRunReport) -> Result<()
         );
         if let faust_consistency::Verdict::Violated(why) = verdict {
             return Err(format!("history violates weak fork-linearizability: {why}"));
+        }
+    }
+
+    // Offline-auditor agreement: the exported session history is a
+    // second, independent oracle that shares no code with the online
+    // fail-aware machinery (see `faust-audit`).
+    check_audit_agreement(scenario, report)?;
+    Ok(())
+}
+
+/// Cross-checks the run against the offline auditor.
+///
+/// * The export must always decode and audit cleanly — any container
+///   error or panic is a bug regardless of the plan.
+/// * If no adversarial clause fired, the run is indistinguishable from
+///   an honest one and the auditor must certify it.
+/// * If a state wipe destroyed committed operations (a crash on a
+///   volatile server, or a `WipeState` tamper, after some client
+///   completed an op), the exported post-crash session cannot account
+///   for the pre-crash schedule and the auditor must localize a
+///   divergence — even when no online client happened to observe the
+///   fork.
+fn check_audit_agreement(scenario: &SimScenario, report: &SimRunReport) -> Result<(), String> {
+    let Some(bytes) = &report.exported_history else {
+        // Export is only allowed to be missing when the plan tampers
+        // with the store directory out from under the server.
+        if scenario.plan.crash().is_some() {
+            return Ok(());
+        }
+        return Err("run produced no exported session history".into());
+    };
+    let session = faust_audit::SessionHistory::decode(bytes)
+        .map_err(|err| format!("exported history does not decode: {err}"))?;
+    let registry = KeySet::generate_with(
+        faust_crypto::SigScheme::Hmac,
+        scenario.n(),
+        &scenario.seed.to_be_bytes(),
+    )
+    .registry();
+    let audit_report = faust_audit::audit(&session, &registry)
+        .map_err(|err| format!("auditor rejected the exported history outright: {err}"))?;
+
+    let adversarial_fired = !report.fork_fired.is_empty() || !report.dirty_fired.is_empty();
+    if !adversarial_fired && !audit_report.verdict.is_certified() {
+        return Err(format!(
+            "auditor diverged on a run with no adversarial event: {:?}",
+            audit_report.verdict
+        ));
+    }
+
+    // A wipe that destroyed a completed operation is always provable
+    // offline: the completed op's timestamp cannot appear in the
+    // surviving schedule.
+    let wiped = match &scenario.server {
+        ServerSpec::Volatile => report.crash_time,
+        ServerSpec::Persistent { .. } => (scenario.plan.crash().map(|s| s.tamper)
+            == Some(WalTamper::WipeState))
+        .then_some(report.crash_time)
+        .flatten(),
+    };
+    if let Some(crash_time) = wiped {
+        let completed_before_crash = report.notifications.iter().any(|ns| {
+            ns.iter()
+                .any(|(t, n)| matches!(n, Notification::Completed(_)) && *t < crash_time)
+        });
+        if completed_before_crash && audit_report.verdict.is_certified() {
+            return Err(format!(
+                "auditor certified a session whose server lost committed state in a crash \
+                 at t={crash_time}"
+            ));
         }
     }
     Ok(())

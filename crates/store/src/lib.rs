@@ -60,7 +60,7 @@ pub mod snapshot;
 pub mod testutil;
 
 pub use codec::LogRecord;
-pub use log::{truncate_tail_records, wal_record_spans};
+pub use log::{truncate_tail_records, wal_record_spans, LogCursor};
 pub use server::{Durability, PersistentBackend, PersistentServer, SimClock, StoreConfig};
 pub use sharded::{shard_dir, ShardStore, ShardedBackend};
 

@@ -230,68 +230,15 @@ impl Wal {
         let mut pos = WAL_HEADER_LEN;
         let mut seq = header.base_seq;
         let anomaly = loop {
-            if pos >= bytes.len() {
-                break None;
+            match parse_record_at(bytes, pos, seq) {
+                Ok(None) => break None,
+                Ok(Some(rec)) => {
+                    pos = rec.span.end;
+                    seq = rec.seq + 1;
+                    records.push(rec);
+                }
+                Err(e) => break Some(e),
             }
-            let start = pos;
-            let avail = bytes.len() - pos;
-            if avail < RECORD_OVERHEAD {
-                break Some(StoreError::TornRecord {
-                    seq,
-                    missing: RECORD_OVERHEAD - avail,
-                });
-            }
-            let mut len_bytes = &bytes[pos..pos + 4];
-            let len = u32::decode_from(&mut len_bytes).expect("sized above") as u64;
-            if len > MAX_RECORD_LEN {
-                break Some(StoreError::ImplausibleRecordLength { seq, len });
-            }
-            let need = RECORD_OVERHEAD + len as usize;
-            if avail < need {
-                break Some(StoreError::TornRecord {
-                    seq,
-                    missing: need - avail,
-                });
-            }
-            let digest = &bytes[pos + 4..pos + RECORD_OVERHEAD];
-            let payload = &bytes[pos + RECORD_OVERHEAD..pos + need];
-            if sha256(payload).as_bytes() != digest {
-                break Some(StoreError::RecordChecksum { seq });
-            }
-            let mut input = payload;
-            let found_seq = match u64::decode_from(&mut input) {
-                Ok(s) => s,
-                Err(error) => break Some(StoreError::RecordCorrupt { seq, error }),
-            };
-            if found_seq < seq {
-                break Some(StoreError::DuplicateRecord {
-                    expected: seq,
-                    found: found_seq,
-                });
-            }
-            if found_seq > seq {
-                break Some(StoreError::SequenceGap {
-                    expected: seq,
-                    found: found_seq,
-                });
-            }
-            let record = match LogRecord::decode_from(&mut input) {
-                Ok(r) => r,
-                Err(error) => break Some(StoreError::RecordCorrupt { seq, error }),
-            };
-            if !input.is_empty() {
-                break Some(StoreError::RecordCorrupt {
-                    seq,
-                    error: WireError::TrailingBytes(input.len()),
-                });
-            }
-            pos += need;
-            records.push(ScannedRecord {
-                seq,
-                record,
-                span: start..pos,
-            });
-            seq += 1;
         };
         Ok((WalContents { header, records }, anomaly))
     }
@@ -355,6 +302,158 @@ impl Wal {
     /// Path of the log file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Parses the record starting at byte `pos`, expected to carry sequence
+/// number `seq`. `Ok(None)` at the exact end of the buffer; every
+/// anomaly is the same structured [`StoreError`] a strict scan reports.
+/// This is the single place that knows the record framing — [`Wal::scan`]
+/// and [`LogCursor`] both step through it.
+fn parse_record_at(
+    bytes: &[u8],
+    pos: usize,
+    seq: u64,
+) -> Result<Option<ScannedRecord>, StoreError> {
+    if pos >= bytes.len() {
+        return Ok(None);
+    }
+    let avail = bytes.len() - pos;
+    if avail < RECORD_OVERHEAD {
+        return Err(StoreError::TornRecord {
+            seq,
+            missing: RECORD_OVERHEAD - avail,
+        });
+    }
+    let mut len_bytes = &bytes[pos..pos + 4];
+    let len = u32::decode_from(&mut len_bytes).expect("sized above") as u64;
+    if len > MAX_RECORD_LEN {
+        return Err(StoreError::ImplausibleRecordLength { seq, len });
+    }
+    let need = RECORD_OVERHEAD + len as usize;
+    if avail < need {
+        return Err(StoreError::TornRecord {
+            seq,
+            missing: need - avail,
+        });
+    }
+    let digest = &bytes[pos + 4..pos + RECORD_OVERHEAD];
+    let payload = &bytes[pos + RECORD_OVERHEAD..pos + need];
+    if sha256(payload).as_bytes() != digest {
+        return Err(StoreError::RecordChecksum { seq });
+    }
+    let mut input = payload;
+    let found_seq =
+        u64::decode_from(&mut input).map_err(|error| StoreError::RecordCorrupt { seq, error })?;
+    if found_seq < seq {
+        return Err(StoreError::DuplicateRecord {
+            expected: seq,
+            found: found_seq,
+        });
+    }
+    if found_seq > seq {
+        return Err(StoreError::SequenceGap {
+            expected: seq,
+            found: found_seq,
+        });
+    }
+    let record = LogRecord::decode_from(&mut input)
+        .map_err(|error| StoreError::RecordCorrupt { seq, error })?;
+    if !input.is_empty() {
+        return Err(StoreError::RecordCorrupt {
+            seq,
+            error: WireError::TrailingBytes(input.len()),
+        });
+    }
+    Ok(Some(ScannedRecord {
+        seq,
+        record,
+        span: pos..pos + need,
+    }))
+}
+
+/// A public, read-only, streaming iterator over a store directory's WAL —
+/// the export cursor behind `faust-audit`'s history exporter.
+///
+/// Until now record iteration was recovery-internal ([`Wal::open`] hands
+/// the scanned contents straight to replay); the cursor exposes the same
+/// strictly validated sequence without opening the log for appending, so
+/// auditors and exporters can walk a *live* server's log. Records are
+/// parsed lazily from one snapshot read of the file; the first anomaly is
+/// yielded as an `Err` item (naming the offending record, exactly as
+/// strict recovery would) and ends the iteration.
+#[derive(Debug)]
+pub struct LogCursor {
+    bytes: Vec<u8>,
+    header: WalHeader,
+    pos: usize,
+    next_seq: u64,
+    finished: bool,
+}
+
+impl LogCursor {
+    /// Opens the WAL inside store directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and header problems; record anomalies surface during
+    /// iteration instead.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::open_file(&dir.join(WAL_FILE))
+    }
+
+    /// Opens the WAL file at `path` directly.
+    ///
+    /// # Errors
+    ///
+    /// I/O and header problems; record anomalies surface during
+    /// iteration instead.
+    pub fn open_file(path: &Path) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let header = WalHeader::decode(&bytes)?;
+        Ok(LogCursor {
+            pos: WAL_HEADER_LEN,
+            next_seq: header.base_seq,
+            header,
+            bytes,
+            finished: false,
+        })
+    }
+
+    /// The parsed WAL header.
+    pub fn header(&self) -> WalHeader {
+        self.header
+    }
+
+    /// Sequence number the next yielded record must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl Iterator for LogCursor {
+    type Item = Result<ScannedRecord, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match parse_record_at(&self.bytes, self.pos, self.next_seq) {
+            Ok(None) => {
+                self.finished = true;
+                None
+            }
+            Ok(Some(rec)) => {
+                self.pos = rec.span.end;
+                self.next_seq = rec.seq + 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -517,6 +616,68 @@ mod tests {
         assert_eq!(contents.next_seq(), 2);
         // Over-truncation clamps to empty.
         assert_eq!(truncate_tail_records(&dir, 99).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cursor_observes_exactly_the_recovered_sequence_across_snapshots() {
+        use crate::server::{PersistentServer, StoreConfig};
+        use crate::testutil::{clients, run_op};
+        use crate::Durability;
+        let dir = scratch_dir("wal-cursor-snap");
+        let config = StoreConfig {
+            durability: Durability::Never,
+            snapshot_every: 4,
+        };
+        let mut server = PersistentServer::open(&dir, 2, config).unwrap();
+        let mut cs = clients(2, b"wal-cursor-snap");
+        for round in 0..5u64 {
+            let submit = cs[0].begin_write(Value::unique(0, round)).unwrap();
+            run_op(&mut server, &mut cs[0], submit);
+        }
+        drop(server);
+
+        // The log was rotated at least once (snapshot taken), so the
+        // cursor starts mid-sequence — exactly where recovery does.
+        let recovered = Wal::scan(&dir.join(WAL_FILE)).unwrap();
+        assert!(recovered.header.base_seq > 0, "rotation happened");
+
+        let cursor = LogCursor::open(&dir).unwrap();
+        assert_eq!(cursor.header(), recovered.header);
+        let seen: Vec<(u64, Vec<u8>)> = cursor
+            .map(|r| r.map(|rec| (rec.seq, rec.record.encode())))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let expected: Vec<(u64, Vec<u8>)> = recovered
+            .records
+            .iter()
+            .map(|rec| (rec.seq, rec.record.encode()))
+            .collect();
+        assert_eq!(seen, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cursor_surfaces_anomalies_and_stops() {
+        let dir = scratch_dir("wal-cursor-torn");
+        let mut wal = Wal::create(&dir, 4, 0, false).unwrap();
+        for i in 0..3u32 {
+            wal.append(&record(i, 0), false).unwrap();
+        }
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let good = std::fs::read(&path).unwrap();
+        // Tear the last record.
+        std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+
+        let mut cursor = LogCursor::open(&dir).unwrap();
+        assert_eq!(cursor.next().unwrap().unwrap().seq, 0);
+        assert_eq!(cursor.next().unwrap().unwrap().seq, 1);
+        assert!(matches!(
+            cursor.next().unwrap().unwrap_err(),
+            StoreError::TornRecord { seq: 2, .. }
+        ));
+        assert!(cursor.next().is_none(), "iteration ends after an anomaly");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,6 +10,7 @@
 use crate::ids::{ClientId, Timestamp};
 use crate::op::OpKind;
 use crate::value::Value;
+use crate::wire::{Wire, WireError};
 use std::fmt;
 
 /// Unique identifier of an operation within a [`History`].
@@ -262,6 +263,82 @@ impl History {
     }
 }
 
+impl Wire for OpId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(OpId(u64::decode_from(input)?))
+    }
+}
+
+impl Wire for OpOutcome {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            OpOutcome::Pending => out.push(0),
+            OpOutcome::WriteOk => out.push(1),
+            OpOutcome::ReadReturned(v) => {
+                out.push(2);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_from(input)? {
+            0 => Ok(OpOutcome::Pending),
+            1 => Ok(OpOutcome::WriteOk),
+            2 => Ok(OpOutcome::ReadReturned(Option::<Value>::decode_from(
+                input,
+            )?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for OpRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.client.encode_into(out);
+        self.kind.encode_into(out);
+        self.register.encode_into(out);
+        self.written.encode_into(out);
+        self.outcome.encode_into(out);
+        self.invoked_at.encode_into(out);
+        self.responded_at.encode_into(out);
+        self.timestamp.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(OpRecord {
+            id: OpId::decode_from(input)?,
+            client: ClientId::decode_from(input)?,
+            kind: OpKind::decode_from(input)?,
+            register: ClientId::decode_from(input)?,
+            written: Option::<Value>::decode_from(input)?,
+            outcome: OpOutcome::decode_from(input)?,
+            invoked_at: u64::decode_from(input)?,
+            responded_at: Option::<u64>::decode_from(input)?,
+            timestamp: Option::<Timestamp>::decode_from(input)?,
+        })
+    }
+}
+
+impl Wire for History {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.ops.encode_into(out);
+    }
+    fn decode_from(input: &mut &[u8]) -> Result<Self, WireError> {
+        let ops = Vec::<OpRecord>::decode_from(input)?;
+        // Ids are positional everywhere else in this module; a decoded
+        // history must agree or `op()`/`precedes()` lookups would lie.
+        for (i, op) in ops.iter().enumerate() {
+            if op.id.0 != i as u64 {
+                return Err(WireError::BadLength(op.id.0));
+            }
+        }
+        Ok(History { ops })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +413,31 @@ mod tests {
         h.begin_write(c(0), Value::from("c"), 5);
         assert_eq!(h.client_ops(c(0)).count(), 2);
         assert_eq!(h.client_ops(c(1)).count(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut h = History::new();
+        let w = h.begin_write(c(0), Value::from("x"), 0);
+        h.complete_write(w, 5, Some(3));
+        let r = h.begin_read(c(1), c(0), 6);
+        h.complete_read(r, 9, Some(Value::from("x")), Some(1));
+        let _pending = h.begin_read(c(2), c(0), 10);
+        let none_read = h.begin_read(c(1), c(2), 11);
+        h.complete_read(none_read, 12, None, None);
+
+        let bytes = h.encode();
+        let back = History::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+
+        // Non-positional ids are rejected, truncation is structured.
+        let mut forged = h.clone();
+        forged.ops[0].id = OpId(7);
+        assert!(History::decode(&forged.encode()).is_err());
+        assert_eq!(
+            History::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

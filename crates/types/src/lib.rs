@@ -33,7 +33,7 @@ pub mod version;
 pub mod wire;
 
 pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
-pub use history::{History, OpId, OpRecord};
+pub use history::{History, OpId, OpOutcome, OpRecord};
 pub use ids::{ClientId, Timestamp};
 pub use op::{InvocationTuple, OpKind};
 pub use value::Value;

@@ -55,6 +55,13 @@
 //! reactor both landed exactly this way — behind
 //! `ServerTransport`/`ServerEngine`, without touching protocol code;
 //! further scaling work follows the same seam (see ROADMAP.md).
+//!
+//! Orthogonal to the serving stack, [`audit`] adds the offline half of
+//! fail-awareness: a store directory (or an in-memory record stream)
+//! exports as a signed, self-authenticating `FAUSTHIS` session history,
+//! and `faust audit` replays it after the fact — certifying
+//! fork-linearizability or pinning the exact first divergent version
+//! with a typed cause (`docs/audit.md`).
 
 #![forbid(unsafe_code)]
 
@@ -63,6 +70,7 @@
 /// stream. (An alias for [`faust_core::handle`].)
 pub use faust_core::handle as client;
 
+pub use faust_audit as audit;
 pub use faust_baseline as baseline;
 pub use faust_consistency as consistency;
 pub use faust_core as core;

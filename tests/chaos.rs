@@ -26,7 +26,10 @@
 //!
 //! With `FAUST_CHAOS_STATS_JSON=<path>`, the honest test additionally
 //! writes its per-client reconnect/resend counters as JSON for CI
-//! artifact collection.
+//! artifact collection. With `FAUST_CHAOS_EXPORT_HISTORY=<path>`, it
+//! exports the final store directory as a signed `FAUSTHIS` session
+//! history before cleanup, so CI can replay the whole chaos run through
+//! `faust audit` as an independent offline oracle.
 
 use faust::core::handle::{
     DisconnectCause, Event, FaustHandle, HandleConfig, HandleStats, ReconnectPolicy,
@@ -289,6 +292,18 @@ fn sessions_survive_repeated_abrupt_server_kills() {
 
     if let Ok(path) = std::env::var("FAUST_CHAOS_STATS_JSON") {
         write_stats_json(&path, kills, &stats);
+    }
+    if let Ok(path) = std::env::var("FAUST_CHAOS_EXPORT_HISTORY") {
+        let session = faust::audit::export_store_dir(&dir, faust::crypto::SigScheme::Hmac, None)
+            .expect("export chaos store directory");
+        session
+            .write_to(std::path::Path::new(&path))
+            .expect("write chaos history");
+        println!(
+            "exported {} records across {} incarnations to {path}",
+            session.records.len(),
+            kills + 1
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -21,6 +21,7 @@
 //! See `docs/simulation.md` for the architecture and the oracle
 //! definitions.
 
+use faust::audit::{audit, AuditVerdict, SessionHistory};
 use faust::core::runtime::spawn_engine;
 use faust::core::threaded_faust::{run_faust_session, FaustSession, ThreadedFaustConfig};
 use faust::core::{
@@ -28,6 +29,8 @@ use faust::core::{
     FaultPlan, FaustConfig, FaustWorkloadOp, Notification, ServerSpec, SimDurability, SimScenario,
     UserOp, WalTamper,
 };
+use faust::crypto::sig::KeySet;
+use faust::crypto::SigScheme;
 use faust::net::{tcp, ClientConn, TcpServerTransport};
 use faust::sim::DelayModel;
 use faust::store::{testutil, Durability, PersistentBackend, StoreConfig};
@@ -307,4 +310,78 @@ fn group_commit_kill_restart_in_virtual_time_matches_threaded_run_10x_faster() {
         sim_elapsed * 10 <= threaded_elapsed,
         "virtual time must be ≥10× faster: sim {sim_elapsed:?} vs threads {threaded_elapsed:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Offline-auditor agreement: every simulated run exports a FAUSTHIS
+// session history, and `faust-audit` — a second oracle sharing no code
+// with the online fail-aware machinery — must agree with what actually
+// happened. The seeded fuzz loop above already audits every generated
+// scenario inside `check_oracles`; these tests pin the two verdict
+// directions explicitly.
+// ---------------------------------------------------------------------------
+
+/// Replays a run's exported history through the offline auditor.
+fn offline_verdict(scenario: &SimScenario, report: &faust::core::SimRunReport) -> AuditVerdict {
+    let bytes = report
+        .exported_history
+        .as_ref()
+        .expect("every run exports a session history");
+    let session = SessionHistory::decode(bytes).expect("exported history decodes");
+    let registry =
+        KeySet::generate_with(SigScheme::Hmac, scenario.n(), &scenario.seed.to_be_bytes())
+            .registry();
+    audit(&session, &registry).expect("auditor runs").verdict
+}
+
+/// Honest runs — volatile, and persistent across a crash+recovery —
+/// must be certified by the offline auditor.
+#[test]
+fn auditor_certifies_honest_runs() {
+    // Volatile, no faults.
+    let mut scenario = kill_restart_scenario();
+    scenario.server = ServerSpec::Volatile;
+    scenario.plan = FaultPlan { clauses: vec![] };
+    let report = run_and_check(&scenario).expect("oracles pass");
+    match offline_verdict(&scenario, &report) {
+        AuditVerdict::Certified {
+            fork_linearizable, ..
+        } => assert!(fork_linearizable),
+        other => panic!("honest volatile run must certify, got {other:?}"),
+    }
+
+    // Persistent, honest kill+restart: the recovered WAL accounts for
+    // the whole session, so the auditor certifies straight across the
+    // crash.
+    let scenario = kill_restart_scenario();
+    let report = run_and_check(&scenario).expect("oracles pass");
+    assert!(report.crash_time.is_some(), "the kill must fire");
+    match offline_verdict(&scenario, &report) {
+        AuditVerdict::Certified {
+            fork_linearizable, ..
+        } => assert!(fork_linearizable),
+        other => panic!("honest crash recovery must certify, got {other:?}"),
+    }
+}
+
+/// A volatile server crash wipes committed state — a global fork. The
+/// exported post-crash session cannot account for the pre-crash
+/// schedule, so the auditor must localize a divergence even if no
+/// online client happened to observe the fork.
+#[test]
+fn auditor_diverges_on_wiped_state() {
+    let mut scenario = kill_restart_scenario();
+    scenario.server = ServerSpec::Volatile;
+    scenario.dummy_reads = true;
+    let report = run_sim(&scenario);
+    let crash_time = report.crash_time.expect("the crash must fire");
+    let completed_before_crash = report.notifications.iter().any(|ns| {
+        ns.iter()
+            .any(|(t, n)| matches!(n, Notification::Completed(_)) && *t < crash_time)
+    });
+    assert!(completed_before_crash, "ops must complete before the crash");
+    match offline_verdict(&scenario, &report) {
+        AuditVerdict::Diverged { .. } => {}
+        other => panic!("a wiped server must not be certified, got {other:?}"),
+    }
 }
